@@ -1,0 +1,25 @@
+// Shared environment-variable knobs for the bench binaries.
+//
+//   KPLEX_BENCH_THREADS  worker threads for parallel benches
+//                        (default: hardware concurrency)
+
+#ifndef KPLEX_BENCH_BENCH_COMMON_FLAGS_H_
+#define KPLEX_BENCH_BENCH_COMMON_FLAGS_H_
+
+#include <cstdlib>
+#include <thread>
+
+namespace kplex {
+
+inline uint32_t BenchThreads() {
+  if (const char* env = std::getenv("KPLEX_BENCH_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 2;
+}
+
+}  // namespace kplex
+
+#endif  // KPLEX_BENCH_BENCH_COMMON_FLAGS_H_

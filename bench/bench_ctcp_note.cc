@@ -1,0 +1,79 @@
+// Reproduces the Related-Work claim about kPlexS's CTCP reduction
+// (Section 2): "the reduced graph by CTCP is guaranteed to be no larger
+// than that computed by BnB, Maplex and KpLeX". We compare the plain
+// (q-k)-core against the CTCP fixpoint — sizes and the effect on mining
+// time — across parameter settings where the edge rule can fire
+// (q > 2k).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/dataset_registry.h"
+#include "bench_common/harness.h"
+#include "bench_common/table_printer.h"
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/ctcp.h"
+#include "graph/kcore.h"
+
+namespace {
+
+struct Cell {
+  const char* dataset;
+  uint32_t k;
+  uint32_t q;
+};
+
+const std::vector<Cell> kCells = {
+    {"wiki-vote-syn", 2, 12},  {"wiki-vote-syn", 3, 16},
+    {"soc-epinions-syn", 2, 12}, {"email-euall-syn", 3, 12},
+    {"as-skitter-syn", 3, 20}, {"webbase-syn", 3, 20},
+};
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+  std::printf("== Related-Work note: CTCP reduction vs plain core ==\n\n");
+  TablePrinter table({"dataset", "k", "q", "core n/m", "ctcp n/m",
+                      "edges cut", "Ours", "Ours+ctcp"});
+  bool all_agree = true;
+  for (const auto& cell : kCells) {
+    auto graph = LoadDataset(cell.dataset);
+    if (!graph.ok()) return 1;
+
+    CoreReduction core = ReduceToCore(*graph, cell.q - cell.k);
+    CtcpResult ctcp = CtcpReduce(*graph, cell.k, cell.q);
+
+    EnumOptions plain = EnumOptions::Ours(cell.k, cell.q);
+    EnumOptions with_ctcp = plain;
+    with_ctcp.use_ctcp_preprocess = true;
+
+    HashingSink plain_sink, ctcp_sink;
+    auto plain_run = EnumerateMaximalKPlexes(*graph, plain, plain_sink);
+    auto ctcp_run = EnumerateMaximalKPlexes(*graph, with_ctcp, ctcp_sink);
+    if (!plain_run.ok() || !ctcp_run.ok()) return 1;
+    if (plain_sink.fingerprint() != ctcp_sink.fingerprint()) {
+      all_agree = false;
+      std::fprintf(stderr, "RESULT MISMATCH on %s\n", cell.dataset);
+    }
+    table.AddRow(
+        {cell.dataset, std::to_string(cell.k), std::to_string(cell.q),
+         FormatCount(core.graph.NumVertices()) + "/" +
+             FormatCount(core.graph.NumEdges()),
+         FormatCount(ctcp.graph.NumVertices()) + "/" +
+             FormatCount(ctcp.graph.NumEdges()),
+         FormatCount(ctcp.edges_pruned), FormatSeconds(plain_run->seconds),
+         FormatSeconds(ctcp_run->seconds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: the CTCP fixpoint is never larger than the plain\n"
+      "core (kPlexS's guarantee) and identical results are produced either\n"
+      "way. On sparse heavy-tailed graphs the edge rule collapses the\n"
+      "working graph by orders of magnitude and speeds mining up 2-3x —\n"
+      "the same global reduction the engine otherwise rediscovers seed by\n"
+      "seed through Corollary 5.2.\n");
+  return all_agree ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 13 of the paper (Appendix B.1): effect of the task
+// timeout tau_time on parallel running time. The paper's shape: very
+// large tau (approaching "no decomposition") degrades load balancing and
+// slows the run; the default 0.1 ms sits near the optimum across
+// datasets.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common_flags.h"
+#include "bench_common/dataset_registry.h"
+#include "bench_common/harness.h"
+#include "bench_common/table_printer.h"
+
+namespace {
+
+struct Cell {
+  const char* dataset;
+  uint32_t k;
+  uint32_t q;
+};
+
+const std::vector<Cell> kCells = {
+    {"enwiki-syn", 2, 12},
+    {"enwiki-syn", 3, 12},
+    {"soc-pokec-syn", 3, 12},
+    {"email-euall-syn", 4, 14},
+    {"webbase-syn", 3, 20},
+};
+
+const double kTausMs[] = {0.001, 0.01, 0.1, 1.0, 10.0, 100.0};
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+  const uint32_t threads = BenchThreads();
+  std::printf(
+      "== Figure 13: parallel time (sec) vs tau_time, %u threads ==\n\n",
+      threads);
+
+  TablePrinter table({"dataset", "k", "q", "tau=1us", "10us", "0.1ms",
+                      "1ms", "10ms", "100ms"});
+  for (const auto& cell : kCells) {
+    auto graph = LoadDataset(cell.dataset);
+    if (!graph.ok()) return 1;
+    std::vector<std::string> row = {cell.dataset, std::to_string(cell.k),
+                                    std::to_string(cell.q)};
+    uint64_t fingerprint = 0;
+    bool first = true;
+    for (double tau : kTausMs) {
+      RunOutcome out = TimeAlgo(
+          *graph, MakeParallelAlgo("Ours-par", cell.k, cell.q, threads, tau));
+      if (!out.ok) return 1;
+      if (first) {
+        fingerprint = out.fingerprint;
+        first = false;
+      } else if (out.fingerprint != fingerprint) {
+        std::fprintf(stderr, "RESULT MISMATCH at tau=%.3fms\n", tau);
+        return 1;
+      }
+      row.push_back(FormatSeconds(out.seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

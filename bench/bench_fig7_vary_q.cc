@@ -1,0 +1,70 @@
+// Reproduces Figure 7 (and its appendix extension Figure 14): sequential
+// running time of FP, ListPlex and Ours as q varies. The paper's shapes:
+// Ours (the bottom curve) dominates at every q; all curves fall as q
+// grows (more pruning, fewer results); ListPlex-vs-FP flips with k.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/dataset_registry.h"
+#include "bench_common/harness.h"
+#include "bench_common/table_printer.h"
+
+namespace {
+
+struct Series {
+  const char* dataset;
+  uint32_t k;
+  uint32_t q_begin;
+  uint32_t q_end;  // inclusive
+  uint32_t q_step;
+};
+
+const std::vector<Series> kSeries = {
+    {"wiki-vote-syn", 3, 12, 20, 2},
+    {"wiki-vote-syn", 4, 18, 26, 2},
+    {"jazz-syn", 4, 12, 20, 2},
+    {"email-euall-syn", 4, 14, 22, 2},
+};
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+  std::printf("== Figure 7 / 14: running time (sec) vs q ==\n\n");
+  for (const auto& series : kSeries) {
+    auto graph = LoadDataset(series.dataset);
+    if (!graph.ok()) return 1;
+    std::printf("--- %s, k = %u ---\n", series.dataset, series.k);
+    TablePrinter table({"q", "#k-plexes", "FP", "ListPlex", "Ours"});
+    for (uint32_t q = series.q_begin; q <= series.q_end; q += series.q_step) {
+      uint64_t count = 0, fingerprint = 0;
+      std::vector<std::string> row = {std::to_string(q)};
+      std::vector<std::string> times;
+      bool first = true;
+      for (const char* algo : {"FP", "ListPlex", "Ours"}) {
+        RunOutcome out = TimeAlgo(*graph, MakeSequentialAlgo(algo, series.k, q));
+        if (!out.ok) {
+          std::fprintf(stderr, "%s failed: %s\n", algo, out.error.c_str());
+          return 1;
+        }
+        if (first) {
+          count = out.num_plexes;
+          fingerprint = out.fingerprint;
+          first = false;
+        } else if (out.fingerprint != fingerprint) {
+          std::fprintf(stderr, "RESULT MISMATCH (%s q=%u)\n", algo, q);
+          return 1;
+        }
+        times.push_back(FormatSeconds(out.seconds));
+      }
+      row.push_back(FormatCount(count));
+      row.insert(row.end(), times.begin(), times.end());
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

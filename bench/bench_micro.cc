@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the substrate the enumerators
+// are built on: bitset kernels, degeneracy peeling, seed-subgraph
+// construction, pair-matrix construction and upper-bound evaluation.
+// These quantify the per-call costs the complexity analysis of
+// Section 5 reasons about (e.g. the O(D) bound of Algorithm 4, or the
+// extra O(|C| log |C|) the FP-style bound pays per recursion).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/pair_matrix.h"
+#include "core/seed_graph.h"
+#include "core/subtask.h"
+#include "graph/degeneracy.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace kplex {
+namespace {
+
+void BM_BitsetAndCount(benchmark::State& state) {
+  const std::size_t bits = state.range(0);
+  DynamicBitset a(bits), b(bits);
+  Rng rng(1);
+  for (std::size_t i = 0; i < bits / 3; ++i) {
+    a.Set(rng.NextBounded(bits));
+    b.Set(rng.NextBounded(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+  }
+}
+BENCHMARK(BM_BitsetAndCount)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_BitsetForEachAnd(benchmark::State& state) {
+  const std::size_t bits = state.range(0);
+  DynamicBitset a(bits), b(bits);
+  Rng rng(2);
+  for (std::size_t i = 0; i < bits / 3; ++i) {
+    a.Set(rng.NextBounded(bits));
+    b.Set(rng.NextBounded(bits));
+  }
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    a.ForEachAnd(b, [&](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetForEachAnd)->Arg(1024)->Arg(8192);
+
+void BM_DegeneracyPeeling(benchmark::State& state) {
+  Graph g = GenerateBarabasiAlbert(state.range(0), 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDegeneracy(g).degeneracy);
+  }
+}
+BENCHMARK(BM_DegeneracyPeeling)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CoreReduction(benchmark::State& state) {
+  Graph g = GenerateBarabasiAlbert(8000, 10, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToCore(g, state.range(0)).graph.NumVertices());
+  }
+}
+BENCHMARK(BM_CoreReduction)->Arg(4)->Arg(8)->Arg(12);
+
+class SeedGraphFixture {
+ public:
+  SeedGraphFixture() : graph_(GenerateBarabasiAlbert(2000, 18, 5)) {
+    degeneracy_ = ComputeDegeneracy(graph_);
+    // Find a seed whose subgraph is viable for the benchmark options
+    // (k=3, q=12): scan from the dense end of the peeling order.
+    EnumOptions probe = EnumOptions::Ours(3, 12);
+    for (std::size_t i = graph_.NumVertices(); i-- > 0;) {
+      VertexId candidate = degeneracy_.order[i];
+      if (BuildSeedGraph(graph_, {}, degeneracy_, candidate, probe, nullptr)
+              .has_value()) {
+        seed_ = candidate;
+        break;
+      }
+    }
+  }
+
+  const Graph& graph() const { return graph_; }
+  const DegeneracyResult& degeneracy() const { return degeneracy_; }
+
+  /// A seed with a viable (non-pruned-away) seed subgraph.
+  VertexId PickSeed() const { return seed_; }
+
+ private:
+  Graph graph_;
+  DegeneracyResult degeneracy_;
+  VertexId seed_ = 0;
+};
+
+void BM_SeedGraphBuild(benchmark::State& state) {
+  SeedGraphFixture fixture;
+  EnumOptions options = EnumOptions::Ours(3, 12);
+  options.use_pair_pruning_r2 = state.range(0) != 0;
+  for (auto _ : state) {
+    auto sg = BuildSeedGraph(fixture.graph(), {}, fixture.degeneracy(),
+                             fixture.PickSeed(), options, nullptr);
+    benchmark::DoNotOptimize(sg.has_value());
+  }
+}
+BENCHMARK(BM_SeedGraphBuild)->Arg(0)->Arg(1);  // 0: no T matrix, 1: with T
+
+void BM_UpperBounds(benchmark::State& state) {
+  SeedGraphFixture fixture;
+  EnumOptions options = EnumOptions::Ours(3, 12);
+  auto sg = BuildSeedGraph(fixture.graph(), {}, fixture.degeneracy(),
+                           fixture.PickSeed(), options, nullptr);
+  if (!sg.has_value()) {
+    state.SkipWithError("no viable seed graph");
+    return;
+  }
+  TaskState task = TaskState::MakeEmpty(*sg);
+  task.AddToP(*sg, SeedGraph::kSeed);
+  task.c = sg->n1_mask;
+  const uint32_t pivot = static_cast<uint32_t>(task.c.FindFirst());
+  task.c.Reset(pivot);
+
+  BoundScratch scratch;
+  const bool sorted = state.range(0) != 0;
+  for (auto _ : state) {
+    uint32_t ub = sorted ? UbSupportSorted(*sg, task, pivot, 3, scratch)
+                         : UbSupport(*sg, task, pivot, 3, scratch);
+    benchmark::DoNotOptimize(ub);
+  }
+}
+BENCHMARK(BM_UpperBounds)->Arg(0)->Arg(1);  // 0: Theorem 5.5, 1: FP-sorted
+
+void BM_SubtaskEnumeration(benchmark::State& state) {
+  SeedGraphFixture fixture;
+  EnumOptions options = EnumOptions::Ours(static_cast<uint32_t>(state.range(0)),
+                                          12);
+  auto sg = BuildSeedGraph(fixture.graph(), {}, fixture.degeneracy(),
+                           fixture.PickSeed(), options, nullptr);
+  if (!sg.has_value()) {
+    state.SkipWithError("no viable seed graph");
+    return;
+  }
+  for (auto _ : state) {
+    AlgoCounters counters;
+    uint64_t tasks = 0;
+    EnumerateSubtasks(*sg, options, counters,
+                      [&](TaskState&&) { ++tasks; });
+    benchmark::DoNotOptimize(tasks);
+  }
+}
+BENCHMARK(BM_SubtaskEnumeration)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace kplex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduces the Related-Work claim of the paper (Section 2): the
+// reverse-search framework of [8] "provides a polynomial delay ... but
+// is less efficient than BK when the goal is to enumerate all maximal
+// k-plexes". We time reverse search against the plain BK reference and
+// the full engine on graphs small enough for all three.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "baselines/bk_naive.h"
+#include "baselines/reverse_search.h"
+#include "bench_common/table_printer.h"
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Cell {
+  const char* label;
+  kplex::Graph graph;
+  uint32_t k;
+  uint32_t q;
+};
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+  std::printf("== Related-Work note: reverse search vs BK-style (sec) ==\n\n");
+
+  std::vector<Cell> cells;
+  cells.push_back({"er-40-20%", GenerateErdosRenyi(40, 0.20, 1001), 2, 4});
+  cells.push_back({"er-60-12%", GenerateErdosRenyi(60, 0.12, 1002), 2, 4});
+  cells.push_back({"ba-80-5", GenerateBarabasiAlbert(80, 5, 1003), 2, 5});
+  cells.push_back({"ws-80-8", GenerateWattsStrogatz(80, 8, 0.2, 1004), 2, 5});
+
+  TablePrinter table({"graph", "k", "q", "#k-plexes", "ReverseSearch",
+                      "plain BK", "Ours"});
+  for (auto& cell : cells) {
+    WallTimer timer;
+    CountingSink rs_sink;
+    auto rs = ReverseSearchEnumerate(cell.graph, cell.k, cell.q, rs_sink);
+    if (!rs.ok()) return 1;
+    const double rs_seconds = timer.ElapsedSeconds();
+
+    timer.Restart();
+    CountingSink bk_sink;
+    uint64_t bk_count = BkReferenceEnumerate(cell.graph, cell.k, cell.q,
+                                             bk_sink);
+    const double bk_seconds = timer.ElapsedSeconds();
+
+    CountingSink ours_sink;
+    auto ours = EnumerateMaximalKPlexes(
+        cell.graph, EnumOptions::Ours(cell.k, cell.q), ours_sink);
+    if (!ours.ok()) return 1;
+
+    if (*rs != bk_count || bk_count != ours->num_plexes) {
+      std::fprintf(stderr, "RESULT MISMATCH on %s\n", cell.label);
+      return 1;
+    }
+    table.AddRow({cell.label, std::to_string(cell.k), std::to_string(cell.q),
+                  FormatCount(bk_count), FormatSeconds(rs_seconds),
+                  FormatSeconds(bk_seconds), FormatSeconds(ours->seconds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: reverse search trails plain BK by orders of\n"
+      "magnitude on full enumeration (its strength is polynomial delay,\n"
+      "not total time), and the engineered engine beats both.\n");
+  return 0;
+}

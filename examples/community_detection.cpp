@@ -1,0 +1,87 @@
+// Community detection with k-plexes (the paper's Section 1 motivation:
+// real communities rarely form perfect cliques, so clique mining misses
+// them, while k-plex mining recovers them despite missing edges).
+//
+// We plant noisy communities with known membership — every community is
+// a clique with up to (k-1) intra-community edges deleted per member —
+// and compare what maximal-clique mining (k = 1) and maximal-k-plex
+// mining recover. The k-plex miner should find every planted community
+// as one cohesive subgraph; the clique miner fragments them.
+//
+//   build/examples/community_detection
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+
+namespace {
+
+// Fraction of planted communities recovered exactly as one result set.
+double RecoveryRate(const kplex::PlantedCommunityGraph& planted,
+                    std::size_t num_communities,
+                    const std::vector<std::vector<kplex::VertexId>>& results) {
+  std::set<std::vector<kplex::VertexId>> result_set(results.begin(),
+                                                    results.end());
+  std::size_t recovered = 0;
+  for (uint32_t c = 0; c < num_communities; ++c) {
+    std::vector<kplex::VertexId> members;
+    for (kplex::VertexId v = 0; v < planted.graph.NumVertices(); ++v) {
+      if (planted.community[v] == c) members.push_back(v);
+    }
+    std::sort(members.begin(), members.end());
+    if (result_set.count(members) > 0) ++recovered;
+  }
+  return static_cast<double>(recovered) / num_communities;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+
+  PlantedCommunityConfig config;
+  config.num_communities = 40;
+  config.community_size = 10;
+  config.missing_per_vertex = 2;  // every community is a 3-plex
+  config.background_vertices = 400;
+  config.noise_probability = 0.01;
+  PlantedCommunityGraph planted = GeneratePlantedCommunities(config, 2024);
+
+  std::printf("planted %zu communities of size %zu in a graph with "
+              "%zu vertices / %zu edges\n",
+              config.num_communities, config.community_size,
+              planted.graph.NumVertices(), planted.graph.NumEdges());
+  std::printf("each member may miss up to %zu intra-community edges, so "
+              "communities are %zu-plexes but NOT cliques\n\n",
+              config.missing_per_vertex, config.missing_per_vertex + 1);
+
+  const uint32_t q = static_cast<uint32_t>(config.community_size);
+  for (uint32_t k = 1; k <= 3; ++k) {
+    if (q + 1 < 2 * k) continue;
+    CollectingSink sink;
+    auto result =
+        EnumerateMaximalKPlexes(planted.graph, EnumOptions::Ours(k, q), sink);
+    if (!result.ok()) {
+      std::fprintf(stderr, "k=%u failed: %s\n", k,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const double rate =
+        RecoveryRate(planted, config.num_communities, sink.SortedResults());
+    std::printf("k = %u (q = %u): %6llu maximal k-plexes, "
+                "%.0f%% of planted communities recovered exactly, %.3fs\n",
+                k, q, static_cast<unsigned long long>(result->num_plexes),
+                rate * 100.0, result->seconds);
+  }
+
+  std::printf(
+      "\nExpected: k = 1 (cliques) recovers 0%% — noise deletions break\n"
+      "every community; k = 3 recovers 100%% — each planted community is\n"
+      "a maximal 3-plex of size >= q.\n");
+  return 0;
+}

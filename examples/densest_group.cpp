@@ -1,0 +1,50 @@
+// Finding the single most cohesive group: maximum k-plex search.
+//
+// Social-network analysis often wants *the* tightest community rather
+// than all of them (the maximum-k-plex problem surveyed in Section 2 of
+// the paper). This example finds the maximum k-plex of a scale-free
+// network for k = 1..4 and contrasts sizes: relaxing k grows the best
+// group, while the greedy lower bound shows how much the exact search
+// adds over a cheap heuristic.
+//
+//   build/examples/densest_group
+
+#include <cstdio>
+
+#include "core/kplex_verify.h"
+#include "core/max_kplex.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace kplex;
+  Graph graph = GenerateBarabasiAlbert(2500, 12, 31337);
+  std::printf("scale-free network: %zu vertices, %zu edges\n\n",
+              graph.NumVertices(), graph.NumEdges());
+
+  std::printf("%-4s %-14s %-14s %-8s %-10s\n", "k", "greedy bound",
+              "maximum size", "passes", "time (s)");
+  for (uint32_t k = 1; k <= 4; ++k) {
+    auto greedy = GreedyKPlexLowerBound(graph, k, 16);
+    auto result = FindMaximumKPlex(graph, k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "k=%u failed: %s\n", k,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (!result->found) {
+      std::printf("%-4u %-14zu %-14s\n", k, greedy.size(), "(none)");
+      continue;
+    }
+    if (!IsMaximalKPlex(graph, result->plex, k)) {
+      std::fprintf(stderr, "BUG: reported maximum is not maximal\n");
+      return 1;
+    }
+    std::printf("%-4u %-14zu %-14zu %-8u %-10.3f\n", k, greedy.size(),
+                result->plex.size(), result->passes, result->seconds);
+  }
+  std::printf(
+      "\nExpected: the maximum size grows with k (every (k)-plex is a\n"
+      "(k+1)-plex), and the exact search beats or matches the greedy\n"
+      "bound at every k.\n");
+  return 0;
+}

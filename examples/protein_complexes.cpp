@@ -1,0 +1,137 @@
+// Protein-complex discovery in a noisy interaction network (the paper's
+// Section 1 biological motivation: PPI data has false-negative edges, so
+// complexes appear as near-cliques).
+//
+// We simulate a protein-protein interaction (PPI) network: complexes are
+// planted as dense modules, then edges are *dropped* uniformly at random
+// to model experimental false negatives. The example sweeps the
+// false-negative rate and reports how many complexes survive as maximal
+// 2-plexes vs as maximal cliques — showing why the relaxation matters
+// more as data gets noisier.
+//
+//   build/examples/protein_complexes
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using kplex::Graph;
+using kplex::GraphBuilder;
+using kplex::VertexId;
+
+struct Ppi {
+  Graph graph;
+  std::vector<std::vector<VertexId>> complexes;
+};
+
+// Plants perfect-clique complexes plus background, then deletes each
+// edge independently with probability `false_negative_rate`.
+Ppi SimulatePpi(std::size_t num_complexes, std::size_t complex_size,
+                std::size_t background, double noise_probability,
+                double false_negative_rate, uint64_t seed) {
+  kplex::Rng rng(seed);
+  const std::size_t n = num_complexes * complex_size + background;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  Ppi ppi;
+  for (std::size_t c = 0; c < num_complexes; ++c) {
+    const VertexId base = static_cast<VertexId>(c * complex_size);
+    std::vector<VertexId> members;
+    for (std::size_t i = 0; i < complex_size; ++i) {
+      members.push_back(base + static_cast<VertexId>(i));
+      for (std::size_t j = i + 1; j < complex_size; ++j) {
+        edges.push_back({base + static_cast<VertexId>(i),
+                         base + static_cast<VertexId>(j)});
+      }
+    }
+    ppi.complexes.push_back(std::move(members));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool same_complex = u / complex_size == v / complex_size &&
+                                u < num_complexes * complex_size &&
+                                v < num_complexes * complex_size;
+      if (same_complex) continue;
+      if (rng.NextBernoulli(noise_probability)) edges.push_back({u, v});
+    }
+  }
+  // Experimental false negatives: drop observed interactions.
+  std::vector<std::pair<VertexId, VertexId>> observed;
+  for (const auto& e : edges) {
+    if (!rng.NextBernoulli(false_negative_rate)) observed.push_back(e);
+  }
+  ppi.graph = GraphBuilder::FromEdges(n, observed);
+  return ppi;
+}
+
+// A complex counts as "detected" if some result contains >= 90% of it.
+std::size_t CountDetected(const Ppi& ppi,
+                          const std::vector<std::vector<VertexId>>& results) {
+  std::size_t detected = 0;
+  for (const auto& complex : ppi.complexes) {
+    const std::size_t need = (complex.size() * 9 + 9) / 10;
+    for (const auto& plex : results) {
+      std::size_t overlap = 0;
+      std::set<VertexId> members(plex.begin(), plex.end());
+      for (VertexId v : complex) {
+        if (members.count(v)) ++overlap;
+      }
+      if (overlap >= need) {
+        ++detected;
+        break;
+      }
+    }
+  }
+  return detected;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kplex;
+  constexpr std::size_t kComplexes = 25;
+  constexpr std::size_t kComplexSize = 9;
+
+  std::printf("simulated PPI network: %zu complexes of size %zu, "
+              "sweeping the false-negative rate\n\n",
+              kComplexes, kComplexSize);
+  std::printf("%-18s %-22s %-22s\n", "false-neg rate", "cliques (k=1) found",
+              "2-plexes (k=2) found");
+
+  for (double fn_rate : {0.0, 0.05, 0.10, 0.15}) {
+    Ppi ppi = SimulatePpi(kComplexes, kComplexSize, 300, 0.008, fn_rate,
+                          7777 + static_cast<uint64_t>(fn_rate * 100));
+    std::string cells[2];
+    for (uint32_t k = 1; k <= 2; ++k) {
+      CollectingSink sink;
+      auto result = EnumerateMaximalKPlexes(
+          ppi.graph, EnumOptions::Ours(k, kComplexSize - 2), sink);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const std::size_t detected = CountDetected(ppi, sink.SortedResults());
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%zu/%zu", detected, kComplexes);
+      cells[k - 1] = buf;
+    }
+    std::printf("%-18.2f %-22s %-22s\n", fn_rate, cells[0].c_str(),
+                cells[1].c_str());
+  }
+
+  std::printf(
+      "\nExpected: with no noise both detect everything; as interactions\n"
+      "go missing, clique mining loses complexes while 2-plex mining\n"
+      "keeps detecting them (the clique-relaxation argument of the\n"
+      "paper's introduction).\n");
+  return 0;
+}

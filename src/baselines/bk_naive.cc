@@ -1,0 +1,144 @@
+#include "baselines/bk_naive.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bitset.h"
+
+namespace kplex {
+namespace {
+
+// Adjacency as one mask per vertex (brute force path, n <= 25).
+std::vector<uint32_t> AdjacencyMasks(const Graph& graph) {
+  std::vector<uint32_t> adj(graph.NumVertices(), 0);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) adj[u] |= (uint32_t{1} << v);
+  }
+  return adj;
+}
+
+bool MaskIsKPlex(const std::vector<uint32_t>& adj, uint32_t mask,
+                 uint32_t k) {
+  for (uint32_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int v = std::countr_zero(rest);
+    // Non-neighbors within the set, counting v itself.
+    const uint32_t nn = static_cast<uint32_t>(std::popcount(mask)) -
+                        static_cast<uint32_t>(std::popcount(mask & adj[v]));
+    if (nn > k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<VertexId>>> BruteForceMaximalKPlexes(
+    const Graph& graph, uint32_t k, uint32_t q) {
+  const std::size_t n = graph.NumVertices();
+  if (n > 25) {
+    return Status::InvalidArgument(
+        "brute force supports at most 25 vertices");
+  }
+  const std::vector<uint32_t> adj = AdjacencyMasks(graph);
+  std::vector<std::vector<VertexId>> results;
+  const uint32_t all = n == 32 ? ~uint32_t{0}
+                               : ((uint32_t{1} << n) - 1);
+  for (uint32_t mask = 1; mask != 0 && mask <= all; ++mask) {
+    if (static_cast<uint32_t>(std::popcount(mask)) < q) continue;
+    if (!MaskIsKPlex(adj, mask, k)) continue;
+    bool maximal = true;
+    for (uint32_t v = 0; v < n && maximal; ++v) {
+      if ((mask >> v) & 1) continue;
+      if (MaskIsKPlex(adj, mask | (uint32_t{1} << v), k)) maximal = false;
+    }
+    if (!maximal) continue;
+    std::vector<VertexId> plex;
+    for (uint32_t rest = mask; rest != 0; rest &= rest - 1) {
+      plex.push_back(static_cast<VertexId>(std::countr_zero(rest)));
+    }
+    results.push_back(std::move(plex));
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+namespace {
+
+// Algorithm 1, literal transcription over bitset sets.
+class BkReference {
+ public:
+  BkReference(const Graph& graph, uint32_t k, uint32_t q, ResultSink& sink)
+      : k_(k), q_(q), sink_(&sink), n_(graph.NumVertices()) {
+    rows_.assign(n_, DynamicBitset(n_));
+    for (VertexId u = 0; u < n_; ++u) {
+      for (VertexId v : graph.Neighbors(u)) rows_[u].Set(v);
+    }
+  }
+
+  uint64_t Run() {
+    std::vector<VertexId> p;
+    DynamicBitset c(n_), x(n_);
+    c.SetAll();
+    Recurse(p, c, x);
+    return emitted_;
+  }
+
+ private:
+  bool ExtendsToKPlex(const std::vector<VertexId>& p, VertexId v) const {
+    // p ∪ {v}: every member within budget.
+    std::size_t v_degree = 0;
+    for (VertexId u : p) {
+      std::size_t u_degree = rows_[u].Test(v) ? 1 : 0;
+      if (rows_[u].Test(v)) ++v_degree;
+      for (VertexId w : p) {
+        if (w != u && rows_[u].Test(w)) ++u_degree;
+      }
+      if (p.size() + 1 - u_degree > k_) return false;
+    }
+    return p.size() + 1 - v_degree <= k_;
+  }
+
+  void Recurse(std::vector<VertexId>& p, DynamicBitset c, DynamicBitset x) {
+    if (c.None() && x.None()) {
+      if (p.size() >= q_) {
+        std::vector<VertexId> sorted = p;
+        std::sort(sorted.begin(), sorted.end());
+        ++emitted_;
+        sink_->Emit(sorted);
+      }
+      return;
+    }
+    for (std::size_t vi = c.FindFirst(); vi != DynamicBitset::kNpos;
+         vi = c.FindNext(vi + 1)) {
+      const VertexId v = static_cast<VertexId>(vi);
+      c.Reset(vi);
+      p.push_back(v);
+      DynamicBitset c2(n_), x2(n_);
+      c.ForEach([&](std::size_t u) {
+        if (ExtendsToKPlex(p, static_cast<VertexId>(u))) c2.Set(u);
+      });
+      x.ForEach([&](std::size_t u) {
+        if (ExtendsToKPlex(p, static_cast<VertexId>(u))) x2.Set(u);
+      });
+      Recurse(p, std::move(c2), std::move(x2));
+      p.pop_back();
+      x.Set(vi);
+    }
+  }
+
+  const uint32_t k_;
+  const uint32_t q_;
+  ResultSink* sink_;
+  const std::size_t n_;
+  std::vector<DynamicBitset> rows_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace
+
+uint64_t BkReferenceEnumerate(const Graph& graph, uint32_t k, uint32_t q,
+                              ResultSink& sink) {
+  if (graph.NumVertices() == 0) return 0;
+  return BkReference(graph, k, q, sink).Run();
+}
+
+}  // namespace kplex

@@ -1,0 +1,37 @@
+// Reference enumerators — the ground truth for every correctness test.
+//
+//  * BruteForceMaximalKPlexes: checks all 2^n subsets directly against
+//    Definition 3.1; exact for any q >= 1, usable up to n ~ 20.
+//  * BkReferenceEnumerate: Algorithm 1 of the paper (the plain
+//    Bron-Kerbosch adaptation over the whole graph, no decomposition,
+//    no pivoting, no pruning); exact for any q >= 1, usable for small
+//    and moderately sized test graphs.
+//
+// Neither is meant for production mining — they exist so that the fast
+// engine and the baselines can be validated against an implementation
+// whose correctness is self-evident.
+
+#ifndef KPLEX_BASELINES_BK_NAIVE_H_
+#define KPLEX_BASELINES_BK_NAIVE_H_
+
+#include <vector>
+
+#include "core/sink.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Exhaustive subset search. Requires graph.NumVertices() <= 25.
+/// Results are sorted vertex lists in lexicographic order.
+StatusOr<std::vector<std::vector<VertexId>>> BruteForceMaximalKPlexes(
+    const Graph& graph, uint32_t k, uint32_t q);
+
+/// Algorithm 1 (Bron-Kerbosch for k-plexes) over the full graph.
+/// Emits every maximal k-plex with at least q vertices exactly once.
+uint64_t BkReferenceEnumerate(const Graph& graph, uint32_t k, uint32_t q,
+                              ResultSink& sink);
+
+}  // namespace kplex
+
+#endif  // KPLEX_BASELINES_BK_NAIVE_H_

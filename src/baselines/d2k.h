@@ -1,0 +1,24 @@
+// D2K-style baseline (Conte et al., KDD 2018; [15] in the paper): the
+// first scalable degeneracy-ordered BK adaptation for k-plexes, with
+// two-hop seed subgraphs, simple min-degree pivoting and *no* upper
+// bounds, no sub-task decomposition and no vertex-pair rules. It is the
+// generation of algorithms that ListPlex and FP superseded; kept as an
+// additional reference point for downstream comparisons.
+
+#ifndef KPLEX_BASELINES_D2K_H_
+#define KPLEX_BASELINES_D2K_H_
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Enumerates all maximal k-plexes with >= q vertices, D2K-style.
+StatusOr<EnumResult> D2kEnumerate(const Graph& graph, uint32_t k, uint32_t q,
+                                  ResultSink& sink);
+
+}  // namespace kplex
+
+#endif  // KPLEX_BASELINES_D2K_H_

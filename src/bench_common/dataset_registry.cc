@@ -1,0 +1,131 @@
+#include "bench_common/dataset_registry.h"
+
+#include <functional>
+#include <map>
+
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+
+namespace kplex {
+namespace {
+
+struct Entry {
+  DatasetSpec spec;
+  std::function<StatusOr<Graph>()> make;
+};
+
+// Sizes are scaled to laptop/CI hardware; heavy-tailed degree structure,
+// local clustering and D << n (the properties the algorithms exploit)
+// match the class of each paper dataset. Seeds are fixed.
+const std::vector<Entry>& Entries() {
+  static const std::vector<Entry>* entries = new std::vector<Entry>{
+      {{"karate", "(bundled real graph)", "real",
+        "Zachary karate club, 34 vertices / 78 edges"},
+       [] { return LoadEdgeList(std::string(KPLEX_DATA_DIR) + "/karate.txt"); }},
+      {{"jazz-syn", "jazz", "small",
+        "Barabasi-Albert n=198 attach=14 (dense collaboration net)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(198, 14, 0xA001)); }},
+      {{"lastfm-syn", "lastfm", "small",
+        "Barabasi-Albert n=1500 attach=4 (sparse social net)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(1500, 4, 0xA002)); }},
+      {{"as-caida-syn", "as-caida", "small",
+        "Barabasi-Albert n=2500 attach=2 (internet AS topology)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(2500, 2, 0xA003)); }},
+      {{"wiki-vote-syn", "wiki-vote", "medium",
+        "Barabasi-Albert n=1200 attach=18 (dense voting net)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(1200, 18, 0xA004)); }},
+      {{"soc-epinions-syn", "soc-epinions", "medium",
+        "Barabasi-Albert n=3000 attach=10 (trust network)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(3000, 10, 0xA005)); }},
+      {{"soc-slashdot-syn", "soc-slashdot", "medium",
+        "RMAT scale=12 edges=50000 a=.48 b=.22 c=.22"},
+       [] {
+         return StatusOr<Graph>(GenerateRmat(12, 50000, 0.48, 0.22, 0.22, 0xA006));
+       }},
+      {{"email-euall-syn", "email-euall", "medium",
+        "RMAT scale=12 edges=25000 a=.5 b=.21 c=.21 (email net)"},
+       [] {
+         return StatusOr<Graph>(GenerateRmat(12, 25000, 0.50, 0.21, 0.21, 0xA007));
+       }},
+      {{"com-dblp-syn", "com-dblp", "medium",
+        "120 planted 8-vertex 2-plex communities + noise (co-authorship)"},
+       [] {
+         PlantedCommunityConfig config;
+         config.num_communities = 120;
+         config.community_size = 8;
+         config.missing_per_vertex = 1;
+         config.background_vertices = 600;
+         config.noise_probability = 0.002;
+         return StatusOr<Graph>(
+             GeneratePlantedCommunities(config, 0xA008).graph);
+       }},
+      {{"amazon0505-syn", "amazon0505", "medium",
+        "Watts-Strogatz n=4000 nbrs=8 beta=0.05 (low-degeneracy lattice)"},
+       [] {
+         return StatusOr<Graph>(GenerateWattsStrogatz(4000, 8, 0.05, 0xA009));
+       }},
+      {{"soc-pokec-syn", "soc-pokec", "large",
+        "Barabasi-Albert n=8000 attach=12 (large social net)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(8000, 12, 0xA00A)); }},
+      {{"as-skitter-syn", "as-skitter", "large",
+        "RMAT scale=13 edges=80000 a=.5 b=.21 c=.21 (traceroute net)"},
+       [] {
+         return StatusOr<Graph>(GenerateRmat(13, 80000, 0.50, 0.21, 0.21, 0xA00B));
+       }},
+      {{"enwiki-syn", "enwiki-2021", "large",
+        "Barabasi-Albert n=6000 attach=20 (dense hyperlink net)"},
+       [] { return StatusOr<Graph>(GenerateBarabasiAlbert(6000, 20, 0xA00C)); }},
+      {{"arabic-syn", "arabic-2005", "large",
+        "200 planted 12-vertex 3-plex communities + noise (web host graph)"},
+       [] {
+         PlantedCommunityConfig config;
+         config.num_communities = 200;
+         config.community_size = 12;
+         config.missing_per_vertex = 2;
+         config.background_vertices = 2000;
+         config.noise_probability = 0.001;
+         return StatusOr<Graph>(
+             GeneratePlantedCommunities(config, 0xA00D).graph);
+       }},
+      {{"uk-2005-syn", "uk-2005", "large",
+        "Watts-Strogatz n=9000 nbrs=12 beta=0.08 (crawl with local clusters)"},
+       [] {
+         return StatusOr<Graph>(GenerateWattsStrogatz(9000, 12, 0.08, 0xA00E));
+       }},
+      {{"webbase-syn", "webbase-2001", "large",
+        "RMAT scale=14 edges=110000 a=.52 b=.2 c=.2 (sparse skewed crawl)"},
+       [] {
+         return StatusOr<Graph>(
+             GenerateRmat(14, 110000, 0.52, 0.20, 0.20, 0xA00F));
+       }},
+  };
+  return *entries;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* specs = [] {
+    auto* out = new std::vector<DatasetSpec>();
+    for (const auto& entry : Entries()) out->push_back(entry.spec);
+    return out;
+  }();
+  return *specs;
+}
+
+std::vector<DatasetSpec> DatasetsByCategory(const std::string& category) {
+  std::vector<DatasetSpec> out;
+  for (const auto& spec : AllDatasets()) {
+    if (spec.category == category) out.push_back(spec);
+  }
+  return out;
+}
+
+StatusOr<Graph> LoadDataset(const std::string& name) {
+  for (const auto& entry : Entries()) {
+    if (entry.spec.name == name) return entry.make();
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace kplex

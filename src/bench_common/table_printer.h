@@ -1,0 +1,40 @@
+// Plain-text aligned tables for the benchmark binaries; each bench
+// prints rows shaped like the corresponding table/figure of the paper.
+
+#ifndef KPLEX_BENCH_COMMON_TABLE_PRINTER_H_
+#define KPLEX_BENCH_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kplex {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Writes an aligned table with a header separator.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234" style seconds with sensible precision.
+std::string FormatSeconds(double seconds);
+/// Decimal with fixed digits.
+std::string FormatDouble(double value, int digits);
+/// Plain integer.
+std::string FormatCount(uint64_t value);
+
+}  // namespace kplex
+
+#endif  // KPLEX_BENCH_COMMON_TABLE_PRINTER_H_

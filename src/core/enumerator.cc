@@ -1,0 +1,90 @@
+#include "core/enumerator.h"
+
+#include <string>
+
+#include "core/branch.h"
+#include "core/ordering.h"
+#include "core/seed_graph.h"
+#include "core/subtask.h"
+#include "graph/ctcp.h"
+#include "graph/degeneracy.h"
+#include "graph/kcore.h"
+#include "util/timer.h"
+
+namespace kplex {
+
+Status ValidateOptions(const EnumOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.q + 1 < 2 * options.k) {
+    return Status::InvalidArgument(
+        "q must be >= 2k - 1 (Definition 3.4 requires it; got k=" +
+        std::to_string(options.k) + ", q=" + std::to_string(options.q) + ")");
+  }
+  return Status::Ok();
+}
+
+StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
+                                             const EnumOptions& options,
+                                             ResultSink& sink) {
+  KPLEX_RETURN_IF_ERROR(ValidateOptions(options));
+  WallTimer timer;
+  EnumResult result;
+
+  // Theorem 3.5: restrict to the (q - k)-core — or, when requested, the
+  // strictly stronger CTCP fixpoint.
+  const uint32_t core_level =
+      options.q >= options.k ? options.q - options.k : 0;
+  CoreReduction core;
+  if (options.use_ctcp_preprocess) {
+    CtcpResult ctcp = CtcpReduce(graph, options.k, options.q);
+    core.graph = std::move(ctcp.graph);
+    core.to_original = std::move(ctcp.to_original);
+  } else {
+    core = ReduceToCore(graph, core_level);
+  }
+  if (core.graph.NumVertices() == 0) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const DegeneracyResult degeneracy =
+      MakeSeedOrdering(core.graph, options.ordering);
+
+  const int64_t global_deadline =
+      options.time_limit_seconds > 0
+          ? WallTimer::NowNanos() +
+                static_cast<int64_t>(options.time_limit_seconds * 1e9)
+          : 0;
+
+  for (uint32_t idx = 0; idx < core.graph.NumVertices(); ++idx) {
+    const VertexId seed = degeneracy.order[idx];
+    auto sg = BuildSeedGraph(core.graph, core.to_original, degeneracy, seed,
+                             options, &result.counters);
+    if (!sg.has_value()) continue;
+
+    BranchEngine engine(*sg, options, sink, result.counters);
+    if (global_deadline > 0) engine.SetGlobalDeadline(global_deadline);
+    EnumerateSubtasks(*sg, options, result.counters,
+                      [&](TaskState&& task) { engine.Run(task); });
+    if (engine.stopped_early()) {
+      result.stopped_early = true;
+      break;
+    }
+    if (engine.aborted()) {
+      result.timed_out = true;
+      break;
+    }
+    if (global_deadline > 0 && WallTimer::NowNanos() > global_deadline) {
+      result.timed_out = true;
+      break;
+    }
+  }
+
+  result.num_plexes = result.counters.outputs;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kplex

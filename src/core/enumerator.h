@@ -1,0 +1,42 @@
+// Sequential driver (Algorithm 2): (q-k)-core reduction, degeneracy
+// ordering, per-seed subgraph construction, sub-task enumeration and
+// branch-and-bound. This is the public entry point of the library for
+// single-threaded mining; src/parallel provides the multi-threaded one.
+
+#ifndef KPLEX_CORE_ENUMERATOR_H_
+#define KPLEX_CORE_ENUMERATOR_H_
+
+#include <cstdint>
+
+#include "core/counters.h"
+#include "core/options.h"
+#include "core/sink.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+struct EnumResult {
+  /// Number of maximal k-plexes emitted.
+  uint64_t num_plexes = 0;
+  /// Wall time of the whole run (seconds).
+  double seconds = 0.0;
+  /// True when the run stopped early due to options.time_limit_seconds.
+  bool timed_out = false;
+  /// True when the run stopped cleanly after options.max_results hits.
+  bool stopped_early = false;
+  AlgoCounters counters;
+};
+
+/// Validates `options` against Definition 3.4 (k >= 1, q >= 2k - 1).
+Status ValidateOptions(const EnumOptions& options);
+
+/// Enumerates all maximal k-plexes of `graph` with at least q vertices,
+/// emitting each exactly once (sorted original vertex ids) into `sink`.
+StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
+                                             const EnumOptions& options,
+                                             ResultSink& sink);
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_ENUMERATOR_H_

@@ -1,0 +1,41 @@
+#include "core/file_sink.h"
+
+namespace kplex {
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open '" + path + "' for writing");
+  }
+}
+
+FileSink::~FileSink() { Finish(); }
+
+void FileSink::Emit(std::span<const VertexId> plex) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr || !status_.ok()) return;
+  for (std::size_t i = 0; i < plex.size(); ++i) {
+    if (std::fprintf(file_, "%s%u", i == 0 ? "" : " ", plex[i]) < 0) {
+      status_ = Status::IoError("write failed");
+      return;
+    }
+  }
+  if (std::fputc('\n', file_) == EOF) {
+    status_ = Status::IoError("write failed");
+    return;
+  }
+  ++count_;
+}
+
+Status FileSink::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+}  // namespace kplex

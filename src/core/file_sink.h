@@ -1,0 +1,45 @@
+// FileSink: streams each maximal k-plex to disk as one line of
+// space-separated vertex ids. Thread-safe (parallel engine emits from
+// every worker), buffered, and explicitly flushed/closed through
+// Finish() so callers can observe I/O errors.
+
+#ifndef KPLEX_CORE_FILE_SINK_H_
+#define KPLEX_CORE_FILE_SINK_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "core/sink.h"
+#include "util/status.h"
+
+namespace kplex {
+
+class FileSink : public ResultSink {
+ public:
+  /// Opens `path` for writing. Check status() before use.
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  /// OK iff the file opened and no write has failed so far.
+  const Status& status() const { return status_; }
+  uint64_t count() const { return count_; }
+
+  void Emit(std::span<const VertexId> plex) override;
+
+  /// Flushes and closes; returns the final I/O status. Idempotent.
+  Status Finish();
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_FILE_SINK_H_

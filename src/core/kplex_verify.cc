@@ -1,0 +1,77 @@
+#include "core/kplex_verify.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace kplex {
+
+bool IsKPlex(const Graph& graph, std::span<const VertexId> plex, uint32_t k) {
+  const std::size_t size = plex.size();
+  for (VertexId u : plex) {
+    std::size_t in_degree = 0;
+    for (VertexId v : plex) {
+      if (v != u && graph.HasEdge(u, v)) ++in_degree;
+    }
+    // Non-neighbors including u itself: size - in_degree.
+    if (size - in_degree > k) return false;
+  }
+  return true;
+}
+
+bool IsMaximalKPlex(const Graph& graph, std::span<const VertexId> plex,
+                    uint32_t k) {
+  if (!IsKPlex(graph, plex, k)) return false;
+  std::vector<char> in_plex(graph.NumVertices(), 0);
+  for (VertexId v : plex) in_plex[v] = 1;
+  std::vector<VertexId> extended(plex.begin(), plex.end());
+  extended.push_back(0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (in_plex[v]) continue;
+    extended.back() = v;
+    if (IsKPlex(graph, extended, k)) return false;
+  }
+  return true;
+}
+
+bool IsConnectedInduced(const Graph& graph, std::span<const VertexId> plex) {
+  return !plex.empty() && InducedDiameter(graph, plex) >= 0;
+}
+
+int InducedDiameter(const Graph& graph, std::span<const VertexId> plex) {
+  if (plex.empty()) return -1;
+  const std::size_t size = plex.size();
+  std::vector<VertexId> sorted(plex.begin(), plex.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto local_id = [&](VertexId v) -> int {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+    if (it == sorted.end() || *it != v) return -1;
+    return static_cast<int>(it - sorted.begin());
+  };
+
+  int diameter = 0;
+  std::vector<int> dist(size);
+  for (std::size_t s = 0; s < size; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    std::deque<std::size_t> queue{s};
+    while (!queue.empty()) {
+      std::size_t u = queue.front();
+      queue.pop_front();
+      for (VertexId w : graph.Neighbors(sorted[u])) {
+        int lw = local_id(w);
+        if (lw >= 0 && dist[lw] < 0) {
+          dist[lw] = dist[u] + 1;
+          queue.push_back(static_cast<std::size_t>(lw));
+        }
+      }
+    }
+    for (std::size_t t = 0; t < size; ++t) {
+      if (dist[t] < 0) return -1;  // disconnected
+      diameter = std::max(diameter, dist[t]);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace kplex

@@ -1,0 +1,32 @@
+// Direct (definition-level) k-plex predicates. These are O(|P|^2) and are
+// used by the reference enumerators, the test oracles, and optional
+// output self-verification — never on the mining hot path.
+
+#ifndef KPLEX_CORE_KPLEX_VERIFY_H_
+#define KPLEX_CORE_KPLEX_VERIFY_H_
+
+#include <span>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+/// True iff P induces a k-plex in `graph` (Definition 3.1): every member
+/// has at most k non-neighbors in P, counting itself.
+bool IsKPlex(const Graph& graph, std::span<const VertexId> plex, uint32_t k);
+
+/// True iff P is a k-plex and no single vertex outside P extends it. By
+/// hereditariness this is exactly maximality.
+bool IsMaximalKPlex(const Graph& graph, std::span<const VertexId> plex,
+                    uint32_t k);
+
+/// True iff the subgraph induced by P is connected (P non-empty).
+bool IsConnectedInduced(const Graph& graph, std::span<const VertexId> plex);
+
+/// Diameter of the subgraph induced by P (hops), or -1 if disconnected
+/// or empty.
+int InducedDiameter(const Graph& graph, std::span<const VertexId> plex);
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_KPLEX_VERIFY_H_

@@ -1,0 +1,108 @@
+#include "core/max_kplex.h"
+
+#include <algorithm>
+
+#include "core/enumerator.h"
+#include "core/kplex_verify.h"
+#include "core/sink.h"
+#include "graph/degeneracy.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+// Grows a k-plex greedily from `start`: repeatedly adds the neighbor-of-
+// the-plex with the most links into it, as long as the set stays a
+// k-plex. O(result^2 * candidates); only used for a lower bound.
+std::vector<VertexId> GrowFrom(const Graph& graph, uint32_t k,
+                               VertexId start) {
+  std::vector<VertexId> plex = {start};
+  std::vector<char> in_plex(graph.NumVertices(), 0);
+  in_plex[start] = 1;
+  while (true) {
+    // Candidates: vertices adjacent to someone in the plex.
+    VertexId best = 0;
+    std::size_t best_links = 0;
+    bool have = false;
+    for (VertexId member : plex) {
+      for (VertexId candidate : graph.Neighbors(member)) {
+        if (in_plex[candidate]) continue;
+        std::size_t links = 0;
+        for (VertexId m : plex) {
+          if (graph.HasEdge(candidate, m)) ++links;
+        }
+        // Candidate budget: misses (|P|+1 - links - 1) + itself.
+        if (plex.size() + 1 - links > k) continue;
+        if (!have || links > best_links ||
+            (links == best_links && candidate < best)) {
+          have = true;
+          best = candidate;
+          best_links = links;
+        }
+      }
+    }
+    if (!have) return plex;
+    plex.push_back(best);
+    if (!IsKPlex(graph, plex, k)) {
+      plex.pop_back();
+      return plex;
+    }
+    in_plex[best] = 1;
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> GreedyKPlexLowerBound(const Graph& graph, uint32_t k,
+                                            std::size_t attempts) {
+  if (graph.NumVertices() == 0) return {};
+  DegeneracyResult degeneracy = ComputeDegeneracy(graph);
+  // The tail of the peeling order holds the highest-coreness vertices —
+  // the densest region, where large k-plexes live.
+  std::vector<VertexId> best;
+  const std::size_t n = graph.NumVertices();
+  for (std::size_t i = 0; i < attempts && i < n; ++i) {
+    VertexId start = degeneracy.order[n - 1 - i];
+    std::vector<VertexId> grown = GrowFrom(graph, k, start);
+    if (grown.size() > best.size()) best = std::move(grown);
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+StatusOr<MaxKPlexResult> FindMaximumKPlex(const Graph& graph, uint32_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  WallTimer timer;
+  MaxKPlexResult result;
+
+  std::vector<VertexId> incumbent =
+      GreedyKPlexLowerBound(graph, k, /*attempts=*/16);
+
+  // Lift the threshold until no strictly larger k-plex exists. Each pass
+  // searches with q = max(|incumbent| + 1, 2k - 1) and stops at the
+  // first hit; rising q makes every pruning rule stronger, so later
+  // passes get cheaper, not costlier.
+  while (true) {
+    const uint32_t q = std::max<uint32_t>(
+        static_cast<uint32_t>(incumbent.size()) + 1, 2 * k - 1);
+    EnumOptions options = EnumOptions::Ours(k, q);
+    options.max_results = 1;
+    CollectingSink sink;
+    auto pass = EnumerateMaximalKPlexes(graph, options, sink);
+    if (!pass.ok()) return pass.status();
+    ++result.passes;
+    result.counters.MergeFrom(pass->counters);
+    auto found = sink.SortedResults();
+    if (found.empty()) break;  // incumbent is maximum
+    incumbent = std::move(found.front());
+  }
+
+  if (incumbent.size() + 1 >= 2 * k) {
+    result.found = true;
+    result.plex = std::move(incumbent);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kplex

@@ -1,0 +1,49 @@
+// Maximum k-plex search — the companion problem the paper's Section 2
+// surveys (BS, BnB, KpLeX, Maplex, kPlexS). We solve it by *size
+// lifting* on the enumeration engine: a greedy lower bound seeds the
+// size threshold, then the engine repeatedly searches for any k-plex
+// strictly larger than the incumbent (stopping at the first hit), with
+// every Eq (3) / R1 / R2 pruning rule cutting against the risen
+// threshold. This is the iterative-threshold strategy of Conte et
+// al. [14] implemented on top of a modern bounded search.
+//
+// The size threshold never drops below 2k - 1, so the returned plex is
+// connected; graphs whose maximum k-plex is smaller than that report
+// "not found" (every k-plex would be trivial or disconnected).
+
+#ifndef KPLEX_CORE_MAX_KPLEX_H_
+#define KPLEX_CORE_MAX_KPLEX_H_
+
+#include <vector>
+
+#include "core/counters.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+struct MaxKPlexResult {
+  /// True iff a k-plex with at least 2k - 1 vertices exists.
+  bool found = false;
+  /// The maximum k-plex (sorted vertex ids); empty when !found.
+  std::vector<VertexId> plex;
+  /// Wall time (seconds).
+  double seconds = 0.0;
+  /// Number of engine passes (threshold lifts) performed.
+  uint32_t passes = 0;
+  AlgoCounters counters;
+};
+
+/// A fast greedy lower bound: grows a k-plex around each of the
+/// `attempts` highest-coreness vertices. Returns a valid k-plex (may be
+/// empty for edgeless graphs).
+std::vector<VertexId> GreedyKPlexLowerBound(const Graph& graph, uint32_t k,
+                                            std::size_t attempts);
+
+/// Finds one maximum k-plex with at least 2k - 1 vertices.
+StatusOr<MaxKPlexResult> FindMaximumKPlex(const Graph& graph, uint32_t k);
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_MAX_KPLEX_H_

@@ -1,0 +1,124 @@
+// Configuration of the k-plex enumeration engine. The option grid spans
+// the paper's algorithm ("Ours"), its branching variant ("Ours_P"), and
+// the ablation variants of Tables 5 and 6 (Basic, Basic+R1, Basic+R2,
+// Ours\ub, Ours\ub+fp).
+
+#ifndef KPLEX_CORE_OPTIONS_H_
+#define KPLEX_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace kplex {
+
+/// Order in which seed vertices are processed (Section 3 / Section 4 of
+/// the paper). Degeneracy order is both the complexity-bound enabler and
+/// the load-balancing choice; the others exist to reproduce the paper's
+/// remark that alternative orderings barely matter for correctness but
+/// can hurt the seed-subgraph size bound.
+enum class VertexOrdering {
+  kDegeneracy,       ///< peeling order, ties by vertex id (the default)
+  kById,             ///< plain vertex-id order
+  kByDegreeAscending ///< static degree order, ties by vertex id
+};
+
+/// How Algorithm 3 branches once the pivot has been selected.
+enum class BranchingScheme {
+  /// The paper's default ("Ours"): if the pivot lies in P, re-pick a new
+  /// pivot among its non-neighbors in C (Alg. 3, Lines 15-16) and use
+  /// binary include/exclude branching guarded by the Eq (3) upper bound.
+  kRepickFromC,
+  /// "Ours_P": when the pivot lies in P, use the FaPlexen-style
+  /// multi-way branching Eq (4)-(6) instead of re-picking.
+  kFaplexenWhenPivotInP,
+  /// FaPlexen/ListPlex branching: Eq (4)-(6) whenever the pivot lies in
+  /// P, plain binary branching otherwise, never any upper-bound pruning.
+  kFaplexenAlways,
+};
+
+/// Which upper bound guards the include-branch (Alg. 3, Lines 17-18).
+enum class UpperBoundMode {
+  kNone,      ///< no upper-bound pruning ("Ours\ub", ListPlex)
+  kOurs,      ///< Eq (3): min(Thm 5.5 support bound, Thm 5.3 degree bound)
+  kFpSorted,  ///< FP-style bound requiring an O(|C| log |C|) sort per call
+};
+
+struct EnumOptions {
+  /// k of the k-plex definition; must be >= 1.
+  uint32_t k = 2;
+  /// Minimum size of reported maximal k-plexes; must be >= 2k - 1 (the
+  /// connectivity/diameter-2 requirement of Definition 3.4).
+  uint32_t q = 4;
+
+  BranchingScheme branching = BranchingScheme::kRepickFromC;
+  UpperBoundMode upper_bound = UpperBoundMode::kOurs;
+
+  /// The paper's saturation-seeking pivot tie-break (Alg. 3 Line 8:
+  /// among minimum-degree vertices prefer maximum d̄_P). Baselines that
+  /// predate this contribution disable it and tie-break by id only.
+  bool pivot_saturation_tiebreak = true;
+
+  /// R1: Theorem 5.7 + 5.3 upper bound applied to each initial sub-task.
+  bool use_subtask_bound_r1 = true;
+  /// R2: vertex-pair pruning matrix (Theorems 5.13, 5.14, 5.15).
+  bool use_pair_pruning_r2 = true;
+  /// Corollary 5.2 iterated common-neighbor pruning of seed subgraphs.
+  bool use_seed_pruning = true;
+
+  /// Optional CTCP preprocessing (kPlexS [12]): iterated vertex + edge
+  /// reduction of the whole graph before mining. Off by default — the
+  /// paper's algorithm uses only the (q-k)-core — but sound with every
+  /// variant and strictly stronger when q > 2k.
+  bool use_ctcp_preprocess = false;
+
+  /// If > 0, the enumeration aborts (reporting timed_out) after roughly
+  /// this many seconds.
+  double time_limit_seconds = 0.0;
+
+  /// If > 0, the enumeration stops early (cleanly, not flagged as a
+  /// timeout) once this many maximal k-plexes have been emitted. Used
+  /// for top-N queries and by the maximum-k-plex solver.
+  uint64_t max_results = 0;
+
+  /// Seed-vertex processing order. Only kDegeneracy carries the paper's
+  /// complexity guarantees; the result *set* is identical under any
+  /// ordering (each maximal k-plex is found from its minimum-order
+  /// member).
+  VertexOrdering ordering = VertexOrdering::kDegeneracy;
+
+  /// Named preset: the paper's full algorithm ("Ours").
+  static EnumOptions Ours(uint32_t k, uint32_t q) {
+    EnumOptions o;
+    o.k = k;
+    o.q = q;
+    return o;
+  }
+  /// Named preset: the Ours_P branching variant.
+  static EnumOptions OursP(uint32_t k, uint32_t q) {
+    EnumOptions o = Ours(k, q);
+    o.branching = BranchingScheme::kFaplexenWhenPivotInP;
+    return o;
+  }
+  /// Named preset: Basic = Ours without R1 and R2 (Table 6 baseline).
+  static EnumOptions Basic(uint32_t k, uint32_t q) {
+    EnumOptions o = Ours(k, q);
+    o.use_subtask_bound_r1 = false;
+    o.use_pair_pruning_r2 = false;
+    return o;
+  }
+  /// Named preset: Ours without Eq (3) upper-bound pruning (Table 5).
+  static EnumOptions OursNoUb(uint32_t k, uint32_t q) {
+    EnumOptions o = Ours(k, q);
+    o.upper_bound = UpperBoundMode::kNone;
+    return o;
+  }
+  /// Named preset: Ours with the FP-style sorted upper bound (Table 5).
+  static EnumOptions OursFpUb(uint32_t k, uint32_t q) {
+    EnumOptions o = Ours(k, q);
+    o.upper_bound = UpperBoundMode::kFpSorted;
+    return o;
+  }
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_OPTIONS_H_

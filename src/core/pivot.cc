@@ -1,0 +1,50 @@
+#include "core/pivot.h"
+
+namespace kplex {
+
+PivotResult PivotSelector::Select(const TaskState& state,
+                                  const DynamicBitset& pc) {
+  const SeedGraph& sg = *sg_;
+  PivotResult best;
+  bool have = false;
+  uint32_t best_nonneighbors = 0;
+  pc.ForEach([&](std::size_t v) {
+    const uint32_t d = static_cast<uint32_t>(
+        sg.adj.Row(v).AndCountLimit(pc, sg.vi_words));
+    degree_pc_[v] = d;
+    const uint32_t nn = saturation_tiebreak_
+                            ? state.NonNeighborsInP(static_cast<uint32_t>(v))
+                            : 0;
+    if (!have || d < best.min_degree ||
+        (d == best.min_degree && nn > best_nonneighbors)) {
+      have = true;
+      best.vertex = static_cast<uint32_t>(v);
+      best.min_degree = d;
+      best_nonneighbors = nn;
+    }
+  });
+  best.in_p = state.p.Test(best.vertex);
+  return best;
+}
+
+uint32_t PivotSelector::RepickFromC(const TaskState& state, uint32_t pivot) {
+  const SeedGraph& sg = *sg_;
+  uint32_t best = UINT32_MAX;
+  uint32_t best_degree = 0;
+  uint32_t best_nonneighbors = 0;
+  state.c.ForEachAndNot(sg.adj.Row(pivot), [&](std::size_t v) {
+    const uint32_t d = degree_pc_[v];
+    const uint32_t nn = saturation_tiebreak_
+                            ? state.NonNeighborsInP(static_cast<uint32_t>(v))
+                            : 0;
+    if (best == UINT32_MAX || d < best_degree ||
+        (d == best_degree && nn > best_nonneighbors)) {
+      best = static_cast<uint32_t>(v);
+      best_degree = d;
+      best_nonneighbors = nn;
+    }
+  });
+  return best;
+}
+
+}  // namespace kplex

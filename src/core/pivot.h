@@ -1,0 +1,56 @@
+// Pivot selection (Algorithm 3, Lines 7-10 and 15-16). The pivot is a
+// vertex of P ∪ C with minimum degree in G[P ∪ C]; ties are broken by
+// maximum number of non-neighbors in P (pushing vertices toward
+// saturation, which in turn prunes more candidates), then by smallest
+// local id for determinism. When the winner lies in P, the paper's
+// default re-picks among its non-neighbors in C with the same rules.
+
+#ifndef KPLEX_CORE_PIVOT_H_
+#define KPLEX_CORE_PIVOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/seed_graph.h"
+#include "core/task_state.h"
+#include "util/bitset.h"
+
+namespace kplex {
+
+struct PivotResult {
+  uint32_t vertex = 0;      ///< the selected pivot
+  uint32_t min_degree = 0;  ///< its degree within G[P ∪ C]
+  bool in_p = false;        ///< whether it lies in P
+};
+
+class PivotSelector {
+ public:
+  /// `saturation_tiebreak` selects the paper's Line-8 tie rule; when
+  /// false, ties are broken by smallest local id only.
+  explicit PivotSelector(const SeedGraph& sg, bool saturation_tiebreak = true)
+      : sg_(&sg), saturation_tiebreak_(saturation_tiebreak) {
+    degree_pc_.resize(sg.universe, 0);
+  }
+
+  /// Computes d_{P∪C} for all members and selects the pivot. `pc` must
+  /// be (state.p | state.c). The degree table remains valid until the
+  /// next call and is reused by RepickFromC.
+  PivotResult Select(const TaskState& state, const DynamicBitset& pc);
+
+  /// Lines 15-16: re-pick among the non-neighbors of `pivot` in C using
+  /// the same rules. Requires Select() to have been called for this
+  /// state. The caller guarantees N̄_C(pivot) is non-empty.
+  uint32_t RepickFromC(const TaskState& state, uint32_t pivot);
+
+  /// d_{P∪C}(v) from the last Select() call.
+  uint32_t DegreePc(uint32_t v) const { return degree_pc_[v]; }
+
+ private:
+  const SeedGraph* sg_;
+  bool saturation_tiebreak_;
+  std::vector<uint32_t> degree_pc_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_PIVOT_H_

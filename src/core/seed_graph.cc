@@ -1,0 +1,227 @@
+#include "core/seed_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kplex {
+namespace {
+
+// Iterated Corollary 5.2 pruning over a working adjacency restricted to
+// candidate V_i members. `alive` flags are indexed by position in
+// `members`; position 0 is the seed.
+//
+// For u in N_{G_i}(v_i):   prune if |N(u) ∩ N_{G_i}(v_i)| < q - 2k.
+// For u in N^2_{G_i}(v_i): prune if |N(u) ∩ N_{G_i}(v_i)| < q - 2k + 2.
+// The N^2 threshold is >= 1 for every legal q >= 2k - 1, so two-hop
+// vertices that lose their last N1 witness are pruned automatically,
+// i.e. the "distance <= 2 within G_i" restriction is re-established on
+// every round.
+void IteratePruning(const Graph& graph, uint32_t seed,
+                    std::vector<VertexId>& n1, std::vector<VertexId>& n2,
+                    uint32_t k, uint32_t q, bool use_seed_pruning,
+                    AlgoCounters* counters) {
+  const int64_t thr_n1 = static_cast<int64_t>(q) - 2 * static_cast<int64_t>(k);
+  const int64_t thr_n2 = thr_n1 + 2;
+
+  std::vector<char> in_n1(graph.NumVertices(), 0);
+  for (VertexId v : n1) in_n1[v] = 1;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (use_seed_pruning && thr_n1 > 0) {
+      std::vector<VertexId> kept;
+      kept.reserve(n1.size());
+      for (VertexId u : n1) {
+        int64_t common = 0;
+        for (VertexId w : graph.Neighbors(u)) {
+          if (in_n1[w]) ++common;
+        }
+        if (common >= thr_n1) {
+          kept.push_back(u);
+        } else {
+          in_n1[u] = 0;
+          changed = true;
+          if (counters != nullptr) ++counters->seed_vertices_pruned;
+        }
+      }
+      n1.swap(kept);
+    }
+    {
+      std::vector<VertexId> kept;
+      kept.reserve(n2.size());
+      for (VertexId u : n2) {
+        int64_t common = 0;
+        for (VertexId w : graph.Neighbors(u)) {
+          if (in_n1[w]) ++common;
+        }
+        // Without Corollary 5.2 we still must keep N^2 vertices reachable
+        // through a surviving N1 witness (the set-enumeration search space
+        // is defined over N^2_{G_i}); threshold 1 encodes exactly that.
+        const int64_t thr = use_seed_pruning ? thr_n2 : 1;
+        if (common >= thr) {
+          kept.push_back(u);
+        } else {
+          changed = true;
+          if (counters != nullptr && use_seed_pruning) {
+            ++counters->seed_vertices_pruned;
+          }
+        }
+      }
+      n2.swap(kept);
+    }
+    if (!use_seed_pruning) break;  // N1 never shrinks; one N2 pass suffices
+  }
+  (void)seed;
+}
+
+}  // namespace
+
+std::optional<SeedGraph> BuildSeedGraph(
+    const Graph& graph, const std::vector<VertexId>& to_original,
+    const DegeneracyResult& degeneracy, uint32_t seed_vertex,
+    const EnumOptions& options, AlgoCounters* counters) {
+  const uint32_t k = options.k;
+  const uint32_t q = options.q;
+  const uint32_t seed_rank = degeneracy.rank[seed_vertex];
+  auto is_later = [&](VertexId v) {
+    return degeneracy.rank[v] > seed_rank;
+  };
+
+  // N1: later neighbors of the seed.
+  std::vector<VertexId> n1;
+  for (VertexId u : graph.Neighbors(seed_vertex)) {
+    if (is_later(u)) n1.push_back(u);
+  }
+  // Quick Theorem 5.3 feasibility at the seed: any result k-plex P
+  // containing v_i satisfies |P| <= deg_{G_i}(v_i) + k <= |N1| + k.
+  if (n1.size() + k < q) return std::nullopt;
+
+  // N2: later vertices reachable from the seed through an N1 vertex.
+  std::vector<char> mark(graph.NumVertices(), 0);
+  mark[seed_vertex] = 1;
+  for (VertexId u : n1) mark[u] = 1;
+  std::vector<VertexId> n2;
+  for (VertexId u : n1) {
+    for (VertexId w : graph.Neighbors(u)) {
+      if (!mark[w] && is_later(w)) {
+        mark[w] = 1;
+        n2.push_back(w);
+      }
+    }
+  }
+  for (VertexId u : n1) mark[u] = 0;
+  for (VertexId u : n2) mark[u] = 0;
+  mark[seed_vertex] = 0;
+
+  IteratePruning(graph, seed_vertex, n1, n2, k, q, options.use_seed_pruning,
+                 counters);
+  if (n1.size() + k < q) return std::nullopt;
+  if (1 + n1.size() + n2.size() < q) return std::nullopt;
+
+  std::sort(n1.begin(), n1.end());
+  std::sort(n2.begin(), n2.end());
+
+  // Fringe V'_i: earlier vertices within two hops, filtered by the
+  // Theorem 5.1 common-neighbor conditions (common neighbors restricted
+  // to the surviving N1, which is where they must live in any extension
+  // of a result of this task).
+  std::vector<char> in_n1(graph.NumVertices(), 0);
+  for (VertexId v : n1) in_n1[v] = 1;
+  auto common_with_n1 = [&](VertexId x) {
+    int64_t c = 0;
+    for (VertexId w : graph.Neighbors(x)) {
+      if (in_n1[w]) ++c;
+    }
+    return c;
+  };
+  const int64_t thr_adj = static_cast<int64_t>(q) - 2 * static_cast<int64_t>(k);
+  const int64_t thr_nonadj = thr_adj + 2;
+
+  std::vector<VertexId> fringe;
+  {
+    std::vector<char> seen(graph.NumVertices(), 0);
+    // Earlier direct neighbors.
+    for (VertexId x : graph.Neighbors(seed_vertex)) {
+      if (is_later(x) || seen[x]) continue;
+      seen[x] = 1;
+      if (common_with_n1(x) >= thr_adj) fringe.push_back(x);
+    }
+    // Earlier two-hop vertices (witnessed by a surviving N1 vertex).
+    for (VertexId u : n1) {
+      for (VertexId x : graph.Neighbors(u)) {
+        if (x == seed_vertex || is_later(x) || seen[x]) continue;
+        if (graph.HasEdge(seed_vertex, x)) {
+          seen[x] = 1;
+          continue;  // already handled as a direct neighbor
+        }
+        seen[x] = 1;
+        if (common_with_n1(x) >= thr_nonadj) fringe.push_back(x);
+      }
+    }
+  }
+  std::sort(fringe.begin(), fringe.end());
+
+  // Assemble the local universe.
+  SeedGraph sg;
+  sg.num_n1 = static_cast<uint32_t>(n1.size());
+  sg.num_vi = static_cast<uint32_t>(1 + n1.size() + n2.size());
+  sg.universe = static_cast<uint32_t>(sg.num_vi + fringe.size());
+  sg.vi_words = (sg.num_vi + 63) / 64;
+
+  std::vector<VertexId> local_to_reduced;
+  local_to_reduced.reserve(sg.universe);
+  local_to_reduced.push_back(seed_vertex);
+  local_to_reduced.insert(local_to_reduced.end(), n1.begin(), n1.end());
+  local_to_reduced.insert(local_to_reduced.end(), n2.begin(), n2.end());
+  local_to_reduced.insert(local_to_reduced.end(), fringe.begin(),
+                          fringe.end());
+
+  sg.to_global.resize(sg.universe);
+  for (uint32_t i = 0; i < sg.universe; ++i) {
+    const VertexId reduced = local_to_reduced[i];
+    sg.to_global[i] =
+        to_original.empty() ? reduced : to_original[reduced];
+  }
+
+  std::unordered_map<VertexId, uint32_t> local_id;
+  local_id.reserve(sg.universe * 2);
+  for (uint32_t i = 0; i < sg.universe; ++i) {
+    local_id.emplace(local_to_reduced[i], i);
+  }
+
+  sg.adj = LocalGraph(sg.universe);
+  // Only edges with at least one endpoint in V_i matter; iterate V_i
+  // members so fringe-fringe edges are skipped.
+  for (uint32_t i = 0; i < sg.num_vi; ++i) {
+    for (VertexId w : graph.Neighbors(local_to_reduced[i])) {
+      auto it = local_id.find(w);
+      if (it != local_id.end()) sg.adj.AddEdge(i, it->second);
+    }
+  }
+
+  sg.vi_mask.ResizeClear(sg.universe);
+  sg.n1_mask.ResizeClear(sg.universe);
+  sg.n2_mask.ResizeClear(sg.universe);
+  sg.fringe_mask.ResizeClear(sg.universe);
+  for (uint32_t i = 0; i < sg.num_vi; ++i) sg.vi_mask.Set(i);
+  for (uint32_t i = 1; i <= sg.num_n1; ++i) sg.n1_mask.Set(i);
+  for (uint32_t i = 1 + sg.num_n1; i < sg.num_vi; ++i) sg.n2_mask.Set(i);
+  for (uint32_t i = sg.num_vi; i < sg.universe; ++i) sg.fringe_mask.Set(i);
+
+  sg.deg_vi.resize(sg.num_vi);
+  for (uint32_t i = 0; i < sg.num_vi; ++i) {
+    sg.deg_vi[i] = sg.adj.DegreeIn(i, sg.vi_mask);
+  }
+
+  if (options.use_pair_pruning_r2) {
+    sg.pairs = BuildPairMatrix(sg, k, q);
+    if (counters != nullptr) {
+      counters->pair_edges_pruned += sg.pairs->num_pruned_pairs();
+    }
+  }
+  if (counters != nullptr) ++counters->seed_graphs;
+  return sg;
+}
+
+}  // namespace kplex

@@ -1,0 +1,82 @@
+// Seed subgraph construction (Section 4, Eq (1) + Section 5 seed-level
+// pruning). For a seed vertex v_i in degeneracy order, the SeedGraph
+// materializes:
+//
+//   local id 0                : the seed v_i
+//   local ids [1, 1+|N1|)     : N_{G_i}(v_i)   (later neighbors)
+//   local ids [.., num_vi)    : N^2_{G_i}(v_i) (later two-hop vertices,
+//                               reachable via N1)
+//   local ids [num_vi, size)  : the exclusive fringe V'_i (earlier
+//                               vertices within two hops, kept only for
+//                               maximality checks)
+//
+// as a dense LocalGraph (adjacency rows over the whole local universe;
+// fringe-fringe edges are irrelevant and omitted). Vertices that cannot
+// participate in any k-plex of size >= q together with v_i are pruned:
+// Corollary 5.2 iterated to a fixpoint on the V_i side, the matching
+// Theorem 5.1 common-neighbor conditions on the fringe side.
+
+#ifndef KPLEX_CORE_SEED_GRAPH_H_
+#define KPLEX_CORE_SEED_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/options.h"
+#include "core/pair_matrix.h"
+#include "graph/degeneracy.h"
+#include "graph/graph.h"
+#include "graph/local_graph.h"
+#include "util/bitset.h"
+
+namespace kplex {
+
+struct SeedGraph {
+  /// Local id of the seed vertex; always 0.
+  static constexpr uint32_t kSeed = 0;
+
+  /// |V_i| after pruning. Local ids [0, num_vi) form V_i.
+  uint32_t num_vi = 0;
+  /// Number of surviving N_{G_i}(v_i) vertices; ids [1, 1+num_n1).
+  uint32_t num_n1 = 0;
+  /// Total local universe size (= num_vi + fringe size).
+  uint32_t universe = 0;
+
+  /// Dense adjacency over the local universe.
+  LocalGraph adj;
+  /// to_global[local] = vertex id in the *original* input graph.
+  std::vector<VertexId> to_global;
+  /// deg_vi[v] = degree of v within V_i (the d_{G_i} of Theorem 5.3).
+  /// Defined for local ids < num_vi.
+  std::vector<uint32_t> deg_vi;
+
+  /// Masks over the local universe.
+  DynamicBitset vi_mask;  ///< bits [0, num_vi)
+  DynamicBitset n1_mask;  ///< bits [1, 1+num_n1)
+  DynamicBitset n2_mask;  ///< bits [1+num_n1, num_vi)
+  DynamicBitset fringe_mask;  ///< bits [num_vi, universe)
+
+  /// Number of 64-bit words covering V_i (prefix of every bitset); hot
+  /// loops restricted to V_i only touch this many words.
+  std::size_t vi_words = 0;
+
+  /// Pair-pruning matrix T (present iff R2 enabled).
+  std::optional<PairPruneMatrix> pairs;
+};
+
+/// Builds the seed graph for the seed at `rank_of_seed` in `order`.
+/// `graph` is the (q-k)-core-reduced graph; `to_original` maps its ids
+/// back to the input graph (may be empty when graph ids are original).
+/// Returns nullopt when the seed provably cannot carry any k-plex of
+/// size >= q (e.g. |V_i| < q or deg(v_i)+k < q after pruning).
+std::optional<SeedGraph> BuildSeedGraph(
+    const Graph& graph, const std::vector<VertexId>& to_original,
+    const DegeneracyResult& degeneracy, uint32_t seed_vertex,
+    const EnumOptions& options, AlgoCounters* counters);
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_SEED_GRAPH_H_

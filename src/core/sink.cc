@@ -1,0 +1,35 @@
+#include "core/sink.h"
+
+#include <algorithm>
+
+namespace kplex {
+namespace {
+
+uint64_t HashPlex(std::span<const VertexId> plex) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (VertexId v : plex) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  // Avalanche so that XOR aggregation mixes well.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> CollectingSink::SortedResults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<VertexId>> out = results_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void HashingSink::Emit(std::span<const VertexId> plex) {
+  hash_.fetch_xor(HashPlex(plex), std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace kplex

@@ -1,0 +1,104 @@
+// Result sinks: where enumerated maximal k-plexes go. All sinks are
+// thread-safe so the sequential and parallel engines share them.
+
+#ifndef KPLEX_CORE_SINK_H_
+#define KPLEX_CORE_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+/// Receives each maximal k-plex exactly once. `plex` holds original
+/// vertex ids, sorted ascending, and is only valid during the call.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Emit(std::span<const VertexId> plex) = 0;
+};
+
+/// Counts results and tracks the largest plex seen.
+class CountingSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> plex) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t sz = plex.size();
+    std::size_t prev = max_size_.load(std::memory_order_relaxed);
+    while (sz > prev &&
+           !max_size_.compare_exchange_weak(prev, sz,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::size_t max_size() const {
+    return max_size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<std::size_t> max_size_{0};
+};
+
+/// Stores every result. Intended for tests and small workloads.
+class CollectingSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> plex) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_.emplace_back(plex.begin(), plex.end());
+  }
+
+  /// Results sorted lexicographically (canonical order for comparison).
+  std::vector<std::vector<VertexId>> SortedResults() const;
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<VertexId>> results_;
+};
+
+/// Order-independent content fingerprint: XOR of per-plex hashes plus a
+/// count. Two runs produced the same result *set* iff their fingerprints
+/// match (up to hash collisions); used to compare algorithm variants on
+/// workloads too large to collect.
+class HashingSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> plex) override;
+
+  uint64_t fingerprint() const {
+    return hash_.load(std::memory_order_relaxed) ^
+           (count_.load(std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> hash_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Adapts a std::function. The callback must be thread-safe if used with
+/// the parallel engine.
+class CallbackSink : public ResultSink {
+ public:
+  explicit CallbackSink(std::function<void(std::span<const VertexId>)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Emit(std::span<const VertexId> plex) override { fn_(plex); }
+
+ private:
+  std::function<void(std::span<const VertexId>)> fn_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_CORE_SINK_H_

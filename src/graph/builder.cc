@@ -1,0 +1,45 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace kplex {
+
+Graph GraphBuilder::Build() {
+  // Normalize to (min, max) and deduplicate.
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<uint64_t> offsets(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(edges_.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  // Sorted edge processing leaves each row sorted except for the
+  // interleaving of "as-u" and "as-v" entries; sort rows to be safe.
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    std::sort(adjacency.begin() + offsets[v], adjacency.begin() + offsets[v + 1]);
+  }
+  edges_.clear();
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+Graph GraphBuilder::FromEdges(
+    std::size_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace kplex

@@ -1,0 +1,47 @@
+// GraphBuilder accumulates edges (in any order, with duplicates and
+// self-loops tolerated) and produces a normalized CSR Graph: undirected,
+// simple, sorted adjacency.
+
+#ifndef KPLEX_GRAPH_BUILDER_H_
+#define KPLEX_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_vertices` vertices
+  /// (ids 0 .. num_vertices-1).
+  explicit GraphBuilder(std::size_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Records the undirected edge (u, v). Self-loops are ignored.
+  /// Duplicate edges are deduplicated at Build() time.
+  void AddEdge(VertexId u, VertexId v) {
+    if (u == v) return;
+    edges_.emplace_back(u, v);
+  }
+
+  std::size_t num_vertices() const { return num_vertices_; }
+
+  /// Normalizes and produces the immutable Graph. The builder is left
+  /// empty afterwards.
+  Graph Build();
+
+  /// Convenience: builds a graph directly from an edge list.
+  static Graph FromEdges(
+      std::size_t num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_BUILDER_H_

@@ -1,0 +1,58 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace kplex {
+
+std::size_t ComponentResult::LargestSize() const {
+  std::size_t best = 0;
+  for (std::size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+ComponentResult ConnectedComponents(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  ComponentResult result;
+  result.component.assign(n, UINT32_MAX);
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.component[start] != UINT32_MAX) continue;
+    const uint32_t label = static_cast<uint32_t>(result.sizes.size());
+    result.sizes.push_back(0);
+    result.component[start] = label;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      ++result.sizes[label];
+      for (VertexId u : graph.Neighbors(v)) {
+        if (result.component[u] == UINT32_MAX) {
+          result.component[u] = label;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> BfsDistances(const Graph& graph, VertexId source) {
+  std::vector<int> dist(graph.NumVertices(), -1);
+  if (source >= graph.NumVertices()) return dist;
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace kplex

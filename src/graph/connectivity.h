@@ -1,0 +1,33 @@
+// Connected-component analysis and BFS utilities — used by the CLI's
+// graph report, the examples, and the tests.
+
+#ifndef KPLEX_GRAPH_CONNECTIVITY_H_
+#define KPLEX_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct ComponentResult {
+  /// component[v] = component index (0-based, in order of discovery by
+  /// ascending smallest member).
+  std::vector<uint32_t> component;
+  /// Size of each component.
+  std::vector<std::size_t> sizes;
+
+  std::size_t NumComponents() const { return sizes.size(); }
+  /// Size of the largest component (0 for the empty graph).
+  std::size_t LargestSize() const;
+};
+
+/// Labels connected components by BFS.
+ComponentResult ConnectedComponents(const Graph& graph);
+
+/// BFS distances from `source` (-1 for unreachable vertices).
+std::vector<int> BfsDistances(const Graph& graph, VertexId source);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_CONNECTIVITY_H_

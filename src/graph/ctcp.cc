@@ -1,0 +1,93 @@
+#include "graph/ctcp.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/kcore.h"
+
+namespace kplex {
+namespace {
+
+// One edge-rule sweep over the current graph; returns the surviving
+// edges and counts deletions.
+std::vector<std::pair<VertexId, VertexId>> EdgeSweep(const Graph& graph,
+                                                     int64_t threshold,
+                                                     uint64_t* pruned) {
+  std::vector<std::pair<VertexId, VertexId>> kept;
+  kept.reserve(graph.NumEdges());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    auto nu = graph.Neighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      // Sorted-merge common-neighbor count.
+      auto nv = graph.Neighbors(v);
+      int64_t common = 0;
+      auto iu = nu.begin();
+      auto iv = nv.begin();
+      while (iu != nu.end() && iv != nv.end() && common < threshold) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++common;
+          ++iu;
+          ++iv;
+        }
+      }
+      if (common >= threshold) {
+        kept.push_back({u, v});
+      } else {
+        ++*pruned;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+CtcpResult CtcpReduce(const Graph& graph, uint32_t k, uint32_t q) {
+  CtcpResult result;
+  const uint32_t core_level = q >= k ? q - k : 0;
+  const int64_t edge_threshold =
+      static_cast<int64_t>(q) - 2 * static_cast<int64_t>(k);
+
+  // Identity mapping to start; composed across rounds.
+  Graph current = graph;
+  std::vector<VertexId> to_original(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) to_original[v] = v;
+
+  while (true) {
+    ++result.rounds;
+    bool changed = false;
+
+    // Vertex rule: (q - k)-core.
+    CoreReduction core = ReduceToCore(current, core_level);
+    if (core.graph.NumVertices() != current.NumVertices()) changed = true;
+    std::vector<VertexId> composed(core.to_original.size());
+    for (std::size_t i = 0; i < core.to_original.size(); ++i) {
+      composed[i] = to_original[core.to_original[i]];
+    }
+    current = std::move(core.graph);
+    to_original = std::move(composed);
+
+    // Edge rule (only binding when q > 2k).
+    if (edge_threshold > 0) {
+      const uint64_t before = result.edges_pruned;
+      auto kept = EdgeSweep(current, edge_threshold, &result.edges_pruned);
+      if (result.edges_pruned != before) {
+        changed = true;
+        current = GraphBuilder::FromEdges(current.NumVertices(), kept);
+      }
+    }
+
+    if (!changed || current.NumVertices() == 0) break;
+  }
+
+  result.graph = std::move(current);
+  result.to_original = std::move(to_original);
+  return result;
+}
+
+}  // namespace kplex

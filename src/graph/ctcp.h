@@ -1,0 +1,43 @@
+// CTCP-style core-triangle co-pruning (Chang, Xu, Strash — kPlexS,
+// PVLDB 2022; [12] in the paper's Related Work). Iterates two sound
+// reductions until fixpoint:
+//
+//   vertex rule (Theorem 3.5):  deg(v) < q - k            => remove v
+//   edge rule  (Theorem 5.1ii): |N(u) ∩ N(v)| < q - 2k    => remove (u,v)
+//
+// Every k-plex with >= q vertices of the input survives intact in the
+// reduced graph, *including its maximality structure* (a deleted edge's
+// endpoints can never co-occur in any k-plex with >= q vertices, so no
+// maximality test ever depends on it). kPlexS proved the CTCP fixpoint
+// is never larger than the reductions of BnB/Maplex/KpLeX; here it is an
+// optional preprocessing pass ahead of the enumerators.
+
+#ifndef KPLEX_GRAPH_CTCP_H_
+#define KPLEX_GRAPH_CTCP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct CtcpResult {
+  /// The reduced graph (compacted ids).
+  Graph graph;
+  /// to_original[new_id] = vertex id in the input graph.
+  std::vector<VertexId> to_original;
+  /// Number of edges deleted by the common-neighbor rule (across all
+  /// rounds), excluding edges that vanished with removed vertices.
+  uint64_t edges_pruned = 0;
+  /// Rounds until fixpoint.
+  uint32_t rounds = 0;
+};
+
+/// Runs CTCP for parameters (k, q). Requires q >= 2k - 1 for the edge
+/// rule to be sound in the form used here.
+CtcpResult CtcpReduce(const Graph& graph, uint32_t k, uint32_t q);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_CTCP_H_

@@ -1,0 +1,47 @@
+#include "graph/degeneracy.h"
+
+#include <queue>
+#include <tuple>
+
+namespace kplex {
+
+DegeneracyResult ComputeDegeneracy(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  result.rank.assign(n, 0);
+  result.coreness.assign(n, 0);
+
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+
+  // Min-heap on (current degree, vertex id) with lazy deletion. O(m log n),
+  // deterministic: the smallest-id vertex among minimum-degree vertices is
+  // always peeled first (the paper's within-shell tie rule).
+  using Entry = std::pair<uint32_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (VertexId v = 0; v < n; ++v) heap.emplace(degree[v], v);
+
+  std::vector<char> removed(n, 0);
+  uint32_t max_core = 0;
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (removed[v] || d != degree[v]) continue;  // stale entry
+    removed[v] = 1;
+    max_core = std::max(max_core, d);
+    result.coreness[v] = max_core;
+    result.rank[v] = static_cast<uint32_t>(result.order.size());
+    result.order.push_back(v);
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!removed[u]) {
+        --degree[u];
+        heap.emplace(degree[u], u);
+      }
+    }
+  }
+  result.degeneracy = max_core;
+  return result;
+}
+
+}  // namespace kplex

@@ -1,0 +1,74 @@
+#include "graph/edge_list_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace kplex {
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  char line[1 << 12];
+  std::size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\r' || *p == '\0') {
+      continue;  // comment or blank line
+    }
+    unsigned long long u = 0, v = 0;
+    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
+      std::fclose(f);
+      return Status::IoError("parse error in '" + path + "' at line " +
+                             std::to_string(line_no));
+    }
+    raw_edges.emplace_back(u, v);
+  }
+  std::fclose(f);
+
+  // Compact ids preserving numeric order.
+  std::vector<uint64_t> ids;
+  ids.reserve(raw_edges.size() * 2);
+  for (const auto& [u, v] : raw_edges) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  auto compact = [&](uint64_t raw) -> VertexId {
+    return static_cast<VertexId>(
+        std::lower_bound(ids.begin(), ids.end(), raw) - ids.begin());
+  };
+
+  GraphBuilder builder(ids.size());
+  for (const auto& [u, v] : raw_edges) builder.AddEdge(compact(u), compact(v));
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "# Undirected graph: %zu vertices, %zu edges\n",
+               graph.NumVertices(), graph.NumEdges());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) std::fprintf(f, "%u\t%u\n", u, v);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace kplex

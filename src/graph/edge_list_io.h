@@ -1,0 +1,25 @@
+// SNAP-style edge-list I/O. The format accepted is the one used by the
+// Stanford Large Network Dataset Collection: '#'-prefixed comment lines,
+// then one "u v" pair per line (tabs or spaces). Vertex ids are compacted
+// to 0..n-1 preserving their numeric order.
+
+#ifndef KPLEX_GRAPH_EDGE_LIST_IO_H_
+#define KPLEX_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Loads a SNAP-format edge list. Self-loops dropped, duplicates merged,
+/// the graph treated as undirected.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as "u v" lines (u < v) with a header comment.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_EDGE_LIST_IO_H_

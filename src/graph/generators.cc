@@ -1,0 +1,227 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace kplex {
+
+Graph GenerateErdosRenyi(std::size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (p <= 0.0 || n < 2) return builder.Build();
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    }
+    return builder.Build();
+  }
+  // Geometric skipping: O(m) expected instead of O(n^2).
+  const double log_1mp = std::log1p(-p);
+  uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t idx = 0;
+  auto pair_of = [&](uint64_t e) -> std::pair<VertexId, VertexId> {
+    // Row-major index over the strict upper triangle.
+    uint64_t u = 0;
+    uint64_t remaining = e;
+    uint64_t row_len = n - 1;
+    while (remaining >= row_len) {
+      remaining -= row_len;
+      ++u;
+      --row_len;
+    }
+    return {static_cast<VertexId>(u),
+            static_cast<VertexId>(u + 1 + remaining)};
+  };
+  while (true) {
+    double r = rng.NextDouble();
+    uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log1p(-r * (1.0 - 1e-12)) /
+                                         log_1mp));
+    idx += skip;
+    if (idx >= total_pairs) break;
+    auto [u, v] = pair_of(idx);
+    builder.AddEdge(u, v);
+    ++idx;
+    if (idx >= total_pairs) break;
+  }
+  return builder.Build();
+}
+
+Graph GenerateErdosRenyiM(std::size_t n, std::size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const std::size_t target = static_cast<std::size_t>(
+      std::min<uint64_t>(m, max_edges));
+  while (edges.size() < target) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t attach,
+                             uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (n == 0) return builder.Build();
+  const std::size_t m0 = std::max<std::size_t>(attach, 1) + 1;
+  // `targets` holds one entry per edge endpoint, so sampling uniformly
+  // from it is degree-proportional sampling.
+  std::vector<VertexId> endpoint_pool;
+  // Seed clique on the first m0 vertices.
+  const std::size_t seed_size = std::min(m0, n);
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<VertexId> chosen;
+  for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+    chosen.clear();
+    std::size_t want = std::min(attach, static_cast<std::size_t>(v));
+    std::size_t guard = 0;
+    while (chosen.size() < want && guard < 64 * want + 64) {
+      ++guard;
+      VertexId t = endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      builder.AddEdge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateWattsStrogatz(std::size_t n, std::size_t neighbors,
+                            double beta, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto norm = [](VertexId a, VertexId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  const std::size_t half = neighbors / 2;
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= half; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (u == v) continue;
+      edges.insert(norm(u, v));
+    }
+  }
+  // Rewire each lattice edge with probability beta.
+  std::vector<std::pair<VertexId, VertexId>> lattice(edges.begin(),
+                                                     edges.end());
+  for (const auto& [u, v] : lattice) {
+    if (!rng.NextBernoulli(beta)) continue;
+    edges.erase(norm(u, v));
+    std::size_t guard = 0;
+    while (guard++ < 256) {
+      VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+      if (w == u || edges.count(norm(u, w)) != 0) continue;
+      edges.insert(norm(u, w));
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Graph GenerateRmat(uint32_t scale, std::size_t num_edges, double a, double b,
+                   double c, uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = std::size_t{1} << scale;
+  GraphBuilder builder(n);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= (VertexId{1} << bit);
+      } else if (r < a + b + c) {
+        u |= (VertexId{1} << bit);
+      } else {
+        u |= (VertexId{1} << bit);
+        v |= (VertexId{1} << bit);
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+PlantedCommunityGraph GeneratePlantedCommunities(
+    const PlantedCommunityConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t community_total =
+      config.num_communities * config.community_size;
+  const std::size_t n = community_total + config.background_vertices;
+
+  PlantedCommunityGraph result;
+  result.community.assign(n, PlantedCommunityGraph::kNoCommunity);
+
+  GraphBuilder builder(n);
+  for (std::size_t ci = 0; ci < config.num_communities; ++ci) {
+    const VertexId base = static_cast<VertexId>(ci * config.community_size);
+    const std::size_t s = config.community_size;
+    for (std::size_t i = 0; i < s; ++i) {
+      result.community[base + i] = static_cast<uint32_t>(ci);
+    }
+    // Start from a clique, then delete `missing_per_vertex` distinct
+    // incident edges per vertex round-robin, never letting any vertex
+    // exceed its missing budget, so the community stays a
+    // (missing_per_vertex + 1)-plex.
+    std::vector<std::vector<char>> present(s, std::vector<char>(s, 1));
+    std::vector<std::size_t> missing(s, 0);
+    for (std::size_t i = 0; i < s; ++i) {
+      while (missing[i] < config.missing_per_vertex) {
+        std::size_t j = rng.NextBounded(s);
+        if (j == i || !present[i][j]) break;  // give up quietly on clashes
+        if (missing[j] >= config.missing_per_vertex) break;
+        present[i][j] = present[j][i] = 0;
+        ++missing[i];
+        ++missing[j];
+      }
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = i + 1; j < s; ++j) {
+        if (present[i][j]) {
+          builder.AddEdge(base + static_cast<VertexId>(i),
+                          base + static_cast<VertexId>(j));
+        }
+      }
+    }
+  }
+  // Sparse noise across everything else.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      bool same_community =
+          result.community[u] != PlantedCommunityGraph::kNoCommunity &&
+          result.community[u] == result.community[v];
+      if (same_community) continue;
+      if (rng.NextBernoulli(config.noise_probability)) builder.AddEdge(u, v);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace kplex

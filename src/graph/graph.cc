@@ -1,0 +1,33 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace kplex {
+
+Graph::Graph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    max_degree_ = std::max<std::size_t>(max_degree_, offsets_[v + 1] - offsets_[v]);
+  }
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  // Search the shorter adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace kplex

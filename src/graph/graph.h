@@ -1,0 +1,58 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+// Neighbor lists are sorted, enabling O(log d) adjacency queries and
+// linear-time sorted-merge operations. Build instances via GraphBuilder.
+
+#ifndef KPLEX_GRAPH_GRAPH_H_
+#define KPLEX_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kplex {
+
+/// Vertex identifier. Graphs are limited to 2^32-1 vertices.
+using VertexId = uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  std::size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  std::size_t NumEdges() const { return adjacency_.size() / 2; }
+
+  /// Degree of v.
+  std::size_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbors of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the undirected edge (u, v) exists. O(log deg).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum vertex degree (Delta). O(1); precomputed at build time.
+  std::size_t MaxDegree() const { return max_degree_; }
+
+  /// All edges as (u, v) pairs with u < v, in CSR order.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency);
+
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_GRAPH_H_

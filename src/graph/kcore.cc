@@ -1,0 +1,51 @@
+#include "graph/kcore.h"
+
+#include <deque>
+
+#include "graph/builder.h"
+
+namespace kplex {
+
+CoreReduction ReduceToCore(const Graph& graph, uint32_t c) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<char> removed(n, 0);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    if (degree[v] < c) {
+      removed[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!removed[u] && --degree[u] < c) {
+        removed[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  CoreReduction result;
+  std::vector<VertexId> new_id(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removed[v]) {
+      new_id[v] = static_cast<VertexId>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+  GraphBuilder builder(result.to_original.size());
+  for (VertexId v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!removed[u] && v < u) builder.AddEdge(new_id[v], new_id[u]);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace kplex

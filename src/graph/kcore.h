@@ -1,0 +1,27 @@
+// k-core reduction (Theorem 3.5): every k-plex with at least q vertices
+// lies inside the (q-k)-core, so the enumerators first shrink the input
+// graph to that core and work on the compacted survivor graph.
+
+#ifndef KPLEX_GRAPH_KCORE_H_
+#define KPLEX_GRAPH_KCORE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct CoreReduction {
+  /// The induced subgraph on the c-core, with compacted vertex ids.
+  Graph graph;
+  /// to_original[new_id] = vertex id in the input graph.
+  std::vector<VertexId> to_original;
+};
+
+/// Returns the induced subgraph on the c-core of `graph` (the maximal
+/// induced subgraph with minimum degree >= c). May be empty.
+CoreReduction ReduceToCore(const Graph& graph, uint32_t c);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_KCORE_H_

@@ -1,0 +1,30 @@
+#include "graph/local_graph.h"
+
+namespace kplex {
+
+LocalGraph::LocalGraph(uint32_t size)
+    : size_(size), rows_(size, DynamicBitset(size)), degree_(size, 0),
+      alive_(size) {
+  alive_.SetAll();
+}
+
+void LocalGraph::AddEdge(uint32_t u, uint32_t v) {
+  if (rows_[u].Test(v)) return;
+  rows_[u].Set(v);
+  rows_[v].Set(u);
+  ++degree_[u];
+  ++degree_[v];
+}
+
+void LocalGraph::RemoveVertex(uint32_t v) {
+  if (!alive_.Test(v)) return;
+  alive_.Reset(v);
+  rows_[v].ForEach([&](std::size_t u) {
+    rows_[u].Reset(v);
+    --degree_[u];
+  });
+  rows_[v].ResetAll();
+  degree_[v] = 0;
+}
+
+}  // namespace kplex

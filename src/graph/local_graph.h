@@ -1,0 +1,64 @@
+// LocalGraph: dense adjacency-matrix representation of a small vertex
+// universe (a seed subgraph plus its exclusive-set fringe). Each vertex
+// owns a DynamicBitset adjacency row over the whole universe, so the
+// branch-and-bound inner loops are pure word-parallel bit algebra.
+//
+// Seed subgraphs are dense (Section 4: "since G_i tends to be dense, it
+// is efficient when G_i is represented by an adjacency matrix"), which is
+// why this representation is used instead of CSR inside tasks.
+
+#ifndef KPLEX_GRAPH_LOCAL_GRAPH_H_
+#define KPLEX_GRAPH_LOCAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace kplex {
+
+class LocalGraph {
+ public:
+  LocalGraph() = default;
+  /// Creates an edgeless universe of `size` local vertices.
+  explicit LocalGraph(uint32_t size);
+
+  uint32_t size() const { return size_; }
+
+  /// Adds the undirected edge (u, v); u != v.
+  void AddEdge(uint32_t u, uint32_t v);
+
+  bool HasEdge(uint32_t u, uint32_t v) const { return rows_[u].Test(v); }
+
+  /// Adjacency row of v (bitset over the local universe).
+  const DynamicBitset& Row(uint32_t v) const { return rows_[v]; }
+
+  /// Degree of v within the universe.
+  uint32_t Degree(uint32_t v) const { return degree_[v]; }
+
+  /// popcount(Row(v) & mask): degree of v restricted to `mask`.
+  uint32_t DegreeIn(uint32_t v, const DynamicBitset& mask) const {
+    return static_cast<uint32_t>(rows_[v].AndCount(mask));
+  }
+
+  /// Removes vertex v: clears its row and its column bit everywhere.
+  /// Degrees are updated. Used by iterated seed-subgraph pruning.
+  void RemoveVertex(uint32_t v);
+
+  /// True iff v still has its own slot (not removed).
+  bool IsAlive(uint32_t v) const { return alive_.Test(v); }
+
+  /// Bitset of vertices not yet removed.
+  const DynamicBitset& AliveMask() const { return alive_; }
+
+ private:
+  uint32_t size_ = 0;
+  std::vector<DynamicBitset> rows_;
+  std::vector<uint32_t> degree_;
+  DynamicBitset alive_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_LOCAL_GRAPH_H_

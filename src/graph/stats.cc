@@ -1,0 +1,20 @@
+#include "graph/stats.h"
+
+#include "graph/degeneracy.h"
+
+namespace kplex {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.max_degree = graph.MaxDegree();
+  stats.degeneracy = ComputeDegeneracy(graph).degeneracy;
+  stats.average_degree =
+      stats.num_vertices == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(stats.num_edges) / stats.num_vertices;
+  return stats;
+}
+
+}  // namespace kplex

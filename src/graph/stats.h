@@ -1,0 +1,25 @@
+// Aggregate graph statistics — the columns of the paper's Table 2.
+
+#ifndef KPLEX_GRAPH_STATS_H_
+#define KPLEX_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_degree = 0;   // Delta
+  uint32_t degeneracy = 0;      // D
+  double average_degree = 0.0;
+};
+
+/// Computes n, m, Delta, D and the average degree of `graph`.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_STATS_H_

@@ -1,0 +1,31 @@
+#include "graph/subgraph.h"
+
+#include <unordered_map>
+
+#include "graph/builder.h"
+
+namespace kplex {
+
+InducedSubgraph ExtractInduced(const Graph& graph,
+                               const std::vector<VertexId>& vertices) {
+  InducedSubgraph result;
+  result.to_original = vertices;
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(vertices.size() * 2);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    new_id.emplace(vertices[i], static_cast<VertexId>(i));
+  }
+  GraphBuilder builder(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId u : graph.Neighbors(vertices[i])) {
+      auto it = new_id.find(u);
+      if (it != new_id.end() && it->second > i) {
+        builder.AddEdge(static_cast<VertexId>(i), it->second);
+      }
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace kplex

@@ -1,0 +1,26 @@
+// Induced-subgraph extraction with id mappings, used by tests, examples
+// and the seed-subgraph builder.
+
+#ifndef KPLEX_GRAPH_SUBGRAPH_H_
+#define KPLEX_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct InducedSubgraph {
+  Graph graph;
+  /// to_original[new_id] = id in the parent graph.
+  std::vector<VertexId> to_original;
+};
+
+/// Induced subgraph on `vertices` (must be unique; any order). New ids
+/// follow the order of `vertices`.
+InducedSubgraph ExtractInduced(const Graph& graph,
+                               const std::vector<VertexId>& vertices);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,69 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+
+namespace kplex {
+
+std::vector<uint64_t> CountTrianglesPerVertex(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<uint64_t> per_vertex(n, 0);
+  // For each edge (u, v) with u < v, intersect sorted neighbor lists and
+  // credit every triangle to all three corners once (w > v to count each
+  // triangle exactly once).
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      auto nu = graph.Neighbors(u);
+      auto nv = graph.Neighbors(v);
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++per_vertex[u];
+          ++per_vertex[v];
+          ++per_vertex[*iu];
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return per_vertex;
+}
+
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t total = 0;
+  for (uint64_t t : CountTrianglesPerVertex(graph)) total += t;
+  return total / 3;
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  const uint64_t triangles = CountTriangles(graph);
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const uint64_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  if (n == 0) return 0.0;
+  std::vector<uint64_t> per_vertex = CountTrianglesPerVertex(graph);
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t d = graph.Degree(v);
+    if (d < 2) continue;
+    sum += 2.0 * static_cast<double>(per_vertex[v]) /
+           (static_cast<double>(d) * (d - 1));
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace kplex

@@ -1,0 +1,33 @@
+// Triangle counting and clustering coefficients. Characterizes the local
+// density the k-plex miner exploits; the CLI's graph report and the
+// dataset-similarity checks use these.
+
+#ifndef KPLEX_GRAPH_TRIANGLES_H_
+#define KPLEX_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+/// Total number of triangles (each counted once). Forward-adjacency
+/// merge algorithm, O(sum of d(u) * d(v) over edges) worst case but
+/// O(m^{3/2})-ish in practice on sorted CSR.
+uint64_t CountTriangles(const Graph& graph);
+
+/// Per-vertex triangle counts (triangles incident to each vertex).
+std::vector<uint64_t> CountTrianglesPerVertex(const Graph& graph);
+
+/// Global clustering coefficient: 3 * triangles / open+closed wedges.
+/// Returns 0 for graphs without wedges.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// Average of per-vertex local clustering coefficients (vertices with
+/// degree < 2 contribute 0).
+double AverageLocalClustering(const Graph& graph);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_TRIANGLES_H_

@@ -1,0 +1,221 @@
+#include "parallel/parallel_enumerator.h"
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/branch.h"
+#include "core/ordering.h"
+#include "core/seed_graph.h"
+#include "core/subtask.h"
+#include "graph/ctcp.h"
+#include "graph/degeneracy.h"
+#include "graph/kcore.h"
+#include "parallel/task_queue.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+// Per-thread state is cache-line padded: the engine bumps counters on
+// every Branch() call, and unpadded adjacent counters of two workers
+// ping-pong a shared line hard enough to erase the parallel speedup.
+struct alignas(128) PaddedCounters {
+  AlgoCounters value;
+};
+
+struct alignas(128) PaddedQueue {
+  TaskQueue queue;
+};
+
+class ParallelRunner {
+ public:
+  ParallelRunner(const Graph& reduced, std::vector<VertexId> to_original,
+                 DegeneracyResult degeneracy, const EnumOptions& options,
+                 const ParallelOptions& parallel_options, ResultSink& sink)
+      : graph_(reduced), to_original_(std::move(to_original)),
+        degeneracy_(std::move(degeneracy)), options_(options), sink_(sink),
+        num_threads_(parallel_options.num_threads > 0
+                         ? parallel_options.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency())),
+        timeout_nanos_(parallel_options.timeout_ms > 0
+                           ? static_cast<int64_t>(
+                                 parallel_options.timeout_ms * 1e6)
+                           : 0),
+        seeds_per_stage_(ResolveBatch(parallel_options.seeds_per_stage,
+                                      reduced.NumVertices(), num_threads_)),
+        queues_(num_threads_), counters_(num_threads_),
+        barrier_(static_cast<std::ptrdiff_t>(num_threads_),
+                 StageReset{this}) {}
+
+  AlgoCounters Run() {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads_);
+    for (uint32_t t = 0; t < num_threads_; ++t) {
+      workers.emplace_back([this, t] { WorkerMain(t); });
+    }
+    for (auto& w : workers) w.join();
+    AlgoCounters merged;
+    for (const auto& c : counters_) merged.MergeFrom(c.value);
+    return merged;
+  }
+
+ private:
+  struct StageReset {
+    ParallelRunner* runner;
+    void operator()() noexcept {
+      runner->populate_done_.store(0, std::memory_order_release);
+    }
+  };
+
+  static uint32_t ResolveBatch(uint32_t requested, std::size_t n,
+                               uint32_t threads) {
+    if (requested > 0) return requested;
+    // Amortize the stage barrier over enough seeds that per-stage work
+    // dwarfs synchronization, while bounding live seed subgraphs.
+    const uint64_t target_stages = 64;
+    uint64_t batch = n / (static_cast<uint64_t>(threads) * target_stages);
+    if (batch < 1) batch = 1;
+    if (batch > 32) batch = 32;
+    return static_cast<uint32_t>(batch);
+  }
+
+  void WorkerMain(uint32_t tid) {
+    const uint32_t n = static_cast<uint32_t>(graph_.NumVertices());
+    const uint32_t per_stage = num_threads_ * seeds_per_stage_;
+    const uint32_t stages = (n + per_stage - 1) / per_stage;
+    for (uint32_t stage = 0; stage < stages; ++stage) {
+      for (uint32_t b = 0; b < seeds_per_stage_; ++b) {
+        const uint32_t seed_index =
+            stage * per_stage + b * num_threads_ + tid;
+        if (seed_index < n) PopulateSeed(tid, seed_index);
+      }
+      // Draining starts as soon as this worker finishes its own builds —
+      // other workers' fresh tasks become stealable while stragglers are
+      // still constructing their seed subgraphs (no populate barrier).
+      populate_done_.fetch_add(1, std::memory_order_acq_rel);
+      DrainStage(tid);
+      barrier_.arrive_and_wait();  // stage complete; resets populate_done_
+    }
+  }
+
+  void PopulateSeed(uint32_t tid, uint32_t seed_index) {
+    const VertexId seed = degeneracy_.order[seed_index];
+    auto built = BuildSeedGraph(graph_, to_original_, degeneracy_, seed,
+                                options_, &counters_[tid].value);
+    if (!built.has_value()) return;
+    auto sg = std::make_shared<const SeedGraph>(std::move(*built));
+    EnumerateSubtasks(*sg, options_, counters_[tid].value,
+                      [&](TaskState&& state) {
+                        queues_[tid].queue.Push(
+                            ParallelTask{sg, std::move(state)});
+                      });
+  }
+
+  void DrainStage(uint32_t tid) {
+    ParallelTask task;
+    while (true) {
+      // The active counter covers the window between the pop and the end
+      // of execution so that spawned sub-tasks are never missed by the
+      // termination check below.
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      if (PopOrSteal(tid, task)) {
+        Execute(tid, std::move(task));
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+      if (populate_done_.load(std::memory_order_acquire) == num_threads_ &&
+          active_.load(std::memory_order_acquire) == 0 && AllEmpty()) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  bool PopOrSteal(uint32_t tid, ParallelTask& out) {
+    if (queues_[tid].queue.TryPop(out)) return true;
+    for (uint32_t off = 1; off < num_threads_; ++off) {
+      const uint32_t victim = (tid + off) % num_threads_;
+      if (queues_[victim].queue.TrySteal(out)) return true;
+    }
+    return false;
+  }
+
+  void Execute(uint32_t tid, ParallelTask&& task) {
+    BranchEngine engine(*task.seed_graph, options_, sink_,
+                        counters_[tid].value);
+    if (timeout_nanos_ > 0) {
+      // t0 is the moment execution starts: the timeout bounds a task's
+      // *processing* time (the straggler criterion), not its queue wait.
+      const int64_t deadline = WallTimer::NowNanos() + timeout_nanos_;
+      auto seed_graph = task.seed_graph;
+      engine.SetTaskTimeout(deadline, [this, tid, seed_graph](
+                                          TaskState&& state) {
+        queues_[tid].queue.Push(ParallelTask{seed_graph, std::move(state)});
+      });
+    }
+    engine.Run(task.state);
+  }
+
+  bool AllEmpty() const {
+    for (const auto& padded : queues_) {
+      if (!padded.queue.Empty()) return false;
+    }
+    return true;
+  }
+
+  const Graph& graph_;
+  const std::vector<VertexId> to_original_;
+  const DegeneracyResult degeneracy_;
+  const EnumOptions& options_;
+  ResultSink& sink_;
+  const uint32_t num_threads_;
+  const int64_t timeout_nanos_;
+  const uint32_t seeds_per_stage_;
+
+  std::vector<PaddedQueue> queues_;
+  std::vector<PaddedCounters> counters_;
+  std::atomic<uint32_t> active_{0};
+  std::atomic<uint32_t> populate_done_{0};
+  std::barrier<StageReset> barrier_;
+};
+
+}  // namespace
+
+StatusOr<EnumResult> ParallelEnumerateMaximalKPlexes(
+    const Graph& graph, const EnumOptions& options,
+    const ParallelOptions& parallel_options, ResultSink& sink) {
+  KPLEX_RETURN_IF_ERROR(ValidateOptions(options));
+  WallTimer timer;
+  EnumResult result;
+
+  const uint32_t core_level =
+      options.q >= options.k ? options.q - options.k : 0;
+  CoreReduction core;
+  if (options.use_ctcp_preprocess) {
+    CtcpResult ctcp = CtcpReduce(graph, options.k, options.q);
+    core.graph = std::move(ctcp.graph);
+    core.to_original = std::move(ctcp.to_original);
+  } else {
+    core = ReduceToCore(graph, core_level);
+  }
+  if (core.graph.NumVertices() == 0) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  DegeneracyResult degeneracy =
+      MakeSeedOrdering(core.graph, options.ordering);
+
+  ParallelRunner runner(core.graph, std::move(core.to_original),
+                        std::move(degeneracy), options, parallel_options,
+                        sink);
+  result.counters = runner.Run();
+  result.num_plexes = result.counters.outputs;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kplex

@@ -1,0 +1,23 @@
+#include "util/bitset.h"
+
+namespace kplex {
+
+std::vector<uint32_t> DynamicBitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&](std::size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+uint64_t DynamicBitset::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= num_bits_;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace kplex

@@ -1,0 +1,233 @@
+// DynamicBitset: a fixed-width (set at construction/resize) bitset over
+// 64-bit words. It is the workhorse of the mining engine: the P/C/X sets
+// of every branch-and-bound node and every adjacency-matrix row of a seed
+// subgraph are DynamicBitsets, and the hot operations (intersection
+// popcounts, subset tests, masked iteration) are all word-parallel.
+
+#ifndef KPLEX_UTIL_BITSET_H_
+#define KPLEX_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kplex {
+
+class DynamicBitset {
+ public:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  DynamicBitset() = default;
+  /// Creates a bitset of `num_bits` bits, all clear.
+  explicit DynamicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Resizes to `num_bits`, clearing all bits.
+  void ResizeClear(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return num_bits_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  void Set(std::size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Clears bits [0, n) — used for "ids strictly greater than" masks in
+  /// set-enumeration search.
+  void ResetBelow(std::size_t n) {
+    if (n == 0) return;
+    if (n >= num_bits_) {
+      ResetAll();
+      return;
+    }
+    std::size_t full_words = n >> 6;
+    for (std::size_t i = 0; i < full_words; ++i) words_[i] = 0;
+    words_[full_words] &= ~uint64_t{0} << (n & 63);
+  }
+
+  /// Sets bits [0, size) and clears the trailing slack of the last word.
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+  void ResetAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  // In-place set algebra. All operands must have equal size.
+  void AndWith(const DynamicBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  }
+  void OrWith(const DynamicBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  }
+  void AndNotWith(const DynamicBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  }
+  void XorWith(const DynamicBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  }
+
+  /// popcount(this & o) without materializing the intersection.
+  std::size_t AndCount(const DynamicBitset& o) const {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += std::popcount(words_[i] & o.words_[i]);
+    }
+    return c;
+  }
+
+  /// popcount(this & b & c) without materializing intermediates.
+  std::size_t AndCount3(const DynamicBitset& b, const DynamicBitset& c) const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      count += std::popcount(words_[i] & b.words_[i] & c.words_[i]);
+    }
+    return count;
+  }
+
+  /// popcount(this & o) over the first `word_limit` words only. Callers
+  /// use this when all set bits of one operand are known to lie in a
+  /// prefix of the universe (e.g. the V_i prefix of a seed subgraph).
+  std::size_t AndCountLimit(const DynamicBitset& o,
+                            std::size_t word_limit) const {
+    std::size_t count = 0;
+    const std::size_t end = word_limit < words_.size() ? word_limit : words_.size();
+    for (std::size_t i = 0; i < end; ++i) {
+      count += std::popcount(words_[i] & o.words_[i]);
+    }
+    return count;
+  }
+
+  /// popcount(this & ~o).
+  std::size_t AndNotCount(const DynamicBitset& o) const {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += std::popcount(words_[i] & ~o.words_[i]);
+    }
+    return c;
+  }
+
+  /// True iff (this & o) has at least one set bit.
+  bool Intersects(const DynamicBitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & o.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True iff every set bit of this is also set in o.
+  bool IsSubsetOf(const DynamicBitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~o.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Index of the lowest set bit, or kNpos if none.
+  std::size_t FindFirst() const { return FindNext(0); }
+
+  /// Index of the lowest set bit >= from, or kNpos if none.
+  std::size_t FindNext(std::size_t from) const {
+    if (from >= num_bits_) return kNpos;
+    std::size_t wi = from >> 6;
+    uint64_t w = words_[wi] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) return (wi << 6) + std::countr_zero(w);
+      if (++wi == words_.size()) return kNpos;
+      w = words_[wi];
+    }
+  }
+
+  /// Calls fn(i) for every set bit i in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        std::size_t bit = std::countr_zero(w);
+        fn((wi << 6) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every set bit of (this & o), ascending.
+  template <typename Fn>
+  void ForEachAnd(const DynamicBitset& o, Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi] & o.words_[wi];
+      while (w != 0) {
+        std::size_t bit = std::countr_zero(w);
+        fn((wi << 6) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every set bit of (this & ~o), ascending.
+  template <typename Fn>
+  void ForEachAndNot(const DynamicBitset& o, Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi] & ~o.words_[wi];
+      while (w != 0) {
+        std::size_t bit = std::countr_zero(w);
+        fn((wi << 6) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// The set bits as a vector of indices (test/debug convenience).
+  std::vector<uint32_t> ToVector() const;
+
+  /// Order-insensitive 64-bit content hash (FNV-1a over words).
+  uint64_t Hash() const;
+
+  bool operator==(const DynamicBitset& o) const {
+    return num_bits_ == o.num_bits_ && words_ == o.words_;
+  }
+
+ private:
+  void TrimTail() {
+    std::size_t slack = words_.size() * 64 - num_bits_;
+    if (slack > 0 && !words_.empty()) {
+      words_.back() &= ~uint64_t{0} >> slack;
+    }
+  }
+
+  std::size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_BITSET_H_

@@ -1,0 +1,85 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace kplex {
+
+StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parser.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      parser.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when a value follows; bare "--name" is boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.flags_[body] = argv[++i];
+    } else {
+      parser.flags_[body] = "true";
+    }
+  }
+  return parser;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name,
+                                     int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> FlagParser::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const auto& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace kplex

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the CLI tool: positional
+// commands plus "--name value" / "--name=value" options with typed
+// accessors. Unknown flags are detectable so the CLI can reject typos.
+
+#ifndef KPLEX_UTIL_FLAGS_H_
+#define KPLEX_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kplex {
+
+class FlagParser {
+ public:
+  /// Parses argv. Arguments before the first "--flag" are positional.
+  static StatusOr<FlagParser> Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  /// Integer flag with default; InvalidArgument on malformed values.
+  StatusOr<int64_t> GetInt(const std::string& name,
+                           int64_t default_value) const;
+
+  /// Double flag with default; InvalidArgument on malformed values.
+  StatusOr<double> GetDouble(const std::string& name,
+                             double default_value) const;
+
+  /// Flags present on the command line but not in `known`.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_FLAGS_H_

@@ -1,0 +1,40 @@
+// Tiny leveled logger to stderr. Benchmarks print their tables to stdout;
+// everything diagnostic goes through here so output stays parseable.
+
+#ifndef KPLEX_UTIL_LOGGING_H_
+#define KPLEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kplex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kplex
+
+#define KPLEX_LOG(level)                                               \
+  ::kplex::internal::LogMessage(::kplex::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+#endif  // KPLEX_UTIL_LOGGING_H_

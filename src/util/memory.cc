@@ -1,0 +1,42 @@
+#include "util/memory.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace kplex {
+namespace {
+
+int64_t ReadStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t value = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      long long v = 0;
+      if (std::sscanf(line + field_len, " %lld", &v) == 1) value = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+int64_t PeakRssKib() {
+  // Prefer VmHWM; not all kernels expose it, so fall back to getrusage
+  // (ru_maxrss is reported in KiB on Linux).
+  int64_t vm_hwm = ReadStatusField("VmHWM:");
+  if (vm_hwm > 0) return vm_hwm;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+  return 0;
+}
+
+int64_t CurrentRssKib() { return ReadStatusField("VmRSS:"); }
+
+}  // namespace kplex

@@ -1,0 +1,22 @@
+// Process memory probes (Linux /proc based). Table 7 of the paper reports
+// peak memory per algorithm; the bench harness forks a child per run and
+// reads the child's VmHWM through these helpers.
+
+#ifndef KPLEX_UTIL_MEMORY_H_
+#define KPLEX_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace kplex {
+
+/// Peak resident set size of this process in KiB (VmHWM), or 0 if
+/// unavailable.
+int64_t PeakRssKib();
+
+/// Current resident set size of this process in KiB (VmRSS), or 0 if
+/// unavailable.
+int64_t CurrentRssKib();
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_MEMORY_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation (SplitMix64 seeding +
+// xoshiro256**). All graph generators and property tests draw from this
+// so every dataset and every test sweep is reproducible bit-for-bit.
+
+#ifndef KPLEX_UTIL_RNG_H_
+#define KPLEX_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace kplex {
+
+/// SplitMix64 step; used to expand a single seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256** generator. Not cryptographic; fast and high quality.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_RNG_H_

@@ -1,0 +1,131 @@
+// Minimal Status / StatusOr error-handling vocabulary (Google/Arrow style).
+// The mining hot paths never allocate or throw; fallible boundary work
+// (file I/O, argument validation) reports through Status instead.
+
+#ifndef KPLEX_UTIL_STATUS_H_
+#define KPLEX_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace kplex {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kTimedOut = 7,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts (programming error), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit by design
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void DieStatusOrValue(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::CheckOk() const {
+  if (!status_.ok()) internal::DieStatusOrValue(status_);
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define KPLEX_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::kplex::Status _kplex_status = (expr);          \
+    if (!_kplex_status.ok()) return _kplex_status;   \
+  } while (false)
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_STATUS_H_

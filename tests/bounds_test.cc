@@ -1,0 +1,127 @@
+// Admissibility of every upper bound (Theorems 5.3, 5.5, 5.7): the bound
+// must never be smaller than the size of the largest k-plex actually
+// reachable from the bounded state. Verified by exhaustive search inside
+// seed subgraphs of random graphs.
+
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/seed_graph.h"
+#include "core/subtask.h"
+#include "graph/degeneracy.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+
+namespace kplex {
+namespace {
+
+// True iff `members` (local ids) induce a k-plex in the seed graph.
+bool IsLocalKPlex(const SeedGraph& sg, const DynamicBitset& members,
+                  uint32_t k) {
+  const std::size_t size = members.Count();
+  bool ok = true;
+  members.ForEach([&](std::size_t v) {
+    const std::size_t degree =
+        sg.adj.Row(static_cast<uint32_t>(v)).AndCount(members);
+    if (size - degree > k) ok = false;
+  });
+  return ok;
+}
+
+// Largest k-plex containing `base` using any subset of `candidates`
+// (exhaustive; |candidates| must stay small).
+uint32_t MaxReachableKPlex(const SeedGraph& sg, const DynamicBitset& base,
+                           const std::vector<uint32_t>& candidates,
+                           uint32_t k) {
+  uint32_t best = 0;
+  const std::size_t m = candidates.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    DynamicBitset members = base;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) members.Set(candidates[i]);
+    }
+    if (IsLocalKPlex(sg, members, k)) {
+      best = std::max(best, static_cast<uint32_t>(members.Count()));
+    }
+  }
+  return best;
+}
+
+struct BoundParam {
+  std::size_t n;
+  int edge_percent;
+  uint32_t k;
+  uint32_t q;
+  uint64_t seed;
+};
+
+class BoundAdmissibility : public ::testing::TestWithParam<BoundParam> {};
+
+TEST_P(BoundAdmissibility, SubtaskAndSupportBoundsNeverUnderestimate) {
+  const auto& p = GetParam();
+  Graph g = GenerateErdosRenyi(p.n, p.edge_percent / 100.0, p.seed);
+  EnumOptions options = EnumOptions::Ours(p.k, p.q);
+  options.use_subtask_bound_r1 = false;  // keep all sub-tasks for probing
+  CoreReduction core = ReduceToCore(g, p.q - p.k);
+  if (core.graph.NumVertices() == 0) GTEST_SKIP() << "empty core";
+  DegeneracyResult degeneracy = ComputeDegeneracy(core.graph);
+
+  BoundScratch scratch;
+  AlgoCounters counters;
+  uint64_t states_probed = 0;
+  for (VertexId seed = 0; seed < core.graph.NumVertices(); ++seed) {
+    auto sg = BuildSeedGraph(core.graph, core.to_original, degeneracy,
+                             degeneracy.order[seed], options, &counters);
+    if (!sg.has_value()) continue;
+    EnumerateSubtasks(*sg, options, counters, [&](TaskState&& task) {
+      std::vector<uint32_t> candidates = task.c.ToVector();
+      if (candidates.size() > 16) return;  // keep brute force tractable
+      ++states_probed;
+
+      // Theorem 5.7 sub-task bound.
+      const uint32_t true_max =
+          MaxReachableKPlex(*sg, task.p, candidates, p.k);
+      const uint32_t ub_subtask = UbSubtask(*sg, task, p.k, scratch);
+      EXPECT_GE(ub_subtask, true_max) << "Theorem 5.7 bound underestimates";
+
+      // Theorem 5.5 / FP-sorted bounds for every pivot choice in C.
+      for (uint32_t vp : candidates) {
+        // Only pivots that keep P ∪ {vp} a k-plex are ever bounded.
+        DynamicBitset with_pivot = task.p;
+        with_pivot.Set(vp);
+        if (!IsLocalKPlex(*sg, with_pivot, p.k)) continue;
+        std::vector<uint32_t> rest;
+        for (uint32_t c : candidates) {
+          if (c != vp) rest.push_back(c);
+        }
+        const uint32_t truth =
+            MaxReachableKPlex(*sg, with_pivot, rest, p.k);
+        const uint32_t ub55 = UbSupport(*sg, task, vp, p.k, scratch);
+        EXPECT_GE(ub55, truth) << "Theorem 5.5 bound underestimates";
+        const uint32_t ub_fp =
+            UbSupportSorted(*sg, task, vp, p.k, scratch);
+        EXPECT_GE(ub_fp, truth) << "FP-style bound underestimates";
+        const uint32_t ub53 = UbDegree(*sg, task, vp, p.k);
+        EXPECT_GE(ub53, truth) << "Theorem 5.3 bound underestimates";
+      }
+    });
+  }
+  EXPECT_GT(states_probed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, BoundAdmissibility,
+    ::testing::Values(BoundParam{12, 50, 2, 3, 71},
+                      BoundParam{12, 70, 2, 4, 72},
+                      BoundParam{13, 60, 3, 5, 73},
+                      BoundParam{14, 50, 2, 4, 74},
+                      BoundParam{14, 65, 3, 6, 75},
+                      BoundParam{12, 85, 4, 7, 76},
+                      BoundParam{13, 80, 4, 8, 77},
+                      BoundParam{15, 45, 2, 5, 78}));
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,115 @@
+// Unit tests for connected components, BFS distances and triangle
+// counting / clustering coefficients.
+
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+
+namespace kplex {
+namespace {
+
+TEST(Components, SingleComponent) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 1u);
+  EXPECT_EQ(result.LargestSize(), 4u);
+}
+
+TEST(Components, MultipleComponentsAndIsolated) {
+  Graph g = GraphBuilder::FromEdges(6, {{0, 1}, {2, 3}});
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 4u);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(result.LargestSize(), 2u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_NE(result.component[0], result.component[2]);
+}
+
+TEST(Components, EmptyGraph) {
+  Graph g;
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 0u);
+  EXPECT_EQ(result.LargestSize(), 0u);
+}
+
+TEST(Components, SizesSumToN) {
+  Graph g = GenerateErdosRenyi(200, 0.008, 5);
+  auto result = ConnectedComponents(g);
+  std::size_t total = 0;
+  for (std::size_t s : result.sizes) total += s;
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Triangles, TriangleAndSquare) {
+  Graph triangle = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(CountTriangles(triangle), 1u);
+  Graph square = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(CountTriangles(square), 0u);
+}
+
+TEST(Triangles, CompleteGraphCount) {
+  // K_n has C(n,3) triangles.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const std::size_t n = 8;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  Graph g = GraphBuilder::FromEdges(n, edges);
+  EXPECT_EQ(CountTriangles(g), 56u);  // C(8,3)
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(g), 1.0);
+}
+
+TEST(Triangles, PerVertexSumsToThreeTimesTotal) {
+  Graph g = GenerateErdosRenyi(60, 0.2, 9);
+  auto per_vertex = CountTrianglesPerVertex(g);
+  uint64_t sum = 0;
+  for (uint64_t t : per_vertex) sum += t;
+  EXPECT_EQ(sum, 3 * CountTriangles(g));
+}
+
+TEST(Triangles, MatchesNaiveCount) {
+  Graph g = GenerateErdosRenyi(40, 0.25, 10);
+  uint64_t naive = 0;
+  for (VertexId a = 0; a < g.NumVertices(); ++a) {
+    for (VertexId b = a + 1; b < g.NumVertices(); ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (VertexId c = b + 1; c < g.NumVertices(); ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++naive;
+      }
+    }
+  }
+  EXPECT_EQ(CountTriangles(g), naive);
+}
+
+TEST(Triangles, ClusteringInUnitInterval) {
+  Graph g = GenerateWattsStrogatz(200, 6, 0.1, 11);
+  double global = GlobalClusteringCoefficient(g);
+  double local = AverageLocalClustering(g);
+  EXPECT_GE(global, 0.0);
+  EXPECT_LE(global, 1.0);
+  EXPECT_GE(local, 0.0);
+  EXPECT_LE(local, 1.0);
+  // Watts-Strogatz at low beta retains high clustering.
+  EXPECT_GT(local, 0.3);
+}
+
+}  // namespace
+}  // namespace kplex

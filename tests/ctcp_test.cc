@@ -1,0 +1,135 @@
+// Soundness and strength of the CTCP preprocessing: ground-truth plexes
+// survive with all their vertices AND edges, the fixpoint is never
+// larger than the plain (q-k)-core, and mining results are identical
+// with and without it.
+
+#include "graph/ctcp.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "baselines/bk_naive.h"
+#include "core/enumerator.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+#include "parallel/parallel_enumerator.h"
+#include "tests/test_util.h"
+
+namespace kplex {
+namespace {
+
+using testing_util::RunEngine;
+
+TEST(Ctcp, GroundTruthPlexesSurviveWithAllEdges) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = GenerateErdosRenyi(14, 0.55, 700 + seed);
+    for (auto [k, q] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {2, 6}, {3, 8}}) {
+      auto truth = BruteForceMaximalKPlexes(g, k, q);
+      ASSERT_TRUE(truth.ok());
+      CtcpResult reduced = CtcpReduce(g, k, q);
+      std::unordered_map<VertexId, VertexId> to_new;
+      for (VertexId i = 0; i < reduced.to_original.size(); ++i) {
+        to_new[reduced.to_original[i]] = i;
+      }
+      for (const auto& plex : *truth) {
+        for (std::size_t a = 0; a < plex.size(); ++a) {
+          ASSERT_TRUE(to_new.count(plex[a]))
+              << "vertex " << plex[a] << " wrongly removed";
+          for (std::size_t b = a + 1; b < plex.size(); ++b) {
+            if (g.HasEdge(plex[a], plex[b])) {
+              EXPECT_TRUE(reduced.graph.HasEdge(to_new[plex[a]],
+                                                to_new[plex[b]]))
+                  << "edge (" << plex[a] << "," << plex[b]
+                  << ") wrongly removed";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Ctcp, NeverLargerThanPlainCore) {
+  // The kPlexS claim, at our scale: CTCP <= (q-k)-core in both vertices
+  // and edges.
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    Graph g = GenerateBarabasiAlbert(300, 8, seed);
+    const uint32_t k = 2, q = 8;
+    CoreReduction core = ReduceToCore(g, q - k);
+    CtcpResult ctcp = CtcpReduce(g, k, q);
+    EXPECT_LE(ctcp.graph.NumVertices(), core.graph.NumVertices());
+    EXPECT_LE(ctcp.graph.NumEdges(), core.graph.NumEdges());
+  }
+}
+
+TEST(Ctcp, EdgeRuleInactiveAtConnectivityBoundary) {
+  // q <= 2k makes the edge threshold non-positive: CTCP degenerates to
+  // the plain core.
+  Graph g = GenerateErdosRenyi(60, 0.2, 14);
+  const uint32_t k = 3, q = 6;  // q - 2k = 0
+  CoreReduction core = ReduceToCore(g, q - k);
+  CtcpResult ctcp = CtcpReduce(g, k, q);
+  EXPECT_EQ(ctcp.edges_pruned, 0u);
+  EXPECT_EQ(ctcp.graph.NumVertices(), core.graph.NumVertices());
+  EXPECT_EQ(ctcp.graph.NumEdges(), core.graph.NumEdges());
+}
+
+TEST(Ctcp, EdgeRuleFiresOnSparseBridges) {
+  // Two K8's joined by a single bridge edge: for k = 2, q = 8 the bridge
+  // endpoints share no common neighbor (threshold 4), so the bridge is
+  // pruned; the cliques survive whole.
+  GraphBuilder builder(16);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      builder.AddEdge(u, v);
+      builder.AddEdge(u + 8, v + 8);
+    }
+  }
+  builder.AddEdge(0, 8);
+  Graph g = builder.Build();
+  CtcpResult ctcp = CtcpReduce(g, 2, 8);
+  EXPECT_GE(ctcp.edges_pruned, 1u);
+  EXPECT_EQ(ctcp.graph.NumVertices(), 16u);
+  EXPECT_EQ(ctcp.graph.NumEdges(), 2u * 28);  // both cliques, no bridge
+}
+
+TEST(Ctcp, MiningResultsIdenticalWithPreprocessing) {
+  for (uint64_t seed : {15ull, 16ull}) {
+    Graph g = GenerateBarabasiAlbert(200, 9, seed);
+    for (auto [k, q] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {2, 8}, {3, 10}}) {
+      EnumOptions plain = EnumOptions::Ours(k, q);
+      EnumOptions with_ctcp = plain;
+      with_ctcp.use_ctcp_preprocess = true;
+      EXPECT_EQ(RunEngine(g, with_ctcp), RunEngine(g, plain))
+          << "seed=" << seed << " k=" << k << " q=" << q;
+    }
+  }
+}
+
+TEST(Ctcp, ParallelHonorsPreprocessing) {
+  Graph g = GenerateBarabasiAlbert(150, 8, 17);
+  EnumOptions options = EnumOptions::Ours(2, 9);
+  options.use_ctcp_preprocess = true;
+  auto sequential = RunEngine(g, options);
+  CollectingSink sink;
+  ParallelOptions parallel;
+  parallel.num_threads = 2;
+  auto result = ParallelEnumerateMaximalKPlexes(g, options, parallel, sink);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sink.SortedResults(), sequential);
+}
+
+TEST(Ctcp, EmptyAndTinyGraphs) {
+  Graph empty;
+  CtcpResult r1 = CtcpReduce(empty, 2, 8);
+  EXPECT_EQ(r1.graph.NumVertices(), 0u);
+  Graph tiny = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}});
+  CtcpResult r2 = CtcpReduce(tiny, 2, 8);
+  EXPECT_EQ(r2.graph.NumVertices(), 0u);  // core kills everything
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,120 @@
+// Unit tests for core decomposition, degeneracy ordering and k-core
+// reduction, including the Theorem 3.5 containment property.
+
+#include "graph/degeneracy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+
+namespace kplex {
+namespace {
+
+Graph Clique(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return GraphBuilder::FromEdges(n, edges);
+}
+
+TEST(Degeneracy, PathGraphIsOneDegenerate) {
+  Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto result = ComputeDegeneracy(g);
+  EXPECT_EQ(result.degeneracy, 1u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(result.coreness[v], 1u);
+}
+
+TEST(Degeneracy, CliqueDegeneracy) {
+  auto result = ComputeDegeneracy(Clique(6));
+  EXPECT_EQ(result.degeneracy, 5u);
+}
+
+TEST(Degeneracy, OrderAndRankAreInverse) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 77);
+  auto result = ComputeDegeneracy(g);
+  ASSERT_EQ(result.order.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(result.rank[result.order[i]], i);
+  }
+}
+
+TEST(Degeneracy, TieBreakByVertexId) {
+  // A 4-cycle: all degrees equal; vertices must peel in id order.
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto result = ComputeDegeneracy(g);
+  EXPECT_EQ(result.order, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(Degeneracy, LaterNeighborsBoundedByDegeneracy) {
+  // The defining property the seed-subgraph size bound relies on: every
+  // vertex has at most D neighbors later in the ordering.
+  Graph g = GenerateErdosRenyi(150, 0.08, 99);
+  auto result = ComputeDegeneracy(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t later = 0;
+    for (VertexId u : g.Neighbors(v)) {
+      if (result.rank[u] > result.rank[v]) ++later;
+    }
+    EXPECT_LE(later, result.degeneracy);
+  }
+}
+
+TEST(Degeneracy, CorenessMonotoneAlongOrder) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 5);
+  auto result = ComputeDegeneracy(g);
+  for (std::size_t i = 1; i < result.order.size(); ++i) {
+    EXPECT_LE(result.coreness[result.order[i - 1]],
+              result.coreness[result.order[i]]);
+  }
+}
+
+TEST(KCore, ReduceRemovesLowDegreeVertices) {
+  // Triangle + pendant: the 2-core is the triangle.
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto core = ReduceToCore(g, 2);
+  EXPECT_EQ(core.graph.NumVertices(), 3u);
+  EXPECT_EQ(core.graph.NumEdges(), 3u);
+  EXPECT_EQ(core.to_original, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(KCore, EmptyWhenThresholdTooHigh) {
+  Graph g = Clique(4);
+  auto core = ReduceToCore(g, 4);
+  EXPECT_EQ(core.graph.NumVertices(), 0u);
+}
+
+TEST(KCore, ZeroCoreIsIdentity) {
+  Graph g = GenerateErdosRenyi(30, 0.1, 3);
+  auto core = ReduceToCore(g, 0);
+  EXPECT_EQ(core.graph.NumVertices(), g.NumVertices());
+  EXPECT_EQ(core.graph.NumEdges(), g.NumEdges());
+}
+
+TEST(KCore, CoreMinimumDegreeHolds) {
+  Graph g = GenerateBarabasiAlbert(120, 3, 8);
+  for (uint32_t c : {2u, 3u, 4u}) {
+    auto core = ReduceToCore(g, c);
+    for (VertexId v = 0; v < core.graph.NumVertices(); ++v) {
+      EXPECT_GE(core.graph.Degree(v), c);
+    }
+  }
+}
+
+TEST(KCore, CorenessConsistentWithCores) {
+  Graph g = GenerateErdosRenyi(80, 0.1, 21);
+  auto degeneracy = ComputeDegeneracy(g);
+  for (uint32_t c = 1; c <= degeneracy.degeneracy; ++c) {
+    auto core = ReduceToCore(g, c);
+    std::size_t expected = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (degeneracy.coreness[v] >= c) ++expected;
+    }
+    EXPECT_EQ(core.graph.NumVertices(), expected) << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,98 @@
+// Unit tests for SNAP edge-list I/O, including the bundled karate graph.
+
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace kplex {
+namespace {
+
+std::string WriteTemp(const std::string& contents) {
+  static int counter = 0;
+  std::string path =
+      ::testing::TempDir() + "kplex_io_test_" + std::to_string(counter++);
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(EdgeListIo, ParsesCommentsAndWhitespace) {
+  std::string path = WriteTemp(
+      "# a SNAP-style header\n"
+      "% another comment style\n"
+      "\n"
+      "0\t1\n"
+      "1 2\n"
+      "  2   0  \n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, CompactsSparseIdsPreservingOrder) {
+  std::string path = WriteTemp("10 500\n500 9000\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);  // {10, 500, 9000} -> {0, 1, 2}
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_FALSE(g->HasEdge(0, 2));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, DropsSelfLoopsAndDuplicates) {
+  std::string path = WriteTemp("1 1\n1 2\n2 1\n1 2\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileIsIoError) {
+  auto g = LoadEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListIo, GarbageLineIsIoError) {
+  std::string path = WriteTemp("0 1\nhello world\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, SaveLoadRoundTrip) {
+  std::string path = WriteTemp("0 1\n1 2\n2 3\n0 3\n0 2\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  std::string path2 = path + "_resaved";
+  ASSERT_TRUE(SaveEdgeList(*g, path2).ok());
+  auto g2 = LoadEdgeList(path2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g->NumVertices(), g2->NumVertices());
+  EXPECT_EQ(g->NumEdges(), g2->NumEdges());
+  EXPECT_EQ(g->Edges(), g2->Edges());
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(EdgeListIo, BundledKarateClub) {
+  auto g = LoadEdgeList(std::string(KPLEX_DATA_DIR) + "/karate.txt");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 34u);
+  EXPECT_EQ(g->NumEdges(), 78u);
+  // The two hubs (instructor = published id 1, president = 34) map to
+  // compacted ids 0 and 33.
+  EXPECT_EQ(g->Degree(0), 16u);
+  EXPECT_EQ(g->Degree(33), 17u);
+}
+
+}  // namespace
+}  // namespace kplex

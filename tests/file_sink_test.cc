@@ -1,0 +1,130 @@
+// Unit tests for FileSink and the flag parser (the CLI's building
+// blocks).
+
+#include "core/file_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/flags.h"
+
+namespace kplex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "kplex_" + name;
+}
+
+TEST(FileSink, WritesOnePlexPerLine) {
+  std::string path = TempPath("file_sink_basic");
+  {
+    FileSink sink(path);
+    ASSERT_TRUE(sink.status().ok());
+    std::vector<VertexId> a = {3, 1, 4};
+    std::vector<VertexId> b = {10, 20};
+    sink.Emit(a);
+    sink.Emit(b);
+    EXPECT_EQ(sink.count(), 2u);
+    EXPECT_TRUE(sink.Finish().ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "3 1 4");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "10 20");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(FileSink, UnwritablePathReportsError) {
+  FileSink sink("/nonexistent-dir/out.txt");
+  EXPECT_FALSE(sink.status().ok());
+  std::vector<VertexId> p = {1};
+  sink.Emit(p);  // must not crash
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(FileSink, ConcurrentEmitsProduceWholeLines) {
+  std::string path = TempPath("file_sink_mt");
+  {
+    FileSink sink(path);
+    ASSERT_TRUE(sink.status().ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < 250; ++i) {
+          std::vector<VertexId> p = {static_cast<VertexId>(t),
+                                     static_cast<VertexId>(i)};
+          sink.Emit(p);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(sink.count(), 1000u);
+    EXPECT_TRUE(sink.Finish().ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Every line must be exactly "<t> <i>" — no interleaving.
+    std::istringstream ss(line);
+    unsigned a, b;
+    ASSERT_TRUE(static_cast<bool>(ss >> a >> b)) << line;
+    EXPECT_LT(a, 4u);
+    EXPECT_LT(b, 250u);
+  }
+  EXPECT_EQ(lines, 1000u);
+  std::remove(path.c_str());
+}
+
+TEST(FlagParser, PositionalAndFlags) {
+  const char* argv[] = {"prog", "mine", "--k", "3", "--q=12",
+                        "--output", "out.txt"};
+  auto parsed = FlagParser::Parse(7, argv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->positional(), (std::vector<std::string>{"mine"}));
+  EXPECT_EQ(parsed->GetInt("k", 0).value(), 3);
+  EXPECT_EQ(parsed->GetInt("q", 0).value(), 12);
+  EXPECT_EQ(parsed->GetString("output", ""), "out.txt");
+  EXPECT_EQ(parsed->GetInt("missing", 42).value(), 42);
+}
+
+TEST(FlagParser, BooleanFlagsAndDoubles) {
+  const char* argv[] = {"prog", "--verbose", "--tau-ms", "0.25"};
+  auto parsed = FlagParser::Parse(4, argv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Has("verbose"));
+  EXPECT_EQ(parsed->GetString("verbose", ""), "true");
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("tau-ms", 0).value(), 0.25);
+}
+
+TEST(FlagParser, MalformedNumbersAreErrors) {
+  const char* argv[] = {"prog", "--k", "three", "--tau-ms", "fast"};
+  auto parsed = FlagParser::Parse(5, argv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetInt("k", 0).ok());
+  EXPECT_FALSE(parsed->GetDouble("tau-ms", 0).ok());
+}
+
+TEST(FlagParser, UnknownFlagDetection) {
+  const char* argv[] = {"prog", "--k", "2", "--typo-flag", "x"};
+  auto parsed = FlagParser::Parse(5, argv);
+  ASSERT_TRUE(parsed.ok());
+  auto unknown = parsed->UnknownFlags({"k", "q"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo-flag");
+}
+
+TEST(FlagParser, BareDoubleDashRejected) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_FALSE(FlagParser::Parse(2, argv).ok());
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,127 @@
+// Unit tests for the synthetic graph generators (the dataset stand-ins).
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kplex_verify.h"
+#include "graph/degeneracy.h"
+
+namespace kplex {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  const std::size_t n = 400;
+  const double p = 0.05;
+  Graph g = GenerateErdosRenyi(n, p, 1);
+  const double expected = p * n * (n - 1) / 2;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected,
+              4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  Graph a = GenerateErdosRenyi(100, 0.1, 7);
+  Graph b = GenerateErdosRenyi(100, 0.1, 7);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(GenerateErdosRenyi(20, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(GenerateErdosRenyi(20, 1.0, 1).NumEdges(), 190u);
+}
+
+TEST(ErdosRenyiM, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyiM(50, 300, 9);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(ErdosRenyiM, ClampsToMaximum) {
+  Graph g = GenerateErdosRenyiM(5, 1000, 9);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(BarabasiAlbert, SizeAndAttachment) {
+  Graph g = GenerateBarabasiAlbert(500, 3, 11);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  // Every non-seed vertex attaches ~3 edges.
+  EXPECT_GT(g.NumEdges(), 3u * 450);
+  EXPECT_LT(g.NumEdges(), 3u * 500 + 50);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  Graph g = GenerateBarabasiAlbert(2000, 4, 13);
+  // Preferential attachment: the max degree should far exceed the mean.
+  const double mean = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 6 * mean);
+}
+
+TEST(WattsStrogatz, DegreeConcentration) {
+  Graph g = GenerateWattsStrogatz(300, 6, 0.1, 17);
+  EXPECT_EQ(g.NumVertices(), 300u);
+  // Rewiring preserves the edge count approximately.
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 300.0 * 3, 40);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  Graph g = GenerateWattsStrogatz(20, 4, 0.0, 3);
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_TRUE(g.HasEdge(v, (v + 1) % 20));
+    EXPECT_TRUE(g.HasEdge(v, (v + 2) % 20));
+  }
+}
+
+TEST(Rmat, SkewedDegrees) {
+  Graph g = GenerateRmat(10, 8000, 0.55, 0.2, 0.2, 23);
+  EXPECT_EQ(g.NumVertices(), 1024u);
+  const double mean = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 5 * mean);
+}
+
+TEST(PlantedCommunities, CommunitiesAreKPlexes) {
+  PlantedCommunityConfig config;
+  config.num_communities = 6;
+  config.community_size = 9;
+  config.missing_per_vertex = 2;  // communities are 3-plexes
+  config.background_vertices = 30;
+  config.noise_probability = 0.01;
+  auto planted = GeneratePlantedCommunities(config, 31);
+  ASSERT_EQ(planted.graph.NumVertices(), 6 * 9 + 30u);
+
+  for (uint32_t c = 0; c < config.num_communities; ++c) {
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < planted.graph.NumVertices(); ++v) {
+      if (planted.community[v] == c) members.push_back(v);
+    }
+    ASSERT_EQ(members.size(), config.community_size);
+    EXPECT_TRUE(IsKPlex(planted.graph, members,
+                        config.missing_per_vertex + 1))
+        << "community " << c;
+  }
+}
+
+TEST(PlantedCommunities, BackgroundMarkedCorrectly) {
+  PlantedCommunityConfig config;
+  config.num_communities = 2;
+  config.community_size = 5;
+  config.background_vertices = 7;
+  auto planted = GeneratePlantedCommunities(config, 5);
+  std::size_t background = 0;
+  for (uint32_t c : planted.community) {
+    if (c == PlantedCommunityGraph::kNoCommunity) ++background;
+  }
+  EXPECT_EQ(background, 7u);
+}
+
+TEST(AllGenerators, DegeneracyMuchSmallerThanN) {
+  // The structural property all seed-graph size bounds rely on.
+  Graph ba = GenerateBarabasiAlbert(1000, 5, 41);
+  EXPECT_LT(ComputeDegeneracy(ba).degeneracy, 20u);
+  Graph ws = GenerateWattsStrogatz(1000, 8, 0.1, 41);
+  EXPECT_LT(ComputeDegeneracy(ws).degeneracy, 16u);
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,70 @@
+// Unit tests for the CSR Graph and GraphBuilder.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace kplex {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  Graph g = GraphBuilder::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilder, IsolatedVertices) {
+  Graph g = GraphBuilder::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(GraphBuilder, DeduplicatesAndDropsSelfLoops) {
+  Graph g = GraphBuilder::FromEdges(
+      4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g = GraphBuilder::FromEdges(6, {{3, 5}, {3, 0}, {3, 4}, {3, 1}});
+  auto nbrs = g.Neighbors(3);
+  std::vector<VertexId> v(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(v, (std::vector<VertexId>{0, 1, 4, 5}));
+}
+
+TEST(Graph, DegreesAndMaxDegree) {
+  Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  Graph g = GraphBuilder::FromEdges(4, edges);
+  auto out = g.Edges();
+  EXPECT_EQ(out.size(), 4u);
+  for (const auto& [u, v] : out) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(0, 7));
+  EXPECT_FALSE(g.HasEdge(9, 1));
+}
+
+}  // namespace
+}  // namespace kplex

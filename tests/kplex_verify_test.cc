@@ -1,0 +1,131 @@
+// Unit tests for the definition-level k-plex predicates and the
+// theorem-level properties they encode (hereditariness, Theorem 3.3).
+
+#include "core/kplex_verify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace kplex {
+namespace {
+
+Graph Clique(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return GraphBuilder::FromEdges(n, edges);
+}
+
+TEST(IsKPlex, CliqueIsOnePlex) {
+  Graph g = Clique(5);
+  std::vector<VertexId> all = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsKPlex(g, all, 1));
+}
+
+TEST(IsKPlex, EmptyAndSingleton) {
+  Graph g = Clique(3);
+  EXPECT_TRUE(IsKPlex(g, {}, 1));
+  std::vector<VertexId> one = {0};
+  EXPECT_TRUE(IsKPlex(g, one, 1));
+}
+
+TEST(IsKPlex, StarIsNotATightPlex) {
+  // Star K1,3: center 0. Leaves are pairwise non-adjacent.
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_FALSE(IsKPlex(g, all, 2));  // leaf 1 misses 2, 3 and itself = 3 > 2
+  EXPECT_TRUE(IsKPlex(g, all, 3));
+}
+
+TEST(IsKPlex, TwoDisjointEdgesFormTwoPlexOfSizeTwoTimesKMinusOne) {
+  // Paper remark: a k-plex of size 2k-2 may be disconnected — two
+  // disjoint (k-1)-cliques. For k = 2: two disjoint single edges... each
+  // vertex misses the two far vertices plus itself = 3 > 2, so take the
+  // canonical example for k = 3: two disjoint K2's, |P| = 4 = 2k - 2.
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {2, 3}});
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_TRUE(IsKPlex(g, all, 3));
+  EXPECT_FALSE(IsConnectedInduced(g, all));
+}
+
+TEST(Hereditariness, AllSubsetsOfAPlexArePlexes) {
+  // Theorem 3.2 checked exhaustively on a random 2-plex.
+  Graph g = GenerateErdosRenyi(10, 0.6, 77);
+  // Find some maximal-ish 2-plex greedily.
+  std::vector<VertexId> plex;
+  for (VertexId v = 0; v < 10; ++v) {
+    plex.push_back(v);
+    if (!IsKPlex(g, plex, 2)) plex.pop_back();
+  }
+  ASSERT_GE(plex.size(), 3u);
+  const std::size_t n = plex.size();
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<VertexId> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(plex[i]);
+    }
+    EXPECT_TRUE(IsKPlex(g, subset, 2));
+  }
+}
+
+TEST(IsMaximalKPlex, DetectsExtendability) {
+  Graph g = Clique(5);
+  std::vector<VertexId> sub = {0, 1, 2, 3};
+  EXPECT_TRUE(IsKPlex(g, sub, 1));
+  EXPECT_FALSE(IsMaximalKPlex(g, sub, 1));
+  std::vector<VertexId> all = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsMaximalKPlex(g, all, 1));
+}
+
+TEST(Diameter, PathAndClique) {
+  Graph path = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_EQ(InducedDiameter(path, all), 3);
+  Graph clique = Clique(4);
+  EXPECT_EQ(InducedDiameter(clique, all), 1);
+  std::vector<VertexId> single = {2};
+  EXPECT_EQ(InducedDiameter(path, single), 0);
+}
+
+TEST(Diameter, DisconnectedIsMinusOne) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {2, 3}});
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_EQ(InducedDiameter(g, all), -1);
+  EXPECT_FALSE(IsConnectedInduced(g, all));
+}
+
+TEST(Theorem33, LargePlexesHaveDiameterAtMostTwo) {
+  // Any k-plex with |P| >= 2k - 1 has diameter <= 2. Randomized check:
+  // grow random k-plexes and verify.
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t k = 1 + trial % 4;
+    Graph g = GenerateErdosRenyi(16, 0.55, 1000 + trial);
+    std::vector<VertexId> plex;
+    std::vector<VertexId> order(16);
+    for (VertexId v = 0; v < 16; ++v) order[v] = v;
+    // Random insertion order.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (VertexId v : order) {
+      plex.push_back(v);
+      if (!IsKPlex(g, plex, k)) plex.pop_back();
+    }
+    if (plex.size() >= 2 * k - 1) {
+      std::sort(plex.begin(), plex.end());
+      int diameter = InducedDiameter(g, plex);
+      ASSERT_GE(diameter, 0);
+      EXPECT_LE(diameter, 2) << "k=" << k << " |P|=" << plex.size();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,80 @@
+// Unit tests for the dense LocalGraph and induced-subgraph extraction.
+
+#include "graph/local_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/subgraph.h"
+
+namespace kplex {
+namespace {
+
+TEST(LocalGraph, EdgesAndDegrees) {
+  LocalGraph lg(5);
+  lg.AddEdge(0, 1);
+  lg.AddEdge(0, 2);
+  lg.AddEdge(3, 4);
+  EXPECT_TRUE(lg.HasEdge(0, 1));
+  EXPECT_TRUE(lg.HasEdge(1, 0));
+  EXPECT_FALSE(lg.HasEdge(1, 2));
+  EXPECT_EQ(lg.Degree(0), 2u);
+  EXPECT_EQ(lg.Degree(4), 1u);
+}
+
+TEST(LocalGraph, DuplicateAddIsIdempotent) {
+  LocalGraph lg(3);
+  lg.AddEdge(0, 1);
+  lg.AddEdge(0, 1);
+  lg.AddEdge(1, 0);
+  EXPECT_EQ(lg.Degree(0), 1u);
+  EXPECT_EQ(lg.Degree(1), 1u);
+}
+
+TEST(LocalGraph, DegreeInMask) {
+  LocalGraph lg(6);
+  lg.AddEdge(0, 1);
+  lg.AddEdge(0, 2);
+  lg.AddEdge(0, 3);
+  DynamicBitset mask(6);
+  mask.Set(1);
+  mask.Set(3);
+  mask.Set(5);
+  EXPECT_EQ(lg.DegreeIn(0, mask), 2u);
+}
+
+TEST(LocalGraph, RemoveVertexUpdatesEverything) {
+  LocalGraph lg(4);
+  lg.AddEdge(0, 1);
+  lg.AddEdge(1, 2);
+  lg.AddEdge(1, 3);
+  lg.RemoveVertex(1);
+  EXPECT_FALSE(lg.IsAlive(1));
+  EXPECT_EQ(lg.Degree(0), 0u);
+  EXPECT_EQ(lg.Degree(2), 0u);
+  EXPECT_EQ(lg.Degree(3), 0u);
+  EXPECT_FALSE(lg.HasEdge(0, 1));
+  EXPECT_EQ(lg.AliveMask().Count(), 3u);
+  lg.RemoveVertex(1);  // idempotent
+  EXPECT_EQ(lg.AliveMask().Count(), 3u);
+}
+
+TEST(InducedSubgraph, ExtractsEdgesAndMapping) {
+  Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}});
+  InducedSubgraph sub = ExtractInduced(g, {1, 2, 4});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.to_original, (std::vector<VertexId>{1, 2, 4}));
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));   // 1-2
+  EXPECT_TRUE(sub.graph.HasEdge(0, 2));   // 1-4
+  EXPECT_FALSE(sub.graph.HasEdge(1, 2));  // 2-4 not an edge
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  InducedSubgraph sub = ExtractInduced(g, {});
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+}
+
+}  // namespace
+}  // namespace kplex

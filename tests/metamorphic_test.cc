@@ -1,0 +1,155 @@
+// Metamorphic properties of the enumerator: transformations of the
+// input with predictable effect on the output. These catch bug classes
+// that point comparisons miss (id-dependence, silent reliance on graph
+// layout), plus golden regression pins for the dataset registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common/dataset_registry.h"
+#include "core/enumerator.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace kplex {
+namespace {
+
+using testing_util::ResultSet;
+using testing_util::RunEngine;
+
+TEST(Metamorphic, IsolatedVerticesDoNotChangeResults) {
+  Graph g = GenerateErdosRenyi(30, 0.3, 601);
+  EnumOptions options = EnumOptions::Ours(2, 4);
+  ResultSet base = RunEngine(g, options);
+
+  // Same edges, five extra isolated vertices appended.
+  Graph padded = GraphBuilder::FromEdges(35, g.Edges());
+  EXPECT_EQ(RunEngine(padded, options), base);
+}
+
+TEST(Metamorphic, VertexRelabelingPermutesResults) {
+  Graph g = GenerateErdosRenyi(25, 0.35, 602);
+  EnumOptions options = EnumOptions::Ours(2, 4);
+  ResultSet base = RunEngine(g, options);
+
+  // Apply a random permutation pi to the vertex ids.
+  Rng rng(603);
+  std::vector<VertexId> pi(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) pi[v] = v;
+  for (std::size_t i = pi.size(); i > 1; --i) {
+    std::swap(pi[i - 1], pi[rng.NextBounded(i)]);
+  }
+  std::vector<std::pair<VertexId, VertexId>> relabeled;
+  for (const auto& [u, v] : g.Edges()) relabeled.push_back({pi[u], pi[v]});
+  Graph permuted = GraphBuilder::FromEdges(g.NumVertices(), relabeled);
+
+  ResultSet mapped;
+  for (const auto& plex : base) {
+    std::vector<VertexId> image;
+    for (VertexId v : plex) image.push_back(pi[v]);
+    std::sort(image.begin(), image.end());
+    mapped.push_back(std::move(image));
+  }
+  std::sort(mapped.begin(), mapped.end());
+  EXPECT_EQ(RunEngine(permuted, options), mapped);
+}
+
+TEST(Metamorphic, AddingAnEdgeNeverShrinksTheLargestPlex) {
+  Graph g = GenerateErdosRenyi(20, 0.3, 604);
+  EnumOptions options = EnumOptions::Ours(2, 3);
+  auto largest = [](const ResultSet& results) {
+    std::size_t best = 0;
+    for (const auto& plex : results) best = std::max(best, plex.size());
+    return best;
+  };
+  std::size_t before = largest(RunEngine(g, options));
+
+  // Add one absent edge.
+  auto edges = g.Edges();
+  bool added = false;
+  for (VertexId u = 0; u < g.NumVertices() && !added; ++u) {
+    for (VertexId v = u + 1; v < g.NumVertices() && !added; ++v) {
+      if (!g.HasEdge(u, v)) {
+        edges.push_back({u, v});
+        added = true;
+      }
+    }
+  }
+  ASSERT_TRUE(added);
+  Graph denser = GraphBuilder::FromEdges(g.NumVertices(), edges);
+  EXPECT_GE(largest(RunEngine(denser, options)), before);
+}
+
+TEST(Metamorphic, DuplicatingAGraphDoublesResults) {
+  // Two disjoint copies: every result appears once per copy.
+  Graph g = GenerateErdosRenyi(18, 0.4, 605);
+  EnumOptions options = EnumOptions::Ours(2, 4);
+  ResultSet base = RunEngine(g, options);
+
+  const VertexId offset = static_cast<VertexId>(g.NumVertices());
+  auto edges = g.Edges();
+  const std::size_t original_edges = edges.size();
+  for (std::size_t i = 0; i < original_edges; ++i) {
+    edges.push_back({edges[i].first + offset, edges[i].second + offset});
+  }
+  Graph doubled = GraphBuilder::FromEdges(2 * g.NumVertices(), edges);
+  ResultSet doubled_results = RunEngine(doubled, options);
+  EXPECT_EQ(doubled_results.size(), 2 * base.size());
+}
+
+// Golden pins: the registry must generate bit-identical graphs forever
+// (every bench number depends on it). If a generator changes, these
+// values must be consciously re-baselined.
+TEST(GoldenStats, RegistryGraphsAreFrozen) {
+  const std::map<std::string, std::tuple<std::size_t, std::size_t>>
+      expected = {
+          {"karate", {34, 78}},
+          {"jazz-syn", {198, 2667}},
+          {"wiki-vote-syn", {1200, 21429}},
+          {"soc-epinions-syn", {3000, 29945}},
+          {"soc-slashdot-syn", {4096, 46435}},
+          {"email-euall-syn", {4096, 23678}},
+          {"enwiki-syn", {6000, 119790}},
+          {"soc-pokec-syn", {8000, 95922}},
+      };
+  for (const auto& [name, nm] : expected) {
+    auto g = LoadDataset(name);
+    ASSERT_TRUE(g.ok()) << name;
+    EXPECT_EQ(g->NumVertices(), std::get<0>(nm)) << name;
+    EXPECT_EQ(g->NumEdges(), std::get<1>(nm)) << name;
+  }
+}
+
+TEST(GoldenStats, KnownMiningResultsAreFrozen) {
+  // Regression pins for a few headline bench cells (counts only; times
+  // vary). If these change, the engine's semantics changed.
+  struct Pin {
+    const char* dataset;
+    uint32_t k, q;
+    uint64_t count;
+  };
+  const Pin pins[] = {
+      {"jazz-syn", 2, 12, 398},
+      {"wiki-vote-syn", 4, 20, 381},
+      {"com-dblp-syn", 2, 7, 120},
+      {"karate", 2, 6, 1},
+  };
+  for (const auto& pin : pins) {
+    auto g = LoadDataset(pin.dataset);
+    ASSERT_TRUE(g.ok());
+    CountingSink sink;
+    auto result =
+        EnumerateMaximalKPlexes(*g, EnumOptions::Ours(pin.k, pin.q), sink);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->num_plexes, pin.count)
+        << pin.dataset << " k=" << pin.k << " q=" << pin.q;
+  }
+}
+
+}  // namespace
+}  // namespace kplex

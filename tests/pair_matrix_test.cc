@@ -1,0 +1,131 @@
+// Soundness of the vertex-pair pruning matrix T (Theorems 5.13-5.15):
+// a pair marked "cannot co-occur" must never appear together in any
+// ground-truth maximal k-plex with >= q vertices grown from that seed.
+// Also pins the threshold formulas to the appendix-proof values.
+
+#include "core/pair_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "baselines/bk_naive.h"
+#include "core/seed_graph.h"
+#include "graph/degeneracy.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+
+namespace kplex {
+namespace {
+
+TEST(PairThresholds, MatchAppendixFormulas) {
+  // k = 2, q = 12:
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N2(2, 12, true), 10);   // q-k-0
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N2(2, 12, false), 10);  // q-k-0
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N1(2, 12, true), 8);    // q-2k-0
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N1(2, 12, false), 9);   // q-(k+1)
+  EXPECT_EQ(PairPruneMatrix::ThresholdN1N1(2, 12, true), 6);    // q-3k
+  EXPECT_EQ(PairPruneMatrix::ThresholdN1N1(2, 12, false), 8);   // q-(k+2)
+  // k = 4, q = 20:
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N2(4, 20, true), 12);   // q-k-2*2
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N2(4, 20, false), 14);  // q-k-2*1
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N1(4, 20, true), 10);   // q-2k-2
+  EXPECT_EQ(PairPruneMatrix::ThresholdN2N1(4, 20, false), 12);  // 20-5-2-1
+  EXPECT_EQ(PairPruneMatrix::ThresholdN1N1(4, 20, true), 8);    // q-3k
+  EXPECT_EQ(PairPruneMatrix::ThresholdN1N1(4, 20, false), 10);  // q-6-4
+  // k = 1 (cliques) non-adjacent N1 pairs: q - 3 - 0.
+  EXPECT_EQ(PairPruneMatrix::ThresholdN1N1(1, 8, false), 5);
+}
+
+// Exhaustive soundness sweep. Thresholds target "large" plexes, so q is
+// pushed to small-graph-feasible values where the rules actually fire.
+struct SoundnessParam {
+  std::size_t n;
+  int edge_percent;
+  uint32_t k;
+  uint32_t q;
+  uint64_t seed;
+};
+
+class PairSoundness : public ::testing::TestWithParam<SoundnessParam> {};
+
+TEST_P(PairSoundness, NoGroundTruthPairIsPruned) {
+  const auto& p = GetParam();
+  Graph g = GenerateErdosRenyi(p.n, p.edge_percent / 100.0, p.seed);
+  auto truth = BruteForceMaximalKPlexes(g, p.k, p.q);
+  ASSERT_TRUE(truth.ok());
+
+  EnumOptions options = EnumOptions::Ours(p.k, p.q);
+  CoreReduction core = ReduceToCore(g, p.q - p.k);
+  std::unordered_map<VertexId, VertexId> to_reduced;
+  for (VertexId i = 0; i < core.to_original.size(); ++i) {
+    to_reduced[core.to_original[i]] = i;
+  }
+  DegeneracyResult degeneracy = ComputeDegeneracy(core.graph);
+
+  uint64_t pairs_checked = 0;
+  for (const auto& plex : *truth) {
+    VertexId seed_member = 0;
+    uint32_t min_rank = UINT32_MAX;
+    for (VertexId v : plex) {
+      ASSERT_TRUE(to_reduced.count(v));
+      uint32_t r = degeneracy.rank[to_reduced[v]];
+      if (r < min_rank) {
+        min_rank = r;
+        seed_member = to_reduced[v];
+      }
+    }
+    auto sg = BuildSeedGraph(core.graph, core.to_original, degeneracy,
+                             seed_member, options, nullptr);
+    ASSERT_TRUE(sg.has_value());
+    ASSERT_TRUE(sg->pairs.has_value());
+    std::unordered_map<VertexId, uint32_t> to_local;
+    for (uint32_t i = 0; i < sg->num_vi; ++i) {
+      to_local[sg->to_global[i]] = i;
+    }
+    for (std::size_t a = 0; a < plex.size(); ++a) {
+      for (std::size_t b = a + 1; b < plex.size(); ++b) {
+        ASSERT_TRUE(to_local.count(plex[a]) && to_local.count(plex[b]));
+        uint32_t la = to_local[plex[a]], lb = to_local[plex[b]];
+        if (la == SeedGraph::kSeed || lb == SeedGraph::kSeed) continue;
+        ++pairs_checked;
+        EXPECT_TRUE(sg->pairs->Row(la).Test(lb))
+            << "pair (" << plex[a] << "," << plex[b]
+            << ") of a ground-truth plex was pruned";
+        EXPECT_TRUE(sg->pairs->Row(lb).Test(la));
+      }
+    }
+  }
+  (void)pairs_checked;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, PairSoundness,
+    ::testing::Values(SoundnessParam{12, 70, 2, 6, 51},
+                      SoundnessParam{12, 80, 2, 7, 52},
+                      SoundnessParam{13, 75, 2, 8, 53},
+                      SoundnessParam{13, 80, 3, 8, 54},
+                      SoundnessParam{14, 70, 3, 7, 55},
+                      SoundnessParam{14, 85, 3, 9, 56},
+                      SoundnessParam{12, 90, 4, 8, 57},
+                      SoundnessParam{13, 85, 4, 9, 58},
+                      SoundnessParam{11, 95, 4, 9, 59},
+                      SoundnessParam{15, 60, 2, 6, 60}));
+
+TEST(PairMatrix, FringeBitsAlwaysAllowed) {
+  Graph g = GenerateErdosRenyi(30, 0.4, 9);
+  DegeneracyResult degeneracy = ComputeDegeneracy(g);
+  EnumOptions options = EnumOptions::Ours(2, 5);
+  for (VertexId seed = 0; seed < 10; ++seed) {
+    auto sg = BuildSeedGraph(g, {}, degeneracy, seed, options, nullptr);
+    if (!sg.has_value() || !sg->pairs.has_value()) continue;
+    for (uint32_t u = 0; u < sg->num_vi; ++u) {
+      for (uint32_t f = sg->num_vi; f < sg->universe; ++f) {
+        EXPECT_TRUE(sg->pairs->Row(u).Test(f));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kplex

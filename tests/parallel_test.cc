@@ -1,0 +1,136 @@
+// The parallel engine must produce exactly the sequential result set for
+// every thread count and every timeout, including timeouts small enough
+// to force heavy task decomposition.
+
+#include "parallel/parallel_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enumerator.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kplex {
+namespace {
+
+using testing_util::ResultSet;
+using testing_util::RunEngine;
+using testing_util::VerifyResultSet;
+
+ResultSet RunParallel(const Graph& g, const EnumOptions& options,
+                      uint32_t threads, double timeout_ms) {
+  CollectingSink sink;
+  ParallelOptions parallel;
+  parallel.num_threads = threads;
+  parallel.timeout_ms = timeout_ms;
+  auto result = ParallelEnumerateMaximalKPlexes(g, options, parallel, sink);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return sink.SortedResults();
+}
+
+struct ParallelParam {
+  uint32_t threads;
+  double timeout_ms;
+};
+
+class ParallelSweep : public ::testing::TestWithParam<ParallelParam> {};
+
+TEST_P(ParallelSweep, MatchesSequentialOnSocialGraph) {
+  const auto& p = GetParam();
+  Graph g = GenerateBarabasiAlbert(300, 8, 555);
+  EnumOptions options = EnumOptions::Ours(2, 6);
+  ResultSet sequential = RunEngine(g, options);
+  ResultSet parallel = RunParallel(g, options, p.threads, p.timeout_ms);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST_P(ParallelSweep, MatchesSequentialOnDenseGraph) {
+  const auto& p = GetParam();
+  Graph g = GenerateErdosRenyi(90, 0.3, 556);
+  EnumOptions options = EnumOptions::Ours(3, 7);
+  ResultSet sequential = RunEngine(g, options);
+  ResultSet parallel = RunParallel(g, options, p.threads, p.timeout_ms);
+  EXPECT_EQ(parallel, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndTimeouts, ParallelSweep,
+    ::testing::Values(ParallelParam{1, 0.0},    // single thread, no timeout
+                      ParallelParam{2, 0.0},
+                      ParallelParam{4, 0.0},
+                      ParallelParam{2, 0.1},    // the paper's default tau
+                      ParallelParam{4, 0.1},
+                      ParallelParam{4, 0.001},  // shred into micro-tasks
+                      ParallelParam{3, 10.0}),
+    [](const ::testing::TestParamInfo<ParallelParam>& info) {
+      return "t" + std::to_string(info.param.threads) + "tau" +
+             std::to_string(static_cast<int>(info.param.timeout_ms * 1000));
+    });
+
+TEST(Parallel, TinyTimeoutActuallyDecomposes) {
+  Graph g = GenerateErdosRenyi(80, 0.35, 777);
+  EnumOptions options = EnumOptions::Ours(3, 6);
+  CollectingSink sink;
+  ParallelOptions parallel;
+  parallel.num_threads = 2;
+  parallel.timeout_ms = 0.001;  // 1 microsecond: everything times out
+  auto result = ParallelEnumerateMaximalKPlexes(g, options, parallel, sink);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->counters.timeout_spawns, 0u)
+      << "expected straggler decomposition to fire";
+  EXPECT_EQ(sink.SortedResults(), RunEngine(g, options));
+}
+
+TEST(Parallel, NoTimeoutNeverSpawns) {
+  Graph g = GenerateErdosRenyi(60, 0.3, 778);
+  EnumOptions options = EnumOptions::Ours(2, 5);
+  CollectingSink sink;
+  ParallelOptions parallel;
+  parallel.num_threads = 4;
+  parallel.timeout_ms = 0.0;
+  auto result = ParallelEnumerateMaximalKPlexes(g, options, parallel, sink);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counters.timeout_spawns, 0u);
+}
+
+TEST(Parallel, MoreThreadsThanSeeds) {
+  Graph g = GenerateErdosRenyi(12, 0.6, 779);
+  EnumOptions options = EnumOptions::Ours(2, 4);
+  ResultSet sequential = RunEngine(g, options);
+  EXPECT_EQ(RunParallel(g, options, 16, 0.1), sequential);
+}
+
+TEST(Parallel, EmptyGraph) {
+  Graph g;
+  EnumOptions options = EnumOptions::Ours(2, 4);
+  CollectingSink sink;
+  ParallelOptions parallel;
+  parallel.num_threads = 4;
+  auto result = ParallelEnumerateMaximalKPlexes(g, options, parallel, sink);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_plexes, 0u);
+}
+
+TEST(Parallel, RejectsInvalidOptions) {
+  Graph g = GenerateErdosRenyi(10, 0.3, 1);
+  CollectingSink sink;
+  ParallelOptions parallel;
+  auto result = ParallelEnumerateMaximalKPlexes(
+      g, EnumOptions::Ours(3, 2), parallel, sink);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parallel, WorksForAllVariants) {
+  Graph g = GenerateBarabasiAlbert(150, 6, 888);
+  for (auto options :
+       {EnumOptions::Ours(2, 5), EnumOptions::OursP(2, 5),
+        EnumOptions::Basic(2, 5), EnumOptions::OursNoUb(2, 5)}) {
+    ResultSet sequential = RunEngine(g, options);
+    ResultSet parallel = RunParallel(g, options, 3, 0.05);
+    EXPECT_EQ(parallel, sequential);
+    VerifyResultSet(g, parallel, options.k, options.q);
+  }
+}
+
+}  // namespace
+}  // namespace kplex

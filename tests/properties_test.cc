@@ -1,0 +1,164 @@
+// Theorem-level properties from Sections 3 and 5 of the paper, validated
+// directly: the second-order property (Theorem 5.1), core containment
+// (Theorem 3.5), the branching-constant gamma_k (Lemma 5.10), and the
+// output guarantees of Definition 3.4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bk_naive.h"
+#include "core/enumerator.h"
+#include "core/kplex_verify.h"
+#include "graph/degeneracy.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/kcore.h"
+#include "tests/test_util.h"
+
+namespace kplex {
+namespace {
+
+using testing_util::RunEngine;
+
+// Theorem 5.1: for u, v in a k-plex P with |P| >= q:
+//   (u,v) not an edge  =>  |N_P(u) ∩ N_P(v)| >= q - 2k + 2
+//   (u,v) an edge      =>  |N_P(u) ∩ N_P(v)| >= q - 2k
+TEST(Theorem51, SecondOrderPropertyHoldsOnAllGroundTruthPlexes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = GenerateErdosRenyi(13, 0.75, seed * 131);
+    for (auto [k, q] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {2, 6}, {3, 8}, {4, 9}}) {
+      auto truth = BruteForceMaximalKPlexes(g, k, q);
+      ASSERT_TRUE(truth.ok());
+      for (const auto& plex : *truth) {
+        for (std::size_t a = 0; a < plex.size(); ++a) {
+          for (std::size_t b = a + 1; b < plex.size(); ++b) {
+            int64_t common = 0;
+            for (VertexId w : plex) {
+              if (w != plex[a] && w != plex[b] &&
+                  g.HasEdge(w, plex[a]) && g.HasEdge(w, plex[b])) {
+                ++common;
+              }
+            }
+            const int64_t bound =
+                g.HasEdge(plex[a], plex[b])
+                    ? static_cast<int64_t>(q) - 2 * k
+                    : static_cast<int64_t>(q) - 2 * k + 2;
+            EXPECT_GE(common, bound)
+                << "k=" << k << " q=" << q << " pair (" << plex[a] << ","
+                << plex[b] << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Theorem 3.5: all k-plexes with >= q vertices live in the (q-k)-core.
+TEST(Theorem35, GroundTruthPlexesSurviveCoreReduction) {
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    Graph g = GenerateErdosRenyi(14, 0.5, seed);
+    const uint32_t k = 2, q = 5;
+    auto truth = BruteForceMaximalKPlexes(g, k, q);
+    ASSERT_TRUE(truth.ok());
+    CoreReduction core = ReduceToCore(g, q - k);
+    std::vector<char> in_core(g.NumVertices(), 0);
+    for (VertexId v : core.to_original) in_core[v] = 1;
+    for (const auto& plex : *truth) {
+      for (VertexId v : plex) {
+        EXPECT_TRUE(in_core[v]) << "vertex " << v << " wrongly peeled";
+      }
+    }
+  }
+}
+
+// Lemma 5.10: gamma_k is the largest real root of x^{k+2} - 2x^{k+1} + 1.
+// The paper quotes gamma_1 = 1.618, gamma_2 = 1.839, gamma_3 = 1.928.
+double GammaK(uint32_t k) {
+  // Bisection on (1, 2): f(1) = 0 is a trivial root; the largest root
+  // lies strictly between phi-ish values and 2 where f(2) = 1 > 0 and
+  // f just below 2 is negative.
+  auto f = [&](double x) {
+    return std::pow(x, k + 2) - 2 * std::pow(x, k + 1) + 1;
+  };
+  double lo = 1.2, hi = 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = (lo + hi) / 2;
+    if (f(mid) < 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+TEST(Lemma510, GammaConstantsMatchThePaper) {
+  EXPECT_NEAR(GammaK(1), 1.618, 0.001);
+  EXPECT_NEAR(GammaK(2), 1.839, 0.001);
+  EXPECT_NEAR(GammaK(3), 1.928, 0.001);
+  // gamma_k < 2 and increases toward 2.
+  for (uint32_t k = 1; k <= 8; ++k) {
+    EXPECT_LT(GammaK(k), 2.0);
+    if (k > 1) {
+      EXPECT_GT(GammaK(k), GammaK(k - 1));
+    }
+  }
+}
+
+// Definition 3.4 output guarantees, checked on a real-world graph: every
+// result is maximal, has >= q vertices, is connected with diameter <= 2.
+TEST(Definition34, OutputGuaranteesOnKarateClub) {
+  auto g = LoadEdgeList(std::string(KPLEX_DATA_DIR) + "/karate.txt");
+  ASSERT_TRUE(g.ok());
+  for (auto [k, q] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {2, 5}, {3, 6}, {4, 8}}) {
+    auto results = RunEngine(*g, EnumOptions::Ours(k, q));
+    EXPECT_FALSE(results.empty()) << "k=" << k;
+    for (const auto& plex : results) {
+      EXPECT_GE(plex.size(), q);
+      EXPECT_TRUE(IsMaximalKPlex(*g, plex, k));
+      int diameter = InducedDiameter(*g, plex);
+      EXPECT_GE(diameter, 0);  // connected
+      EXPECT_LE(diameter, 2);  // Theorem 3.3
+    }
+  }
+}
+
+// Monotonicity in q: raising q can only shrink the result set, and
+// every size->q' survivor of the q run appears in the q' run.
+TEST(Definition34, ResultsMonotoneInQ) {
+  Graph g = GenerateBarabasiAlbert(100, 8, 303);
+  const uint32_t k = 2;
+  auto at_q5 = RunEngine(g, EnumOptions::Ours(k, 5));
+  auto at_q7 = RunEngine(g, EnumOptions::Ours(k, 7));
+  EXPECT_LE(at_q7.size(), at_q5.size());
+  testing_util::ResultSet expected;
+  for (const auto& plex : at_q5) {
+    if (plex.size() >= 7) expected.push_back(plex);
+  }
+  EXPECT_EQ(at_q7, expected);
+}
+
+// Monotonicity in k: every maximal k-plex is contained in some maximal
+// (k+1)-plex (hereditariness lifts containment to maximality).
+TEST(Definition34, EveryKPlexContainedInSomeKPlusOnePlex) {
+  Graph g = GenerateErdosRenyi(40, 0.3, 304);
+  auto k2 = RunEngine(g, EnumOptions::Ours(2, 4));
+  auto k3 = RunEngine(g, EnumOptions::Ours(3, 5));
+  for (const auto& small : k2) {
+    if (small.size() < 5) continue;  // below the k=3 size threshold
+    bool contained = false;
+    for (const auto& big : k3) {
+      if (std::includes(big.begin(), big.end(), small.begin(), small.end())) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained);
+  }
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,106 @@
+// Unit tests for result sinks, including thread-safety and the
+// order-independence of the hashing fingerprint.
+
+#include "core/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kplex {
+namespace {
+
+TEST(CountingSink, CountsAndTracksMax) {
+  CountingSink sink;
+  std::vector<VertexId> a = {1, 2, 3};
+  std::vector<VertexId> b = {4, 5, 6, 7};
+  sink.Emit(a);
+  sink.Emit(b);
+  sink.Emit(a);
+  EXPECT_EQ(sink.count(), 3u);
+  EXPECT_EQ(sink.max_size(), 4u);
+}
+
+TEST(CollectingSink, SortedResults) {
+  CollectingSink sink;
+  std::vector<VertexId> b = {2, 9};
+  std::vector<VertexId> a = {1, 5};
+  sink.Emit(b);
+  sink.Emit(a);
+  auto sorted = sink.SortedResults();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0], a);
+  EXPECT_EQ(sorted[1], b);
+}
+
+TEST(HashingSink, OrderIndependentFingerprint) {
+  std::vector<std::vector<VertexId>> plexes = {
+      {1, 2, 3}, {4, 5}, {6, 7, 8, 9}, {10}};
+  HashingSink forward, backward;
+  for (const auto& p : plexes) forward.Emit(p);
+  for (auto it = plexes.rbegin(); it != plexes.rend(); ++it) {
+    backward.Emit(*it);
+  }
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+  EXPECT_EQ(forward.count(), 4u);
+}
+
+TEST(HashingSink, DifferentSetsDiffer) {
+  HashingSink a, b;
+  std::vector<VertexId> p1 = {1, 2, 3};
+  std::vector<VertexId> p2 = {1, 2, 4};
+  a.Emit(p1);
+  b.Emit(p2);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(HashingSink, CountIsPartOfFingerprint) {
+  // Emitting the same plex twice XORs its hash away; the count term must
+  // still distinguish the multiset.
+  HashingSink once, thrice;
+  std::vector<VertexId> p = {1, 2, 3};
+  once.Emit(p);
+  thrice.Emit(p);
+  thrice.Emit(p);
+  thrice.Emit(p);
+  EXPECT_NE(once.fingerprint(), thrice.fingerprint());
+}
+
+TEST(CallbackSink, ForwardsSpans) {
+  std::vector<std::vector<VertexId>> seen;
+  CallbackSink sink([&](std::span<const VertexId> plex) {
+    seen.emplace_back(plex.begin(), plex.end());
+  });
+  std::vector<VertexId> p = {3, 1, 4};
+  sink.Emit(p);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], p);
+}
+
+TEST(Sinks, ConcurrentEmitsAreSafe) {
+  CountingSink counting;
+  HashingSink hashing;
+  CollectingSink collecting;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::vector<VertexId> p = {static_cast<VertexId>(t),
+                                   static_cast<VertexId>(i)};
+        counting.Emit(p);
+        hashing.Emit(p);
+        collecting.Emit(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counting.count(), kThreads * kPerThread);
+  EXPECT_EQ(hashing.count(), kThreads * kPerThread);
+  EXPECT_EQ(collecting.size(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace kplex

@@ -1,0 +1,102 @@
+// Unit tests for the work-stealing task queue: LIFO owner side, FIFO
+// thief side, and thread-safety under concurrent push/pop/steal.
+
+#include "parallel/task_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "graph/generators.h"
+#include "graph/degeneracy.h"
+
+namespace kplex {
+namespace {
+
+// A SeedGraph is required to size TaskStates; build a tiny shared one.
+std::shared_ptr<const SeedGraph> TinySeedGraph() {
+  static std::shared_ptr<const SeedGraph> cached = [] {
+    Graph g = GenerateErdosRenyi(20, 0.5, 1);
+    DegeneracyResult degeneracy = ComputeDegeneracy(g);
+    EnumOptions options = EnumOptions::Ours(2, 3);
+    for (VertexId seed = 0; seed < g.NumVertices(); ++seed) {
+      auto sg = BuildSeedGraph(g, {}, degeneracy, seed, options, nullptr);
+      if (sg.has_value()) {
+        return std::make_shared<const SeedGraph>(std::move(*sg));
+      }
+    }
+    return std::shared_ptr<const SeedGraph>();
+  }();
+  return cached;
+}
+
+ParallelTask MakeTask(uint32_t tag) {
+  auto sg = TinySeedGraph();
+  ParallelTask task;
+  task.seed_graph = sg;
+  task.state = TaskState::MakeEmpty(*sg);
+  task.state.p_size = tag;  // use p_size as an identity tag
+  return task;
+}
+
+TEST(TaskQueue, EmptyByDefault) {
+  TaskQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+  ParallelTask out;
+  EXPECT_FALSE(queue.TryPop(out));
+  EXPECT_FALSE(queue.TrySteal(out));
+}
+
+TEST(TaskQueue, OwnerPopsLifoThiefStealsFifo) {
+  TaskQueue queue;
+  queue.Push(MakeTask(1));
+  queue.Push(MakeTask(2));
+  queue.Push(MakeTask(3));
+  EXPECT_EQ(queue.Size(), 3u);
+
+  ParallelTask out;
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out.state.p_size, 3u);  // most recent first (locality)
+  ASSERT_TRUE(queue.TrySteal(out));
+  EXPECT_EQ(out.state.p_size, 1u);  // oldest stolen first
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out.state.p_size, 2u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(TaskQueue, ConcurrentPushPopStealLosesNothing) {
+  TaskQueue queue;
+  constexpr uint32_t kTasks = 2000;
+  std::atomic<uint32_t> consumed{0};
+  std::atomic<bool> done_producing{false};
+
+  std::thread producer([&] {
+    for (uint32_t i = 0; i < kTasks; ++i) queue.Push(MakeTask(i));
+    done_producing.store(true);
+  });
+  auto consumer = [&](bool steal) {
+    ParallelTask out;
+    while (true) {
+      bool got = steal ? queue.TrySteal(out) : queue.TryPop(out);
+      if (got) {
+        consumed.fetch_add(1);
+      } else if (done_producing.load() && queue.Empty()) {
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+  std::thread popper(consumer, false);
+  std::thread thief(consumer, true);
+  producer.join();
+  popper.join();
+  thief.join();
+  EXPECT_EQ(consumed.load(), kTasks);
+  EXPECT_TRUE(queue.Empty());
+}
+
+}  // namespace
+}  // namespace kplex

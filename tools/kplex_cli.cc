@@ -1,0 +1,253 @@
+// kplex_cli — the command-line front end of the library.
+//
+//   kplex_cli mine --input G.txt --k 2 --q 12 [--algo ours|ours_p|basic|
+//             listplex|fp] [--threads N] [--tau-ms 0.1] [--output F]
+//             [--max-results N] [--time-limit S]
+//   kplex_cli max --input G.txt --k 2
+//   kplex_cli report --input G.txt
+//   kplex_cli datasets
+//
+// --dataset NAME may replace --input to mine a registry dataset.
+// Graphs are SNAP-format edge lists ('#' comments, "u v" per line).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fp.h"
+#include "baselines/listplex.h"
+#include "bench_common/dataset_registry.h"
+#include "bench_common/table_printer.h"
+#include "core/enumerator.h"
+#include "core/file_sink.h"
+#include "core/max_kplex.h"
+#include "core/sink.h"
+#include "graph/connectivity.h"
+#include "graph/edge_list_io.h"
+#include "graph/stats.h"
+#include "graph/triangles.h"
+#include "parallel/parallel_enumerator.h"
+#include "util/flags.h"
+
+namespace kplex {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  kplex_cli mine --input G.txt --k K --q Q [options]\n"
+               "  kplex_cli max --input G.txt --k K\n"
+               "  kplex_cli report --input G.txt\n"
+               "  kplex_cli datasets\n"
+               "options for mine:\n"
+               "  --dataset NAME    use a registry dataset instead of --input\n"
+               "  --algo NAME       ours (default), ours_p, basic, listplex, fp\n"
+               "  --threads N       parallel mining with N workers\n"
+               "  --tau-ms T        straggler timeout (default 0.1; parallel only)\n"
+               "  --output FILE     write k-plexes (one line each) to FILE\n"
+               "  --max-results N   stop after N results\n"
+               "  --time-limit S    soft wall-clock budget in seconds\n");
+  return 2;
+}
+
+StatusOr<Graph> LoadInput(const FlagParser& flags) {
+  std::string dataset = flags.GetString("dataset", "");
+  if (!dataset.empty()) return LoadDataset(dataset);
+  std::string input = flags.GetString("input", "");
+  if (input.empty()) {
+    return Status::InvalidArgument("one of --input or --dataset is required");
+  }
+  return LoadEdgeList(input);
+}
+
+int RunMine(const FlagParser& flags) {
+  auto graph = LoadInput(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto k = flags.GetInt("k", 2);
+  auto q = flags.GetInt("q", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto tau = flags.GetDouble("tau-ms", 0.1);
+  auto max_results = flags.GetInt("max-results", 0);
+  auto time_limit = flags.GetDouble("time-limit", 0);
+  for (const Status& s :
+       {k.status(), q.status(), threads.status(), tau.status(),
+        max_results.status(), time_limit.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (*q == 0) {
+    std::fprintf(stderr, "--q is required (must be >= 2k - 1)\n");
+    return 1;
+  }
+
+  const std::string algo = flags.GetString("algo", "ours");
+  EnumOptions options;
+  bool use_fp_driver = false;
+  if (algo == "ours") {
+    options = EnumOptions::Ours(*k, *q);
+  } else if (algo == "ours_p") {
+    options = EnumOptions::OursP(*k, *q);
+  } else if (algo == "basic") {
+    options = EnumOptions::Basic(*k, *q);
+  } else if (algo == "listplex") {
+    options = ListPlexOptions(*k, *q);
+  } else if (algo == "fp") {
+    options = EnumOptions::Ours(*k, *q);  // validated below; driver differs
+    use_fp_driver = true;
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return 1;
+  }
+  options.max_results = static_cast<uint64_t>(*max_results);
+  options.time_limit_seconds = *time_limit;
+
+  const std::string output = flags.GetString("output", "");
+  CountingSink counting;
+  std::unique_ptr<FileSink> file_sink;
+  ResultSink* sink = &counting;
+  if (!output.empty()) {
+    file_sink = std::make_unique<FileSink>(output);
+    if (!file_sink->status().ok()) {
+      std::fprintf(stderr, "%s\n", file_sink->status().ToString().c_str());
+      return 1;
+    }
+    sink = file_sink.get();
+  }
+
+  StatusOr<EnumResult> result = Status::Internal("unreachable");
+  if (use_fp_driver) {
+    result = FpEnumerate(*graph, static_cast<uint32_t>(*k),
+                         static_cast<uint32_t>(*q), *sink);
+  } else if (*threads > 0) {
+    ParallelOptions parallel;
+    parallel.num_threads = static_cast<uint32_t>(*threads);
+    parallel.timeout_ms = *tau;
+    result = ParallelEnumerateMaximalKPlexes(*graph, options, parallel, *sink);
+  } else {
+    result = EnumerateMaximalKPlexes(*graph, options, *sink);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (file_sink != nullptr) {
+    Status io = file_sink->Finish();
+    if (!io.ok()) {
+      std::fprintf(stderr, "%s\n", io.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%llu maximal %lld-plexes with >= %lld vertices in %.3fs%s%s\n",
+              static_cast<unsigned long long>(result->num_plexes),
+              static_cast<long long>(*k), static_cast<long long>(*q),
+              result->seconds, result->timed_out ? " (time limit hit)" : "",
+              result->stopped_early ? " (result cap hit)" : "");
+  std::printf("branch calls: %llu, sub-tasks: %llu (R1-pruned: %llu), "
+              "ub-prunes: %llu\n",
+              static_cast<unsigned long long>(result->counters.branch_calls),
+              static_cast<unsigned long long>(result->counters.subtasks),
+              static_cast<unsigned long long>(
+                  result->counters.subtasks_pruned_r1),
+              static_cast<unsigned long long>(result->counters.ub_prunes));
+  if (!output.empty()) std::printf("results written to %s\n", output.c_str());
+  return 0;
+}
+
+int RunMax(const FlagParser& flags) {
+  auto graph = LoadInput(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto k = flags.GetInt("k", 2);
+  if (!k.ok()) {
+    std::fprintf(stderr, "%s\n", k.status().ToString().c_str());
+    return 1;
+  }
+  auto result = FindMaximumKPlex(*graph, static_cast<uint32_t>(*k));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->found) {
+    std::printf("no %lld-plex with >= %lld vertices exists\n",
+                static_cast<long long>(*k), static_cast<long long>(2 * *k - 1));
+    return 0;
+  }
+  std::printf("maximum %lld-plex has %zu vertices (%u passes, %.3fs):\n",
+              static_cast<long long>(*k), result->plex.size(), result->passes,
+              result->seconds);
+  for (std::size_t i = 0; i < result->plex.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : " ", result->plex[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunReport(const FlagParser& flags) {
+  auto graph = LoadInput(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats stats = ComputeGraphStats(*graph);
+  ComponentResult components = ConnectedComponents(*graph);
+  std::printf("vertices:            %zu\n", stats.num_vertices);
+  std::printf("edges:               %zu\n", stats.num_edges);
+  std::printf("max degree:          %zu\n", stats.max_degree);
+  std::printf("average degree:      %.2f\n", stats.average_degree);
+  std::printf("degeneracy:          %u\n", stats.degeneracy);
+  std::printf("components:          %zu (largest: %zu)\n",
+              components.NumComponents(), components.LargestSize());
+  std::printf("triangles:           %llu\n",
+              static_cast<unsigned long long>(CountTriangles(*graph)));
+  std::printf("global clustering:   %.4f\n",
+              GlobalClusteringCoefficient(*graph));
+  std::printf("avg local clustering: %.4f\n",
+              AverageLocalClustering(*graph));
+  return 0;
+}
+
+int RunDatasets() {
+  TablePrinter table({"name", "stands for", "category", "recipe"});
+  for (const auto& spec : AllDatasets()) {
+    table.AddRow({spec.name, spec.stands_for, spec.category, spec.recipe});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const FlagParser& flags = *parsed;
+  auto unknown = flags.UnknownFlags(
+      {"input", "dataset", "k", "q", "algo", "threads", "tau-ms", "output",
+       "max-results", "time-limit"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unknown.front().c_str());
+    return Usage();
+  }
+  if (flags.positional().size() != 1) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "mine") return RunMine(flags);
+  if (command == "max") return RunMax(flags);
+  if (command == "report") return RunReport(flags);
+  if (command == "datasets") return RunDatasets();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kplex
+
+int main(int argc, char** argv) { return kplex::Main(argc, argv); }
