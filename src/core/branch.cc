@@ -14,9 +14,15 @@ void BranchEngine::Run(TaskState& state) { Branch(state); }
 
 bool BranchEngine::CheckGlobalDeadline() {
   if (aborted_) return true;
-  if (global_deadline_nanos_ > 0 && (counters_.branch_calls & 0xfff) == 0 &&
-      WallTimer::NowNanos() > global_deadline_nanos_) {
-    aborted_ = true;
+  if ((counters_.branch_calls & 0xfff) == 0) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      cancelled_ = true;
+    } else if (global_deadline_nanos_ > 0 &&
+               WallTimer::NowNanos() > global_deadline_nanos_) {
+      aborted_ = true;
+    }
   }
   return aborted_;
 }

@@ -51,6 +51,10 @@ class BranchEngine {
 
   bool aborted() const { return aborted_; }
 
+  /// True when the abort was triggered by options.cancel (as opposed to
+  /// the global deadline).
+  bool cancelled() const { return cancelled_; }
+
   /// True when the engine stopped because options.max_results was hit.
   bool stopped_early() const { return stopped_early_; }
 
@@ -101,6 +105,7 @@ class BranchEngine {
   SpawnFn spawn_;
   int64_t global_deadline_nanos_ = 0;
   bool aborted_ = false;
+  bool cancelled_ = false;
   bool stopped_early_ = false;
 };
 

@@ -58,18 +58,38 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
                 static_cast<int64_t>(options.time_limit_seconds * 1e9)
           : 0;
 
-  for (uint32_t idx = 0; idx < core.graph.NumVertices(); ++idx) {
+  const uint64_t total_seeds = core.graph.NumVertices();
+  for (uint32_t idx = 0; idx < total_seeds; ++idx) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
     const VertexId seed = degeneracy.order[idx];
     auto sg = BuildSeedGraph(core.graph, core.to_original, degeneracy, seed,
                              options, &result.counters);
-    if (!sg.has_value()) continue;
+    if (!sg.has_value()) {
+      // Pruned seeds still count as processed: `done` must reach
+      // `total` on a completed run.
+      if (options.progress) {
+        options.progress(idx + 1, total_seeds, result.counters.outputs);
+      }
+      continue;
+    }
 
     BranchEngine engine(*sg, options, sink, result.counters);
     if (global_deadline > 0) engine.SetGlobalDeadline(global_deadline);
     EnumerateSubtasks(*sg, options, result.counters,
                       [&](TaskState&& task) { engine.Run(task); });
+    if (options.progress) {
+      options.progress(idx + 1, total_seeds, result.counters.outputs);
+    }
     if (engine.stopped_early()) {
       result.stopped_early = true;
+      break;
+    }
+    if (engine.cancelled()) {
+      result.cancelled = true;
       break;
     }
     if (engine.aborted()) {

@@ -25,6 +25,8 @@ struct EnumResult {
   bool timed_out = false;
   /// True when the run stopped cleanly after options.max_results hits.
   bool stopped_early = false;
+  /// True when the run was aborted through options.cancel.
+  bool cancelled = false;
   AlgoCounters counters;
 };
 

@@ -6,7 +6,9 @@
 #ifndef KPLEX_CORE_OPTIONS_H_
 #define KPLEX_CORE_OPTIONS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 
 namespace kplex {
 
@@ -78,6 +80,22 @@ struct EnumOptions {
   /// timeout) once this many maximal k-plexes have been emitted. Used
   /// for top-N queries and by the maximum-k-plex solver.
   uint64_t max_results = 0;
+
+  /// Cooperative cancellation hook: when non-null, the engines poll the
+  /// flag every few thousand branch calls and unwind promptly once it is
+  /// set; the run then reports EnumResult::cancelled (and, unlike a
+  /// timeout, is never mistaken for a time-limit stop). The same flag
+  /// may be shared by many concurrent runs.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Progress hook: invoked as progress(done, total, outputs) after each
+  /// processed seed vertex (sequential engine) or each completed stage
+  /// (parallel engine, from a single thread at the stage barrier), where
+  /// `done`/`total` count seed vertices of the reduced graph and
+  /// `outputs` is the number of maximal k-plexes emitted so far. Must be
+  /// cheap; a null hook costs nothing.
+  std::function<void(uint64_t done, uint64_t total, uint64_t outputs)>
+      progress;
 
   /// Seed-vertex processing order. Only kDegeneracy carries the paper's
   /// complexity guarantees; the result *set* is identical under any

@@ -3,37 +3,77 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "graph/builder.h"
+#include "util/logging.h"
 
 namespace kplex {
+namespace {
+
+// Parses a non-negative decimal integer at *p, advancing it. Returns
+// false when *p does not start with a digit (covers '-': ids are
+// unsigned, and silently wrapping a negative id would corrupt the
+// graph) or when the value overflows uint64 (wrapping would likewise
+// fabricate a bogus small id).
+bool ParseId(const char*& p, uint64_t& out) {
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  uint64_t value = 0;
+  while (std::isdigit(static_cast<unsigned char>(*p))) {
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+    ++p;
+  }
+  out = value;
+  return true;
+}
+
+// True when the rest of the line is whitespace (spaces, tabs, CR, LF).
+bool OnlyWhitespaceRemains(const char* p) {
+  while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n') ++p;
+  return *p == '\0';
+}
+
+}  // namespace
 
 StatusOr<Graph> LoadEdgeList(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
 
   std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
-  char line[1 << 12];
+  uint64_t self_loops = 0;
+  std::string line;
   std::size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  while (std::getline(f, line)) {
     ++line_no;
-    const char* p = line;
+    const char* p = line.c_str();
     while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\r' || *p == '\0') {
-      continue;  // comment or blank line
+    if (*p == '#' || *p == '%' || *p == '\r' || *p == '\0') {
+      continue;  // comment or blank line (getline stripped the '\n')
     }
-    unsigned long long u = 0, v = 0;
-    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
-      std::fclose(f);
+    uint64_t u = 0, v = 0;
+    bool ok = ParseId(p, u);
+    if (ok) {
+      if (*p != ' ' && *p != '\t') ok = false;
+      while (*p == ' ' || *p == '\t') ++p;
+    }
+    ok = ok && ParseId(p, v) && OnlyWhitespaceRemains(p);
+    if (!ok) {
       return Status::IoError("parse error in '" + path + "' at line " +
                              std::to_string(line_no));
     }
+    // Self-loops are dropped by GraphBuilder, but the ids still enter
+    // the vertex set (a loop-only vertex stays an isolated vertex).
+    if (u == v) ++self_loops;
     raw_edges.emplace_back(u, v);
   }
-  std::fclose(f);
+  if (f.bad()) {
+    return Status::IoError("read error in '" + path + "'");
+  }
 
   // Compact ids preserving numeric order.
   std::vector<uint64_t> ids;
@@ -52,7 +92,18 @@ StatusOr<Graph> LoadEdgeList(const std::string& path) {
 
   GraphBuilder builder(ids.size());
   for (const auto& [u, v] : raw_edges) builder.AddEdge(compact(u), compact(v));
-  return builder.Build();
+  Graph graph = builder.Build();
+
+  // Every non-loop raw edge contributes one undirected edge unless it
+  // repeated an earlier one (in either orientation).
+  const uint64_t duplicates =
+      raw_edges.size() - self_loops - graph.NumEdges();
+  if (self_loops > 0 || duplicates > 0) {
+    KPLEX_LOG(Warning) << "'" << path << "': dropped " << self_loops
+                       << " self-loop(s), merged " << duplicates
+                       << " duplicate edge(s)";
+  }
+  return graph;
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {

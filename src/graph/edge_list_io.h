@@ -13,8 +13,12 @@
 
 namespace kplex {
 
-/// Loads a SNAP-format edge list. Self-loops dropped, duplicates merged,
-/// the graph treated as undirected.
+/// Loads a SNAP-format edge list. Tolerates CRLF line endings, tab or
+/// space separators, and arbitrary leading whitespace; self-loops are
+/// dropped and duplicate edges merged (a warning is logged when either
+/// occurs), the graph treated as undirected. Lines that are not two
+/// non-negative integers (e.g. trailing junk, negative ids) are
+/// rejected with an IoError naming the line.
 StatusOr<Graph> LoadEdgeList(const std::string& path);
 
 /// Writes the graph as "u v" lines (u < v) with a header comment.

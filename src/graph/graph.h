@@ -43,8 +43,22 @@ class Graph {
   /// All edges as (u, v) pairs with u < v, in CSR order.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 
+  /// Raw CSR offset array (length NumVertices() + 1, offsets[0] == 0).
+  /// Exposed for snapshot serialization and memory accounting.
+  std::span<const uint64_t> RawOffsets() const { return offsets_; }
+
+  /// Raw concatenated adjacency array (length 2 * NumEdges()).
+  std::span<const VertexId> RawAdjacency() const { return adjacency_; }
+
+  /// Heap bytes held by the CSR arrays (catalog memory accounting).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           adjacency_.capacity() * sizeof(VertexId);
+  }
+
  private:
   friend class GraphBuilder;
+  friend class SnapshotAccess;
 
   Graph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency);
 

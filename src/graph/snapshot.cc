@@ -1,0 +1,252 @@
+#include "graph/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list_io.h"
+
+namespace kplex {
+
+/// Befriended by Graph: constructs instances straight from validated CSR
+/// arrays, bypassing the GraphBuilder normalization pass.
+class SnapshotAccess {
+ public:
+  static Graph Make(std::vector<uint64_t> offsets,
+                    std::vector<VertexId> adjacency) {
+    return Graph(std::move(offsets), std::move(adjacency));
+  }
+};
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'P', 'X', 'S', 'N', 'A', 'P', '\0'};
+constexpr uint32_t kByteOrderTag = 0x01020304u;
+constexpr std::size_t kSectionAlign = 64;
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t byte_order;
+  uint64_t num_vertices;
+  uint64_t num_adjacency;   // directed entries, = 2 * NumEdges()
+  uint64_t offsets_bytes;   // (num_vertices + 1) * sizeof(uint64_t)
+  uint64_t adjacency_bytes; // num_adjacency * sizeof(VertexId)
+  uint64_t checksum;        // FNV-1a over both blobs, offsets first
+  uint8_t pad[8];
+};
+static_assert(sizeof(SnapshotHeader) == kSectionAlign,
+              "header must fill exactly one aligned section");
+
+std::size_t AlignUp(std::size_t offset) {
+  return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+uint64_t Fnv1a(uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t ContentChecksum(const uint64_t* offsets, std::size_t offsets_bytes,
+                         const VertexId* adjacency,
+                         std::size_t adjacency_bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  hash = Fnv1a(hash, offsets, offsets_bytes);
+  hash = Fnv1a(hash, adjacency, adjacency_bytes);
+  return hash;
+}
+
+Status WritePadding(std::FILE* f, std::size_t bytes) {
+  static constexpr char zeros[kSectionAlign] = {};
+  if (bytes == 0) return Status::Ok();
+  if (std::fwrite(zeros, 1, bytes, f) != bytes) {
+    return Status::IoError("short write of snapshot padding");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+
+  const auto offsets = graph.RawOffsets();
+  const auto adjacency = graph.RawAdjacency();
+  // An empty (default-constructed) graph has no offset array; serialize
+  // it as n = 0 with the canonical single-entry offsets [0].
+  static constexpr uint64_t kEmptyOffsets[1] = {0};
+  const uint64_t* offsets_data = offsets.empty() ? kEmptyOffsets
+                                                 : offsets.data();
+  const std::size_t offsets_count = offsets.empty() ? 1 : offsets.size();
+
+  SnapshotHeader header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kSnapshotVersion;
+  header.byte_order = kByteOrderTag;
+  header.num_vertices = offsets_count - 1;
+  header.num_adjacency = adjacency.size();
+  header.offsets_bytes = offsets_count * sizeof(uint64_t);
+  header.adjacency_bytes = adjacency.size() * sizeof(VertexId);
+  header.checksum = ContentChecksum(offsets_data, header.offsets_bytes,
+                                    adjacency.data(),
+                                    header.adjacency_bytes);
+
+  Status status = Status::Ok();
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    status = Status::IoError("short write of snapshot header");
+  }
+  if (status.ok() &&
+      std::fwrite(offsets_data, 1, header.offsets_bytes, f) !=
+          header.offsets_bytes) {
+    status = Status::IoError("short write of snapshot offsets");
+  }
+  if (status.ok()) {
+    const std::size_t end = sizeof(header) + header.offsets_bytes;
+    status = WritePadding(f, AlignUp(end) - end);
+  }
+  if (status.ok() && header.adjacency_bytes > 0 &&
+      std::fwrite(adjacency.data(), 1, header.adjacency_bytes, f) !=
+          header.adjacency_bytes) {
+    status = Status::IoError("short write of snapshot adjacency");
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("close failed for '" + path + "'");
+  }
+  return status;
+}
+
+StatusOr<Graph> LoadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  SnapshotHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is too short for a snapshot header");
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a kplex snapshot");
+  }
+  if (header.byte_order != kByteOrderTag) {
+    return Status::InvalidArgument(
+        "'" + path + "' was written on a machine with different byte order");
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(header.version) +
+        " in '" + path + "' (expected " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  if (header.num_vertices > static_cast<uint64_t>(VertexId(-1)) ||
+      header.num_adjacency > UINT64_MAX / sizeof(VertexId) ||
+      header.offsets_bytes != (header.num_vertices + 1) * sizeof(uint64_t) ||
+      header.adjacency_bytes != header.num_adjacency * sizeof(VertexId) ||
+      header.num_adjacency % 2 != 0) {
+    return Status::InvalidArgument("inconsistent snapshot header in '" +
+                                   path + "'");
+  }
+
+  // Bound the declared sections by the actual file size *before*
+  // allocating anything: a crafted header claiming 2^60 entries must
+  // come back as InvalidArgument, not abort the process in bad_alloc.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  const long file_size = std::ftell(f);
+  const std::size_t adjacency_pos =
+      AlignUp(sizeof(header) + header.offsets_bytes);
+  if (file_size < 0 ||
+      adjacency_pos + header.adjacency_bytes >
+          static_cast<uint64_t>(file_size)) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is shorter than its header declares");
+  }
+
+  if (std::fseek(f, sizeof(header), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  std::vector<uint64_t> offsets(header.num_vertices + 1);
+  if (std::fread(offsets.data(), 1, header.offsets_bytes, f) !=
+      header.offsets_bytes) {
+    return Status::InvalidArgument("truncated snapshot offsets in '" + path +
+                                   "'");
+  }
+  if (std::fseek(f, static_cast<long>(adjacency_pos), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  std::vector<VertexId> adjacency(header.num_adjacency);
+  if (header.adjacency_bytes > 0 &&
+      std::fread(adjacency.data(), 1, header.adjacency_bytes, f) !=
+          header.adjacency_bytes) {
+    return Status::InvalidArgument("truncated snapshot adjacency in '" +
+                                   path + "'");
+  }
+
+  if (ContentChecksum(offsets.data(), header.offsets_bytes, adjacency.data(),
+                      header.adjacency_bytes) != header.checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch in '" + path +
+                                   "' (corrupted content)");
+  }
+
+  // Structural CSR validation: monotone offsets bracketing the adjacency
+  // array, and per-row neighbor lists that are strictly ascending, in
+  // range, and self-loop free — the invariants Graph::HasEdge's binary
+  // search and the enumerators rely on. (A checksum match already
+  // implies an uncorrupted SaveSnapshot product; this rejects
+  // handcrafted files. Row symmetry is the one invariant not checked —
+  // it would cost a search per edge.)
+  if (offsets.front() != 0 || offsets.back() != header.num_adjacency) {
+    return Status::InvalidArgument("snapshot offsets do not bracket the "
+                                   "adjacency array in '" + path + "'");
+  }
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("non-monotone snapshot offsets in '" +
+                                     path + "'");
+    }
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (adjacency[i] >= header.num_vertices ||
+          adjacency[i] == static_cast<VertexId>(v) ||
+          (i > offsets[v] && adjacency[i - 1] >= adjacency[i])) {
+        return Status::InvalidArgument(
+            "invalid adjacency row (unsorted, duplicate, self-loop, or "
+            "out-of-range id) in '" + path + "'");
+      }
+    }
+  }
+
+  if (header.num_vertices == 0) return Graph();
+  return SnapshotAccess::Make(std::move(offsets), std::move(adjacency));
+}
+
+bool LooksLikeSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kMagic)];
+  const bool match =
+      std::fread(magic, sizeof(magic), 1, f) == 1 &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  std::fclose(f);
+  return match;
+}
+
+StatusOr<Graph> LoadGraphAuto(const std::string& path) {
+  if (LooksLikeSnapshot(path)) return LoadSnapshot(path);
+  return LoadEdgeList(path);
+}
+
+}  // namespace kplex

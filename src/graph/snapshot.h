@@ -1,0 +1,52 @@
+// Binary CSR snapshot format. A snapshot is a byte-exact serialization
+// of a Graph's CSR arrays behind a small versioned header, so loading is
+// two straight reads into pre-sized buffers instead of an edge-list
+// re-parse (no tokenizing, no id compaction, no sort). The layout is
+// mmap-friendly: a fixed 64-byte header, then the offset array, then the
+// adjacency array, each section padded to a 64-byte boundary, all values
+// little-endian.
+//
+//   offset 0    SnapshotHeader (64 bytes)
+//   offset 64   uint64_t offsets[n + 1]
+//   aligned 64  uint32_t adjacency[2m]
+//
+// Load validates magic, version, byte order, section sizes, CSR
+// monotonicity, vertex-id range, and an FNV-1a content checksum, so a
+// truncated or bit-flipped snapshot is rejected instead of producing a
+// malformed graph.
+
+#ifndef KPLEX_GRAPH_SNAPSHOT_H_
+#define KPLEX_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Current snapshot format version (bumped on layout changes).
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Suggested file extension for snapshots.
+inline constexpr const char kSnapshotExtension[] = ".kpx";
+
+/// Writes `graph` to `path` in snapshot format (overwrites).
+Status SaveSnapshot(const Graph& graph, const std::string& path);
+
+/// Reads a snapshot written by SaveSnapshot. Returns InvalidArgument for
+/// malformed or corrupted content and IoError for filesystem failures.
+StatusOr<Graph> LoadSnapshot(const std::string& path);
+
+/// True iff the file at `path` starts with the snapshot magic. Cheap
+/// sniff used to auto-detect snapshot vs edge-list inputs.
+bool LooksLikeSnapshot(const std::string& path);
+
+/// Loads `path` as a snapshot when it carries the snapshot magic and as
+/// a SNAP edge list otherwise.
+StatusOr<Graph> LoadGraphAuto(const std::string& path);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_SNAPSHOT_H_

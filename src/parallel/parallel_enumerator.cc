@@ -1,5 +1,6 @@
 #include "parallel/parallel_enumerator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <memory>
@@ -62,13 +63,56 @@ class ParallelRunner {
     return merged;
   }
 
+  /// True when any worker skipped or aborted work due to options.cancel.
+  bool observed_cancel() const {
+    return observed_cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// True when any engine hit options.max_results. Workers then stop
+  /// picking up work, but tasks already executing still finish, so the
+  /// global output count may overshoot max_results (callers see
+  /// stopped_early and can truncate).
+  bool stopped_early() const {
+    return stopped_early_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct StageReset {
     ParallelRunner* runner;
     void operator()() noexcept {
+      runner->OnStageComplete();
       runner->populate_done_.store(0, std::memory_order_release);
     }
   };
+
+  // Runs on the barrier-completion thread while every worker is blocked
+  // at the barrier, so reading the per-thread counters is race-free.
+  void OnStageComplete() noexcept {
+    ++stages_done_;
+    if (!options_.progress) return;
+    // After a cancel the remaining stages skip their seeds; reporting
+    // them as done would show a cancelled run reaching 100%.
+    if (observed_cancel_.load(std::memory_order_relaxed)) return;
+    uint64_t outputs = 0;
+    for (const auto& c : counters_) outputs += c.value.outputs;
+    const uint64_t n = graph_.NumVertices();
+    const uint64_t done = std::min<uint64_t>(
+        static_cast<uint64_t>(stages_done_) * num_threads_ *
+            seeds_per_stage_, n);
+    options_.progress(done, n, outputs);
+  }
+
+  // Checks the shared flag and records an observation: only a run that
+  // actually skipped or aborted work reports cancelled (a flag flipped
+  // after the last task finished must not taint a complete result).
+  bool Cancelled() {
+    if (options_.cancel == nullptr ||
+        !options_.cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    observed_cancel_.store(true, std::memory_order_relaxed);
+    return true;
+  }
 
   static uint32_t ResolveBatch(uint32_t requested, std::size_t n,
                                uint32_t threads) {
@@ -90,7 +134,11 @@ class ParallelRunner {
       for (uint32_t b = 0; b < seeds_per_stage_; ++b) {
         const uint32_t seed_index =
             stage * per_stage + b * num_threads_ + tid;
-        if (seed_index < n) PopulateSeed(tid, seed_index);
+        if (seed_index >= n) break;
+        // Only consult the cancel flag when there is a seed to skip —
+        // an observation with no work left would taint a complete run.
+        if (Cancelled() || stopped_early()) break;
+        PopulateSeed(tid, seed_index);
       }
       // Draining starts as soon as this worker finishes its own builds —
       // other workers' fresh tasks become stealable while stragglers are
@@ -122,7 +170,10 @@ class ParallelRunner {
       // termination check below.
       active_.fetch_add(1, std::memory_order_acq_rel);
       if (PopOrSteal(tid, task)) {
-        Execute(tid, std::move(task));
+        // On cancellation or a hit result cap, pending tasks are popped
+        // and dropped so the queues empty out and the termination
+        // condition fires quickly.
+        if (!Cancelled() && !stopped_early()) Execute(tid, std::move(task));
         active_.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
@@ -158,6 +209,12 @@ class ParallelRunner {
       });
     }
     engine.Run(task.state);
+    if (engine.cancelled()) {
+      observed_cancel_.store(true, std::memory_order_relaxed);
+    }
+    if (engine.stopped_early()) {
+      stopped_early_.store(true, std::memory_order_relaxed);
+    }
   }
 
   bool AllEmpty() const {
@@ -180,6 +237,9 @@ class ParallelRunner {
   std::vector<PaddedCounters> counters_;
   std::atomic<uint32_t> active_{0};
   std::atomic<uint32_t> populate_done_{0};
+  std::atomic<bool> observed_cancel_{false};
+  std::atomic<bool> stopped_early_{false};
+  uint32_t stages_done_ = 0;  // touched only at barrier completion
   std::barrier<StageReset> barrier_;
 };
 
@@ -213,6 +273,8 @@ StatusOr<EnumResult> ParallelEnumerateMaximalKPlexes(
                         std::move(degeneracy), options, parallel_options,
                         sink);
   result.counters = runner.Run();
+  result.cancelled = runner.observed_cancel();
+  result.stopped_early = runner.stopped_early();
   result.num_plexes = result.counters.outputs;
   result.seconds = timer.ElapsedSeconds();
   return result;

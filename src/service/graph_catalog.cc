@@ -1,0 +1,217 @@
+#include "service/graph_catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bench_common/dataset_registry.h"
+#include "graph/snapshot.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kplex {
+
+Status GraphCatalog::RegisterFile(const std::string& name,
+                                  const std::string& path) {
+  Entry entry;
+  entry.kind = SourceKind::kFile;
+  entry.locator = path;
+  return RegisterLocked(name, std::move(entry));
+}
+
+Status GraphCatalog::RegisterDataset(const std::string& name,
+                                     const std::string& dataset_key) {
+  Entry entry;
+  entry.kind = SourceKind::kDataset;
+  entry.locator = dataset_key;
+  return RegisterLocked(name, std::move(entry));
+}
+
+Status GraphCatalog::RegisterGraph(const std::string& name, Graph graph) {
+  Entry entry;
+  entry.kind = SourceKind::kPinned;
+  entry.num_vertices = graph.NumVertices();
+  entry.num_edges = graph.NumEdges();
+  entry.memory_bytes = graph.MemoryBytes();
+  entry.loads = 1;
+  entry.graph = std::make_shared<const Graph>(std::move(graph));
+  return RegisterLocked(name, std::move(entry));
+}
+
+Status GraphCatalog::RegisterLocked(const std::string& name, Entry entry) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' is already registered");
+  }
+  entry.sequence = next_sequence_++;
+  const bool resident = entry.graph != nullptr;
+  const std::size_t bytes = entry.memory_bytes;
+  entries_.emplace(name, std::move(entry));
+  if (resident) {
+    resident_bytes_ += bytes;
+    lru_.Touch(name);
+    EvictOverBudget(name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Materialize(
+    const std::string& name, Entry& entry) {
+  WallTimer timer;
+  StatusOr<Graph> loaded = Status::Internal("unreachable");
+  switch (entry.kind) {
+    case SourceKind::kFile:
+      loaded = LoadGraphAuto(entry.locator);
+      break;
+    case SourceKind::kDataset:
+      loaded = LoadDataset(entry.locator);
+      break;
+    case SourceKind::kPinned:
+      return Status::Internal("pinned entry '" + name + "' lost its graph");
+  }
+  if (!loaded.ok()) return loaded.status();
+  entry.num_vertices = loaded->NumVertices();
+  entry.num_edges = loaded->NumEdges();
+  entry.memory_bytes = loaded->MemoryBytes();
+  entry.graph = std::make_shared<const Graph>(*std::move(loaded));
+  ++entry.loads;
+  entry.last_load_seconds = timer.ElapsedSeconds();
+  resident_bytes_ += entry.memory_bytes;
+  return entry.graph;
+}
+
+StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Get(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "' is registered");
+  }
+  Entry& entry = it->second;
+  std::shared_ptr<const Graph> graph = entry.graph;
+  if (graph == nullptr) {
+    auto loaded = Materialize(name, entry);
+    if (!loaded.ok()) return loaded.status();
+    graph = *loaded;
+  }
+  lru_.Touch(name);
+  EvictOverBudget(name);
+  return graph;
+}
+
+void GraphCatalog::EvictOverBudget(const std::string& keep) {
+  if (memory_budget_bytes_ == 0) return;
+  // Walk from the LRU end, skipping the entry being served (evicting it
+  // would defeat the Get) and pinned entries (nothing to reload from).
+  while (resident_bytes_ > memory_budget_bytes_) {
+    const std::string* victim = nullptr;
+    for (auto it = lru_.order().rbegin(); it != lru_.order().rend(); ++it) {
+      if (*it == keep) continue;
+      const Entry& entry = entries_.at(*it);
+      if (entry.kind == SourceKind::kPinned) continue;
+      victim = &*it;
+      break;
+    }
+    if (victim == nullptr) return;  // nothing evictable remains
+    Entry& entry = entries_.at(*victim);
+    KPLEX_LOG(Debug) << "catalog: evicting '" << *victim << "' ("
+                     << entry.memory_bytes << " bytes) to meet budget";
+    resident_bytes_ -= entry.memory_bytes;
+    entry.memory_bytes = 0;
+    entry.graph.reset();
+    lru_.Erase(*victim);
+  }
+}
+
+Status GraphCatalog::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "' is registered");
+  }
+  Entry& entry = it->second;
+  if (entry.kind == SourceKind::kPinned) {
+    return Status::FailedPrecondition(
+        "graph '" + name + "' is pinned (no source to reload from)");
+  }
+  if (entry.graph != nullptr) {
+    resident_bytes_ -= entry.memory_bytes;
+    entry.memory_bytes = 0;
+    entry.graph.reset();
+    lru_.Erase(name);
+  }
+  return Status::Ok();
+}
+
+Status GraphCatalog::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "' is registered");
+  }
+  if (it->second.graph != nullptr) {
+    resident_bytes_ -= it->second.memory_bytes;
+    lru_.Erase(name);
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+bool GraphCatalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+Status GraphCatalog::SaveSnapshotFor(const std::string& name,
+                                     const std::string& path) {
+  auto graph = Get(name);
+  if (!graph.ok()) return graph.status();
+  return SaveSnapshot(**graph, path);
+}
+
+std::vector<CatalogEntryInfo> GraphCatalog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const std::pair<const std::string, Entry>*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& kv : entries_) ordered.push_back(&kv);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->second.sequence < b->second.sequence;
+  });
+  std::vector<CatalogEntryInfo> out;
+  out.reserve(ordered.size());
+  for (const auto* kv : ordered) {
+    const Entry& entry = kv->second;
+    CatalogEntryInfo info;
+    info.name = kv->first;
+    switch (entry.kind) {
+      case SourceKind::kFile:
+        info.source = "file:" + entry.locator;
+        break;
+      case SourceKind::kDataset:
+        info.source = "dataset:" + entry.locator;
+        break;
+      case SourceKind::kPinned:
+        info.source = "pinned";
+        break;
+    }
+    info.resident = entry.graph != nullptr;
+    info.evictable = entry.kind != SourceKind::kPinned;
+    info.num_vertices = entry.num_vertices;
+    info.num_edges = entry.num_edges;
+    info.memory_bytes = entry.memory_bytes;
+    info.loads = entry.loads;
+    info.last_load_seconds = entry.last_load_seconds;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t GraphCatalog::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+}  // namespace kplex

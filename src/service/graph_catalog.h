@@ -1,0 +1,116 @@
+// GraphCatalog: the resident graph store of the query service. Named
+// graphs are registered against a source (edge-list file, snapshot file,
+// or dataset_registry key) and materialized lazily on first use; loaded
+// graphs are handed out as shared_ptr so in-flight queries keep a graph
+// alive across an eviction. A memory budget bounds the resident set:
+// when exceeded, least-recently-used reloadable graphs are dropped (they
+// re-materialize transparently on the next Get).
+
+#ifndef KPLEX_SERVICE_GRAPH_CATALOG_H_
+#define KPLEX_SERVICE_GRAPH_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/lru.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Point-in-time description of one catalog entry (for `stats` output).
+struct CatalogEntryInfo {
+  std::string name;
+  std::string source;         ///< e.g. "file:web.txt", "dataset:karate"
+  bool resident = false;      ///< currently materialized
+  bool evictable = false;     ///< can be dropped and re-materialized
+  std::size_t num_vertices = 0;  ///< 0 until first load
+  std::size_t num_edges = 0;
+  std::size_t memory_bytes = 0;  ///< CSR bytes while resident
+  uint64_t loads = 0;            ///< materializations (reloads included)
+  double last_load_seconds = 0;  ///< wall time of the last materialization
+};
+
+class GraphCatalog {
+ public:
+  /// `memory_budget_bytes` bounds the summed CSR bytes of resident
+  /// graphs; 0 means unlimited. The budget is best-effort: a single
+  /// graph larger than the budget still loads (nothing else stays
+  /// resident beside it).
+  explicit GraphCatalog(std::size_t memory_budget_bytes = 0)
+      : memory_budget_bytes_(memory_budget_bytes) {}
+
+  /// Registers a graph backed by a file; snapshots are auto-detected by
+  /// magic, anything else parses as a SNAP edge list. The file is not
+  /// touched until the first Get.
+  Status RegisterFile(const std::string& name, const std::string& path);
+
+  /// Registers a graph backed by a dataset_registry key.
+  Status RegisterDataset(const std::string& name,
+                         const std::string& dataset_key);
+
+  /// Inserts an already-built graph. Pinned: it has no source to reload
+  /// from, so it is never evicted (and counts toward the budget).
+  Status RegisterGraph(const std::string& name, Graph graph);
+
+  /// Returns the named graph, materializing it if needed. Marks the
+  /// entry most recently used and evicts LRU entries while over budget.
+  StatusOr<std::shared_ptr<const Graph>> Get(const std::string& name);
+
+  /// Drops the resident copy of a reloadable entry (the registration
+  /// stays; the next Get reloads). FailedPrecondition for pinned
+  /// entries, NotFound for unknown names.
+  Status Evict(const std::string& name);
+
+  /// Removes the entry entirely.
+  Status Unregister(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  /// Writes a snapshot of the named graph (materializing it if needed),
+  /// so subsequent sessions can register the snapshot instead of the
+  /// original edge list.
+  Status SaveSnapshotFor(const std::string& name, const std::string& path);
+
+  /// Entries in registration order.
+  std::vector<CatalogEntryInfo> Entries() const;
+
+  /// Summed CSR bytes of resident graphs.
+  std::size_t ResidentBytes() const;
+  std::size_t MemoryBudgetBytes() const { return memory_budget_bytes_; }
+
+ private:
+  enum class SourceKind { kFile, kDataset, kPinned };
+
+  struct Entry {
+    SourceKind kind;
+    std::string locator;  // path or dataset key; empty for kPinned
+    std::shared_ptr<const Graph> graph;  // null while evicted
+    std::size_t num_vertices = 0;
+    std::size_t num_edges = 0;
+    std::size_t memory_bytes = 0;
+    uint64_t loads = 0;
+    double last_load_seconds = 0;
+    uint64_t sequence = 0;  // registration order for Entries()
+  };
+
+  Status RegisterLocked(const std::string& name, Entry entry);
+  StatusOr<std::shared_ptr<const Graph>> Materialize(const std::string& name,
+                                                     Entry& entry);
+  void EvictOverBudget(const std::string& keep);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  LruList<std::string> lru_;  // resident entries only
+  std::size_t memory_budget_bytes_;
+  std::size_t resident_bytes_ = 0;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_GRAPH_CATALOG_H_

@@ -1,0 +1,52 @@
+// LRU bookkeeping shared by GraphCatalog (graph eviction under a memory
+// budget) and QueryEngine (bounded result cache): an ordered list of
+// keys, most recently used first, with O(1) touch/erase and eviction
+// candidates taken from the back. Not thread-safe; callers hold their
+// own lock.
+
+#ifndef KPLEX_SERVICE_LRU_H_
+#define KPLEX_SERVICE_LRU_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+namespace kplex {
+
+template <typename Key>
+class LruList {
+ public:
+  /// Marks `key` most recently used, inserting it if absent.
+  void Touch(const Key& key) {
+    auto it = pos_.find(key);
+    if (it != pos_.end()) order_.erase(it->second);
+    order_.push_front(key);
+    pos_[key] = order_.begin();
+  }
+
+  void Erase(const Key& key) {
+    auto it = pos_.find(key);
+    if (it == pos_.end()) return;
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  bool Contains(const Key& key) const { return pos_.count(key) > 0; }
+
+  bool empty() const { return order_.empty(); }
+  std::size_t size() const { return order_.size(); }
+
+  /// The least recently used key. Undefined when empty().
+  const Key& LeastRecent() const { return order_.back(); }
+
+  /// Keys from most to least recently used.
+  const std::list<Key>& order() const { return order_; }
+
+ private:
+  std::list<Key> order_;
+  std::unordered_map<Key, typename std::list<Key>::iterator> pos_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_LRU_H_

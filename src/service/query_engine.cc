@@ -1,0 +1,182 @@
+#include "service/query_engine.h"
+
+#include <utility>
+
+#include "baselines/fp.h"
+#include "baselines/listplex.h"
+#include "core/sink.h"
+#include "parallel/parallel_enumerator.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+// Counts, tracks the max size, and fingerprints in one pass; thread-safe
+// like every core sink so both engines can share it.
+class MeasuringSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> plex) override {
+    counting_.Emit(plex);
+    hashing_.Emit(plex);
+  }
+
+  uint64_t count() const { return counting_.count(); }
+  std::size_t max_size() const { return counting_.max_size(); }
+  uint64_t fingerprint() const { return hashing_.fingerprint(); }
+
+ private:
+  CountingSink counting_;
+  HashingSink hashing_;
+};
+
+}  // namespace
+
+StatusOr<QueryAlgo> ParseQueryAlgo(const std::string& name) {
+  if (name == "ours") return QueryAlgo::kOurs;
+  if (name == "ours_p") return QueryAlgo::kOursP;
+  if (name == "basic") return QueryAlgo::kBasic;
+  if (name == "listplex") return QueryAlgo::kListPlex;
+  if (name == "fp") return QueryAlgo::kFp;
+  return Status::InvalidArgument("unknown algorithm '" + name +
+                                 "' (expected ours, ours_p, basic, "
+                                 "listplex, or fp)");
+}
+
+const char* QueryAlgoName(QueryAlgo algo) {
+  switch (algo) {
+    case QueryAlgo::kOurs: return "ours";
+    case QueryAlgo::kOursP: return "ours_p";
+    case QueryAlgo::kBasic: return "basic";
+    case QueryAlgo::kListPlex: return "listplex";
+    case QueryAlgo::kFp: return "fp";
+  }
+  return "?";
+}
+
+std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
+  return request.graph + "|k=" + std::to_string(request.k) +
+         "|q=" + std::to_string(request.q) + "|algo=" +
+         QueryAlgoName(request.algo) +
+         "|max=" + std::to_string(request.max_results);
+}
+
+StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
+  WallTimer timer;
+  const std::string signature = CanonicalSignature(request);
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(signature);
+    if (request.use_cache && it != cache_.end()) {
+      ++hits_;
+      cache_lru_.Touch(signature);
+      QueryResult result = it->second;
+      result.from_cache = true;
+      result.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    ++misses_;
+  }
+
+  auto executed = Execute(request);
+  if (!executed.ok()) return executed.status();
+  QueryResult result = *std::move(executed);
+  result.signature = signature;
+  result.seconds = timer.ElapsedSeconds();
+
+  // Partial answers (timeout/cancel) must not satisfy future queries.
+  // A max_results-truncated run is cacheable only when sequential: the
+  // sequential engine always truncates to the same deterministic
+  // prefix, while parallel workers race for the cap and produce a
+  // different subset each run.
+  const bool nondeterministic_subset =
+      result.stopped_early && request.threads > 0;
+  if (cache_capacity_ > 0 && !result.timed_out && !result.cancelled &&
+      !nondeterministic_subset) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_[signature] = result;
+    cache_lru_.Touch(signature);
+    while (cache_lru_.size() > cache_capacity_) {
+      const std::string victim = cache_lru_.LeastRecent();
+      cache_.erase(victim);
+      cache_lru_.Erase(victim);
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
+  auto graph = catalog_.Get(request.graph);
+  if (!graph.ok()) return graph.status();
+
+  EnumOptions options;
+  switch (request.algo) {
+    case QueryAlgo::kOurs:
+      options = EnumOptions::Ours(request.k, request.q);
+      break;
+    case QueryAlgo::kOursP:
+      options = EnumOptions::OursP(request.k, request.q);
+      break;
+    case QueryAlgo::kBasic:
+      options = EnumOptions::Basic(request.k, request.q);
+      break;
+    case QueryAlgo::kListPlex:
+      options = ListPlexOptions(request.k, request.q);
+      break;
+    case QueryAlgo::kFp:
+      options = EnumOptions::Ours(request.k, request.q);  // validated only
+      break;
+  }
+  options.max_results = request.max_results;
+  options.time_limit_seconds = request.time_limit_seconds;
+  options.cancel = request.cancel;
+
+  MeasuringSink sink;
+  StatusOr<EnumResult> run = Status::Internal("unreachable");
+  if (request.algo == QueryAlgo::kFp) {
+    run = FpEnumerate(**graph, request.k, request.q, sink);
+  } else if (request.threads > 0) {
+    ParallelOptions parallel;
+    parallel.num_threads = request.threads;
+    parallel.timeout_ms = request.tau_ms;
+    run = ParallelEnumerateMaximalKPlexes(**graph, options, parallel, sink);
+  } else {
+    run = EnumerateMaximalKPlexes(**graph, options, sink);
+  }
+  if (!run.ok()) return run.status();
+
+  QueryResult result;
+  result.num_plexes = run->num_plexes;
+  result.max_plex_size = sink.max_size();
+  result.fingerprint = sink.fingerprint();
+  result.compute_seconds = run->seconds;
+  result.timed_out = run->timed_out;
+  result.stopped_early = run->stopped_early;
+  result.cancelled = run->cancelled;
+  return result;
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CacheStats{hits_, misses_, cache_.size(), cache_capacity_};
+}
+
+void QueryEngine::ClearCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& kv : cache_) cache_lru_.Erase(kv.first);
+  cache_.clear();
+}
+
+void QueryEngine::InvalidateGraph(const std::string& graph_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string prefix = graph_name + "|";
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      cache_lru_.Erase(it->first);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace kplex

@@ -1,0 +1,117 @@
+// QueryEngine: the request front end of the query service. A request
+// names a catalog graph plus the enumeration parameters; the engine
+// resolves the graph through the GraphCatalog, dispatches to the
+// sequential or parallel enumerator (or a baseline driver), and caches
+// the outcome in an LRU result cache keyed by the canonical query
+// signature. The signature covers exactly the parameters that determine
+// the result *set* (graph, k, q, algo, max_results) — thread count and
+// time limits only affect how fast the same answer is produced, so a
+// warm repeat of a query returns instantly regardless of them. Runs
+// that ended early (timeout or cancellation) produced a partial set and
+// are never cached; a max_results-truncated run is cached only when it
+// was sequential (parallel workers race for the cap, so their subset is
+// not reproducible).
+
+#ifndef KPLEX_SERVICE_QUERY_ENGINE_H_
+#define KPLEX_SERVICE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/enumerator.h"
+#include "service/graph_catalog.h"
+#include "service/lru.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Algorithm selector mirroring `kplex_cli mine --algo`.
+enum class QueryAlgo { kOurs, kOursP, kBasic, kListPlex, kFp };
+
+/// Parses "ours", "ours_p", "basic", "listplex", "fp".
+StatusOr<QueryAlgo> ParseQueryAlgo(const std::string& name);
+const char* QueryAlgoName(QueryAlgo algo);
+
+struct QueryRequest {
+  std::string graph;  ///< catalog name
+  uint32_t k = 2;
+  uint32_t q = 4;
+  QueryAlgo algo = QueryAlgo::kOurs;
+  /// 0 runs the sequential engine; > 0 the parallel one with that many
+  /// workers. Ignored for the fp baseline (sequential only).
+  uint32_t threads = 0;
+  /// Straggler timeout for the parallel engine, milliseconds.
+  double tau_ms = 0.1;
+  uint64_t max_results = 0;
+  double time_limit_seconds = 0;
+  /// Bypass the result cache for this request (still records the miss).
+  bool use_cache = true;
+  /// Optional cooperative cancellation, forwarded into EnumOptions.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+struct QueryResult {
+  uint64_t num_plexes = 0;
+  std::size_t max_plex_size = 0;
+  /// Order-independent result-set fingerprint (HashingSink), letting
+  /// clients assert that two runs produced the same set.
+  uint64_t fingerprint = 0;
+  /// Wall seconds of the run that produced the answer. For a cache hit
+  /// this is the *original* run's time; `seconds` is the serving time.
+  double compute_seconds = 0;
+  double seconds = 0;
+  bool timed_out = false;
+  bool stopped_early = false;
+  bool cancelled = false;
+  bool from_cache = false;
+  std::string signature;
+};
+
+class QueryEngine {
+ public:
+  /// `cache_capacity` bounds the number of cached query results
+  /// (0 disables caching entirely).
+  explicit QueryEngine(GraphCatalog& catalog, std::size_t cache_capacity = 64)
+      : catalog_(catalog), cache_capacity_(cache_capacity) {}
+
+  /// Executes (or serves from cache) one query.
+  StatusOr<QueryResult> Run(const QueryRequest& request);
+
+  /// The cache key: "graph|k|q|algo|max" — all parameters that determine
+  /// the result set, nothing else.
+  static std::string CanonicalSignature(const QueryRequest& request);
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  CacheStats cache_stats() const;
+
+  void ClearCache();
+
+  /// Drops cached results for one catalog graph (call when its backing
+  /// data changes).
+  void InvalidateGraph(const std::string& graph_name);
+
+  GraphCatalog& catalog() { return catalog_; }
+
+ private:
+  StatusOr<QueryResult> Execute(const QueryRequest& request);
+
+  GraphCatalog& catalog_;
+  const std::size_t cache_capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, QueryResult> cache_;
+  LruList<std::string> cache_lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_QUERY_ENGINE_H_

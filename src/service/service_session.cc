@@ -1,0 +1,299 @@
+#include "service/service_session.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common/table_printer.h"
+
+namespace kplex {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Splits "key=value"; value empty when no '=' present.
+std::pair<std::string, std::string> SplitKeyValue(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return {token, ""};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& key, const std::string& value,
+                             uint64_t max = UINT64_MAX) {
+  // std::stoull accepts a sign and wraps negatives; digits only here.
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                     value + "'");
+    }
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (value.empty() || used != value.size() || parsed > max) {
+      throw std::out_of_range(value);
+    }
+    return static_cast<uint64_t>(parsed);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                   value + "' (expected 0.." +
+                                   std::to_string(max) + ")");
+  }
+}
+
+StatusOr<double> ParseDouble(const std::string& key,
+                             const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                   value + "'");
+  }
+}
+
+std::string HumanBytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (std::size_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (std::size_t{1} << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ServiceSession::ServiceSession(std::ostream& out,
+                               ServiceSessionOptions options)
+    : out_(out), options_(options),
+      catalog_(options.memory_budget_bytes),
+      engine_(catalog_, options.result_cache_capacity) {}
+
+void ServiceSession::Fail(const Status& status) {
+  ++errors_;
+  out_ << "error: " << status.ToString() << "\n";
+}
+
+bool ServiceSession::ExecuteLine(const std::string& line) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') return true;
+  if (options_.echo) out_ << "> " << line << "\n";
+  const std::string& cmd = tokens[0];
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "load") {
+    CmdLoad(tokens);
+  } else if (cmd == "dataset") {
+    CmdDataset(tokens);
+  } else if (cmd == "snapshot") {
+    CmdSnapshot(tokens);
+  } else if (cmd == "mine") {
+    CmdMine(tokens);
+  } else if (cmd == "stats") {
+    CmdStats();
+  } else if (cmd == "evict") {
+    CmdEvict(tokens);
+  } else if (cmd == "help") {
+    CmdHelp();
+  } else {
+    Fail(Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (try 'help')"));
+  }
+  return true;
+}
+
+uint64_t ServiceSession::RunScript(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!ExecuteLine(line)) break;
+  }
+  return errors_;
+}
+
+void ServiceSession::CmdLoad(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    Fail(Status::InvalidArgument("usage: load NAME PATH"));
+    return;
+  }
+  Status registered = catalog_.RegisterFile(args[1], args[2]);
+  if (!registered.ok()) {
+    Fail(registered);
+    return;
+  }
+  auto graph = catalog_.Get(args[1]);  // materialize eagerly
+  if (!graph.ok()) {
+    catalog_.Unregister(args[1]);
+    Fail(graph.status());
+    return;
+  }
+  double load_seconds = 0;
+  for (const auto& info : catalog_.Entries()) {
+    if (info.name == args[1]) load_seconds = info.last_load_seconds;
+  }
+  out_ << "loaded " << args[1] << ": " << (*graph)->NumVertices()
+       << " vertices, " << (*graph)->NumEdges() << " edges ("
+       << FormatSeconds(load_seconds) << "s)\n";
+}
+
+void ServiceSession::CmdDataset(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    Fail(Status::InvalidArgument("usage: dataset NAME KEY"));
+    return;
+  }
+  Status registered = catalog_.RegisterDataset(args[1], args[2]);
+  if (!registered.ok()) {
+    Fail(registered);
+    return;
+  }
+  auto graph = catalog_.Get(args[1]);
+  if (!graph.ok()) {
+    catalog_.Unregister(args[1]);
+    Fail(graph.status());
+    return;
+  }
+  out_ << "loaded " << args[1] << ": " << (*graph)->NumVertices()
+       << " vertices, " << (*graph)->NumEdges() << " edges (dataset "
+       << args[2] << ")\n";
+}
+
+void ServiceSession::CmdSnapshot(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    Fail(Status::InvalidArgument("usage: snapshot NAME PATH"));
+    return;
+  }
+  Status saved = catalog_.SaveSnapshotFor(args[1], args[2]);
+  if (!saved.ok()) {
+    Fail(saved);
+    return;
+  }
+  out_ << "snapshot " << args[1] << " -> " << args[2] << "\n";
+}
+
+void ServiceSession::CmdMine(const std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    Fail(Status::InvalidArgument(
+        "usage: mine NAME K Q [algo=...] [threads=N] [max-results=N] "
+        "[time-limit=S] [tau-ms=T] [cache=on|off]"));
+    return;
+  }
+  QueryRequest request;
+  request.graph = args[1];
+  auto k = ParseUint("K", args[2], UINT32_MAX);
+  auto q = ParseUint("Q", args[3], UINT32_MAX);
+  if (!k.ok()) { Fail(k.status()); return; }
+  if (!q.ok()) { Fail(q.status()); return; }
+  request.k = static_cast<uint32_t>(*k);
+  request.q = static_cast<uint32_t>(*q);
+
+  for (std::size_t i = 4; i < args.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(args[i]);
+    if (key == "algo") {
+      auto algo = ParseQueryAlgo(value);
+      if (!algo.ok()) { Fail(algo.status()); return; }
+      request.algo = *algo;
+    } else if (key == "threads") {
+      auto parsed = ParseUint(key, value, UINT32_MAX);
+      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      request.threads = static_cast<uint32_t>(*parsed);
+    } else if (key == "max-results") {
+      auto parsed = ParseUint(key, value);
+      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      request.max_results = *parsed;
+    } else if (key == "time-limit") {
+      auto parsed = ParseDouble(key, value);
+      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      request.time_limit_seconds = *parsed;
+    } else if (key == "tau-ms") {
+      auto parsed = ParseDouble(key, value);
+      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      request.tau_ms = *parsed;
+    } else if (key == "cache") {
+      if (value != "on" && value != "off") {
+        Fail(Status::InvalidArgument("cache must be on or off"));
+        return;
+      }
+      request.use_cache = value == "on";
+    } else {
+      Fail(Status::InvalidArgument("unknown mine option '" + key + "'"));
+      return;
+    }
+  }
+
+  auto result = engine_.Run(request);
+  if (!result.ok()) {
+    Fail(result.status());
+    return;
+  }
+  out_ << "mined " << request.graph << " k=" << request.k
+       << " q=" << request.q << " algo=" << QueryAlgoName(request.algo)
+       << ": " << result->num_plexes << " plexes, max size "
+       << result->max_plex_size << ", " << FormatSeconds(result->seconds)
+       << "s";
+  if (result->from_cache) out_ << " [cached]";
+  if (result->timed_out) out_ << " [time limit hit]";
+  if (result->stopped_early) out_ << " [result cap hit]";
+  if (result->cancelled) out_ << " [cancelled]";
+  out_ << "\n";
+}
+
+void ServiceSession::CmdStats() {
+  TablePrinter graphs({"name", "source", "resident", "vertices", "edges",
+                       "memory", "loads"});
+  for (const auto& info : catalog_.Entries()) {
+    graphs.AddRow({info.name, info.source, info.resident ? "yes" : "no",
+                   FormatCount(info.num_vertices),
+                   FormatCount(info.num_edges), HumanBytes(info.memory_bytes),
+                   FormatCount(info.loads)});
+  }
+  graphs.Print(out_);
+  out_ << "resident: " << HumanBytes(catalog_.ResidentBytes());
+  if (catalog_.MemoryBudgetBytes() > 0) {
+    out_ << " / budget " << HumanBytes(catalog_.MemoryBudgetBytes());
+  }
+  out_ << "\n";
+  const QueryEngine::CacheStats cache = engine_.cache_stats();
+  out_ << "result cache: " << cache.entries << "/" << cache.capacity
+       << " entries, " << cache.hits << " hits, " << cache.misses
+       << " misses\n";
+}
+
+void ServiceSession::CmdEvict(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    Fail(Status::InvalidArgument("usage: evict NAME"));
+    return;
+  }
+  Status evicted = catalog_.Evict(args[1]);
+  if (!evicted.ok()) {
+    Fail(evicted);
+    return;
+  }
+  out_ << "evicted " << args[1] << "\n";
+}
+
+void ServiceSession::CmdHelp() {
+  out_ << "commands:\n"
+          "  load NAME PATH        register + load a graph file\n"
+          "  dataset NAME KEY      register + load a registry dataset\n"
+          "  snapshot NAME PATH    write NAME as a binary snapshot\n"
+          "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
+          "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
+          "       [cache=on|off]\n"
+          "  stats                 catalog + result-cache statistics\n"
+          "  evict NAME            drop the resident copy\n"
+          "  quit                  end the session\n";
+}
+
+}  // namespace kplex

@@ -1,0 +1,82 @@
+// ServiceSession: the scriptable command interpreter behind
+// `kplex_cli serve`. One session owns a GraphCatalog and a QueryEngine
+// and executes newline-separated commands from a script file, stdin, or
+// a test harness:
+//
+//   load NAME PATH        register + materialize a graph file (binary
+//                         snapshots auto-detected, else SNAP edge list)
+//   dataset NAME KEY      register + materialize a registry dataset
+//   snapshot NAME PATH    write NAME as a binary snapshot
+//   mine NAME K Q [key=value ...]
+//                         keys: algo (ours|ours_p|basic|listplex|fp),
+//                         threads, max-results, time-limit, tau-ms,
+//                         cache (on|off)
+//   stats                 catalog + result-cache tables
+//   evict NAME            drop the resident copy (reloads on next use)
+//   help                  command summary
+//   quit                  end the session
+//
+// Blank lines and '#' comments are skipped. A failing command prints
+// "error: ..." and the session continues; failures are counted so batch
+// callers can exit non-zero.
+
+#ifndef KPLEX_SERVICE_SERVICE_SESSION_H_
+#define KPLEX_SERVICE_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
+
+namespace kplex {
+
+struct ServiceSessionOptions {
+  /// Catalog memory budget in bytes (0 = unlimited).
+  std::size_t memory_budget_bytes = 0;
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t result_cache_capacity = 64;
+  /// Echo each command before executing it (script mode readability).
+  bool echo = false;
+};
+
+class ServiceSession {
+ public:
+  explicit ServiceSession(std::ostream& out,
+                          ServiceSessionOptions options = {});
+
+  /// Executes one command line. Returns false once `quit` is reached.
+  bool ExecuteLine(const std::string& line);
+
+  /// Executes lines from `in` until EOF or `quit`; returns the number of
+  /// failed commands.
+  uint64_t RunScript(std::istream& in);
+
+  uint64_t errors() const { return errors_; }
+
+  GraphCatalog& catalog() { return catalog_; }
+  QueryEngine& engine() { return engine_; }
+
+ private:
+  void Fail(const Status& status);
+  void CmdLoad(const std::vector<std::string>& args);
+  void CmdDataset(const std::vector<std::string>& args);
+  void CmdSnapshot(const std::vector<std::string>& args);
+  void CmdMine(const std::vector<std::string>& args);
+  void CmdStats();
+  void CmdEvict(const std::vector<std::string>& args);
+  void CmdHelp();
+
+  std::ostream& out_;
+  ServiceSessionOptions options_;
+  GraphCatalog catalog_;
+  QueryEngine engine_;
+  uint64_t errors_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_SERVICE_SESSION_H_

@@ -54,6 +54,105 @@ TEST(EdgeListIo, DropsSelfLoopsAndDuplicates) {
   std::remove(path.c_str());
 }
 
+TEST(EdgeListIo, AcceptsCrlfLineEndings) {
+  std::string path = WriteTemp(
+      "# exported on Windows\r\n"
+      "0\t1\r\n"
+      "1 2\r\n"
+      "2 0 \r\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, AcceptsMixedTabsAndMissingFinalNewline) {
+  std::string path = WriteTemp("0\t\t1\n1  \t 2");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, TrailingJunkIsIoError) {
+  std::string path = WriteTemp("0 1\n1 2 oops\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  // The error names the offending line.
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos)
+      << g.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, NegativeIdIsIoError) {
+  std::string path = WriteTemp("0 1\n-1 2\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, OverflowingIdIsIoError) {
+  // 2^64 must not silently wrap to vertex 0.
+  std::string path = WriteTemp("18446744073709551616 1\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+
+  // UINT64_MAX itself is still a legal id.
+  path = WriteTemp("18446744073709551615 1\n");
+  auto ok = LoadEdgeList(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->NumEdges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, OverlongCommentIsSkippedOverlongNumberRejected) {
+  std::string long_comment = "# " + std::string(10000, 'x') + "\n";
+  std::string path = WriteTemp(long_comment + "0 1\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumEdges(), 1u);
+  std::remove(path.c_str());
+
+  std::string long_data = "0 " + std::string(10000, '1') + "\n";
+  path = WriteTemp(long_data);
+  auto bad = LoadEdgeList(path);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, DataLineWithKilobytesOfTrailingWhitespaceIsAccepted) {
+  // Long lines must not trip any internal buffer boundary (a 4095-byte
+  // valid line once mis-parsed as "too long").
+  std::string path =
+      WriteTemp("0 1" + std::string(4092, ' ') + "\n1 2" +
+                std::string(8000, ' '));  // second line: no final newline
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, HeavyDuplicationStillBuildsSimpleGraph) {
+  std::string contents;
+  for (int i = 0; i < 50; ++i) {
+    contents += "3 3\n";   // self-loops
+    contents += "1 2\n";   // duplicates
+    contents += "2 1\n";   // reversed duplicates
+  }
+  std::string path = WriteTemp(contents);
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 3u);  // {1, 2, 3}
+  EXPECT_EQ(g->NumEdges(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(EdgeListIo, MissingFileIsIoError) {
   auto g = LoadEdgeList("/nonexistent/path/graph.txt");
   EXPECT_FALSE(g.ok());

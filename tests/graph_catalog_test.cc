@@ -1,0 +1,181 @@
+// Unit tests for the GraphCatalog: registration, lazy materialization,
+// LRU eviction under a memory budget, and pinned-entry semantics.
+
+#include "service/graph_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+
+namespace kplex {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "kplex_catalog_test_" + tag + "_" +
+         std::to_string(counter++);
+}
+
+CatalogEntryInfo InfoOf(const GraphCatalog& catalog,
+                        const std::string& name) {
+  for (const auto& info : catalog.Entries()) {
+    if (info.name == name) return info;
+  }
+  ADD_FAILURE() << "no entry named " << name;
+  return {};
+}
+
+TEST(GraphCatalog, LazyLoadFromEdgeListFile) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string path = TempPath("lazy");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", path).ok());
+  EXPECT_FALSE(InfoOf(catalog, "g").resident);  // not touched yet
+
+  auto loaded = catalog.Get("g");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->NumEdges(), 3u);
+  EXPECT_TRUE(InfoOf(catalog, "g").resident);
+  EXPECT_EQ(InfoOf(catalog, "g").loads, 1u);
+
+  // A second Get serves the resident copy (no reload).
+  ASSERT_TRUE(catalog.Get("g").ok());
+  EXPECT_EQ(InfoOf(catalog, "g").loads, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, LoadsSnapshotsByMagic) {
+  Graph g = GenerateErdosRenyi(100, 0.1, 1);
+  std::string path = TempPath("snap");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", path).ok());
+  auto loaded = catalog.Get("g");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->NumEdges(), g.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, DuplicateAndUnknownNames) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", "/does/not/matter").ok());
+  EXPECT_EQ(catalog.RegisterFile("g", "/other").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Evict("missing").code(), StatusCode::kNotFound);
+  // The bogus path only fails at materialization time.
+  EXPECT_EQ(catalog.Get("g").status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphCatalog, EvictAndReload) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}});
+  std::string path = TempPath("evict");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", path).ok());
+  ASSERT_TRUE(catalog.Get("g").ok());
+  EXPECT_GT(catalog.ResidentBytes(), 0u);
+
+  ASSERT_TRUE(catalog.Evict("g").ok());
+  EXPECT_FALSE(InfoOf(catalog, "g").resident);
+  EXPECT_EQ(catalog.ResidentBytes(), 0u);
+
+  auto reloaded = catalog.Get("g");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->NumEdges(), 2u);
+  EXPECT_EQ(InfoOf(catalog, "g").loads, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, LruEvictionUnderMemoryBudget) {
+  // Three ~equal graphs under a budget that fits roughly one of them:
+  // the least recently used entries must be dropped.
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    Graph g = GenerateErdosRenyi(400, 0.05, 10 + i);
+    std::string path = TempPath("lru" + std::to_string(i));
+    EXPECT_TRUE(SaveSnapshot(g, path).ok());
+    paths.push_back(path);
+  }
+  const std::size_t one_graph_bytes =
+      LoadSnapshot(paths[0])->MemoryBytes();
+
+  GraphCatalog catalog(one_graph_bytes + one_graph_bytes / 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(catalog
+                    .RegisterFile("g" + std::to_string(i), paths[i])
+                    .ok());
+  }
+  ASSERT_TRUE(catalog.Get("g0").ok());
+  ASSERT_TRUE(catalog.Get("g1").ok());  // evicts g0 (over budget)
+  EXPECT_FALSE(InfoOf(catalog, "g0").resident);
+  EXPECT_TRUE(InfoOf(catalog, "g1").resident);
+
+  ASSERT_TRUE(catalog.Get("g2").ok());  // evicts g1
+  EXPECT_FALSE(InfoOf(catalog, "g1").resident);
+  EXPECT_TRUE(InfoOf(catalog, "g2").resident);
+  EXPECT_LE(catalog.ResidentBytes(), one_graph_bytes + one_graph_bytes / 2);
+
+  // Touch order matters: reload g0, then g1; g2 becomes the LRU victim.
+  ASSERT_TRUE(catalog.Get("g0").ok());
+  ASSERT_TRUE(catalog.Get("g1").ok());
+  EXPECT_FALSE(InfoOf(catalog, "g2").resident);
+
+  // Eviction is transparent: an evicted graph still answers Get.
+  auto g2 = catalog.Get("g2");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GT((*g2)->NumEdges(), 0u);
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, PinnedGraphsAreNeverEvicted) {
+  GraphCatalog catalog(1);  // absurdly small budget
+  ASSERT_TRUE(catalog
+                  .RegisterGraph("pinned", GraphBuilder::FromEdges(
+                                               3, {{0, 1}, {1, 2}}))
+                  .ok());
+  auto got = catalog.Get("pinned");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(InfoOf(catalog, "pinned").resident);
+  EXPECT_EQ(catalog.Evict("pinned").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphCatalog, SharedPtrKeepsEvictedGraphAlive) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {2, 3}});
+  std::string path = TempPath("alive");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", path).ok());
+  auto held = catalog.Get("g");
+  ASSERT_TRUE(held.ok());
+  std::shared_ptr<const Graph> graph = *held;
+  ASSERT_TRUE(catalog.Evict("g").ok());
+  // The catalog dropped its reference but ours still works.
+  EXPECT_EQ(graph->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, SaveSnapshotForRoundTrips) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterGraph("g", GenerateErdosRenyi(50, 0.2, 2))
+                  .ok());
+  std::string path = TempPath("save");
+  ASSERT_TRUE(catalog.SaveSnapshotFor("g", path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEdges(), (*catalog.Get("g"))->NumEdges());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kplex

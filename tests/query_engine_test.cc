@@ -1,0 +1,285 @@
+// Unit tests for the QueryEngine: cache hits/misses, canonical
+// signatures, correctness of cached answers against a direct engine
+// run, cancellation semantics, and cache invalidation.
+
+#include "service/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "service/graph_catalog.h"
+
+namespace kplex {
+namespace {
+
+Graph TestGraph() { return GenerateErdosRenyi(120, 0.12, 42); }
+
+TEST(QueryEngine, ColdThenWarmHitWithIdenticalAnswer) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  request.q = 5;
+
+  auto cold = engine.Run(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->from_cache);
+
+  // Reference answer straight from the sequential engine.
+  CountingSink reference;
+  auto direct = EnumerateMaximalKPlexes(TestGraph(),
+                                        EnumOptions::Ours(2, 5), reference);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cold->num_plexes, reference.count());
+  EXPECT_EQ(cold->max_plex_size, reference.max_size());
+
+  auto warm = engine.Run(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->num_plexes, cold->num_plexes);
+  EXPECT_EQ(warm->fingerprint, cold->fingerprint);
+
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryEngine, SignatureCoversResultShapingParametersOnly) {
+  QueryRequest a;
+  a.graph = "g";
+  a.k = 2;
+  a.q = 5;
+  QueryRequest b = a;
+  b.threads = 8;            // does not change the result set
+  b.tau_ms = 7;             // ditto
+  b.time_limit_seconds = 99;  // ditto (for completed runs)
+  EXPECT_EQ(QueryEngine::CanonicalSignature(a),
+            QueryEngine::CanonicalSignature(b));
+
+  QueryRequest c = a;
+  c.q = 6;
+  QueryRequest d = a;
+  d.max_results = 3;
+  QueryRequest e = a;
+  e.algo = QueryAlgo::kListPlex;
+  EXPECT_NE(QueryEngine::CanonicalSignature(a),
+            QueryEngine::CanonicalSignature(c));
+  EXPECT_NE(QueryEngine::CanonicalSignature(a),
+            QueryEngine::CanonicalSignature(d));
+  EXPECT_NE(QueryEngine::CanonicalSignature(a),
+            QueryEngine::CanonicalSignature(e));
+}
+
+TEST(QueryEngine, ParallelRequestHitsSequentialCacheEntry) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  QueryRequest sequential;
+  sequential.graph = "g";
+  sequential.k = 2;
+  sequential.q = 5;
+  auto cold = engine.Run(sequential);
+  ASSERT_TRUE(cold.ok());
+
+  QueryRequest parallel = sequential;
+  parallel.threads = 4;
+  auto warm = engine.Run(parallel);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->num_plexes, cold->num_plexes);
+}
+
+TEST(QueryEngine, UseCacheOffForcesRecompute) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  request.q = 5;
+  ASSERT_TRUE(engine.Run(request).ok());
+  request.use_cache = false;
+  auto recomputed = engine.Run(request);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(recomputed->from_cache);
+}
+
+TEST(QueryEngine, LruBoundsCacheSize) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog, /*cache_capacity=*/2);
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  for (uint32_t q = 4; q <= 7; ++q) {
+    request.q = q;
+    ASSERT_TRUE(engine.Run(request).ok());
+  }
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+
+  // q=7 and q=6 are the survivors; q=4 must recompute (miss).
+  request.q = 7;
+  auto hit = engine.Run(request);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_cache);
+  request.q = 4;
+  auto miss = engine.Run(request);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->from_cache);
+}
+
+TEST(QueryEngine, PreCancelledRunIsNotCached) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  std::atomic<bool> cancel{true};  // cancelled before it starts
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  request.q = 5;
+  request.cancel = &cancel;
+  auto cancelled = engine.Run(request);
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_TRUE(cancelled->cancelled);
+  EXPECT_EQ(cancelled->num_plexes, 0u);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+
+  // The same query re-runs to completion once the flag clears, and only
+  // that complete answer enters the cache.
+  cancel.store(false);
+  auto complete = engine.Run(request);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_FALSE(complete->cancelled);
+  EXPECT_FALSE(complete->from_cache);
+  EXPECT_GT(complete->num_plexes, 0u);
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+}
+
+TEST(QueryEngine, MidRunCancellationStopsTheEngine) {
+  // A graph large enough that the run does not finish instantly, and a
+  // flag that flips shortly after the query starts.
+  GraphCatalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterGraph("big", GenerateBarabasiAlbert(4000, 24, 9))
+          .ok());
+  QueryEngine engine(catalog);
+
+  std::atomic<bool> cancel{false};
+  QueryRequest request;
+  request.graph = "big";
+  request.k = 3;
+  request.q = 6;
+  request.cancel = &cancel;
+
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.store(true);
+  });
+  auto result = engine.Run(request);
+  trigger.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Either the run finished inside 20ms (fast machine) or it observed
+  // the flag; a cancelled outcome must never be cached.
+  if (result->cancelled) {
+    EXPECT_EQ(engine.cache_stats().entries, 0u);
+  } else {
+    EXPECT_EQ(engine.cache_stats().entries, 1u);
+  }
+}
+
+TEST(QueryEngine, TruncatedParallelRunIsNotCached) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  // Establish that the full answer has more than one plex, so a
+  // max_results=1 run is genuinely truncated.
+  QueryRequest full;
+  full.graph = "g";
+  full.k = 2;
+  full.q = 5;
+  auto complete = engine.Run(full);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_GT(complete->num_plexes, 1u);
+
+  // A parallel truncated run reports the cap and must not be cached
+  // (workers race for the cap; the subset is not reproducible).
+  QueryRequest capped = full;
+  capped.max_results = 1;
+  capped.threads = 2;
+  auto truncated = engine.Run(capped);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_TRUE(truncated->stopped_early);
+  capped.threads = 0;
+  auto sequential = engine.Run(capped);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_FALSE(sequential->from_cache);  // parallel run was not cached
+  EXPECT_TRUE(sequential->stopped_early);
+  EXPECT_EQ(sequential->num_plexes, 1u);
+
+  // The deterministic sequential truncation, by contrast, is cached.
+  auto warm = engine.Run(capped);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->fingerprint, sequential->fingerprint);
+}
+
+TEST(QueryEngine, InvalidateGraphDropsOnlyThatGraph) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("a", TestGraph()).ok());
+  ASSERT_TRUE(catalog.RegisterGraph("b", TestGraph()).ok());
+  QueryEngine engine(catalog);
+  QueryRequest request;
+  request.k = 2;
+  request.q = 5;
+  request.graph = "a";
+  ASSERT_TRUE(engine.Run(request).ok());
+  request.graph = "b";
+  ASSERT_TRUE(engine.Run(request).ok());
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+
+  engine.InvalidateGraph("a");
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+  request.graph = "b";
+  auto still_cached = engine.Run(request);
+  ASSERT_TRUE(still_cached.ok());
+  EXPECT_TRUE(still_cached->from_cache);
+}
+
+TEST(QueryEngine, UnknownGraphAndBadOptionsPropagate) {
+  GraphCatalog catalog;
+  QueryEngine engine(catalog);
+  QueryRequest request;
+  request.graph = "nope";
+  EXPECT_EQ(engine.Run(request).status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  request.graph = "g";
+  request.k = 3;
+  request.q = 2;  // violates q >= 2k - 1
+  EXPECT_EQ(engine.Run(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngine, AlgoNamesRoundTrip) {
+  for (const char* name : {"ours", "ours_p", "basic", "listplex", "fp"}) {
+    auto algo = ParseQueryAlgo(name);
+    ASSERT_TRUE(algo.ok());
+    EXPECT_STREQ(QueryAlgoName(*algo), name);
+  }
+  EXPECT_FALSE(ParseQueryAlgo("quantum").ok());
+}
+
+}  // namespace
+}  // namespace kplex

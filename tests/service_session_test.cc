@@ -1,0 +1,187 @@
+// End-to-end tests of the ServiceSession command interpreter — the same
+// code path `kplex_cli serve` drives. Covers the ISSUE 1 acceptance
+// demo: a script loads a graph, snapshots it, repeats a (k, q) query
+// into a cache hit with an identical plex count, and snapshot reloading
+// beats edge-list re-parsing.
+
+#include "service/service_session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "kplex_session_test_" + tag + "_" +
+         std::to_string(counter++);
+}
+
+// Extracts N from "... : N plexes, ..." in a `mined` output line.
+uint64_t PlexCountOf(const std::string& line) {
+  const std::size_t colon = line.rfind(": ");
+  EXPECT_NE(colon, std::string::npos) << line;
+  return std::stoull(line.substr(colon + 2));
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServiceSession, EndToEndScriptWithCachedRepeatQuery) {
+  Graph graph = GenerateErdosRenyi(150, 0.1, 21);
+  const std::string edges_path = TempPath("e2e_edges");
+  const std::string snapshot_path = TempPath("e2e_snap");
+  ASSERT_TRUE(SaveEdgeList(graph, edges_path).ok());
+
+  std::ostringstream out;
+  ServiceSession session(out);
+  std::istringstream script(
+      "# end-to-end demo script\n"
+      "load web " + edges_path + "\n"
+      "snapshot web " + snapshot_path + "\n"
+      "load websnap " + snapshot_path + "\n"
+      "mine web 2 5\n"
+      "mine web 2 5\n"
+      "mine websnap 2 5\n"
+      "evict web\n"
+      "mine web 2 5\n"
+      "stats\n"
+      "quit\n"
+      "mine web 2 5\n");  // must never execute
+  EXPECT_EQ(session.RunScript(script), 0u) << out.str();
+
+  std::vector<std::string> mined;
+  for (const auto& line : Lines(out.str())) {
+    if (line.rfind("mined ", 0) == 0) mined.push_back(line);
+  }
+  ASSERT_EQ(mined.size(), 4u) << out.str();
+
+  // Reference count straight from the sequential engine.
+  CountingSink reference;
+  ASSERT_TRUE(EnumerateMaximalKPlexes(graph, EnumOptions::Ours(2, 5),
+                                      reference)
+                  .ok());
+  EXPECT_EQ(PlexCountOf(mined[0]), reference.count());
+
+  // Cold, then warm with identical count.
+  EXPECT_EQ(mined[0].find("[cached]"), std::string::npos) << mined[0];
+  EXPECT_NE(mined[1].find("[cached]"), std::string::npos) << mined[1];
+  EXPECT_EQ(PlexCountOf(mined[1]), PlexCountOf(mined[0]));
+
+  // The snapshot-loaded copy produces the same answer (cold: different
+  // catalog name means a different signature).
+  EXPECT_EQ(mined[2].find("[cached]"), std::string::npos) << mined[2];
+  EXPECT_EQ(PlexCountOf(mined[2]), PlexCountOf(mined[0]));
+
+  // Result cache survives a catalog eviction of the graph.
+  EXPECT_NE(mined[3].find("[cached]"), std::string::npos) << mined[3];
+  EXPECT_EQ(PlexCountOf(mined[3]), PlexCountOf(mined[0]));
+
+  EXPECT_NE(out.str().find("loaded web: "), std::string::npos);
+  EXPECT_NE(out.str().find("snapshot web -> "), std::string::npos);
+  EXPECT_NE(out.str().find("evicted web"), std::string::npos);
+  EXPECT_NE(out.str().find("result cache: "), std::string::npos);
+
+  std::remove(edges_path.c_str());
+  std::remove(snapshot_path.c_str());
+}
+
+TEST(ServiceSession, SnapshotReloadFasterThanEdgeListParse) {
+  // The snapshot exists to beat re-parsing; assert it actually does on a
+  // graph big enough that the margin is far from timer noise (~200k
+  // edges: text parse is tens of ms, snapshot load is ~1ms).
+  Graph graph = GenerateBarabasiAlbert(20000, 10, 3);
+  const std::string edges_path = TempPath("timing_edges");
+  const std::string snapshot_path = TempPath("timing_snap");
+  ASSERT_TRUE(SaveEdgeList(graph, edges_path).ok());
+  ASSERT_TRUE(SaveSnapshot(graph, snapshot_path).ok());
+
+  // Warm the page cache once for both files, then take the best of 3.
+  ASSERT_TRUE(LoadEdgeList(edges_path).ok());
+  ASSERT_TRUE(LoadSnapshot(snapshot_path).ok());
+  double parse_seconds = 1e9, snapshot_seconds = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    WallTimer timer;
+    ASSERT_TRUE(LoadEdgeList(edges_path).ok());
+    parse_seconds = std::min(parse_seconds, timer.ElapsedSeconds());
+    timer.Restart();
+    ASSERT_TRUE(LoadSnapshot(snapshot_path).ok());
+    snapshot_seconds = std::min(snapshot_seconds, timer.ElapsedSeconds());
+  }
+  EXPECT_LT(snapshot_seconds, parse_seconds)
+      << "snapshot load " << snapshot_seconds << "s vs parse "
+      << parse_seconds << "s";
+
+  std::remove(edges_path.c_str());
+  std::remove(snapshot_path.c_str());
+}
+
+TEST(ServiceSession, DatasetCommandLoadsRegistryGraphs) {
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("dataset kc karate"));
+  EXPECT_TRUE(session.ExecuteLine("mine kc 2 6"));
+  EXPECT_EQ(session.errors(), 0u) << out.str();
+  EXPECT_NE(out.str().find("loaded kc: 34 vertices, 78 edges"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(ServiceSession, ErrorsAreCountedAndSessionContinues) {
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("frobnicate"));
+  EXPECT_TRUE(session.ExecuteLine("load broken /no/such/file"));
+  EXPECT_TRUE(session.ExecuteLine("mine nothere 2 5"));
+  EXPECT_TRUE(session.ExecuteLine("mine"));
+  EXPECT_EQ(session.errors(), 4u) << out.str();
+  // Negative and overflowing numbers must be malformed-value errors,
+  // not silently wrapped uint32 casts.
+  EXPECT_TRUE(session.ExecuteLine("mine nothere -1 5"));
+  EXPECT_TRUE(session.ExecuteLine("mine nothere 2 99999999999"));
+  EXPECT_TRUE(session.ExecuteLine("mine nothere 2 5 threads=-2"));
+  EXPECT_EQ(session.errors(), 7u) << out.str();
+  // A failed load must not leave a half-registered entry behind.
+  EXPECT_FALSE(session.catalog().Contains("broken"));
+  // And the session still works afterwards.
+  EXPECT_TRUE(session.ExecuteLine("dataset kc karate"));
+  EXPECT_EQ(session.errors(), 7u) << out.str();
+}
+
+TEST(ServiceSession, MemoryBudgetFlowsThroughToCatalog) {
+  ServiceSessionOptions options;
+  options.memory_budget_bytes = 123456;
+  std::ostringstream out;
+  ServiceSession session(out, options);
+  EXPECT_EQ(session.catalog().MemoryBudgetBytes(), 123456u);
+}
+
+TEST(ServiceSession, QuitStopsTheScript) {
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_FALSE(session.ExecuteLine("quit"));
+  EXPECT_FALSE(session.ExecuteLine("exit"));
+  EXPECT_TRUE(session.ExecuteLine(""));
+  EXPECT_TRUE(session.ExecuteLine("   # just a comment"));
+  EXPECT_EQ(session.errors(), 0u);
+}
+
+}  // namespace
+}  // namespace kplex

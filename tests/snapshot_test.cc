@@ -1,0 +1,253 @@
+// Unit tests for the binary CSR snapshot format: round-trips, the
+// auto-detecting loader, and rejection of truncated/corrupted/alien
+// files.
+
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+
+namespace kplex {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "kplex_snapshot_test_" + tag + "_" +
+         std::to_string(counter++);
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_EQ(a.MaxDegree(), b.MaxDegree());
+}
+
+TEST(Snapshot, RoundTripSmallGraph) {
+  Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                        {4, 0}, {0, 2}});
+  std::string path = TempPath("small");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameGraph(g, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripGeneratedGraph) {
+  Graph g = GenerateBarabasiAlbert(2000, 8, 11);
+  std::string path = TempPath("generated");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameGraph(g, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripEmptyGraph) {
+  Graph g;
+  std::string path = TempPath("empty");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 0u);
+  EXPECT_EQ(loaded->NumEdges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripIsolatedVertices) {
+  // Vertices with empty adjacency must survive (an edge-list round trip
+  // would lose them; the snapshot must not).
+  Graph g = GraphBuilder::FromEdges(6, {{1, 3}});
+  std::string path = TempPath("isolated");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), 6u);
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileIsIoError) {
+  auto loaded = LoadSnapshot("/nonexistent/dir/graph.kpx");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(Snapshot, EdgeListFileIsRejected) {
+  std::string path = TempPath("edgelist");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 2\n";
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncatedFileIsRejected) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 3);
+  std::string path = TempPath("truncated");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  // Chop the file to half its size (keeps the header, loses adjacency).
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptedHeaderIsRejected) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string path = TempPath("badheader");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  {
+    // Flip a byte inside the vertex-count field.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16);
+    char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptedPayloadFailsChecksum) {
+  Graph g = GenerateErdosRenyi(100, 0.1, 5);
+  std::string path = TempPath("badpayload");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  {
+    // Flip one adjacency byte near the end of the file; the header stays
+    // self-consistent so only the checksum can catch this.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekg(static_cast<std::streamoff>(size) - 3);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size) - 3);
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, HugeDeclaredCountsAreRejectedWithoutAllocating) {
+  // A header claiming 2^60 adjacency entries must come back as
+  // InvalidArgument (the file is obviously shorter), not abort the
+  // process in bad_alloc.
+  Graph g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}});
+  std::string path = TempPath("huge");
+  ASSERT_TRUE(SaveSnapshot(g, path).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const uint64_t num_adjacency = uint64_t{1} << 60;
+    const uint64_t adjacency_bytes = num_adjacency * sizeof(VertexId);
+    f.seekp(24);  // num_adjacency field
+    f.write(reinterpret_cast<const char*>(&num_adjacency), 8);
+    f.seekp(40);  // adjacency_bytes field
+    f.write(reinterpret_cast<const char*>(&adjacency_bytes), 8);
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, HandcraftedUnsortedRowIsRejected) {
+  // A file with a *valid* checksum but an adjacency row violating the
+  // sorted-simple-graph invariant (duplicate neighbor) must not load:
+  // Graph::HasEdge binary-searches rows and would silently misbehave.
+  struct Header {
+    char magic[8];
+    uint32_t version;
+    uint32_t byte_order;
+    uint64_t num_vertices;
+    uint64_t num_adjacency;
+    uint64_t offsets_bytes;
+    uint64_t adjacency_bytes;
+    uint64_t checksum;
+    uint8_t pad[8];
+  } header = {};
+  const uint64_t offsets[3] = {0, 2, 2};
+  const uint32_t adjacency[2] = {1, 1};  // duplicate in vertex 0's row
+  std::memcpy(header.magic, "KPXSNAP\0", 8);
+  header.version = kSnapshotVersion;
+  header.byte_order = 0x01020304u;
+  header.num_vertices = 2;
+  header.num_adjacency = 2;
+  header.offsets_bytes = sizeof(offsets);
+  header.adjacency_bytes = sizeof(adjacency);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(offsets, sizeof(offsets));
+  mix(adjacency, sizeof(adjacency));
+  header.checksum = hash;
+
+  std::string path = TempPath("handcrafted");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(offsets), sizeof(offsets));
+    const char padding[64 - sizeof(offsets) % 64] = {};
+    out.write(padding, sizeof(padding));
+    out.write(reinterpret_cast<const char*>(adjacency), sizeof(adjacency));
+  }
+  auto loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("adjacency row"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, AutoLoaderDispatchesByMagic) {
+  Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  std::string snapshot_path = TempPath("auto_snap");
+  std::string edges_path = TempPath("auto_edges");
+  ASSERT_TRUE(SaveSnapshot(g, snapshot_path).ok());
+  ASSERT_TRUE(SaveEdgeList(g, edges_path).ok());
+  EXPECT_TRUE(LooksLikeSnapshot(snapshot_path));
+  EXPECT_FALSE(LooksLikeSnapshot(edges_path));
+  auto from_snapshot = LoadGraphAuto(snapshot_path);
+  auto from_edges = LoadGraphAuto(edges_path);
+  ASSERT_TRUE(from_snapshot.ok());
+  ASSERT_TRUE(from_edges.ok());
+  EXPECT_EQ(from_snapshot->Edges(), from_edges->Edges());
+  std::remove(snapshot_path.c_str());
+  std::remove(edges_path.c_str());
+}
+
+}  // namespace
+}  // namespace kplex

@@ -5,12 +5,17 @@
 //             [--max-results N] [--time-limit S]
 //   kplex_cli max --input G.txt --k 2
 //   kplex_cli report --input G.txt
+//   kplex_cli snapshot --input G.txt --output G.kpx
+//   kplex_cli serve [--script F] [--memory-budget-mb N] [--cache-capacity N]
 //   kplex_cli datasets
 //
 // --dataset NAME may replace --input to mine a registry dataset.
-// Graphs are SNAP-format edge lists ('#' comments, "u v" per line).
+// Graphs are SNAP-format edge lists ('#' comments, "u v" per line) or
+// binary CSR snapshots (auto-detected; see src/graph/snapshot.h).
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -26,9 +31,11 @@
 #include "core/sink.h"
 #include "graph/connectivity.h"
 #include "graph/edge_list_io.h"
+#include "graph/snapshot.h"
 #include "graph/stats.h"
 #include "graph/triangles.h"
 #include "parallel/parallel_enumerator.h"
+#include "service/service_session.h"
 #include "util/flags.h"
 
 namespace kplex {
@@ -40,6 +47,9 @@ int Usage() {
                "  kplex_cli mine --input G.txt --k K --q Q [options]\n"
                "  kplex_cli max --input G.txt --k K\n"
                "  kplex_cli report --input G.txt\n"
+               "  kplex_cli snapshot --input G.txt --output G.kpx\n"
+               "  kplex_cli serve [--script F] [--memory-budget-mb N]\n"
+               "                  [--cache-capacity N] [--echo]\n"
                "  kplex_cli datasets\n"
                "options for mine:\n"
                "  --dataset NAME    use a registry dataset instead of --input\n"
@@ -59,7 +69,7 @@ StatusOr<Graph> LoadInput(const FlagParser& flags) {
   if (input.empty()) {
     return Status::InvalidArgument("one of --input or --dataset is required");
   }
-  return LoadEdgeList(input);
+  return LoadGraphAuto(input);
 }
 
 int RunMine(const FlagParser& flags) {
@@ -215,6 +225,68 @@ int RunReport(const FlagParser& flags) {
   return 0;
 }
 
+int RunSnapshot(const FlagParser& flags) {
+  auto graph = LoadInput(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string output = flags.GetString("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "--output FILE is required\n");
+    return 1;
+  }
+  Status saved = SaveSnapshot(*graph, output);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot of %zu vertices / %zu edges written to %s\n",
+              graph->NumVertices(), graph->NumEdges(), output.c_str());
+  return 0;
+}
+
+int RunServe(const FlagParser& flags) {
+  auto budget_mb = flags.GetInt("memory-budget-mb", 0);
+  auto cache_capacity = flags.GetInt("cache-capacity", 64);
+  for (const Status& s : {budget_mb.status(), cache_capacity.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (*budget_mb < 0 || *cache_capacity < 0) {
+    std::fprintf(stderr,
+                 "--memory-budget-mb and --cache-capacity must be >= 0\n");
+    return 1;
+  }
+  if (static_cast<uint64_t>(*budget_mb) > (SIZE_MAX >> 20)) {
+    std::fprintf(stderr, "--memory-budget-mb %lld overflows the byte budget\n",
+                 static_cast<long long>(*budget_mb));
+    return 1;
+  }
+  ServiceSessionOptions options;
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(*budget_mb) * (std::size_t{1} << 20);
+  options.result_cache_capacity = static_cast<std::size_t>(*cache_capacity);
+  options.echo = flags.Has("echo");
+  ServiceSession session(std::cout, options);
+
+  const std::string script = flags.GetString("script", "");
+  uint64_t failures = 0;
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in) {
+      std::fprintf(stderr, "cannot open script '%s'\n", script.c_str());
+      return 1;
+    }
+    failures = session.RunScript(in);
+  } else {
+    failures = session.RunScript(std::cin);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int RunDatasets() {
   TablePrinter table({"name", "stands for", "category", "recipe"});
   for (const auto& spec : AllDatasets()) {
@@ -231,20 +303,41 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const FlagParser& flags = *parsed;
-  auto unknown = flags.UnknownFlags(
-      {"input", "dataset", "k", "q", "algo", "threads", "tau-ms", "output",
-       "max-results", "time-limit"});
-  if (!unknown.empty()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unknown.front().c_str());
-    return Usage();
-  }
   if (flags.positional().size() != 1) return Usage();
   const std::string& command = flags.positional()[0];
-  if (command == "mine") return RunMine(flags);
-  if (command == "max") return RunMax(flags);
-  if (command == "report") return RunReport(flags);
-  if (command == "datasets") return RunDatasets();
-  return Usage();
+
+  // Each command rejects the other commands' flags: a serve-only flag
+  // on `mine` is a typo the user should hear about, not a no-op.
+  std::vector<std::string> known;
+  int (*run)(const FlagParser&) = nullptr;
+  if (command == "mine") {
+    known = {"input", "dataset", "k", "q", "algo", "threads", "tau-ms",
+             "output", "max-results", "time-limit"};
+    run = RunMine;
+  } else if (command == "max") {
+    known = {"input", "dataset", "k"};
+    run = RunMax;
+  } else if (command == "report") {
+    known = {"input", "dataset"};
+    run = RunReport;
+  } else if (command == "snapshot") {
+    known = {"input", "dataset", "output"};
+    run = RunSnapshot;
+  } else if (command == "serve") {
+    known = {"script", "memory-budget-mb", "cache-capacity", "echo"};
+    run = RunServe;
+  } else if (command == "datasets") {
+    run = [](const FlagParser&) { return RunDatasets(); };
+  } else {
+    return Usage();
+  }
+  auto unknown = flags.UnknownFlags(known);
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s for '%s'\n",
+                 unknown.front().c_str(), command.c_str());
+    return Usage();
+  }
+  return run(flags);
 }
 
 }  // namespace
