@@ -1,10 +1,12 @@
-// Demonstrates what the service layer amortizes: (1) binary CSR
-// snapshot loads versus SNAP edge-list re-parses of the same graph, and
-// (2) cold versus warm (result-cached) repeat queries through the
+// Demonstrates what the service layer amortizes, in three stages:
+// (1) loading — SNAP edge-list parse vs v1 snapshot (buffered copy) vs
+// v2 snapshot (mmap zero-copy), (2) reduction — a cold mine that peels
+// the (q-k)-core vs one served from precomputed snapshot sections (the
+// counters prove the skip and the fingerprints prove equality), and
+// (3) repeat queries — cold vs warm (result-cached) through the
 // QueryEngine, including a warm hit from a request that only differs in
-// thread count (thread count is not part of the canonical signature).
-// The warm query must report exactly the cold run's plex count and
-// fingerprint — checked here, not just eyeballed.
+// thread count. Every "identical" claim is checked, not eyeballed; the
+// process exits non-zero on any mismatch.
 
 #include <unistd.h>
 
@@ -15,6 +17,8 @@
 #include <string>
 
 #include "bench_common/table_printer.h"
+#include "core/enumerator.h"
+#include "core/sink.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/snapshot.h"
@@ -32,7 +36,9 @@ int Run() {
   const std::string dir =
       "/tmp/kplex_service_bench_" + std::to_string(::getpid());
   const std::string edges_path = dir + "/graph.txt";
-  const std::string snapshot_path = dir + "/graph.kpx";
+  const std::string v1_path = dir + "/graph_v1.kpx";
+  const std::string v2_path = dir + "/graph_v2.kpx";
+  const std::string pre_path = dir + "/graph_pre.kpx";
   if (std::system(("mkdir -p " + dir).c_str()) != 0) {
     std::fprintf(stderr, "cannot create %s\n", dir.c_str());
     return 1;
@@ -42,33 +48,107 @@ int Run() {
   Graph graph = GenerateBarabasiAlbert(30000, 12, 7);
   std::printf("graph: %zu vertices, %zu edges\n\n", graph.NumVertices(),
               graph.NumEdges());
+  SnapshotWriteOptions v1;
+  v1.version = kSnapshotVersionLegacy;
+  SnapshotWriteOptions with_pre;
+  with_pre.include_precompute = true;
+  with_pre.core_mask_levels = {kQ - kK};
   if (!SaveEdgeList(graph, edges_path).ok() ||
-      !SaveSnapshot(graph, snapshot_path).ok()) {
+      !SaveSnapshot(graph, v1_path, v1).ok() ||
+      !SaveSnapshot(graph, v2_path).ok() ||
+      !SaveSnapshot(graph, pre_path, with_pre).ok()) {
     std::fprintf(stderr, "cannot write graph files under %s\n", dir.c_str());
     return 1;
   }
 
-  TablePrinter load_table({"load path", "seconds", "speedup"});
+  // ------------------------------------------------------ load latency
+  TablePrinter load_table({"load path", "seconds", "speedup", "owned",
+                           "mapped"});
   WallTimer timer;
   auto parsed = LoadEdgeList(edges_path);
   const double parse_seconds = timer.ElapsedSeconds();
   timer.Restart();
-  auto snapped = LoadSnapshot(snapshot_path);
-  const double snapshot_seconds = timer.ElapsedSeconds();
-  if (!parsed.ok() || !snapped.ok() ||
-      parsed->NumEdges() != snapped->NumEdges()) {
-    std::fprintf(stderr, "load mismatch between edge list and snapshot\n");
+  auto snapped_v1 = LoadSnapshotFull(v1_path);
+  const double v1_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+  auto snapped_v2 = LoadSnapshotFull(v2_path);
+  const double v2_seconds = timer.ElapsedSeconds();
+  if (!parsed.ok() || !snapped_v1.ok() || !snapped_v2.ok() ||
+      parsed->NumEdges() != snapped_v1->graph.NumEdges() ||
+      parsed->NumEdges() != snapped_v2->graph.NumEdges()) {
+    std::fprintf(stderr, "load mismatch between edge list and snapshots\n");
     return 1;
   }
-  load_table.AddRow({"SNAP edge list", FormatSeconds(parse_seconds), "1.0"});
-  load_table.AddRow({"CSR snapshot", FormatSeconds(snapshot_seconds),
-                     FormatDouble(parse_seconds / snapshot_seconds, 1)});
+  auto human_mib = [](std::size_t bytes) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(bytes) / (1 << 20));
+    return std::string(buf);
+  };
+  load_table.AddRow({"SNAP edge list", FormatSeconds(parse_seconds), "1.0",
+                     human_mib(parsed->MemoryBytes()), "0"});
+  load_table.AddRow({"v1 snapshot (fread)", FormatSeconds(v1_seconds),
+                     FormatDouble(parse_seconds / v1_seconds, 1),
+                     human_mib(snapped_v1->graph.MemoryBytes()), "0"});
+  load_table.AddRow(
+      {snapped_v2->mapped ? "v2 snapshot (mmap)" : "v2 snapshot (buffered)",
+       FormatSeconds(v2_seconds),
+       FormatDouble(parse_seconds / v2_seconds, 1),
+       human_mib(snapped_v2->graph.MemoryBytes()),
+       human_mib(snapped_v2->graph.MappedBytes())});
   load_table.Print(std::cout);
-  std::printf("\n");
+  const bool mmap_wins = v2_seconds < parse_seconds;
+  std::printf("v2 mmap load beats the parse: %s (%.0fx)\n\n",
+              mmap_wins ? "yes" : "NO (BUG)",
+              parse_seconds / std::max(v2_seconds, 1e-9));
 
+  // ------------------------------------------- reduction skip latency
+  auto pre_loaded = LoadSnapshotFull(pre_path);
+  if (!pre_loaded.ok() || pre_loaded->precompute.empty()) {
+    std::fprintf(stderr, "precompute snapshot failed to load sections\n");
+    return 1;
+  }
+  EnumOptions plain = EnumOptions::Ours(kK, kQ);
+  EnumOptions served = plain;
+  served.precompute = &pre_loaded->precompute;
+
+  TablePrinter reduce_table({"mine (k=2, q=10)", "plexes", "seconds",
+                             "reduction"});
+  HashingSink cold_sink;
+  timer.Restart();
+  auto cold_mine = EnumerateMaximalKPlexes(pre_loaded->graph, plain,
+                                           cold_sink);
+  const double cold_mine_seconds = timer.ElapsedSeconds();
+  HashingSink pre_sink;
+  timer.Restart();
+  auto pre_mine = EnumerateMaximalKPlexes(pre_loaded->graph, served,
+                                          pre_sink);
+  const double pre_mine_seconds = timer.ElapsedSeconds();
+  if (!cold_mine.ok() || !pre_mine.ok()) {
+    std::fprintf(stderr, "mine failed\n");
+    return 1;
+  }
+  reduce_table.AddRow({"recomputed reduction",
+                       FormatCount(cold_mine->num_plexes),
+                       FormatSeconds(cold_mine_seconds), "peeled"});
+  reduce_table.AddRow(
+      {"precomputed sections", FormatCount(pre_mine->num_plexes),
+       FormatSeconds(pre_mine_seconds),
+       pre_mine->counters.core_reductions_precomputed > 0 ? "skipped"
+                                                          : "NOT SKIPPED"});
+  reduce_table.Print(std::cout);
+  const bool reduction_ok =
+      pre_mine->counters.core_reductions_precomputed == 1 &&
+      pre_mine->counters.orderings_precomputed == 1 &&
+      pre_mine->num_plexes == cold_mine->num_plexes &&
+      pre_sink.fingerprint() == cold_sink.fingerprint();
+  std::printf("precomputed run skipped reduction with identical results: "
+              "%s\n\n", reduction_ok ? "yes" : "NO (BUG)");
+
+  // -------------------------------------------------- cold/warm cache
   GraphCatalog catalog;
   QueryEngine engine(catalog);
-  Status registered = catalog.RegisterFile("bench", snapshot_path);
+  Status registered = catalog.RegisterFile("bench", pre_path);
   if (!registered.ok()) {
     std::fprintf(stderr, "%s\n", registered.ToString().c_str());
     return 1;
@@ -116,14 +196,16 @@ int Run() {
                          warm->num_plexes == cold->num_plexes &&
                          warm->fingerprint == cold->fingerprint &&
                          warm_threaded->from_cache &&
-                         warm_threaded->fingerprint == cold->fingerprint;
-  std::printf("\nwarm results identical to cold run: %s\n",
-              identical ? "yes" : "NO (BUG)");
+                         warm_threaded->fingerprint == cold->fingerprint &&
+                         cold->fingerprint == cold_sink.fingerprint() &&
+                         cold->reduction_precomputed;
+  std::printf("\nwarm results identical to cold run (and the cold service "
+              "run used precompute): %s\n", identical ? "yes" : "NO (BUG)");
   std::printf("cold-to-warm speedup: %.0fx\n",
               cold->seconds / std::max(warm->seconds, 1e-9));
 
   std::system(("rm -rf " + dir).c_str());
-  return identical ? 0 : 1;
+  return identical && reduction_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -21,6 +21,10 @@ struct AlgoCounters {
   uint64_t outputs = 0;            ///< maximal k-plexes emitted
   uint64_t pair_edges_pruned = 0;  ///< false entries in the pair matrix T
   uint64_t timeout_spawns = 0;     ///< tasks re-packaged by the timeout rule
+  uint64_t core_reductions_precomputed = 0;  ///< (q-k)-cores taken from
+                                             ///< snapshot sections (no peel)
+  uint64_t orderings_precomputed = 0;  ///< seed orderings restricted from
+                                       ///< a stored degeneracy order
 
   void MergeFrom(const AlgoCounters& o) {
     seed_graphs += o.seed_graphs;
@@ -33,6 +37,8 @@ struct AlgoCounters {
     outputs += o.outputs;
     pair_edges_pruned += o.pair_edges_pruned;
     timeout_spawns += o.timeout_spawns;
+    core_reductions_precomputed += o.core_reductions_precomputed;
+    orderings_precomputed += o.orderings_precomputed;
   }
 };
 

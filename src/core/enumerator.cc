@@ -3,12 +3,9 @@
 #include <string>
 
 #include "core/branch.h"
-#include "core/ordering.h"
+#include "core/reduction.h"
 #include "core/seed_graph.h"
 #include "core/subtask.h"
-#include "graph/ctcp.h"
-#include "graph/degeneracy.h"
-#include "graph/kcore.h"
 #include "util/timer.h"
 
 namespace kplex {
@@ -33,24 +30,16 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
   EnumResult result;
 
   // Theorem 3.5: restrict to the (q - k)-core — or, when requested, the
-  // strictly stronger CTCP fixpoint.
-  const uint32_t core_level =
-      options.q >= options.k ? options.q - options.k : 0;
-  CoreReduction core;
-  if (options.use_ctcp_preprocess) {
-    CtcpResult ctcp = CtcpReduce(graph, options.k, options.q);
-    core.graph = std::move(ctcp.graph);
-    core.to_original = std::move(ctcp.to_original);
-  } else {
-    core = ReduceToCore(graph, core_level);
-  }
+  // strictly stronger CTCP fixpoint — and order the survivors; both
+  // steps come from precomputed snapshot sections when available.
+  PreparedReduction prepared =
+      PrepareReduction(graph, options, result.counters);
+  CoreReduction& core = prepared.core;
   if (core.graph.NumVertices() == 0) {
     result.seconds = timer.ElapsedSeconds();
     return result;
   }
-
-  const DegeneracyResult degeneracy =
-      MakeSeedOrdering(core.graph, options.ordering);
+  const DegeneracyResult& degeneracy = prepared.ordering;
 
   const int64_t global_deadline =
       options.time_limit_seconds > 0

@@ -12,6 +12,8 @@
 
 namespace kplex {
 
+struct GraphPrecompute;
+
 /// Order in which seed vertices are processed (Section 3 / Section 4 of
 /// the paper). Degeneracy order is both the complexity-bound enabler and
 /// the load-balancing choice; the others exist to reproduce the paper's
@@ -96,6 +98,16 @@ struct EnumOptions {
   /// cheap; a null hook costs nothing.
   std::function<void(uint64_t done, uint64_t total, uint64_t outputs)>
       progress;
+
+  /// Optional precomputed reduction sections for the *input* graph
+  /// (degeneracy order, coreness, per-level core masks), typically
+  /// decoded from a v2 snapshot (graph/precompute.h). When present and
+  /// size-consistent with the graph, the enumerators derive the
+  /// (q-k)-core and the seed ordering from these instead of recomputing
+  /// them — the result set is identical either way. Borrowed pointer;
+  /// must outlive the run. Ignored under use_ctcp_preprocess (CTCP is a
+  /// strictly different reduction).
+  const GraphPrecompute* precompute = nullptr;
 
   /// Seed-vertex processing order. Only kDegeneracy carries the paper's
   /// complexity guarantees; the result *set* is identical under any

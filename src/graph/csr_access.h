@@ -1,0 +1,44 @@
+// Internal factory befriended by Graph: constructs instances straight
+// from *already validated* CSR arrays, bypassing the GraphBuilder
+// normalization pass (dedup/sort/compact). Used by the snapshot loader
+// and by reduction fast paths that filter an existing CSR (filtering a
+// sorted row preserves sortedness, so re-validation would be wasted
+// work). Callers must guarantee the Graph invariants: monotone offsets
+// bracketing the adjacency array and strictly ascending, self-loop-free,
+// in-range neighbor rows.
+
+#ifndef KPLEX_GRAPH_CSR_ACCESS_H_
+#define KPLEX_GRAPH_CSR_ACCESS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+class CsrAccess {
+ public:
+  /// Heap-owning graph from validated CSR vectors.
+  static Graph FromVectors(std::vector<uint64_t> offsets,
+                           std::vector<VertexId> adjacency) {
+    return Graph(std::move(offsets), std::move(adjacency));
+  }
+
+  /// Zero-copy graph whose CSR arrays live inside `backing` (an
+  /// mmap'ed snapshot or a loaded file buffer). `backing_bytes` is the
+  /// buffer size attributed to the graph for accounting; `mapped`
+  /// distinguishes file-backed pages from private heap.
+  static Graph FromView(const uint64_t* offsets, std::size_t num_offsets,
+                        const VertexId* adjacency, std::size_t num_adjacency,
+                        std::shared_ptr<const void> backing,
+                        std::size_t backing_bytes, bool mapped) {
+    return Graph(offsets, num_offsets, adjacency, num_adjacency,
+                 std::move(backing), backing_bytes, mapped);
+  }
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_CSR_ACCESS_H_

@@ -1,13 +1,95 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace kplex {
 
 Graph::Graph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency)
-    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
-  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
-    max_degree_ = std::max<std::size_t>(max_degree_, offsets_[v + 1] - offsets_[v]);
+    : owned_offsets_(std::move(offsets)),
+      owned_adjacency_(std::move(adjacency)) {
+  Rebind();
+  ComputeMaxDegree();
+}
+
+Graph::Graph(const uint64_t* offsets, std::size_t num_offsets,
+             const VertexId* adjacency, std::size_t num_adjacency,
+             std::shared_ptr<const void> backing, std::size_t backing_bytes,
+             bool mapped)
+    : backing_(std::move(backing)), backing_bytes_(backing_bytes),
+      mapped_(mapped), offsets_(offsets), num_offsets_(num_offsets),
+      adjacency_(adjacency), num_adjacency_(num_adjacency) {
+  ComputeMaxDegree();
+}
+
+Graph::Graph(const Graph& other)
+    : owned_offsets_(other.owned_offsets_),
+      owned_adjacency_(other.owned_adjacency_), backing_(other.backing_),
+      backing_bytes_(other.backing_bytes_), mapped_(other.mapped_),
+      offsets_(other.offsets_), num_offsets_(other.num_offsets_),
+      adjacency_(other.adjacency_), num_adjacency_(other.num_adjacency_),
+      max_degree_(other.max_degree_) {
+  if (backing_ == nullptr) Rebind();  // views must follow the copied vectors
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    Graph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : owned_offsets_(std::move(other.owned_offsets_)),
+      owned_adjacency_(std::move(other.owned_adjacency_)),
+      backing_(std::move(other.backing_)),
+      backing_bytes_(other.backing_bytes_), mapped_(other.mapped_),
+      offsets_(other.offsets_), num_offsets_(other.num_offsets_),
+      adjacency_(other.adjacency_), num_adjacency_(other.num_adjacency_),
+      max_degree_(other.max_degree_) {
+  // Vector moves keep heap buffers alive at the same addresses, so the
+  // view members stay valid; Rebind covers the empty-vector corner.
+  if (backing_ == nullptr) Rebind();
+  other.Rebind();
+  other.backing_bytes_ = 0;
+  other.mapped_ = false;
+  other.max_degree_ = 0;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    owned_offsets_ = std::move(other.owned_offsets_);
+    owned_adjacency_ = std::move(other.owned_adjacency_);
+    backing_ = std::move(other.backing_);
+    backing_bytes_ = other.backing_bytes_;
+    mapped_ = other.mapped_;
+    offsets_ = other.offsets_;
+    num_offsets_ = other.num_offsets_;
+    adjacency_ = other.adjacency_;
+    num_adjacency_ = other.num_adjacency_;
+    max_degree_ = other.max_degree_;
+    if (backing_ == nullptr) Rebind();
+    other.Rebind();
+    other.backing_bytes_ = 0;
+    other.mapped_ = false;
+    other.max_degree_ = 0;
+  }
+  return *this;
+}
+
+void Graph::Rebind() {
+  offsets_ = owned_offsets_.empty() ? nullptr : owned_offsets_.data();
+  num_offsets_ = owned_offsets_.size();
+  adjacency_ = owned_adjacency_.empty() ? nullptr : owned_adjacency_.data();
+  num_adjacency_ = owned_adjacency_.size();
+}
+
+void Graph::ComputeMaxDegree() {
+  max_degree_ = 0;
+  for (std::size_t v = 0; v + 1 < num_offsets_; ++v) {
+    max_degree_ =
+        std::max<std::size_t>(max_degree_, offsets_[v + 1] - offsets_[v]);
   }
 }
 

@@ -1,11 +1,19 @@
 // Immutable undirected simple graph in CSR (compressed sparse row) form.
 // Neighbor lists are sorted, enabling O(log d) adjacency queries and
 // linear-time sorted-merge operations. Build instances via GraphBuilder.
+//
+// Storage is view-based: accessors read through raw pointer + length
+// pairs that reference either heap vectors owned by this instance (the
+// GraphBuilder / legacy-snapshot case) or an external backing buffer —
+// typically an mmap'ed .kpx snapshot — kept alive through a shared
+// handle. A mapped graph costs page-cache residency instead of private
+// heap, so many resident graphs share one memory budget.
 
 #ifndef KPLEX_GRAPH_GRAPH_H_
 #define KPLEX_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,12 +25,18 @@ using VertexId = uint32_t;
 class Graph {
  public:
   Graph() = default;
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Number of vertices.
-  std::size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t NumVertices() const {
+    return num_offsets_ == 0 ? 0 : num_offsets_ - 1;
+  }
 
   /// Number of undirected edges.
-  std::size_t NumEdges() const { return adjacency_.size() / 2; }
+  std::size_t NumEdges() const { return num_adjacency_ / 2; }
 
   /// Degree of v.
   std::size_t Degree(VertexId v) const {
@@ -31,7 +45,7 @@ class Graph {
 
   /// Sorted neighbors of v.
   std::span<const VertexId> Neighbors(VertexId v) const {
-    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+    return {adjacency_ + offsets_[v], adjacency_ + offsets_[v + 1]};
   }
 
   /// True iff the undirected edge (u, v) exists. O(log deg).
@@ -45,25 +59,62 @@ class Graph {
 
   /// Raw CSR offset array (length NumVertices() + 1, offsets[0] == 0).
   /// Exposed for snapshot serialization and memory accounting.
-  std::span<const uint64_t> RawOffsets() const { return offsets_; }
+  std::span<const uint64_t> RawOffsets() const {
+    return {offsets_, num_offsets_};
+  }
 
   /// Raw concatenated adjacency array (length 2 * NumEdges()).
-  std::span<const VertexId> RawAdjacency() const { return adjacency_; }
-
-  /// Heap bytes held by the CSR arrays (catalog memory accounting).
-  std::size_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(uint64_t) +
-           adjacency_.capacity() * sizeof(VertexId);
+  std::span<const VertexId> RawAdjacency() const {
+    return {adjacency_, num_adjacency_};
   }
+
+  /// True when the CSR arrays are views into an mmap'ed file rather
+  /// than private heap.
+  bool IsMapped() const { return mapped_; }
+
+  /// Private heap bytes held by this graph (catalog budget accounting).
+  /// Zero-copy mapped graphs report ~0 here; see MappedBytes().
+  std::size_t MemoryBytes() const {
+    return owned_offsets_.capacity() * sizeof(uint64_t) +
+           owned_adjacency_.capacity() * sizeof(VertexId) +
+           (mapped_ ? 0 : backing_bytes_);
+  }
+
+  /// File-backed bytes served zero-copy (page cache, reclaimable by the
+  /// kernel); 0 for heap-owned graphs.
+  std::size_t MappedBytes() const { return mapped_ ? backing_bytes_ : 0; }
 
  private:
   friend class GraphBuilder;
-  friend class SnapshotAccess;
+  friend class CsrAccess;
 
+  /// Owning constructor (GraphBuilder, legacy snapshot loads).
   Graph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency);
 
-  std::vector<uint64_t> offsets_;
-  std::vector<VertexId> adjacency_;
+  /// View constructor: CSR arrays live inside `backing` (an mmap'ed
+  /// file or a loaded buffer) which is kept alive for this graph's
+  /// lifetime. `backing_bytes` is the buffer size attributed to this
+  /// graph for accounting; `mapped` says whether it is file-backed.
+  Graph(const uint64_t* offsets, std::size_t num_offsets,
+        const VertexId* adjacency, std::size_t num_adjacency,
+        std::shared_ptr<const void> backing, std::size_t backing_bytes,
+        bool mapped);
+
+  /// Points the view members at the owned vectors (no-op for
+  /// backing-based graphs). Must run after any copy/move of the vectors.
+  void Rebind();
+  void ComputeMaxDegree();
+
+  std::vector<uint64_t> owned_offsets_;
+  std::vector<VertexId> owned_adjacency_;
+  std::shared_ptr<const void> backing_;
+  std::size_t backing_bytes_ = 0;
+  bool mapped_ = false;
+
+  const uint64_t* offsets_ = nullptr;
+  std::size_t num_offsets_ = 0;
+  const VertexId* adjacency_ = nullptr;
+  std::size_t num_adjacency_ = 0;
   std::size_t max_degree_ = 0;
 };
 

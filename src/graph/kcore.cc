@@ -2,9 +2,44 @@
 
 #include <deque>
 
-#include "graph/builder.h"
+#include "graph/csr_access.h"
 
 namespace kplex {
+namespace {
+
+// Compacts `graph` onto the vertices with keep[v] != 0. Neighbor rows
+// are filtered in place-order: a subsequence of a strictly ascending row
+// is strictly ascending, and id-order compaction preserves comparisons,
+// so the result satisfies the Graph invariants without a builder pass.
+CoreReduction InducedOnKept(const Graph& graph,
+                            const std::vector<char>& keep) {
+  const std::size_t n = graph.NumVertices();
+  CoreReduction result;
+  std::vector<VertexId> new_id(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      new_id[v] = static_cast<VertexId>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+  if (result.to_original.empty()) return result;
+
+  std::vector<uint64_t> offsets;
+  offsets.reserve(result.to_original.size() + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> adjacency;
+  for (VertexId v : result.to_original) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (keep[u]) adjacency.push_back(new_id[u]);
+    }
+    offsets.push_back(adjacency.size());
+  }
+  result.graph = CsrAccess::FromVectors(std::move(offsets),
+                                        std::move(adjacency));
+  return result;
+}
+
+}  // namespace
 
 CoreReduction ReduceToCore(const Graph& graph, uint32_t c) {
   const std::size_t n = graph.NumVertices();
@@ -29,23 +64,27 @@ CoreReduction ReduceToCore(const Graph& graph, uint32_t c) {
     }
   }
 
-  CoreReduction result;
-  std::vector<VertexId> new_id(n, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    if (!removed[v]) {
-      new_id[v] = static_cast<VertexId>(result.to_original.size());
-      result.to_original.push_back(v);
-    }
+  std::vector<char> keep(n, 0);
+  for (VertexId v = 0; v < n; ++v) keep[v] = !removed[v];
+  return InducedOnKept(graph, keep);
+}
+
+CoreReduction ReduceToCoreFromCoreness(const Graph& graph, uint32_t c,
+                                       std::span<const uint32_t> coreness) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<char> keep(n, 0);
+  for (std::size_t v = 0; v < n; ++v) keep[v] = coreness[v] >= c;
+  return InducedOnKept(graph, keep);
+}
+
+CoreReduction ReduceToCoreFromMask(const Graph& graph,
+                                   std::span<const uint64_t> mask) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<char> keep(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    keep[v] = (mask[v / 64] >> (v % 64)) & 1;
   }
-  GraphBuilder builder(result.to_original.size());
-  for (VertexId v = 0; v < n; ++v) {
-    if (removed[v]) continue;
-    for (VertexId u : graph.Neighbors(v)) {
-      if (!removed[u] && v < u) builder.AddEdge(new_id[v], new_id[u]);
-    }
-  }
-  result.graph = builder.Build();
-  return result;
+  return InducedOnKept(graph, keep);
 }
 
 }  // namespace kplex

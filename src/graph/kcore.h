@@ -1,10 +1,17 @@
 // k-core reduction (Theorem 3.5): every k-plex with at least q vertices
 // lies inside the (q-k)-core, so the enumerators first shrink the input
 // graph to that core and work on the compacted survivor graph.
+//
+// Two construction paths produce the same CoreReduction:
+//  - ReduceToCore peels the graph (the cold path);
+//  - ReduceToCoreFromCoreness / ReduceToCoreFromMask take membership
+//    from precomputed snapshot sections and only filter the CSR — no
+//    peel, no sort (filtered sorted rows stay sorted).
 
 #ifndef KPLEX_GRAPH_KCORE_H_
 #define KPLEX_GRAPH_KCORE_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -21,6 +28,17 @@ struct CoreReduction {
 /// Returns the induced subgraph on the c-core of `graph` (the maximal
 /// induced subgraph with minimum degree >= c). May be empty.
 CoreReduction ReduceToCore(const Graph& graph, uint32_t c);
+
+/// c-core via precomputed coreness values (the c-core is exactly
+/// {v : coreness[v] >= c}): skips the peel, filters the CSR directly.
+/// `coreness` must have size NumVertices().
+CoreReduction ReduceToCoreFromCoreness(const Graph& graph, uint32_t c,
+                                       std::span<const uint32_t> coreness);
+
+/// Induced subgraph on the vertices whose bit is set in `mask`
+/// (ceil(n/64) packed uint64 words, bit v = keep vertex v).
+CoreReduction ReduceToCoreFromMask(const Graph& graph,
+                                   std::span<const uint64_t> mask);
 
 }  // namespace kplex
 

@@ -1,0 +1,48 @@
+#include "graph/precompute.h"
+
+#include "graph/degeneracy.h"
+
+namespace kplex {
+
+std::size_t GraphPrecompute::MemoryBytes() const {
+  std::size_t bytes = order.capacity() * sizeof(VertexId) +
+                      coreness.capacity() * sizeof(uint32_t);
+  for (const auto& [level, mask] : core_masks) {
+    (void)level;
+    bytes += mask.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+std::string GraphPrecompute::AvailabilityTag() const {
+  std::string tag;
+  if (has_order()) tag = "order";
+  if (has_coreness()) tag += tag.empty() ? "core" : "+core";
+  if (tag.empty()) return "none";
+  if (!core_masks.empty()) tag += "+masks";
+  return tag;
+}
+
+GraphPrecompute ComputeGraphPrecompute(
+    const Graph& graph, std::span<const uint32_t> mask_levels) {
+  DegeneracyResult degeneracy = ComputeDegeneracy(graph);
+  GraphPrecompute pre;
+  pre.order = std::move(degeneracy.order);
+  pre.coreness = std::move(degeneracy.coreness);
+  pre.degeneracy = degeneracy.degeneracy;
+  for (uint32_t level : mask_levels) {
+    pre.core_masks.emplace(level, PackCoreMask(pre.coreness, level));
+  }
+  return pre;
+}
+
+std::vector<uint64_t> PackCoreMask(std::span<const uint32_t> coreness,
+                                   uint32_t level) {
+  std::vector<uint64_t> mask((coreness.size() + 63) / 64, 0);
+  for (std::size_t v = 0; v < coreness.size(); ++v) {
+    if (coreness[v] >= level) mask[v / 64] |= uint64_t{1} << (v % 64);
+  }
+  return mask;
+}
+
+}  // namespace kplex

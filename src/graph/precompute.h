@@ -1,0 +1,78 @@
+// Precomputed reduction sections carried by v2 snapshots. The
+// enumeration pipeline's cold-start cost (after parsing) is the
+// (q-k)-core peel plus the degeneracy ordering of the survivors; both
+// derive from a single degeneracy decomposition of the full graph, so a
+// snapshot that stores the peeling order and coreness values lets every
+// subsequent `mine` skip reduction:
+//
+//  - the (q-k)-core is exactly {v : coreness[v] >= q-k} (cores are the
+//    coreness level sets), so membership is a comparison, not a peel;
+//  - coreness is non-decreasing along the peeling order, so the c-core
+//    survivors form a suffix of the stored order, and that restriction
+//    *is* the degeneracy ordering of the induced core subgraph (the
+//    peel of the remainder proceeds identically), tie-breaks included
+//    (id-order compaction preserves the by-id tie rule).
+//
+// Optional per-level core masks additionally store the membership bits
+// for hot (q-k) families so warm loads skip even the comparison scan.
+
+#ifndef KPLEX_GRAPH_PRECOMPUTE_H_
+#define KPLEX_GRAPH_PRECOMPUTE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kplex {
+
+struct GraphPrecompute {
+  /// Degeneracy peeling order of the full graph (size n, or empty when
+  /// the section is absent).
+  std::vector<VertexId> order;
+  /// coreness[v] = largest c with v in the c-core (size n, or empty).
+  std::vector<uint32_t> coreness;
+  /// Graph degeneracy (max coreness); meaningful iff coreness present.
+  uint32_t degeneracy = 0;
+  /// level c -> packed membership bitmask of the c-core, ceil(n/64)
+  /// little-endian uint64 words, bit v = vertex v survives.
+  std::map<uint32_t, std::vector<uint64_t>> core_masks;
+
+  bool has_order() const { return !order.empty(); }
+  bool has_coreness() const { return !coreness.empty(); }
+  bool empty() const {
+    return order.empty() && coreness.empty() && core_masks.empty();
+  }
+
+  /// The stored mask for exactly `level`, or nullptr.
+  const std::vector<uint64_t>* MaskFor(uint32_t level) const {
+    auto it = core_masks.find(level);
+    return it == core_masks.end() ? nullptr : &it->second;
+  }
+
+  /// Heap bytes held (catalog accounting).
+  std::size_t MemoryBytes() const;
+
+  /// Compact availability tag for query signatures and stats output:
+  /// "none", "order", "core", or "order+core"; stored masks append
+  /// "+masks". Availability — not content — so equal-result queries
+  /// against the same sections share a cache slot.
+  std::string AvailabilityTag() const;
+};
+
+/// Computes the sections for `graph`: peeling order, coreness, and a
+/// packed core mask per requested level (levels with an empty core are
+/// still stored — an all-zero mask is a valid, useful answer).
+GraphPrecompute ComputeGraphPrecompute(const Graph& graph,
+                                       std::span<const uint32_t> mask_levels);
+
+/// Packs {v : coreness[v] >= level} into ceil(n/64) uint64 words.
+std::vector<uint64_t> PackCoreMask(std::span<const uint32_t> coreness,
+                                   uint32_t level);
+
+}  // namespace kplex
+
+#endif  // KPLEX_GRAPH_PRECOMPUTE_H_

@@ -5,27 +5,22 @@
 #include <utility>
 #include <vector>
 
+#include "graph/csr_access.h"
 #include "graph/edge_list_io.h"
+#include "util/mmap_file.h"
 
 namespace kplex {
-
-/// Befriended by Graph: constructs instances straight from validated CSR
-/// arrays, bypassing the GraphBuilder normalization pass.
-class SnapshotAccess {
- public:
-  static Graph Make(std::vector<uint64_t> offsets,
-                    std::vector<VertexId> adjacency) {
-    return Graph(std::move(offsets), std::move(adjacency));
-  }
-};
-
 namespace {
 
 constexpr char kMagic[8] = {'K', 'P', 'X', 'S', 'N', 'A', 'P', '\0'};
 constexpr uint32_t kByteOrderTag = 0x01020304u;
 constexpr std::size_t kSectionAlign = 64;
+// Backstop against absurd section counts in crafted headers; a real v2
+// file has 2 required sections plus a handful of optional ones.
+constexpr uint32_t kMaxSections = 4096;
 
-struct SnapshotHeader {
+// v1 layout: header, offsets, adjacency, one whole-content checksum.
+struct SnapshotHeaderV1 {
   char magic[8];
   uint32_t version;
   uint32_t byte_order;
@@ -36,8 +31,45 @@ struct SnapshotHeader {
   uint64_t checksum;        // FNV-1a over both blobs, offsets first
   uint8_t pad[8];
 };
-static_assert(sizeof(SnapshotHeader) == kSectionAlign,
+static_assert(sizeof(SnapshotHeaderV1) == kSectionAlign,
               "header must fill exactly one aligned section");
+
+// v2 layout: header, section table, 64-byte-aligned payloads. The
+// header checksums the table; each table entry checksums its payload.
+struct SnapshotHeaderV2 {
+  char magic[8];
+  uint32_t version;
+  uint32_t byte_order;
+  uint64_t num_vertices;
+  uint64_t num_adjacency;
+  uint32_t section_count;
+  uint32_t reserved;
+  uint64_t table_checksum;  // FNV-1a over the section table bytes
+  uint64_t reserved2;
+  uint8_t pad[8];
+};
+static_assert(sizeof(SnapshotHeaderV2) == kSectionAlign,
+              "header must fill exactly one aligned section");
+
+// Section identifiers. Readers skip unknown types (forward compat);
+// `param` is type-specific: the core-mask level, or the graph
+// degeneracy on the coreness section.
+enum SectionType : uint32_t {
+  kSectionOffsets = 1,    // uint64_t[n + 1]
+  kSectionAdjacency = 2,  // VertexId[num_adjacency]
+  kSectionOrder = 3,      // VertexId[n], degeneracy peeling order
+  kSectionCoreness = 4,   // uint32_t[n]; param = degeneracy
+  kSectionCoreMask = 5,   // uint64_t[ceil(n/64)]; param = core level
+};
+
+struct SectionEntry {
+  uint32_t type;
+  uint32_t param;
+  uint64_t offset;  // absolute file offset, 64-byte aligned
+  uint64_t length;  // payload bytes (unpadded)
+  uint64_t checksum;  // FNV-1a over the payload
+};
+static_assert(sizeof(SectionEntry) == 32, "section table entry is 32 bytes");
 
 std::size_t AlignUp(std::size_t offset) {
   return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
@@ -52,10 +84,16 @@ uint64_t Fnv1a(uint64_t hash, const void* data, std::size_t bytes) {
   return hash;
 }
 
-uint64_t ContentChecksum(const uint64_t* offsets, std::size_t offsets_bytes,
-                         const VertexId* adjacency,
-                         std::size_t adjacency_bytes) {
-  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+uint64_t SectionChecksum(const void* data, std::size_t bytes) {
+  return Fnv1a(kFnvBasis, data, bytes);
+}
+
+uint64_t ContentChecksumV1(const uint64_t* offsets, std::size_t offsets_bytes,
+                           const VertexId* adjacency,
+                           std::size_t adjacency_bytes) {
+  uint64_t hash = kFnvBasis;
   hash = Fnv1a(hash, offsets, offsets_bytes);
   hash = Fnv1a(hash, adjacency, adjacency_bytes);
   return hash;
@@ -70,9 +108,43 @@ Status WritePadding(std::FILE* f, std::size_t bytes) {
   return Status::Ok();
 }
 
-}  // namespace
+// Structural CSR validation: monotone offsets bracketing the adjacency
+// array, and per-row neighbor lists that are strictly ascending, in
+// range, and self-loop free — the invariants Graph::HasEdge's binary
+// search and the enumerators rely on. (A checksum match already implies
+// an uncorrupted SaveSnapshot product; this rejects handcrafted files.
+// Row symmetry is the one invariant not checked — it would cost a
+// search per edge.)
+Status ValidateCsr(const uint64_t* offsets, uint64_t num_vertices,
+                   const VertexId* adjacency, uint64_t num_adjacency,
+                   const std::string& path) {
+  if (offsets[0] != 0 || offsets[num_vertices] != num_adjacency) {
+    return Status::InvalidArgument("snapshot offsets do not bracket the "
+                                   "adjacency array in '" + path + "'");
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("non-monotone snapshot offsets in '" +
+                                     path + "'");
+    }
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (adjacency[i] >= num_vertices ||
+          adjacency[i] == static_cast<VertexId>(v) ||
+          (i > offsets[v] && adjacency[i - 1] >= adjacency[i])) {
+        return Status::InvalidArgument(
+            "invalid adjacency row (unsorted, duplicate, self-loop, or "
+            "out-of-range id) in '" + path + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
 
-Status SaveSnapshot(const Graph& graph, const std::string& path) {
+// The canonical offsets array of an empty (default-constructed) graph,
+// which has no owned offsets to serialize.
+constexpr uint64_t kEmptyOffsets[1] = {0};
+
+Status SaveSnapshotV1(const Graph& graph, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for writing");
@@ -80,24 +152,21 @@ Status SaveSnapshot(const Graph& graph, const std::string& path) {
 
   const auto offsets = graph.RawOffsets();
   const auto adjacency = graph.RawAdjacency();
-  // An empty (default-constructed) graph has no offset array; serialize
-  // it as n = 0 with the canonical single-entry offsets [0].
-  static constexpr uint64_t kEmptyOffsets[1] = {0};
   const uint64_t* offsets_data = offsets.empty() ? kEmptyOffsets
                                                  : offsets.data();
   const std::size_t offsets_count = offsets.empty() ? 1 : offsets.size();
 
-  SnapshotHeader header = {};
+  SnapshotHeaderV1 header = {};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kSnapshotVersion;
+  header.version = kSnapshotVersionLegacy;
   header.byte_order = kByteOrderTag;
   header.num_vertices = offsets_count - 1;
   header.num_adjacency = adjacency.size();
   header.offsets_bytes = offsets_count * sizeof(uint64_t);
   header.adjacency_bytes = adjacency.size() * sizeof(VertexId);
-  header.checksum = ContentChecksum(offsets_data, header.offsets_bytes,
-                                    adjacency.data(),
-                                    header.adjacency_bytes);
+  header.checksum = ContentChecksumV1(offsets_data, header.offsets_bytes,
+                                      adjacency.data(),
+                                      header.adjacency_bytes);
 
   Status status = Status::Ok();
   if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
@@ -123,7 +192,97 @@ Status SaveSnapshot(const Graph& graph, const std::string& path) {
   return status;
 }
 
-StatusOr<Graph> LoadSnapshot(const std::string& path) {
+Status SaveSnapshotV2(const Graph& graph, const std::string& path,
+                      const SnapshotWriteOptions& options) {
+  const auto offsets = graph.RawOffsets();
+  const auto adjacency = graph.RawAdjacency();
+  const uint64_t* offsets_data = offsets.empty() ? kEmptyOffsets
+                                                 : offsets.data();
+  const std::size_t offsets_count = offsets.empty() ? 1 : offsets.size();
+
+  GraphPrecompute pre;
+  const bool with_precompute =
+      options.include_precompute || !options.core_mask_levels.empty();
+  if (with_precompute) {
+    pre = ComputeGraphPrecompute(graph, options.core_mask_levels);
+  }
+
+  struct Blob {
+    uint32_t type;
+    uint32_t param;
+    const void* data;
+    std::size_t bytes;
+  };
+  std::vector<Blob> blobs;
+  blobs.push_back({kSectionOffsets, 0, offsets_data,
+                   offsets_count * sizeof(uint64_t)});
+  blobs.push_back({kSectionAdjacency, 0, adjacency.data(),
+                   adjacency.size() * sizeof(VertexId)});
+  if (with_precompute) {
+    blobs.push_back({kSectionOrder, 0, pre.order.data(),
+                     pre.order.size() * sizeof(VertexId)});
+    blobs.push_back({kSectionCoreness, pre.degeneracy, pre.coreness.data(),
+                     pre.coreness.size() * sizeof(uint32_t)});
+    for (const auto& [level, mask] : pre.core_masks) {
+      blobs.push_back({kSectionCoreMask, level, mask.data(),
+                       mask.size() * sizeof(uint64_t)});
+    }
+  }
+
+  SnapshotHeaderV2 header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kSnapshotVersion;
+  header.byte_order = kByteOrderTag;
+  header.num_vertices = offsets_count - 1;
+  header.num_adjacency = adjacency.size();
+  header.section_count = static_cast<uint32_t>(blobs.size());
+
+  std::vector<SectionEntry> table(blobs.size());
+  std::size_t pos = AlignUp(sizeof(header) +
+                            blobs.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    table[i].type = blobs[i].type;
+    table[i].param = blobs[i].param;
+    table[i].offset = pos;
+    table[i].length = blobs[i].bytes;
+    table[i].checksum = SectionChecksum(blobs[i].data, blobs[i].bytes);
+    pos = AlignUp(pos + blobs[i].bytes);
+  }
+  header.table_checksum =
+      SectionChecksum(table.data(), table.size() * sizeof(SectionEntry));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  Status status = Status::Ok();
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    status = Status::IoError("short write of snapshot header");
+  }
+  if (status.ok() && !table.empty() &&
+      std::fwrite(table.data(), sizeof(SectionEntry), table.size(), f) !=
+          table.size()) {
+    status = Status::IoError("short write of snapshot section table");
+  }
+  std::size_t written = sizeof(header) + table.size() * sizeof(SectionEntry);
+  for (std::size_t i = 0; status.ok() && i < blobs.size(); ++i) {
+    status = WritePadding(f, table[i].offset - written);
+    if (!status.ok()) break;
+    if (blobs[i].bytes > 0 &&
+        std::fwrite(blobs[i].data, 1, blobs[i].bytes, f) != blobs[i].bytes) {
+      status = Status::IoError("short write of snapshot section");
+      break;
+    }
+    written = table[i].offset + blobs[i].bytes;
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("close failed for '" + path + "'");
+  }
+  return status;
+}
+
+// The original buffered v1 reader, kept verbatim as the legacy path.
+StatusOr<LoadedSnapshot> LoadSnapshotV1(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");
@@ -133,23 +292,10 @@ StatusOr<Graph> LoadSnapshot(const std::string& path) {
     ~Closer() { std::fclose(f); }
   } closer{f};
 
-  SnapshotHeader header;
+  SnapshotHeaderV1 header;
   if (std::fread(&header, sizeof(header), 1, f) != 1) {
     return Status::InvalidArgument("'" + path +
                                    "' is too short for a snapshot header");
-  }
-  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path + "' is not a kplex snapshot");
-  }
-  if (header.byte_order != kByteOrderTag) {
-    return Status::InvalidArgument(
-        "'" + path + "' was written on a machine with different byte order");
-  }
-  if (header.version != kSnapshotVersion) {
-    return Status::InvalidArgument(
-        "unsupported snapshot version " + std::to_string(header.version) +
-        " in '" + path + "' (expected " + std::to_string(kSnapshotVersion) +
-        ")");
   }
   if (header.num_vertices > static_cast<uint64_t>(VertexId(-1)) ||
       header.num_adjacency > UINT64_MAX / sizeof(VertexId) ||
@@ -196,41 +342,325 @@ StatusOr<Graph> LoadSnapshot(const std::string& path) {
                                    path + "'");
   }
 
-  if (ContentChecksum(offsets.data(), header.offsets_bytes, adjacency.data(),
-                      header.adjacency_bytes) != header.checksum) {
+  if (ContentChecksumV1(offsets.data(), header.offsets_bytes,
+                        adjacency.data(),
+                        header.adjacency_bytes) != header.checksum) {
     return Status::InvalidArgument("snapshot checksum mismatch in '" + path +
                                    "' (corrupted content)");
   }
 
-  // Structural CSR validation: monotone offsets bracketing the adjacency
-  // array, and per-row neighbor lists that are strictly ascending, in
-  // range, and self-loop free — the invariants Graph::HasEdge's binary
-  // search and the enumerators rely on. (A checksum match already
-  // implies an uncorrupted SaveSnapshot product; this rejects
-  // handcrafted files. Row symmetry is the one invariant not checked —
-  // it would cost a search per edge.)
-  if (offsets.front() != 0 || offsets.back() != header.num_adjacency) {
-    return Status::InvalidArgument("snapshot offsets do not bracket the "
-                                   "adjacency array in '" + path + "'");
+  KPLEX_RETURN_IF_ERROR(ValidateCsr(offsets.data(), header.num_vertices,
+                                    adjacency.data(), header.num_adjacency,
+                                    path));
+
+  LoadedSnapshot loaded;
+  loaded.version = kSnapshotVersionLegacy;
+  if (header.num_vertices > 0) {
+    loaded.graph = CsrAccess::FromVectors(std::move(offsets),
+                                          std::move(adjacency));
   }
-  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
-    if (offsets[v] > offsets[v + 1]) {
-      return Status::InvalidArgument("non-monotone snapshot offsets in '" +
-                                     path + "'");
+  return loaded;
+}
+
+// Decodes a v2 snapshot from `data`/`size` (an mmap'ed file or a loaded
+// buffer). On success the graph's CSR arrays are views into the buffer,
+// kept alive through `backing`.
+StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
+                                         std::size_t size,
+                                         std::shared_ptr<const void> backing,
+                                         bool mapped,
+                                         const std::string& path) {
+  SnapshotHeaderV2 header;
+  std::memcpy(&header, data, sizeof(header));  // caller checked size >= 64
+
+  // The adjacency bound is file-size-relative, which both prevents the
+  // `num_adjacency * sizeof(VertexId)` length comparison below from
+  // wrapping (a 2^62 claim times 4 is 0 mod 2^64 and would match a
+  // zero-length section) and rejects any claim the file cannot hold.
+  if (header.num_vertices > static_cast<uint64_t>(VertexId(-1)) ||
+      header.num_adjacency % 2 != 0 ||
+      header.num_adjacency > size / sizeof(VertexId) ||
+      header.section_count > kMaxSections) {
+    return Status::InvalidArgument("inconsistent snapshot header in '" +
+                                   path + "'");
+  }
+  const uint64_t n = header.num_vertices;
+  const uint64_t table_bytes =
+      uint64_t{header.section_count} * sizeof(SectionEntry);
+  if (sizeof(header) + table_bytes > size) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is shorter than its section table");
+  }
+  const auto* table =
+      reinterpret_cast<const SectionEntry*>(data + sizeof(header));
+  if (SectionChecksum(table, table_bytes) != header.table_checksum) {
+    return Status::InvalidArgument("snapshot section-table checksum "
+                                   "mismatch in '" + path +
+                                   "' (corrupted content)");
+  }
+
+  LoadedSnapshot loaded;
+  loaded.version = kSnapshotVersion;
+  const uint64_t* offsets = nullptr;
+  const VertexId* adjacency = nullptr;
+  bool saw_adjacency = false;
+
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    const SectionEntry& entry = table[i];
+    if (entry.offset % kSectionAlign != 0 || entry.offset > size ||
+        entry.length > size - entry.offset) {
+      return Status::InvalidArgument(
+          "snapshot '" + path +
+          "' declares a section outside the file or misaligned");
     }
-    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
-      if (adjacency[i] >= header.num_vertices ||
-          adjacency[i] == static_cast<VertexId>(v) ||
-          (i > offsets[v] && adjacency[i - 1] >= adjacency[i])) {
+    const unsigned char* payload = data + entry.offset;
+    if (SectionChecksum(payload, entry.length) != entry.checksum) {
+      return Status::InvalidArgument("snapshot checksum mismatch in '" +
+                                     path + "' (corrupted content)");
+    }
+    switch (entry.type) {
+      case kSectionOffsets:
+        if (offsets != nullptr || entry.length != (n + 1) * sizeof(uint64_t)) {
+          return Status::InvalidArgument(
+              "duplicate or mis-sized offsets section in '" + path + "'");
+        }
+        offsets = reinterpret_cast<const uint64_t*>(payload);
+        break;
+      case kSectionAdjacency:
+        if (saw_adjacency ||
+            entry.length != header.num_adjacency * sizeof(VertexId)) {
+          return Status::InvalidArgument(
+              "duplicate or mis-sized adjacency section in '" + path + "'");
+        }
+        adjacency = reinterpret_cast<const VertexId*>(payload);
+        saw_adjacency = true;
+        break;
+      case kSectionOrder:
+        if (!loaded.precompute.order.empty() ||
+            entry.length != n * sizeof(VertexId)) {
+          return Status::InvalidArgument(
+              "duplicate or mis-sized order section in '" + path + "'");
+        }
+        loaded.precompute.order.resize(n);
+        std::memcpy(loaded.precompute.order.data(), payload, entry.length);
+        break;
+      case kSectionCoreness:
+        if (!loaded.precompute.coreness.empty() ||
+            entry.length != n * sizeof(uint32_t)) {
+          return Status::InvalidArgument(
+              "duplicate or mis-sized coreness section in '" + path + "'");
+        }
+        loaded.precompute.coreness.resize(n);
+        std::memcpy(loaded.precompute.coreness.data(), payload, entry.length);
+        loaded.precompute.degeneracy = entry.param;
+        break;
+      case kSectionCoreMask: {
+        if (entry.length != ((n + 63) / 64) * sizeof(uint64_t) ||
+            loaded.precompute.core_masks.count(entry.param) > 0) {
+          return Status::InvalidArgument(
+              "duplicate or mis-sized core-mask section in '" + path + "'");
+        }
+        std::vector<uint64_t> mask((n + 63) / 64);
+        std::memcpy(mask.data(), payload, entry.length);
+        loaded.precompute.core_masks.emplace(entry.param, std::move(mask));
+        break;
+      }
+      default:
+        break;  // unknown section from a newer writer: skip
+    }
+  }
+
+  if (offsets == nullptr || !saw_adjacency) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is missing its CSR sections");
+  }
+  KPLEX_RETURN_IF_ERROR(
+      ValidateCsr(offsets, n, adjacency, header.num_adjacency, path));
+
+  // The order section indexes into per-vertex arrays downstream; a
+  // checksum-valid handcrafted file must not smuggle in out-of-range
+  // ids or duplicates, so require a permutation of [0, n).
+  if (!loaded.precompute.order.empty()) {
+    std::vector<char> seen(n, 0);
+    for (VertexId v : loaded.precompute.order) {
+      if (v >= n || seen[v]) {
         return Status::InvalidArgument(
-            "invalid adjacency row (unsorted, duplicate, self-loop, or "
-            "out-of-range id) in '" + path + "'");
+            "order section is not a permutation in '" + path + "'");
+      }
+      seen[v] = 1;
+    }
+  }
+  // Same threat model for masks: a mask is *defined* as the coreness
+  // level set, and the reduction stage prefers it over the comparison
+  // scan, so an inconsistent handcrafted mask would silently drop
+  // vertices from the survivor graph. Masks are only ever consumed
+  // alongside coreness, so this check covers every consulted mask.
+  if (loaded.precompute.has_coreness()) {
+    for (const auto& [level, mask] : loaded.precompute.core_masks) {
+      if (mask != PackCoreMask(loaded.precompute.coreness, level)) {
+        return Status::InvalidArgument(
+            "core-mask section for level " + std::to_string(level) +
+            " contradicts the coreness section in '" + path + "'");
       }
     }
   }
 
-  if (header.num_vertices == 0) return Graph();
-  return SnapshotAccess::Make(std::move(offsets), std::move(adjacency));
+  if (n > 0) {
+    loaded.graph = CsrAccess::FromView(offsets, n + 1, adjacency,
+                                       header.num_adjacency,
+                                       std::move(backing), size, mapped);
+    loaded.mapped = mapped;
+  }
+  return loaded;
+}
+
+// Buffered v2 fallback for platforms (or files) mmap cannot serve: read
+// the whole file into one uint64_t-aligned heap buffer and parse views
+// into it — still a single allocation and no per-section copies.
+StatusOr<LoadedSnapshot> LoadSnapshotV2Buffered(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  const std::size_t size = static_cast<std::size_t>(file_size);
+  if (size < sizeof(SnapshotHeaderV2)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is too short for a snapshot header");
+  }
+  // uint64_t elements guarantee alignment for every section type.
+  auto buffer = std::make_shared<std::vector<uint64_t>>((size + 7) / 8);
+  if (size > 0 && std::fread(buffer->data(), 1, size, f) != size) {
+    return Status::IoError("short read of '" + path + "'");
+  }
+  const auto* data = reinterpret_cast<const unsigned char*>(buffer->data());
+  return ParseSnapshotV2(data, size, buffer, /*mapped=*/false, path);
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> ParseCoreLevelList(const std::string& list) {
+  std::vector<uint32_t> levels;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    uint64_t value = 0;
+    bool valid = !token.empty() && token.size() <= 10;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (!valid || value > UINT32_MAX) {
+      return Status::InvalidArgument("malformed core-level entry '" + token +
+                                     "' in '" + list + "'");
+    }
+    levels.push_back(static_cast<uint32_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return levels;
+}
+
+Status SaveSnapshot(const Graph& graph, const std::string& path,
+                    const SnapshotWriteOptions& options) {
+  if (options.version != kSnapshotVersion &&
+      options.version != kSnapshotVersionLegacy) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(options.version));
+  }
+  if (options.version == kSnapshotVersionLegacy &&
+      (options.include_precompute || !options.core_mask_levels.empty())) {
+    return Status::InvalidArgument(
+        "v1 snapshots cannot carry precompute sections");
+  }
+  // Write to a sibling temp file and rename into place. Two reasons:
+  // a reader never sees a half-written snapshot, and — critically —
+  // `graph` may be a zero-copy view of a mapping of `path` itself
+  // (e.g. re-encoding a snapshot with --precompute onto its own file);
+  // truncating the mapped file in place would SIGBUS on the very pages
+  // being serialized.
+  // (Concurrent writers to one target path remain unsupported, as
+  // before; the fixed suffix keeps crash leftovers discoverable.)
+  const std::string tmp = path + ".tmp";
+  Status written = options.version == kSnapshotVersionLegacy
+                       ? SaveSnapshotV1(graph, tmp)
+                       : SaveSnapshotV2(graph, tmp, options);
+  if (!written.ok()) {
+    std::remove(tmp.c_str());
+    return written;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot move snapshot into place at '" + path +
+                           "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<LoadedSnapshot> LoadSnapshotFull(const std::string& path) {
+  // Sniff the header through buffered IO to pick the decode path; the
+  // v2 reader then maps the file (or falls back to one buffered read).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  unsigned char sniff[16];
+  const bool have_sniff = std::fread(sniff, sizeof(sniff), 1, f) == 1;
+  std::fclose(f);
+  if (!have_sniff) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is too short for a snapshot header");
+  }
+  if (std::memcmp(sniff, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a kplex snapshot");
+  }
+  uint32_t version, byte_order;
+  std::memcpy(&version, sniff + 8, sizeof(version));
+  std::memcpy(&byte_order, sniff + 12, sizeof(byte_order));
+  if (byte_order != kByteOrderTag) {
+    return Status::InvalidArgument(
+        "'" + path + "' was written on a machine with different byte order");
+  }
+  if (version == kSnapshotVersionLegacy) return LoadSnapshotV1(path);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) + " in '" +
+        path + "' (expected <= " + std::to_string(kSnapshotVersion) + ")");
+  }
+
+  auto mapping = MappedFile::Open(path);
+  if (mapping.ok()) {
+    const MappedFile& file = **mapping;
+    if (file.size() < sizeof(SnapshotHeaderV2)) {
+      return Status::InvalidArgument("'" + path +
+                                     "' is too short for a snapshot header");
+    }
+    return ParseSnapshotV2(file.data(), file.size(), *mapping,
+                           /*mapped=*/true, path);
+  }
+  return LoadSnapshotV2Buffered(path);
+}
+
+StatusOr<Graph> LoadSnapshot(const std::string& path) {
+  auto loaded = LoadSnapshotFull(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->graph);
 }
 
 bool LooksLikeSnapshot(const std::string& path) {
@@ -245,8 +675,18 @@ bool LooksLikeSnapshot(const std::string& path) {
 }
 
 StatusOr<Graph> LoadGraphAuto(const std::string& path) {
-  if (LooksLikeSnapshot(path)) return LoadSnapshot(path);
-  return LoadEdgeList(path);
+  auto loaded = LoadGraphAutoFull(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->graph);
+}
+
+StatusOr<LoadedSnapshot> LoadGraphAutoFull(const std::string& path) {
+  if (LooksLikeSnapshot(path)) return LoadSnapshotFull(path);
+  auto parsed = LoadEdgeList(path);
+  if (!parsed.ok()) return parsed.status();
+  LoadedSnapshot loaded;
+  loaded.graph = *std::move(parsed);
+  return loaded;
 }
 
 }  // namespace kplex

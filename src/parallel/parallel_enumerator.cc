@@ -8,12 +8,9 @@
 #include <vector>
 
 #include "core/branch.h"
-#include "core/ordering.h"
+#include "core/reduction.h"
 #include "core/seed_graph.h"
 #include "core/subtask.h"
-#include "graph/ctcp.h"
-#include "graph/degeneracy.h"
-#include "graph/kcore.h"
 #include "parallel/task_queue.h"
 #include "util/timer.h"
 
@@ -252,27 +249,18 @@ StatusOr<EnumResult> ParallelEnumerateMaximalKPlexes(
   WallTimer timer;
   EnumResult result;
 
-  const uint32_t core_level =
-      options.q >= options.k ? options.q - options.k : 0;
-  CoreReduction core;
-  if (options.use_ctcp_preprocess) {
-    CtcpResult ctcp = CtcpReduce(graph, options.k, options.q);
-    core.graph = std::move(ctcp.graph);
-    core.to_original = std::move(ctcp.to_original);
-  } else {
-    core = ReduceToCore(graph, core_level);
-  }
+  PreparedReduction prepared = PrepareReduction(graph, options,
+                                                result.counters);
+  CoreReduction& core = prepared.core;
   if (core.graph.NumVertices() == 0) {
     result.seconds = timer.ElapsedSeconds();
     return result;
   }
-  DegeneracyResult degeneracy =
-      MakeSeedOrdering(core.graph, options.ordering);
 
   ParallelRunner runner(core.graph, std::move(core.to_original),
-                        std::move(degeneracy), options, parallel_options,
-                        sink);
-  result.counters = runner.Run();
+                        std::move(prepared.ordering), options,
+                        parallel_options, sink);
+  result.counters.MergeFrom(runner.Run());
   result.cancelled = runner.observed_cancel();
   result.stopped_early = runner.stopped_early();
   result.num_plexes = result.counters.outputs;

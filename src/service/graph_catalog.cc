@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "bench_common/dataset_registry.h"
-#include "graph/snapshot.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -32,6 +31,8 @@ Status GraphCatalog::RegisterGraph(const std::string& name, Graph graph) {
   entry.num_vertices = graph.NumVertices();
   entry.num_edges = graph.NumEdges();
   entry.memory_bytes = graph.MemoryBytes();
+  entry.mapped_bytes = graph.MappedBytes();
+  entry.precompute_tag = "none";
   entry.loads = 1;
   entry.graph = std::make_shared<const Graph>(std::move(graph));
   return RegisterLocked(name, std::move(entry));
@@ -49,69 +50,113 @@ Status GraphCatalog::RegisterLocked(const std::string& name, Entry entry) {
   entry.sequence = next_sequence_++;
   const bool resident = entry.graph != nullptr;
   const std::size_t bytes = entry.memory_bytes;
+  const std::size_t mapped = entry.mapped_bytes;
   entries_.emplace(name, std::move(entry));
   if (resident) {
     resident_bytes_ += bytes;
+    mapped_resident_bytes_ += mapped;
     lru_.Touch(name);
     EvictOverBudget(name);
   }
   return Status::Ok();
 }
 
-StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Materialize(
-    const std::string& name, Entry& entry) {
+Status GraphCatalog::Materialize(const std::string& name, Entry& entry) {
   WallTimer timer;
-  StatusOr<Graph> loaded = Status::Internal("unreachable");
+  LoadedSnapshot loaded;
   switch (entry.kind) {
-    case SourceKind::kFile:
-      loaded = LoadGraphAuto(entry.locator);
+    case SourceKind::kFile: {
+      auto result = LoadGraphAutoFull(entry.locator);
+      if (!result.ok()) return result.status();
+      loaded = *std::move(result);
       break;
-    case SourceKind::kDataset:
-      loaded = LoadDataset(entry.locator);
+    }
+    case SourceKind::kDataset: {
+      auto result = LoadDataset(entry.locator);
+      if (!result.ok()) return result.status();
+      loaded.graph = *std::move(result);
       break;
+    }
     case SourceKind::kPinned:
       return Status::Internal("pinned entry '" + name + "' lost its graph");
   }
-  if (!loaded.ok()) return loaded.status();
-  entry.num_vertices = loaded->NumVertices();
-  entry.num_edges = loaded->NumEdges();
-  entry.memory_bytes = loaded->MemoryBytes();
-  entry.graph = std::make_shared<const Graph>(*std::move(loaded));
+  entry.num_vertices = loaded.graph.NumVertices();
+  entry.num_edges = loaded.graph.NumEdges();
+  entry.precompute_tag = loaded.precompute.AvailabilityTag();
+  entry.memory_bytes =
+      loaded.graph.MemoryBytes() + loaded.precompute.MemoryBytes();
+  entry.mapped_bytes = loaded.graph.MappedBytes();
+  entry.graph = std::make_shared<const Graph>(std::move(loaded.graph));
+  entry.precompute =
+      loaded.precompute.empty()
+          ? nullptr
+          : std::make_shared<const GraphPrecompute>(
+                std::move(loaded.precompute));
   ++entry.loads;
   entry.last_load_seconds = timer.ElapsedSeconds();
   resident_bytes_ += entry.memory_bytes;
-  return entry.graph;
+  mapped_resident_bytes_ += entry.mapped_bytes;
+  return Status::Ok();
 }
 
-StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Get(
+StatusOr<CatalogGraph> GraphCatalog::MaterializeLocked(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("no graph named '" + name + "' is registered");
   }
   Entry& entry = it->second;
-  std::shared_ptr<const Graph> graph = entry.graph;
-  if (graph == nullptr) {
-    auto loaded = Materialize(name, entry);
-    if (!loaded.ok()) return loaded.status();
-    graph = *loaded;
+  if (entry.graph == nullptr) {
+    KPLEX_RETURN_IF_ERROR(Materialize(name, entry));
   }
   lru_.Touch(name);
   EvictOverBudget(name);
-  return graph;
+  return CatalogGraph{entry.graph, entry.precompute};
+}
+
+StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Get(
+    const std::string& name) {
+  auto full = GetFull(name);
+  if (!full.ok()) return full.status();
+  return std::move(full->graph);
+}
+
+StatusOr<CatalogGraph> GraphCatalog::GetFull(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MaterializeLocked(name);
+}
+
+StatusOr<std::string> GraphCatalog::PrecomputeTag(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "' is registered");
+  }
+  return it->second.precompute_tag;
+}
+
+void GraphCatalog::DropResident(Entry& entry) {
+  resident_bytes_ -= entry.memory_bytes;
+  mapped_resident_bytes_ -= entry.mapped_bytes;
+  entry.memory_bytes = 0;
+  entry.mapped_bytes = 0;
+  entry.graph.reset();
+  entry.precompute.reset();
 }
 
 void GraphCatalog::EvictOverBudget(const std::string& keep) {
   if (memory_budget_bytes_ == 0) return;
   // Walk from the LRU end, skipping the entry being served (evicting it
   // would defeat the Get) and pinned entries (nothing to reload from).
+  // Only owned bytes count: mapped pages are the kernel's to reclaim.
   while (resident_bytes_ > memory_budget_bytes_) {
     const std::string* victim = nullptr;
     for (auto it = lru_.order().rbegin(); it != lru_.order().rend(); ++it) {
       if (*it == keep) continue;
       const Entry& entry = entries_.at(*it);
       if (entry.kind == SourceKind::kPinned) continue;
+      if (entry.memory_bytes == 0) continue;  // evicting frees nothing
       victim = &*it;
       break;
     }
@@ -119,10 +164,9 @@ void GraphCatalog::EvictOverBudget(const std::string& keep) {
     Entry& entry = entries_.at(*victim);
     KPLEX_LOG(Debug) << "catalog: evicting '" << *victim << "' ("
                      << entry.memory_bytes << " bytes) to meet budget";
-    resident_bytes_ -= entry.memory_bytes;
-    entry.memory_bytes = 0;
-    entry.graph.reset();
-    lru_.Erase(*victim);
+    const std::string victim_name = *victim;
+    DropResident(entry);
+    lru_.Erase(victim_name);
   }
 }
 
@@ -138,9 +182,7 @@ Status GraphCatalog::Evict(const std::string& name) {
         "graph '" + name + "' is pinned (no source to reload from)");
   }
   if (entry.graph != nullptr) {
-    resident_bytes_ -= entry.memory_bytes;
-    entry.memory_bytes = 0;
-    entry.graph.reset();
+    DropResident(entry);
     lru_.Erase(name);
   }
   return Status::Ok();
@@ -153,7 +195,7 @@ Status GraphCatalog::Unregister(const std::string& name) {
     return Status::NotFound("no graph named '" + name + "' is registered");
   }
   if (it->second.graph != nullptr) {
-    resident_bytes_ -= it->second.memory_bytes;
+    DropResident(it->second);
     lru_.Erase(name);
   }
   entries_.erase(it);
@@ -166,10 +208,11 @@ bool GraphCatalog::Contains(const std::string& name) const {
 }
 
 Status GraphCatalog::SaveSnapshotFor(const std::string& name,
-                                     const std::string& path) {
+                                     const std::string& path,
+                                     const SnapshotWriteOptions& options) {
   auto graph = Get(name);
   if (!graph.ok()) return graph.status();
-  return SaveSnapshot(**graph, path);
+  return SaveSnapshot(**graph, path, options);
 }
 
 std::vector<CatalogEntryInfo> GraphCatalog::Entries() const {
@@ -199,9 +242,12 @@ std::vector<CatalogEntryInfo> GraphCatalog::Entries() const {
     }
     info.resident = entry.graph != nullptr;
     info.evictable = entry.kind != SourceKind::kPinned;
+    info.mapped = entry.mapped_bytes > 0;
     info.num_vertices = entry.num_vertices;
     info.num_edges = entry.num_edges;
     info.memory_bytes = entry.memory_bytes;
+    info.mapped_bytes = entry.mapped_bytes;
+    info.precompute = entry.precompute_tag;
     info.loads = entry.loads;
     info.last_load_seconds = entry.last_load_seconds;
     out.push_back(std::move(info));
@@ -212,6 +258,11 @@ std::vector<CatalogEntryInfo> GraphCatalog::Entries() const {
 std::size_t GraphCatalog::ResidentBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return resident_bytes_;
+}
+
+std::size_t GraphCatalog::MappedResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mapped_resident_bytes_;
 }
 
 }  // namespace kplex

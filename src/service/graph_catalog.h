@@ -5,6 +5,14 @@
 // alive across an eviction. A memory budget bounds the resident set:
 // when exceeded, least-recently-used reloadable graphs are dropped (they
 // re-materialize transparently on the next Get).
+//
+// Memory accounting distinguishes two kinds of resident bytes:
+//  - owned bytes: private heap (parsed edge lists, legacy snapshots,
+//    precompute sections). These count against the budget.
+//  - mapped bytes: mmap'ed v2 snapshot pages served zero-copy. The
+//    kernel reclaims clean mapped pages under pressure, so they do NOT
+//    count against the budget — that is exactly how many mapped graphs
+//    share one budget. They are tracked and reported separately.
 
 #ifndef KPLEX_SERVICE_GRAPH_CATALOG_H_
 #define KPLEX_SERVICE_GRAPH_CATALOG_H_
@@ -17,6 +25,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/precompute.h"
+#include "graph/snapshot.h"
 #include "service/lru.h"
 #include "util/status.h"
 
@@ -28,17 +38,30 @@ struct CatalogEntryInfo {
   std::string source;         ///< e.g. "file:web.txt", "dataset:karate"
   bool resident = false;      ///< currently materialized
   bool evictable = false;     ///< can be dropped and re-materialized
+  bool mapped = false;        ///< CSR served zero-copy from an mmap
   std::size_t num_vertices = 0;  ///< 0 until first load
   std::size_t num_edges = 0;
-  std::size_t memory_bytes = 0;  ///< CSR bytes while resident
+  std::size_t memory_bytes = 0;  ///< owned heap bytes while resident
+  std::size_t mapped_bytes = 0;  ///< mmap'ed bytes while resident
+  /// Precompute-section availability ("none", "order+core", ...);
+  /// sticky after the first load so stats stay meaningful when evicted.
+  std::string precompute = "unknown";
   uint64_t loads = 0;            ///< materializations (reloads included)
   double last_load_seconds = 0;  ///< wall time of the last materialization
 };
 
+/// A materialized graph plus whatever precompute sections its snapshot
+/// carried (null when none).
+struct CatalogGraph {
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const GraphPrecompute> precompute;
+};
+
 class GraphCatalog {
  public:
-  /// `memory_budget_bytes` bounds the summed CSR bytes of resident
-  /// graphs; 0 means unlimited. The budget is best-effort: a single
+  /// `memory_budget_bytes` bounds the summed *owned* CSR bytes of
+  /// resident graphs; 0 means unlimited. Mapped snapshot bytes are
+  /// exempt (see the file comment). The budget is best-effort: a single
   /// graph larger than the budget still loads (nothing else stays
   /// resident beside it).
   explicit GraphCatalog(std::size_t memory_budget_bytes = 0)
@@ -61,6 +84,15 @@ class GraphCatalog {
   /// entry most recently used and evicts LRU entries while over budget.
   StatusOr<std::shared_ptr<const Graph>> Get(const std::string& name);
 
+  /// Get plus the precompute sections the snapshot carried (null
+  /// precompute when the source has none).
+  StatusOr<CatalogGraph> GetFull(const std::string& name);
+
+  /// Precompute availability tag for the signature of queries against
+  /// `name` ("unknown" until the first materialization, then sticky —
+  /// eviction does not reset it). NotFound for unknown names.
+  StatusOr<std::string> PrecomputeTag(const std::string& name) const;
+
   /// Drops the resident copy of a reloadable entry (the registration
   /// stays; the next Get reloads). FailedPrecondition for pinned
   /// entries, NotFound for unknown names.
@@ -74,13 +106,16 @@ class GraphCatalog {
   /// Writes a snapshot of the named graph (materializing it if needed),
   /// so subsequent sessions can register the snapshot instead of the
   /// original edge list.
-  Status SaveSnapshotFor(const std::string& name, const std::string& path);
+  Status SaveSnapshotFor(const std::string& name, const std::string& path,
+                         const SnapshotWriteOptions& options = {});
 
   /// Entries in registration order.
   std::vector<CatalogEntryInfo> Entries() const;
 
-  /// Summed CSR bytes of resident graphs.
+  /// Summed owned heap bytes of resident graphs (budget-relevant).
   std::size_t ResidentBytes() const;
+  /// Summed mmap'ed bytes of resident graphs (budget-exempt).
+  std::size_t MappedResidentBytes() const;
   std::size_t MemoryBudgetBytes() const { return memory_budget_bytes_; }
 
  private:
@@ -90,24 +125,29 @@ class GraphCatalog {
     SourceKind kind;
     std::string locator;  // path or dataset key; empty for kPinned
     std::shared_ptr<const Graph> graph;  // null while evicted
+    std::shared_ptr<const GraphPrecompute> precompute;  // may stay null
     std::size_t num_vertices = 0;
     std::size_t num_edges = 0;
-    std::size_t memory_bytes = 0;
+    std::size_t memory_bytes = 0;  // owned bytes while resident
+    std::size_t mapped_bytes = 0;  // mapped bytes while resident
+    std::string precompute_tag = "unknown";  // sticky after first load
     uint64_t loads = 0;
     double last_load_seconds = 0;
     uint64_t sequence = 0;  // registration order for Entries()
   };
 
   Status RegisterLocked(const std::string& name, Entry entry);
-  StatusOr<std::shared_ptr<const Graph>> Materialize(const std::string& name,
-                                                     Entry& entry);
+  StatusOr<CatalogGraph> MaterializeLocked(const std::string& name);
+  Status Materialize(const std::string& name, Entry& entry);
+  void DropResident(Entry& entry);
   void EvictOverBudget(const std::string& keep);
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   LruList<std::string> lru_;  // resident entries only
   std::size_t memory_budget_bytes_;
-  std::size_t resident_bytes_ = 0;
+  std::size_t resident_bytes_ = 0;         // owned bytes
+  std::size_t mapped_resident_bytes_ = 0;  // mapped bytes
   uint64_t next_sequence_ = 0;
 };
 

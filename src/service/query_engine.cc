@@ -62,7 +62,21 @@ std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
 
 StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   WallTimer timer;
-  const std::string signature = CanonicalSignature(request);
+  // Resolve the graph's snapshot-section availability for the
+  // signature. The tag is "unknown" until the first materialization, so
+  // force one then (the first query was about to load the graph
+  // anyway); afterwards it is sticky across evictions and this is a
+  // map lookup.
+  auto tag = catalog_.PrecomputeTag(request.graph);
+  if (!tag.ok()) return tag.status();
+  if (*tag == "unknown") {
+    auto materialized = catalog_.GetFull(request.graph);
+    if (!materialized.ok()) return materialized.status();
+    tag = catalog_.PrecomputeTag(request.graph);
+    if (!tag.ok()) return tag.status();
+  }
+  const std::string signature =
+      CanonicalSignature(request) + "|pre=" + *tag;
   if (cache_capacity_ > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(signature);
@@ -105,8 +119,12 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
-  auto graph = catalog_.Get(request.graph);
-  if (!graph.ok()) return graph.status();
+  auto resolved = catalog_.GetFull(request.graph);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<const Graph>& graph = resolved->graph;
+  // Holds the sections alive for the whole run (eviction-safe).
+  const std::shared_ptr<const GraphPrecompute>& precompute =
+      resolved->precompute;
 
   EnumOptions options;
   switch (request.algo) {
@@ -129,18 +147,19 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
   options.max_results = request.max_results;
   options.time_limit_seconds = request.time_limit_seconds;
   options.cancel = request.cancel;
+  options.precompute = precompute.get();
 
   MeasuringSink sink;
   StatusOr<EnumResult> run = Status::Internal("unreachable");
   if (request.algo == QueryAlgo::kFp) {
-    run = FpEnumerate(**graph, request.k, request.q, sink);
+    run = FpEnumerate(*graph, request.k, request.q, sink);
   } else if (request.threads > 0) {
     ParallelOptions parallel;
     parallel.num_threads = request.threads;
     parallel.timeout_ms = request.tau_ms;
-    run = ParallelEnumerateMaximalKPlexes(**graph, options, parallel, sink);
+    run = ParallelEnumerateMaximalKPlexes(*graph, options, parallel, sink);
   } else {
-    run = EnumerateMaximalKPlexes(**graph, options, sink);
+    run = EnumerateMaximalKPlexes(*graph, options, sink);
   }
   if (!run.ok()) return run.status();
 
@@ -152,6 +171,8 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
   result.timed_out = run->timed_out;
   result.stopped_early = run->stopped_early;
   result.cancelled = run->cancelled;
+  result.reduction_precomputed =
+      run->counters.core_reductions_precomputed > 0;
   return result;
 }
 

@@ -67,6 +67,9 @@ struct QueryResult {
   bool stopped_early = false;
   bool cancelled = false;
   bool from_cache = false;
+  /// True when the run consumed precomputed snapshot sections instead
+  /// of peeling the (q-k)-core itself (counters prove the skip).
+  bool reduction_precomputed = false;
   std::string signature;
 };
 
@@ -80,8 +83,13 @@ class QueryEngine {
   /// Executes (or serves from cache) one query.
   StatusOr<QueryResult> Run(const QueryRequest& request);
 
-  /// The cache key: "graph|k|q|algo|max" — all parameters that determine
-  /// the result set, nothing else.
+  /// The parameter part of the cache key: "graph|k|q|algo|max" — all
+  /// request parameters that determine the result set, nothing else.
+  /// The full signature Run() caches under appends "|pre=TAG", the
+  /// catalog's snapshot-section availability for the graph
+  /// (GraphCatalog::PrecomputeTag) — precompute does not change the
+  /// result set, but keying on availability keeps cached entries
+  /// attributable to the exact pipeline that produced them.
   static std::string CanonicalSignature(const QueryRequest& request);
 
   struct CacheStats {

@@ -170,16 +170,35 @@ void ServiceSession::CmdDataset(const std::vector<std::string>& args) {
 }
 
 void ServiceSession::CmdSnapshot(const std::vector<std::string>& args) {
-  if (args.size() != 3) {
-    Fail(Status::InvalidArgument("usage: snapshot NAME PATH"));
+  if (args.size() < 3) {
+    Fail(Status::InvalidArgument(
+        "usage: snapshot NAME PATH [precompute] [levels=C1,C2,...]"));
     return;
   }
-  Status saved = catalog_.SaveSnapshotFor(args[1], args[2]);
+  SnapshotWriteOptions options;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(args[i]);
+    if (key == "precompute" && value.empty()) {
+      options.include_precompute = true;
+    } else if (key == "levels") {
+      auto parsed = ParseCoreLevelList(value);
+      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      options.include_precompute = true;
+      options.core_mask_levels = *std::move(parsed);
+    } else {
+      Fail(Status::InvalidArgument("unknown snapshot option '" + args[i] +
+                                   "'"));
+      return;
+    }
+  }
+  Status saved = catalog_.SaveSnapshotFor(args[1], args[2], options);
   if (!saved.ok()) {
     Fail(saved);
     return;
   }
-  out_ << "snapshot " << args[1] << " -> " << args[2] << "\n";
+  out_ << "snapshot " << args[1] << " -> " << args[2]
+       << (options.include_precompute ? " (with precompute sections)" : "")
+       << "\n";
 }
 
 void ServiceSession::CmdMine(const std::vector<std::string>& args) {
@@ -243,6 +262,9 @@ void ServiceSession::CmdMine(const std::vector<std::string>& args) {
        << result->max_plex_size << ", " << FormatSeconds(result->seconds)
        << "s";
   if (result->from_cache) out_ << " [cached]";
+  if (result->reduction_precomputed && !result->from_cache) {
+    out_ << " [precomputed reduction]";
+  }
   if (result->timed_out) out_ << " [time limit hit]";
   if (result->stopped_early) out_ << " [result cap hit]";
   if (result->cancelled) out_ << " [cancelled]";
@@ -251,19 +273,21 @@ void ServiceSession::CmdMine(const std::vector<std::string>& args) {
 
 void ServiceSession::CmdStats() {
   TablePrinter graphs({"name", "source", "resident", "vertices", "edges",
-                       "memory", "loads"});
+                       "owned", "mapped", "precompute", "loads"});
   for (const auto& info : catalog_.Entries()) {
     graphs.AddRow({info.name, info.source, info.resident ? "yes" : "no",
                    FormatCount(info.num_vertices),
                    FormatCount(info.num_edges), HumanBytes(info.memory_bytes),
+                   HumanBytes(info.mapped_bytes), info.precompute,
                    FormatCount(info.loads)});
   }
   graphs.Print(out_);
-  out_ << "resident: " << HumanBytes(catalog_.ResidentBytes());
+  out_ << "resident: " << HumanBytes(catalog_.ResidentBytes()) << " owned";
   if (catalog_.MemoryBudgetBytes() > 0) {
     out_ << " / budget " << HumanBytes(catalog_.MemoryBudgetBytes());
   }
-  out_ << "\n";
+  out_ << " + " << HumanBytes(catalog_.MappedResidentBytes())
+       << " mapped (zero-copy, budget-exempt)\n";
   const QueryEngine::CacheStats cache = engine_.cache_stats();
   out_ << "result cache: " << cache.entries << "/" << cache.capacity
        << " entries, " << cache.hits << " hits, " << cache.misses
@@ -287,7 +311,9 @@ void ServiceSession::CmdHelp() {
   out_ << "commands:\n"
           "  load NAME PATH        register + load a graph file\n"
           "  dataset NAME KEY      register + load a registry dataset\n"
-          "  snapshot NAME PATH    write NAME as a binary snapshot\n"
+          "  snapshot NAME PATH [precompute] [levels=C1,C2,...]\n"
+          "                        write NAME as a binary v2 snapshot;\n"
+          "                        precompute stores reduction sections\n"
           "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
           "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
           "       [cache=on|off]\n"

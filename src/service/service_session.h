@@ -6,7 +6,9 @@
 //   load NAME PATH        register + materialize a graph file (binary
 //                         snapshots auto-detected, else SNAP edge list)
 //   dataset NAME KEY      register + materialize a registry dataset
-//   snapshot NAME PATH    write NAME as a binary snapshot
+//   snapshot NAME PATH [precompute] [levels=C1,C2,...]
+//                         write NAME as a binary v2 snapshot, optionally
+//                         with precomputed reduction sections
 //   mine NAME K Q [key=value ...]
 //                         keys: algo (ours|ours_p|basic|listplex|fp),
 //                         threads, max-results, time-limit, tau-ms,

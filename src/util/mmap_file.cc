@@ -1,0 +1,70 @@
+#include "util/mmap_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KPLEX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace kplex {
+
+#if KPLEX_HAVE_MMAP
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+StatusOr<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path +
+                           "' for mapping: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("'" + path + "' is not a regular file");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  unsigned char* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      ::close(fd);
+      return Status::IoError("cannot mmap '" + path +
+                             "': " + std::strerror(errno));
+    }
+    data = static_cast<unsigned char*>(mapped);
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size));
+}
+
+bool MappedFile::Supported() { return true; }
+
+#else  // !KPLEX_HAVE_MMAP
+
+MappedFile::~MappedFile() = default;
+
+StatusOr<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  (void)path;
+  return Status::Unimplemented("mmap is not available on this platform");
+}
+
+bool MappedFile::Supported() { return false; }
+
+#endif  // KPLEX_HAVE_MMAP
+
+}  // namespace kplex

@@ -1,0 +1,46 @@
+// Read-only memory-mapped file. Used by the snapshot loader to serve
+// CSR sections zero-copy: the kernel pages bytes in on demand and may
+// reclaim clean pages under pressure, so a mapped graph costs page-cache
+// residency rather than private heap. On platforms without mmap support
+// Open returns Unimplemented and callers fall back to buffered reads.
+
+#ifndef KPLEX_UTIL_MMAP_FILE_H_
+#define KPLEX_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace kplex {
+
+class MappedFile {
+ public:
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Maps `path` read-only. Returns IoError when the file cannot be
+  /// opened or mapped and Unimplemented on platforms without mmap.
+  /// A zero-length file yields data() == nullptr, size() == 0.
+  static StatusOr<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  /// True when this build can mmap at all (compile-time capability).
+  static bool Supported();
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_MMAP_FILE_H_

@@ -23,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kTimedOut:
       return "TIMED_OUT";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kTimedOut = 7,
+  kUnimplemented = 8,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,6 +13,7 @@
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/snapshot.h"
+#include "util/mmap_file.h"
 
 namespace kplex {
 namespace {
@@ -98,16 +99,18 @@ TEST(GraphCatalog, EvictAndReload) {
 
 TEST(GraphCatalog, LruEvictionUnderMemoryBudget) {
   // Three ~equal graphs under a budget that fits roughly one of them:
-  // the least recently used entries must be dropped.
+  // the least recently used entries must be dropped. Edge-list sources
+  // parse into owned heap (v2 snapshots would mmap and be budget-exempt
+  // — see MappedSnapshotsAreBudgetExempt).
   std::vector<std::string> paths;
   for (int i = 0; i < 3; ++i) {
     Graph g = GenerateErdosRenyi(400, 0.05, 10 + i);
     std::string path = TempPath("lru" + std::to_string(i));
-    EXPECT_TRUE(SaveSnapshot(g, path).ok());
+    EXPECT_TRUE(SaveEdgeList(g, path).ok());
     paths.push_back(path);
   }
   const std::size_t one_graph_bytes =
-      LoadSnapshot(paths[0])->MemoryBytes();
+      LoadEdgeList(paths[0])->MemoryBytes();
 
   GraphCatalog catalog(one_graph_bytes + one_graph_bytes / 2);
   for (int i = 0; i < 3; ++i) {
@@ -135,6 +138,76 @@ TEST(GraphCatalog, LruEvictionUnderMemoryBudget) {
   ASSERT_TRUE(g2.ok());
   EXPECT_GT((*g2)->NumEdges(), 0u);
   for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, MappedSnapshotsAreBudgetExempt) {
+  // v2 snapshots are mmap'ed: their CSR bytes are page cache, not
+  // private heap, so an absurdly small owned-bytes budget still admits
+  // several of them side by side.
+  if (!MappedFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    Graph g = GenerateErdosRenyi(400, 0.05, 20 + i);
+    std::string path = TempPath("mapped" + std::to_string(i));
+    EXPECT_TRUE(SaveSnapshot(g, path).ok());
+    paths.push_back(path);
+  }
+
+  GraphCatalog catalog(1);  // 1 byte of owned budget
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        catalog.RegisterFile("g" + std::to_string(i), paths[i]).ok());
+    ASSERT_TRUE(catalog.Get("g" + std::to_string(i)).ok());
+  }
+  // All three stayed resident: mapped bytes are budget-exempt.
+  for (int i = 0; i < 3; ++i) {
+    const CatalogEntryInfo info = InfoOf(catalog, "g" + std::to_string(i));
+    EXPECT_TRUE(info.resident);
+    EXPECT_TRUE(info.mapped);
+    EXPECT_GT(info.mapped_bytes, 0u);
+  }
+  EXPECT_GT(catalog.MappedResidentBytes(), 0u);
+
+  // Evicting still unmaps and clears the accounting.
+  ASSERT_TRUE(catalog.Evict("g0").ok());
+  EXPECT_EQ(InfoOf(catalog, "g0").mapped_bytes, 0u);
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(GraphCatalog, PrecomputeSectionsFlowThroughGetFull) {
+  Graph g = GenerateErdosRenyi(120, 0.08, 3);
+  std::string path = TempPath("pre");
+  SnapshotWriteOptions options;
+  options.include_precompute = true;
+  options.core_mask_levels = {2};
+  ASSERT_TRUE(SaveSnapshot(g, path, options).ok());
+
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("g", path).ok());
+  // Tag is unknown until the first materialization, then sticky.
+  EXPECT_EQ(*catalog.PrecomputeTag("g"), "unknown");
+  auto full = catalog.GetFull("g");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_NE(full->precompute, nullptr);
+  EXPECT_TRUE(full->precompute->has_order());
+  EXPECT_TRUE(full->precompute->has_coreness());
+  EXPECT_NE(full->precompute->MaskFor(2), nullptr);
+  EXPECT_EQ(*catalog.PrecomputeTag("g"), "order+core+masks");
+
+  ASSERT_TRUE(catalog.Evict("g").ok());
+  EXPECT_EQ(*catalog.PrecomputeTag("g"), "order+core+masks");  // sticky
+
+  // A plain v2 snapshot (no sections) reports none.
+  std::string plain = TempPath("plain");
+  ASSERT_TRUE(SaveSnapshot(g, plain).ok());
+  ASSERT_TRUE(catalog.RegisterFile("p", plain).ok());
+  ASSERT_TRUE(catalog.Get("p").ok());
+  auto plain_full = catalog.GetFull("p");
+  ASSERT_TRUE(plain_full.ok());
+  EXPECT_EQ(plain_full->precompute, nullptr);
+  EXPECT_EQ(*catalog.PrecomputeTag("p"), "none");
+  std::remove(path.c_str());
+  std::remove(plain.c_str());
 }
 
 TEST(GraphCatalog, PinnedGraphsAreNeverEvicted) {

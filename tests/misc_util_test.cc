@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -13,6 +15,7 @@
 #include "graph/stats.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/mmap_file.h"
 #include "util/timer.h"
 
 namespace kplex {
@@ -37,6 +40,40 @@ TEST(WallTimer, NanosMonotone) {
 TEST(Memory, RssProbesReturnPlausibleValues) {
   EXPECT_GT(CurrentRssKib(), 0);
   EXPECT_GE(PeakRssKib(), CurrentRssKib() / 2);
+}
+
+TEST(MappedFile, OpensAndServesFileBytes) {
+  if (!MappedFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  const std::string path = ::testing::TempDir() + "kplex_mmap_probe";
+  const std::string payload = "mapped-file-bytes";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  }
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ((*mapped)->size(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>((*mapped)->data()),
+                        (*mapped)->size()),
+            payload);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, MissingFileIsIoError) {
+  auto mapped = MappedFile::Open("/nonexistent/dir/file");
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.status().code(), StatusCode::kOk);
+}
+
+TEST(MappedFile, EmptyFileMapsToNull) {
+  if (!MappedFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  const std::string path = ::testing::TempDir() + "kplex_mmap_empty";
+  { std::ofstream out(path, std::ios::binary); }
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((*mapped)->size(), 0u);
+  EXPECT_EQ((*mapped)->data(), nullptr);
+  std::remove(path.c_str());
 }
 
 TEST(Logging, LevelFiltering) {

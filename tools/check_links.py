@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for README.md and docs/.
+
+Verifies that every relative link in the checked markdown files points
+at an existing file (and, for intra-repo markdown targets with an
+anchor, that the anchor matches a heading). External http(s) links are
+not fetched — this runs in CI without network access.
+
+Usage: python3 tools/check_links.py [file-or-dir ...]
+Defaults to README.md and docs/ at the repository root.
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """Approximates GitHub's heading -> anchor id transformation."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_path, _, anchor = target.partition("#")
+        if not target_path:  # same-file anchor
+            if anchor and github_anchor(anchor) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor '#{anchor}'")
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link '{target}'")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_anchor(anchor) not in anchors_of(resolved):
+                errors.append(
+                    f"{path}: broken anchor '{target}' "
+                    f"(no such heading in {resolved.relative_to(repo_root)})")
+    return errors
+
+
+def main(argv: list) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(a) for a in argv[1:]] or [repo_root / "README.md",
+                                            repo_root / "docs"]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"error: no such file or directory: {root}")
+            return 1
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(f"error: {error}")
+    print(f"checked {len(files)} file(s): "
+          f"{'all links OK' if not errors else f'{len(errors)} broken'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

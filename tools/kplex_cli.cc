@@ -5,13 +5,17 @@
 //             [--max-results N] [--time-limit S]
 //   kplex_cli max --input G.txt --k 2
 //   kplex_cli report --input G.txt
-//   kplex_cli snapshot --input G.txt --output G.kpx
+//   kplex_cli snapshot --input G.txt --output G.kpx [--precompute]
+//             [--core-levels C1,C2,...] [--format v1|v2]
 //   kplex_cli serve [--script F] [--memory-budget-mb N] [--cache-capacity N]
 //   kplex_cli datasets
 //
 // --dataset NAME may replace --input to mine a registry dataset.
 // Graphs are SNAP-format edge lists ('#' comments, "u v" per line) or
-// binary CSR snapshots (auto-detected; see src/graph/snapshot.h).
+// binary CSR snapshots (auto-detected; see docs/SNAPSHOT_FORMAT.md).
+// Mining a v2 snapshot that carries precomputed reduction sections
+// (--precompute at snapshot time) skips the (q-k)-core peel and the
+// degeneracy ordering on every subsequent run.
 
 #include <cstdint>
 #include <cstdio>
@@ -48,6 +52,8 @@ int Usage() {
                "  kplex_cli max --input G.txt --k K\n"
                "  kplex_cli report --input G.txt\n"
                "  kplex_cli snapshot --input G.txt --output G.kpx\n"
+               "            [--precompute] [--core-levels C1,C2,...]\n"
+               "            [--format v1|v2]\n"
                "  kplex_cli serve [--script F] [--memory-budget-mb N]\n"
                "                  [--cache-capacity N] [--echo]\n"
                "  kplex_cli datasets\n"
@@ -62,22 +68,38 @@ int Usage() {
   return 2;
 }
 
-StatusOr<Graph> LoadInput(const FlagParser& flags) {
+/// Resolves --dataset/--input, preserving snapshot precompute sections
+/// (empty for edge lists and datasets).
+StatusOr<LoadedSnapshot> LoadInputFull(const FlagParser& flags) {
   std::string dataset = flags.GetString("dataset", "");
-  if (!dataset.empty()) return LoadDataset(dataset);
+  if (!dataset.empty()) {
+    auto graph = LoadDataset(dataset);
+    if (!graph.ok()) return graph.status();
+    LoadedSnapshot loaded;
+    loaded.graph = *std::move(graph);
+    return loaded;
+  }
   std::string input = flags.GetString("input", "");
   if (input.empty()) {
     return Status::InvalidArgument("one of --input or --dataset is required");
   }
-  return LoadGraphAuto(input);
+  return LoadGraphAutoFull(input);
+}
+
+/// Graph-only wrapper for commands that ignore precompute sections.
+StatusOr<Graph> LoadInput(const FlagParser& flags) {
+  auto loaded = LoadInputFull(flags);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->graph);
 }
 
 int RunMine(const FlagParser& flags) {
-  auto graph = LoadInput(flags);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+  auto loaded = LoadInputFull(flags);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  const Graph& graph = loaded->graph;
   auto k = flags.GetInt("k", 2);
   auto q = flags.GetInt("q", 0);
   auto threads = flags.GetInt("threads", 0);
@@ -117,6 +139,9 @@ int RunMine(const FlagParser& flags) {
   }
   options.max_results = static_cast<uint64_t>(*max_results);
   options.time_limit_seconds = *time_limit;
+  if (!loaded->precompute.empty()) {
+    options.precompute = &loaded->precompute;
+  }
 
   const std::string output = flags.GetString("output", "");
   CountingSink counting;
@@ -133,15 +158,15 @@ int RunMine(const FlagParser& flags) {
 
   StatusOr<EnumResult> result = Status::Internal("unreachable");
   if (use_fp_driver) {
-    result = FpEnumerate(*graph, static_cast<uint32_t>(*k),
+    result = FpEnumerate(graph, static_cast<uint32_t>(*k),
                          static_cast<uint32_t>(*q), *sink);
   } else if (*threads > 0) {
     ParallelOptions parallel;
     parallel.num_threads = static_cast<uint32_t>(*threads);
     parallel.timeout_ms = *tau;
-    result = ParallelEnumerateMaximalKPlexes(*graph, options, parallel, *sink);
+    result = ParallelEnumerateMaximalKPlexes(graph, options, parallel, *sink);
   } else {
-    result = EnumerateMaximalKPlexes(*graph, options, *sink);
+    result = EnumerateMaximalKPlexes(graph, options, *sink);
   }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -166,6 +191,11 @@ int RunMine(const FlagParser& flags) {
               static_cast<unsigned long long>(
                   result->counters.subtasks_pruned_r1),
               static_cast<unsigned long long>(result->counters.ub_prunes));
+  if (result->counters.core_reductions_precomputed > 0) {
+    std::printf("reduction served from snapshot sections (core%s)\n",
+                result->counters.orderings_precomputed > 0 ? " + ordering"
+                                                           : "");
+  }
   if (!output.empty()) std::printf("results written to %s\n", output.c_str());
   return 0;
 }
@@ -236,12 +266,36 @@ int RunSnapshot(const FlagParser& flags) {
     std::fprintf(stderr, "--output FILE is required\n");
     return 1;
   }
-  Status saved = SaveSnapshot(*graph, output);
+
+  SnapshotWriteOptions options;
+  const std::string format = flags.GetString("format", "v2");
+  if (format == "v1") {
+    options.version = kSnapshotVersionLegacy;
+  } else if (format != "v2") {
+    std::fprintf(stderr, "--format must be v1 or v2, got '%s'\n",
+                 format.c_str());
+    return 1;
+  }
+  options.include_precompute = flags.Has("precompute");
+  const std::string levels = flags.GetString("core-levels", "");
+  if (!levels.empty()) {
+    auto parsed = ParseCoreLevelList(levels);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    options.include_precompute = true;
+    options.core_mask_levels = *std::move(parsed);
+  }
+
+  Status saved = SaveSnapshot(*graph, output, options);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("snapshot of %zu vertices / %zu edges written to %s\n",
+  std::printf("snapshot (%s%s) of %zu vertices / %zu edges written to %s\n",
+              format.c_str(),
+              options.include_precompute ? ", precompute sections" : "",
               graph->NumVertices(), graph->NumEdges(), output.c_str());
   return 0;
 }
@@ -321,7 +375,8 @@ int Main(int argc, char** argv) {
     known = {"input", "dataset"};
     run = RunReport;
   } else if (command == "snapshot") {
-    known = {"input", "dataset", "output"};
+    known = {"input", "dataset", "output", "precompute", "core-levels",
+             "format"};
     run = RunSnapshot;
   } else if (command == "serve") {
     known = {"script", "memory-budget-mb", "cache-capacity", "echo"};
