@@ -5,8 +5,11 @@
 // counters prove the skip and the fingerprints prove equality), and
 // (3) repeat queries — cold vs warm (result-cached) through the
 // QueryEngine, including a warm hit from a request that only differs in
-// thread count. Every "identical" claim is checked, not eyeballed; the
-// process exits non-zero on any mismatch.
+// thread count, and (4) contention — a ServiceDispatcher batch of mixed
+// queries at 1/2/4/8 workers over the same resident catalog, cold vs
+// warm, with a fingerprint self-check across worker counts (the bench
+// doubles as a concurrency soak test). Every "identical" claim is
+// checked, not eyeballed; the process exits non-zero on any mismatch.
 
 #include <unistd.h>
 
@@ -14,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bench_common/table_printer.h"
 #include "core/enumerator.h"
@@ -22,6 +27,7 @@
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/snapshot.h"
+#include "service/dispatcher.h"
 #include "service/graph_catalog.h"
 #include "service/query_engine.h"
 #include "util/timer.h"
@@ -204,8 +210,72 @@ int Run() {
   std::printf("cold-to-warm speedup: %.0fx\n",
               cold->seconds / std::max(warm->seconds, 1e-9));
 
+  // --------------------------------------------- contended throughput
+  // A batch of mixed queries (4 distinct q values, 3 copies each) runs
+  // through the ServiceDispatcher at increasing worker counts over the
+  // *same* resident catalog entry. Cold rows use a fresh result cache
+  // (duplicates collapse through single-flight); warm rows repeat the
+  // batch against the populated cache. Fingerprints must be identical
+  // at every worker count — that check is what turns a throughput
+  // table into a soak test.
+  std::printf("\ncontended dispatcher throughput "
+              "(batch: 4 distinct queries x 3 copies)\n");
+  TablePrinter contended_table(
+      {"workers", "cold s", "cold jobs/s", "warm s", "warm jobs/s"});
+  std::map<uint32_t, uint64_t> reference_fingerprints;  // q -> fingerprint
+  bool contended_ok = true;
+  for (const uint32_t workers : {1u, 2u, 4u, 8u}) {
+    QueryEngine contended(catalog);  // fresh cache: cold per worker count
+    DispatcherOptions dispatch;
+    dispatch.workers = workers;
+    ServiceDispatcher dispatcher(contended, dispatch);
+
+    auto run_batch = [&](double& seconds) {
+      std::vector<uint64_t> ids;
+      WallTimer batch_timer;
+      for (int copy = 0; copy < 3; ++copy) {
+        for (uint32_t q = kQ; q < kQ + 4; ++q) {
+          QueryRequest request;
+          request.graph = "bench";
+          request.k = kK;
+          request.q = q;
+          auto id = dispatcher.Submit(request);
+          if (!id.ok()) return false;
+          ids.push_back(*id);
+        }
+      }
+      for (const uint64_t id : ids) {
+        auto info = dispatcher.Wait(id);
+        if (!info.ok() || info->state != JobState::kDone) return false;
+        const uint32_t q = info->request.q;
+        auto ref = reference_fingerprints.find(q);
+        if (ref == reference_fingerprints.end()) {
+          reference_fingerprints.emplace(q, info->result.fingerprint);
+        } else if (ref->second != info->result.fingerprint) {
+          return false;
+        }
+      }
+      seconds = batch_timer.ElapsedSeconds();
+      return true;
+    };
+
+    double cold_seconds = 0, warm_seconds = 0;
+    if (!run_batch(cold_seconds) || !run_batch(warm_seconds)) {
+      contended_ok = false;
+      break;
+    }
+    contended_table.AddRow({std::to_string(workers),
+                            FormatSeconds(cold_seconds),
+                            FormatDouble(12.0 / cold_seconds, 1),
+                            FormatSeconds(warm_seconds),
+                            FormatDouble(12.0 / warm_seconds, 1)});
+  }
+  contended_table.Print(std::cout);
+  std::printf("fingerprints identical across 1/2/4/8 workers (cold and "
+              "warm): %s\n", contended_ok ? "yes" : "NO (BUG)");
+
   std::system(("rm -rf " + dir).c_str());
-  return identical && reduction_ok ? 0 : 1;
+  return identical && reduction_ok && contended_ok ? 0 : 1;
 }
 
 }  // namespace

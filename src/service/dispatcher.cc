@@ -1,0 +1,228 @@
+#include "service/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kplex {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ServiceDispatcher::ServiceDispatcher(QueryEngine& engine,
+                                     DispatcherOptions options)
+    : engine_(engine), options_(options) {
+  const uint32_t workers = std::max<uint32_t>(1, options.workers);
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServiceDispatcher::~ServiceDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Retire queued jobs without running them and flip the cancel flag
+    // of running ones so their engines unwind; workers then drain out.
+    for (const auto& job : queue_) FinishCancelledLocked(*job);
+    queue_.clear();
+    for (auto& kv : jobs_) {
+      if (kv.second->state == JobState::kRunning) {
+        kv.second->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ServiceDispatcher::FinishCancelledLocked(Job& job) {
+  job.state = JobState::kCancelled;
+  job.result = QueryResult{};
+  job.result.cancelled = true;
+  job.result.signature = QueryEngine::CanonicalSignature(job.request);
+  RecordFinishedLocked(job);
+}
+
+void ServiceDispatcher::RecordFinishedLocked(const Job& job) {
+  // States never regress, so each job lands here exactly once.
+  finished_order_.push_back(job.id);
+  while (finished_order_.size() > options_.finished_retention) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+StatusOr<uint64_t> ServiceDispatcher::Submit(const QueryRequest& request) {
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      return Status::FailedPrecondition("dispatcher is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::FailedPrecondition(
+          "job queue is full (" + std::to_string(queue_.size()) +
+          " jobs pending)");
+    }
+    id = next_id_++;
+    job->id = id;
+    job->request = request;
+    job->request.cancel = nullptr;  // cancellation goes through Cancel(id)
+    jobs_.emplace(id, job);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+void ServiceDispatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::shared_ptr<Job> job = queue_.front();
+    queue_.pop_front();
+    if (job->cancel.load(std::memory_order_relaxed)) {
+      // Cancelled while queued (Cancel() usually retires these itself;
+      // this covers a flag flipped in the submission race window).
+      FinishCancelledLocked(*job);
+      done_cv_.notify_all();
+      continue;
+    }
+    job->state = JobState::kRunning;
+    job->started = true;
+    QueryRequest request = job->request;
+    request.cancel = &job->cancel;
+    lock.unlock();
+    StatusOr<QueryResult> run = engine_.Run(request);
+    lock.lock();
+    if (run.ok()) {
+      job->result = *std::move(run);
+      job->state = job->result.cancelled ? JobState::kCancelled
+                                         : JobState::kDone;
+    } else {
+      job->status = run.status();
+      job->state = JobState::kFailed;
+    }
+    RecordFinishedLocked(*job);
+    done_cv_.notify_all();
+  }
+}
+
+Status ServiceDispatcher::Cancel(uint64_t id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job with id " + std::to_string(id));
+    }
+    job = it->second;
+    switch (job->state) {
+      case JobState::kQueued: {
+        job->cancel.store(true, std::memory_order_relaxed);
+        auto pos = std::find(queue_.begin(), queue_.end(), job);
+        if (pos != queue_.end()) queue_.erase(pos);
+        FinishCancelledLocked(*job);
+        break;
+      }
+      case JobState::kRunning:
+        job->cancel.store(true, std::memory_order_relaxed);
+        return Status::Ok();
+      case JobState::kDone:
+      case JobState::kCancelled:
+      case JobState::kFailed:
+        return Status::FailedPrecondition(
+            "job " + std::to_string(id) + " already finished (" +
+            JobStateName(job->state) + ")");
+    }
+  }
+  done_cv_.notify_all();
+  return Status::Ok();
+}
+
+JobInfo ServiceDispatcher::SnapshotLocked(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.request = job.request;
+  info.state = job.state;
+  info.started = job.started;
+  info.result = job.result;
+  info.status = job.status;
+  return info;
+}
+
+StatusOr<JobInfo> ServiceDispatcher::GetJob(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  return SnapshotLocked(*it->second);
+}
+
+std::vector<JobInfo> ServiceDispatcher::Jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& kv : jobs_) out.push_back(SnapshotLocked(*kv.second));
+  return out;
+}
+
+ServiceDispatcher::JobCounts ServiceDispatcher::Counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobCounts counts;
+  for (const auto& kv : jobs_) {
+    switch (kv.second->state) {
+      case JobState::kQueued: ++counts.queued; break;
+      case JobState::kRunning: ++counts.running; break;
+      case JobState::kDone: ++counts.done; break;
+      case JobState::kCancelled: ++counts.cancelled; break;
+      case JobState::kFailed: ++counts.failed; break;
+    }
+  }
+  return counts;
+}
+
+StatusOr<JobInfo> ServiceDispatcher::Wait(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  done_cv_.wait(lock, [&] {
+    return job->state != JobState::kQueued &&
+           job->state != JobState::kRunning;
+  });
+  return SnapshotLocked(*job);
+}
+
+void ServiceDispatcher::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    for (const auto& kv : jobs_) {
+      if (kv.second->state == JobState::kQueued ||
+          kv.second->state == JobState::kRunning) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace kplex

@@ -61,54 +61,79 @@ Status GraphCatalog::RegisterLocked(const std::string& name, Entry entry) {
   return Status::Ok();
 }
 
-Status GraphCatalog::Materialize(const std::string& name, Entry& entry) {
-  WallTimer timer;
-  LoadedSnapshot loaded;
-  switch (entry.kind) {
-    case SourceKind::kFile: {
-      auto result = LoadGraphAutoFull(entry.locator);
-      if (!result.ok()) return result.status();
-      loaded = *std::move(result);
-      break;
-    }
-    case SourceKind::kDataset: {
-      auto result = LoadDataset(entry.locator);
-      if (!result.ok()) return result.status();
-      loaded.graph = *std::move(result);
-      break;
-    }
-    case SourceKind::kPinned:
-      return Status::Internal("pinned entry '" + name + "' lost its graph");
+std::map<std::string, GraphCatalog::Entry>::iterator
+GraphCatalog::WaitWhileLoading(std::unique_lock<std::mutex>& lock,
+                               const std::string& name) {
+  auto it = entries_.find(name);
+  while (it != entries_.end() && it->second.loading) {
+    load_cv_.wait(lock);
+    it = entries_.find(name);
   }
-  entry.num_vertices = loaded.graph.NumVertices();
-  entry.num_edges = loaded.graph.NumEdges();
-  entry.precompute_tag = loaded.precompute.AvailabilityTag();
-  entry.memory_bytes =
-      loaded.graph.MemoryBytes() + loaded.precompute.MemoryBytes();
-  entry.mapped_bytes = loaded.graph.MappedBytes();
-  entry.graph = std::make_shared<const Graph>(std::move(loaded.graph));
-  entry.precompute =
-      loaded.precompute.empty()
-          ? nullptr
-          : std::make_shared<const GraphPrecompute>(
-                std::move(loaded.precompute));
-  ++entry.loads;
-  entry.last_load_seconds = timer.ElapsedSeconds();
-  resident_bytes_ += entry.memory_bytes;
-  mapped_resident_bytes_ += entry.mapped_bytes;
-  return Status::Ok();
+  return it;
 }
 
-StatusOr<CatalogGraph> GraphCatalog::MaterializeLocked(
-    const std::string& name) {
-  auto it = entries_.find(name);
+StatusOr<CatalogGraph> GraphCatalog::MaterializeWithLock(
+    std::unique_lock<std::mutex>& lock, const std::string& name) {
+  auto it = WaitWhileLoading(lock, name);
   if (it == entries_.end()) {
     return Status::NotFound("no graph named '" + name + "' is registered");
   }
-  Entry& entry = it->second;
-  if (entry.graph == nullptr) {
-    KPLEX_RETURN_IF_ERROR(Materialize(name, entry));
+  if (it->second.graph != nullptr) {  // resident (maybe loaded while waiting)
+    lru_.Touch(name);
+    EvictOverBudget(name);
+    return CatalogGraph{it->second.graph, it->second.precompute};
   }
+  if (it->second.kind == SourceKind::kPinned) {
+    return Status::Internal("pinned entry '" + name + "' lost its graph");
+  }
+
+  // Load outside the lock so a slow parse or snapshot map of one graph
+  // never stalls Gets of other graphs (or stats/cancel traffic). The
+  // loading latch makes concurrent Gets of *this* graph wait above,
+  // and keeps mutators from erasing the entry mid-load.
+  it->second.loading = true;
+  const SourceKind kind = it->second.kind;
+  const std::string locator = it->second.locator;
+  lock.unlock();
+  WallTimer timer;
+  StatusOr<LoadedSnapshot> loaded = Status::Internal("unreachable");
+  if (kind == SourceKind::kFile) {
+    loaded = LoadGraphAutoFull(locator);
+  } else {
+    auto graph = LoadDataset(locator);
+    if (graph.ok()) {
+      LoadedSnapshot snapshot;
+      snapshot.graph = *std::move(graph);
+      loaded = std::move(snapshot);
+    } else {
+      loaded = graph.status();
+    }
+  }
+  const double load_seconds = timer.ElapsedSeconds();
+  lock.lock();
+
+  // The entry is guaranteed to still exist: Evict/Unregister block on
+  // the loading latch.
+  Entry& entry = entries_.at(name);
+  entry.loading = false;
+  load_cv_.notify_all();
+  if (!loaded.ok()) return loaded.status();
+  entry.num_vertices = loaded->graph.NumVertices();
+  entry.num_edges = loaded->graph.NumEdges();
+  entry.precompute_tag = loaded->precompute.AvailabilityTag();
+  entry.memory_bytes =
+      loaded->graph.MemoryBytes() + loaded->precompute.MemoryBytes();
+  entry.mapped_bytes = loaded->graph.MappedBytes();
+  entry.graph = std::make_shared<const Graph>(std::move(loaded->graph));
+  entry.precompute =
+      loaded->precompute.empty()
+          ? nullptr
+          : std::make_shared<const GraphPrecompute>(
+                std::move(loaded->precompute));
+  ++entry.loads;
+  entry.last_load_seconds = load_seconds;
+  resident_bytes_ += entry.memory_bytes;
+  mapped_resident_bytes_ += entry.mapped_bytes;
   lru_.Touch(name);
   EvictOverBudget(name);
   return CatalogGraph{entry.graph, entry.precompute};
@@ -122,8 +147,8 @@ StatusOr<std::shared_ptr<const Graph>> GraphCatalog::Get(
 }
 
 StatusOr<CatalogGraph> GraphCatalog::GetFull(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return MaterializeLocked(name);
+  std::unique_lock<std::mutex> lock(mutex_);
+  return MaterializeWithLock(lock, name);
 }
 
 StatusOr<std::string> GraphCatalog::PrecomputeTag(
@@ -171,8 +196,8 @@ void GraphCatalog::EvictOverBudget(const std::string& keep) {
 }
 
 Status GraphCatalog::Evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = WaitWhileLoading(lock, name);
   if (it == entries_.end()) {
     return Status::NotFound("no graph named '" + name + "' is registered");
   }
@@ -189,8 +214,8 @@ Status GraphCatalog::Evict(const std::string& name) {
 }
 
 Status GraphCatalog::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = WaitWhileLoading(lock, name);
   if (it == entries_.end()) {
     return Status::NotFound("no graph named '" + name + "' is registered");
   }

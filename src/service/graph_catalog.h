@@ -13,10 +13,20 @@
 //    kernel reclaims clean mapped pages under pressure, so they do NOT
 //    count against the budget — that is exactly how many mapped graphs
 //    share one budget. They are tracked and reported separately.
+//
+// Thread-safety: every public method may be called from any thread.
+// Graphs are handed out as shared_ptr pins — eviction only drops the
+// catalog's own reference, so a mapped snapshot is never unmapped while
+// an in-flight query still reads it (the mapping is released when the
+// last pin goes away). Materialization runs *outside* the catalog lock
+// with a per-entry loading latch: concurrent Gets of the same graph
+// load it exactly once (the others wait), and loads of different
+// graphs proceed in parallel. See docs/CONCURRENCY.md.
 
 #ifndef KPLEX_SERVICE_GRAPH_CATALOG_H_
 #define KPLEX_SERVICE_GRAPH_CATALOG_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -134,15 +144,24 @@ class GraphCatalog {
     uint64_t loads = 0;
     double last_load_seconds = 0;
     uint64_t sequence = 0;  // registration order for Entries()
+    // Loading latch: true while one thread materializes this entry
+    // outside the lock. Other Gets wait on load_cv_; mutators (Evict,
+    // Unregister) wait too, so the entry cannot vanish mid-load.
+    bool loading = false;
   };
 
   Status RegisterLocked(const std::string& name, Entry entry);
-  StatusOr<CatalogGraph> MaterializeLocked(const std::string& name);
-  Status Materialize(const std::string& name, Entry& entry);
+  StatusOr<CatalogGraph> MaterializeWithLock(
+      std::unique_lock<std::mutex>& lock, const std::string& name);
+  /// Blocks (releasing the lock) while the named entry is mid-load;
+  /// returns the post-wait iterator (entries_.end() if unregistered).
+  std::map<std::string, Entry>::iterator WaitWhileLoading(
+      std::unique_lock<std::mutex>& lock, const std::string& name);
   void DropResident(Entry& entry);
   void EvictOverBudget(const std::string& keep);
 
   mutable std::mutex mutex_;
+  std::condition_variable load_cv_;  // signalled when a load finishes
   std::map<std::string, Entry> entries_;
   LruList<std::string> lru_;  // resident entries only
   std::size_t memory_budget_bytes_;

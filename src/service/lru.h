@@ -1,8 +1,10 @@
 // LRU bookkeeping shared by GraphCatalog (graph eviction under a memory
 // budget) and QueryEngine (bounded result cache): an ordered list of
 // keys, most recently used first, with O(1) touch/erase and eviction
-// candidates taken from the back. Not thread-safe; callers hold their
-// own lock.
+// candidates taken from the back. Deliberately not thread-safe on its
+// own: both owners mutate it only under their instance mutex, together
+// with the map it indexes, so the list and the map can never disagree
+// (see docs/CONCURRENCY.md for the service locking discipline).
 
 #ifndef KPLEX_SERVICE_LRU_H_
 #define KPLEX_SERVICE_LRU_H_

@@ -1,5 +1,6 @@
 #include "service/query_engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "baselines/fp.h"
@@ -77,22 +78,66 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   }
   const std::string signature =
       CanonicalSignature(request) + "|pre=" + *tag;
-  if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(signature);
-    if (request.use_cache && it != cache_.end()) {
-      ++hits_;
-      cache_lru_.Touch(signature);
-      QueryResult result = it->second;
-      result.from_cache = true;
-      result.seconds = timer.ElapsedSeconds();
-      return result;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cache_capacity_ > 0) {
+        auto it = cache_.find(signature);
+        if (request.use_cache && it != cache_.end()) {
+          ++hits_;
+          cache_lru_.Touch(signature);
+          QueryResult result = it->second;
+          result.from_cache = true;
+          result.seconds = timer.ElapsedSeconds();
+          return result;
+        }
+      }
+      // cache=off requests bypass the lookup *and* the single-flight
+      // wait: the caller explicitly asked for a fresh execution.
+      if (!request.use_cache) break;
+      auto flight = in_flight_.find(signature);
+      if (flight == in_flight_.end()) break;
+      // An identical query is already executing. Wait for its answer
+      // instead of stampeding the same enumeration, but poll our own
+      // cancel flag so a cancelled waiter unblocks promptly rather
+      // than riding out the leader's run.
+      std::shared_ptr<InFlight> shared = flight->second;
+      while (!shared->done) {
+        shared->cv.wait_for(lock, std::chrono::milliseconds(10));
+        if (request.cancel != nullptr &&
+            request.cancel->load(std::memory_order_relaxed)) {
+          QueryResult result;
+          result.cancelled = true;
+          result.signature = signature;
+          result.seconds = timer.ElapsedSeconds();
+          return result;
+        }
+      }
+      if (shared->has_result) {
+        // The leader's complete answer, shared through the latch —
+        // works even with the cache disabled.
+        if (cache_capacity_ > 0) ++hits_;
+        QueryResult result = shared->result;
+        result.from_cache = true;
+        result.seconds = timer.ElapsedSeconds();
+        return result;
+      }
+      // The leader's run was partial (or errored) and cannot be
+      // shared; loop and become the leader ourselves.
     }
-    ++misses_;
+    if (cache_capacity_ > 0) ++misses_;
+    if (request.use_cache) {
+      in_flight_[signature] = std::make_shared<InFlight>();
+      leader = true;
+    }
   }
 
   auto executed = Execute(request);
-  if (!executed.ok()) return executed.status();
+  if (!executed.ok()) {
+    if (leader) FinishInFlight(signature, nullptr);
+    return executed.status();
+  }
   QueryResult result = *std::move(executed);
   result.signature = signature;
   result.seconds = timer.ElapsedSeconds();
@@ -104,8 +149,9 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   // different subset each run.
   const bool nondeterministic_subset =
       result.stopped_early && request.threads > 0;
-  if (cache_capacity_ > 0 && !result.timed_out && !result.cancelled &&
-      !nondeterministic_subset) {
+  const bool complete_answer =
+      !result.timed_out && !result.cancelled && !nondeterministic_subset;
+  if (cache_capacity_ > 0 && complete_answer) {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_[signature] = result;
     cache_lru_.Touch(signature);
@@ -115,7 +161,24 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
       cache_lru_.Erase(victim);
     }
   }
+  if (leader) {
+    FinishInFlight(signature, complete_answer ? &result : nullptr);
+  }
   return result;
+}
+
+void QueryEngine::FinishInFlight(const std::string& signature,
+                                 const QueryResult* result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = in_flight_.find(signature);
+  if (it == in_flight_.end()) return;
+  if (result != nullptr) {
+    it->second->result = *result;
+    it->second->has_result = true;
+  }
+  it->second->done = true;
+  it->second->cv.notify_all();
+  in_flight_.erase(it);
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {

@@ -11,13 +11,26 @@
 // are never cached; a max_results-truncated run is cached only when it
 // was sequential (parallel workers race for the cap, so their subset is
 // not reproducible).
+//
+// Thread-safety: Run() may be called from any number of threads (the
+// ServiceDispatcher's workers all share one engine). Cache bookkeeping
+// is mutex-guarded, and identical concurrent queries are single-flight:
+// the first caller executes, the others wait for its answer and serve
+// it as a cache hit instead of stampeding the same enumeration N times.
+// Single-flight holds even with caching disabled (cache_capacity 0) —
+// the leader's answer travels through the in-flight latch, it just is
+// not retained afterwards. A waiter whose own cancel flag flips while
+// waiting unblocks promptly with a cancelled result. See
+// docs/CONCURRENCY.md.
 
 #ifndef KPLEX_SERVICE_QUERY_ENGINE_H_
 #define KPLEX_SERVICE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -109,13 +122,30 @@ class QueryEngine {
   GraphCatalog& catalog() { return catalog_; }
 
  private:
+  // Single-flight latch: present in in_flight_ while one thread
+  // executes the signature; waiters block on cv (against mutex_) and
+  // serve `result` once done flips (has_result is false when the
+  // leader's run was partial or errored — waiters then retry as
+  // leaders themselves).
+  struct InFlight {
+    std::condition_variable cv;
+    bool done = false;
+    bool has_result = false;
+    QueryResult result;
+  };
+
   StatusOr<QueryResult> Execute(const QueryRequest& request);
+  /// Releases the latch; `result` non-null shares a complete answer
+  /// with the waiters.
+  void FinishInFlight(const std::string& signature,
+                      const QueryResult* result);
 
   GraphCatalog& catalog_;
   const std::size_t cache_capacity_;
   mutable std::mutex mutex_;
   std::map<std::string, QueryResult> cache_;
   LruList<std::string> cache_lru_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -81,7 +81,11 @@ ServiceSession::ServiceSession(std::ostream& out,
                                ServiceSessionOptions options)
     : out_(out), options_(options),
       catalog_(options.memory_budget_bytes),
-      engine_(catalog_, options.result_cache_capacity) {}
+      engine_(catalog_, options.result_cache_capacity) {
+  DispatcherOptions dispatch;
+  dispatch.workers = options.workers == 0 ? 1 : options.workers;
+  dispatcher_ = std::make_unique<ServiceDispatcher>(engine_, dispatch);
+}
 
 void ServiceSession::Fail(const Status& status) {
   ++errors_;
@@ -102,6 +106,14 @@ bool ServiceSession::ExecuteLine(const std::string& line) {
     CmdSnapshot(tokens);
   } else if (cmd == "mine") {
     CmdMine(tokens);
+  } else if (cmd == "submit") {
+    CmdSubmit(tokens);
+  } else if (cmd == "cancel") {
+    CmdCancel(tokens);
+  } else if (cmd == "jobs") {
+    CmdJobs();
+  } else if (cmd == "wait") {
+    CmdWait(tokens);
   } else if (cmd == "stats") {
     CmdStats();
   } else if (cmd == "evict") {
@@ -120,7 +132,21 @@ uint64_t ServiceSession::RunScript(std::istream& in) {
   while (std::getline(in, line)) {
     if (!ExecuteLine(line)) break;
   }
+  // Sweep failures of jobs nobody waited on: the batch exit code must
+  // not depend on whether the script bothered to view results. Jobs
+  // still running here are cancelled by the dispatcher destructor, not
+  // counted as failures.
+  CountTerminalFailures();
   return errors_;
+}
+
+void ServiceSession::CountTerminalFailures() {
+  for (const JobInfo& info : dispatcher_->Jobs()) {
+    if (info.state == JobState::kFailed &&
+        counted_failed_jobs_.insert(info.id).second) {
+      ++errors_;
+    }
+  }
 }
 
 void ServiceSession::CmdLoad(const std::vector<std::string>& args) {
@@ -201,19 +227,22 @@ void ServiceSession::CmdSnapshot(const std::vector<std::string>& args) {
        << "\n";
 }
 
-void ServiceSession::CmdMine(const std::vector<std::string>& args) {
+namespace {
+
+/// Parses "CMD NAME K Q [key=value ...]" (shared by mine and submit).
+StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
   if (args.size() < 4) {
-    Fail(Status::InvalidArgument(
-        "usage: mine NAME K Q [algo=...] [threads=N] [max-results=N] "
-        "[time-limit=S] [tau-ms=T] [cache=on|off]"));
-    return;
+    return Status::InvalidArgument(
+        "usage: " + args[0] +
+        " NAME K Q [algo=...] [threads=N] [max-results=N] "
+        "[time-limit=S] [tau-ms=T] [cache=on|off]");
   }
   QueryRequest request;
   request.graph = args[1];
   auto k = ParseUint("K", args[2], UINT32_MAX);
+  if (!k.ok()) return k.status();
   auto q = ParseUint("Q", args[3], UINT32_MAX);
-  if (!k.ok()) { Fail(k.status()); return; }
-  if (!q.ok()) { Fail(q.status()); return; }
+  if (!q.ok()) return q.status();
   request.k = static_cast<uint32_t>(*k);
   request.q = static_cast<uint32_t>(*q);
 
@@ -221,54 +250,184 @@ void ServiceSession::CmdMine(const std::vector<std::string>& args) {
     const auto [key, value] = SplitKeyValue(args[i]);
     if (key == "algo") {
       auto algo = ParseQueryAlgo(value);
-      if (!algo.ok()) { Fail(algo.status()); return; }
+      if (!algo.ok()) return algo.status();
       request.algo = *algo;
     } else if (key == "threads") {
       auto parsed = ParseUint(key, value, UINT32_MAX);
-      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      if (!parsed.ok()) return parsed.status();
       request.threads = static_cast<uint32_t>(*parsed);
     } else if (key == "max-results") {
       auto parsed = ParseUint(key, value);
-      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      if (!parsed.ok()) return parsed.status();
       request.max_results = *parsed;
     } else if (key == "time-limit") {
       auto parsed = ParseDouble(key, value);
-      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      if (!parsed.ok()) return parsed.status();
       request.time_limit_seconds = *parsed;
     } else if (key == "tau-ms") {
       auto parsed = ParseDouble(key, value);
-      if (!parsed.ok()) { Fail(parsed.status()); return; }
+      if (!parsed.ok()) return parsed.status();
       request.tau_ms = *parsed;
     } else if (key == "cache") {
       if (value != "on" && value != "off") {
-        Fail(Status::InvalidArgument("cache must be on or off"));
-        return;
+        return Status::InvalidArgument("cache must be on or off");
       }
       request.use_cache = value == "on";
     } else {
-      Fail(Status::InvalidArgument("unknown mine option '" + key + "'"));
-      return;
+      return Status::InvalidArgument("unknown " + args[0] + " option '" +
+                                     key + "'");
     }
   }
+  return request;
+}
 
-  auto result = engine_.Run(request);
-  if (!result.ok()) {
-    Fail(result.status());
+/// One-line summary of a request ("web k=2 q=12 algo=ours").
+std::string DescribeRequest(const QueryRequest& request) {
+  return request.graph + " k=" + std::to_string(request.k) +
+         " q=" + std::to_string(request.q) + " algo=" +
+         QueryAlgoName(request.algo);
+}
+
+void PrintMineLine(std::ostream& out, const QueryRequest& request,
+                   const QueryResult& result) {
+  out << "mined " << DescribeRequest(request) << ": " << result.num_plexes
+      << " plexes, max size " << result.max_plex_size << ", "
+      << FormatSeconds(result.seconds) << "s";
+  if (result.from_cache) out << " [cached]";
+  if (result.reduction_precomputed && !result.from_cache) {
+    out << " [precomputed reduction]";
+  }
+  if (result.timed_out) out << " [time limit hit]";
+  if (result.stopped_early) out << " [result cap hit]";
+  if (result.cancelled) out << " [cancelled]";
+  out << "\n";
+}
+
+}  // namespace
+
+void ServiceSession::PrintJobOutcome(const JobInfo& info,
+                                     const std::string& prefix) {
+  switch (info.state) {
+    case JobState::kDone:
+      out_ << prefix;
+      PrintMineLine(out_, info.request, info.result);
+      break;
+    case JobState::kCancelled:
+      if (!info.started) {
+        out_ << prefix << "cancelled " << DescribeRequest(info.request)
+             << " before it started\n";
+      } else {
+        out_ << prefix;
+        PrintMineLine(out_, info.request, info.result);
+      }
+      break;
+    case JobState::kFailed:
+      if (counted_failed_jobs_.insert(info.id).second) ++errors_;
+      out_ << prefix << "error: " << info.status.ToString() << "\n";
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      out_ << prefix << JobStateName(info.state) << "\n";  // unreachable
+      break;
+  }
+}
+
+void ServiceSession::CmdMine(const std::vector<std::string>& args) {
+  auto request = ParseQueryArgs(args);
+  if (!request.ok()) {
+    Fail(request.status());
     return;
   }
-  out_ << "mined " << request.graph << " k=" << request.k
-       << " q=" << request.q << " algo=" << QueryAlgoName(request.algo)
-       << ": " << result->num_plexes << " plexes, max size "
-       << result->max_plex_size << ", " << FormatSeconds(result->seconds)
-       << "s";
-  if (result->from_cache) out_ << " [cached]";
-  if (result->reduction_precomputed && !result->from_cache) {
-    out_ << " [precomputed reduction]";
+  // Synchronous mine is submit-and-wait on the shared dispatcher: one
+  // execution path for every query, and byte-identical output to the
+  // historical serial session.
+  auto id = dispatcher_->Submit(*request);
+  if (!id.ok()) {
+    Fail(id.status());
+    return;
   }
-  if (result->timed_out) out_ << " [time limit hit]";
-  if (result->stopped_early) out_ << " [result cap hit]";
-  if (result->cancelled) out_ << " [cancelled]";
-  out_ << "\n";
+  auto info = dispatcher_->Wait(*id);
+  if (!info.ok()) {
+    Fail(info.status());
+    return;
+  }
+  // PrintJobOutcome handles the kFailed case too (one counted error
+  // per failed job, however it surfaces).
+  PrintJobOutcome(*info, "");
+}
+
+void ServiceSession::CmdSubmit(const std::vector<std::string>& args) {
+  auto request = ParseQueryArgs(args);
+  if (!request.ok()) {
+    Fail(request.status());
+    return;
+  }
+  auto id = dispatcher_->Submit(*request);
+  if (!id.ok()) {
+    Fail(id.status());
+    return;
+  }
+  out_ << "job " << *id << " submitted: mine " << DescribeRequest(*request)
+       << "\n";
+}
+
+void ServiceSession::CmdCancel(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    Fail(Status::InvalidArgument("usage: cancel ID"));
+    return;
+  }
+  auto id = ParseUint("ID", args[1]);
+  if (!id.ok()) {
+    Fail(id.status());
+    return;
+  }
+  Status cancelled = dispatcher_->Cancel(*id);
+  if (!cancelled.ok()) {
+    Fail(cancelled);
+    return;
+  }
+  out_ << "cancel requested for job " << *id << "\n";
+}
+
+void ServiceSession::CmdJobs() {
+  TablePrinter table({"id", "query", "state", "plexes", "seconds"});
+  for (const JobInfo& info : dispatcher_->Jobs()) {
+    const bool has_result = info.state == JobState::kDone ||
+                            (info.state == JobState::kCancelled &&
+                             info.started);
+    table.AddRow({std::to_string(info.id), DescribeRequest(info.request),
+                  JobStateName(info.state),
+                  has_result ? FormatCount(info.result.num_plexes) : "-",
+                  has_result ? FormatSeconds(info.result.seconds) : "-"});
+  }
+  table.Print(out_);
+}
+
+void ServiceSession::CmdWait(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    Fail(Status::InvalidArgument("usage: wait [ID]"));
+    return;
+  }
+  if (args.size() == 2) {
+    auto id = ParseUint("ID", args[1]);
+    if (!id.ok()) {
+      Fail(id.status());
+      return;
+    }
+    auto info = dispatcher_->Wait(*id);
+    if (!info.ok()) {
+      Fail(info.status());
+      return;
+    }
+    PrintJobOutcome(*info, "job " + std::to_string(info->id) + ": ");
+    return;
+  }
+  dispatcher_->Drain();
+  CountTerminalFailures();
+  const ServiceDispatcher::JobCounts counts = dispatcher_->Counts();
+  out_ << "all jobs finished: " << counts.done << " done, "
+       << counts.cancelled << " cancelled, " << counts.failed
+       << " failed\n";
 }
 
 void ServiceSession::CmdStats() {
@@ -292,6 +451,10 @@ void ServiceSession::CmdStats() {
   out_ << "result cache: " << cache.entries << "/" << cache.capacity
        << " entries, " << cache.hits << " hits, " << cache.misses
        << " misses\n";
+  const ServiceDispatcher::JobCounts jobs = dispatcher_->Counts();
+  out_ << "dispatcher: " << dispatcher_->num_workers() << " worker(s), "
+       << jobs.queued << " queued, " << jobs.running << " running, "
+       << (jobs.done + jobs.cancelled + jobs.failed) << " finished\n";
 }
 
 void ServiceSession::CmdEvict(const std::vector<std::string>& args) {
@@ -317,7 +480,12 @@ void ServiceSession::CmdHelp() {
           "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
           "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
           "       [cache=on|off]\n"
-          "  stats                 catalog + result-cache statistics\n"
+          "  submit NAME K Q [...] run a mine asynchronously; prints a\n"
+          "                        job id immediately\n"
+          "  cancel ID             cancel a queued or running job\n"
+          "  jobs                  status of every submitted job\n"
+          "  wait [ID]             block until job ID (or all jobs) done\n"
+          "  stats                 catalog + cache + dispatcher stats\n"
           "  evict NAME            drop the resident copy\n"
           "  quit                  end the session\n";
 }

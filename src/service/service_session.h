@@ -13,7 +13,14 @@
 //                         keys: algo (ours|ours_p|basic|listplex|fp),
 //                         threads, max-results, time-limit, tau-ms,
 //                         cache (on|off)
-//   stats                 catalog + result-cache tables
+//   submit NAME K Q [key=value ...]
+//                         like mine, but asynchronous: returns a job id
+//                         immediately; the query runs on a worker
+//   cancel ID             request cancellation of a queued/running job
+//   jobs                  one-line status of every submitted job
+//   wait [ID]             block until job ID (or every job) finishes and
+//                         print the result line(s)
+//   stats                 catalog + result-cache + dispatcher tables
 //   evict NAME            drop the resident copy (reloads on next use)
 //   help                  command summary
 //   quit                  end the session
@@ -21,16 +28,26 @@
 // Blank lines and '#' comments are skipped. A failing command prints
 // "error: ..." and the session continues; failures are counted so batch
 // callers can exit non-zero.
+//
+// Concurrency: every query — including synchronous `mine`, which is
+// submit-and-wait — executes on the session's ServiceDispatcher. With
+// the default single worker the behavior is exactly the historical
+// serial session; `--workers N` lets submitted jobs overlap while the
+// command loop stays responsive for cancel/jobs/stats. All printing
+// happens on the command-loop thread (workers never touch the stream).
 
 #ifndef KPLEX_SERVICE_SERVICE_SESSION_H_
 #define KPLEX_SERVICE_SERVICE_SESSION_H_
 
 #include <cstdint>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "service/dispatcher.h"
 #include "service/graph_catalog.h"
 #include "service/query_engine.h"
 
@@ -43,6 +60,10 @@ struct ServiceSessionOptions {
   std::size_t result_cache_capacity = 64;
   /// Echo each command before executing it (script mode readability).
   bool echo = false;
+  /// Dispatcher worker threads. 1 (the default) preserves the serial
+  /// session semantics; N > 1 lets `submit`ted jobs run concurrently
+  /// over the shared catalog. 0 is clamped to 1.
+  uint32_t workers = 1;
 };
 
 class ServiceSession {
@@ -61,6 +82,7 @@ class ServiceSession {
 
   GraphCatalog& catalog() { return catalog_; }
   QueryEngine& engine() { return engine_; }
+  ServiceDispatcher& dispatcher() { return *dispatcher_; }
 
  private:
   void Fail(const Status& status);
@@ -68,14 +90,32 @@ class ServiceSession {
   void CmdDataset(const std::vector<std::string>& args);
   void CmdSnapshot(const std::vector<std::string>& args);
   void CmdMine(const std::vector<std::string>& args);
+  void CmdSubmit(const std::vector<std::string>& args);
+  void CmdCancel(const std::vector<std::string>& args);
+  void CmdJobs();
+  void CmdWait(const std::vector<std::string>& args);
   void CmdStats();
   void CmdEvict(const std::vector<std::string>& args);
   void CmdHelp();
+
+  /// Prints the terminal outcome of a job ("mined ..." / error line).
+  /// `prefix` labels asynchronous results ("job 3: ").
+  void PrintJobOutcome(const JobInfo& info, const std::string& prefix);
+
+  /// Folds failures of terminal jobs into errors_ (each job once).
+  void CountTerminalFailures();
 
   std::ostream& out_;
   ServiceSessionOptions options_;
   GraphCatalog catalog_;
   QueryEngine engine_;
+  // Pointer so the session stays movable-free but constructible before
+  // the dispatcher spins up its workers (engine_ must outlive it; the
+  // declaration order here is the destruction order guarantee).
+  std::unique_ptr<ServiceDispatcher> dispatcher_;
+  // Failed-job ids already counted toward errors_: a job failure is one
+  // error no matter how often (or through which command) it surfaces.
+  std::set<uint64_t> counted_failed_jobs_;
   uint64_t errors_ = 0;
 };
 

@@ -1,0 +1,366 @@
+// Deterministic concurrency tests for the ServiceDispatcher: N workers
+// over one shared catalog produce bit-identical HashingSink fingerprints
+// to serial execution; cancellation of queued and in-flight jobs is
+// prompt and never poisons the result cache; and eviction under load
+// never unmaps a snapshot an in-flight query still reads (shared_ptr
+// pins). These suites are the core of the ThreadSanitizer CI job.
+
+#include "service/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+#include "service/graph_catalog.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+Graph SmallGraph(uint64_t seed) { return GenerateErdosRenyi(150, 0.1, seed); }
+
+// Large enough that a k=3 mine runs for many seconds — used to observe
+// cancellation mid-flight (the run is never allowed to finish).
+Graph SlowGraph() { return GenerateBarabasiAlbert(4000, 24, 9); }
+
+QueryRequest MakeRequest(const std::string& graph, uint32_t k, uint32_t q) {
+  QueryRequest request;
+  request.graph = graph;
+  request.k = k;
+  request.q = q;
+  return request;
+}
+
+// Polls until the job reaches `state` (or a terminal one); false on
+// timeout. Cancellation tests need to catch a job while it runs.
+bool WaitForState(ServiceDispatcher& dispatcher, uint64_t id, JobState state,
+                  double timeout_seconds = 10.0) {
+  WallTimer timer;
+  while (timer.ElapsedSeconds() < timeout_seconds) {
+    auto info = dispatcher.GetJob(id);
+    if (!info.ok()) return false;
+    if (info->state == state) return true;
+    if (info->state != JobState::kQueued &&
+        info->state != JobState::kRunning) {
+      return false;  // terminal, and not the state we wanted
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(ServiceDispatcher, ConcurrentFingerprintsMatchSerialExecution) {
+  // Serial reference: every (graph, q) answer straight from the
+  // sequential engine.
+  const std::map<std::string, Graph> graphs = {{"a", SmallGraph(21)},
+                                               {"b", SmallGraph(22)}};
+  struct Query {
+    std::string graph;
+    uint32_t q;
+    uint64_t fingerprint;
+    uint64_t count;
+  };
+  std::vector<Query> queries;
+  for (const auto& kv : graphs) {
+    for (uint32_t q = 4; q <= 9; ++q) {
+      HashingSink sink;
+      auto run = EnumerateMaximalKPlexes(kv.second, EnumOptions::Ours(2, q),
+                                         sink);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      queries.push_back({kv.first, q, sink.fingerprint(), run->num_plexes});
+    }
+  }
+
+  GraphCatalog catalog;
+  for (const auto& kv : graphs) {
+    ASSERT_TRUE(catalog.RegisterGraph(kv.first, Graph(kv.second)).ok());
+  }
+  QueryEngine engine(catalog);
+  DispatcherOptions options;
+  options.workers = 4;
+  ServiceDispatcher dispatcher(engine, options);
+  ASSERT_EQ(dispatcher.num_workers(), 4u);
+
+  std::vector<uint64_t> ids;
+  for (const Query& query : queries) {
+    auto id = dispatcher.Submit(MakeRequest(query.graph, 2, query.q));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto info = dispatcher.Wait(ids[i]);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    ASSERT_EQ(info->state, JobState::kDone)
+        << info->status.ToString() << " for " << queries[i].graph
+        << " q=" << queries[i].q;
+    EXPECT_EQ(info->result.fingerprint, queries[i].fingerprint)
+        << queries[i].graph << " q=" << queries[i].q;
+    EXPECT_EQ(info->result.num_plexes, queries[i].count);
+  }
+}
+
+TEST(ServiceDispatcher, DuplicateConcurrentQueriesSingleFlightIdentical) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", SmallGraph(5)).ok());
+  QueryEngine engine(catalog);
+  DispatcherOptions options;
+  options.workers = 8;
+  ServiceDispatcher dispatcher(engine, options);
+
+  // Eight identical queries race; the engine's single-flight guarantees
+  // one execution and seven hits, all with one fingerprint.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = dispatcher.Submit(MakeRequest("g", 2, 5));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  uint64_t fingerprint = 0;
+  for (uint64_t id : ids) {
+    auto info = dispatcher.Wait(id);
+    ASSERT_TRUE(info.ok());
+    ASSERT_EQ(info->state, JobState::kDone);
+    if (fingerprint == 0) fingerprint = info->result.fingerprint;
+    EXPECT_EQ(info->result.fingerprint, fingerprint);
+  }
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServiceDispatcher, CancelRunningJobReturnsPromptlyWithoutCachePoison) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("big", SlowGraph()).ok());
+  QueryEngine engine(catalog);
+  ServiceDispatcher dispatcher(engine);
+
+  auto id = dispatcher.Submit(MakeRequest("big", 3, 6));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(WaitForState(dispatcher, *id, JobState::kRunning));
+  // Give the enumeration time to get deep into its branch tree, so the
+  // cancel genuinely interrupts work in progress.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  WallTimer timer;
+  ASSERT_TRUE(dispatcher.Cancel(*id).ok());
+  auto info = dispatcher.Wait(*id);
+  const double cancel_latency = timer.ElapsedSeconds();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kCancelled);
+  EXPECT_TRUE(info->result.cancelled);
+  // The ISSUE 3 acceptance bound: a running query honors cancel within
+  // 200ms (the engines poll every few thousand branch calls).
+  EXPECT_LT(cancel_latency, 0.2) << "cancel took " << cancel_latency << "s";
+
+  // The partial answer must not have entered the cache.
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+
+  // Cancelling a finished job is refused.
+  Status again = dispatcher.Cancel(*id);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceDispatcher, CancelQueuedJobNeverRuns) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("big", SlowGraph()).ok());
+  ASSERT_TRUE(catalog.RegisterGraph("small", SmallGraph(3)).ok());
+  QueryEngine engine(catalog);
+  ServiceDispatcher dispatcher(engine);  // one worker: strict FIFO
+
+  auto blocker = dispatcher.Submit(MakeRequest("big", 3, 6));
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(WaitForState(dispatcher, *blocker, JobState::kRunning));
+  auto queued = dispatcher.Submit(MakeRequest("small", 2, 5));
+  ASSERT_TRUE(queued.ok());
+
+  ASSERT_TRUE(dispatcher.Cancel(*queued).ok());
+  auto info = dispatcher.Wait(*queued);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kCancelled);
+  EXPECT_TRUE(info->result.cancelled);
+  EXPECT_EQ(info->result.num_plexes, 0u);
+
+  ASSERT_TRUE(dispatcher.Cancel(*blocker).ok());
+  auto blocked = dispatcher.Wait(*blocker);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked->state, JobState::kCancelled);
+}
+
+TEST(ServiceDispatcher, EvictionUnderLoadNeverUnmapsPinnedSnapshot) {
+  // A mapped v2 snapshot graph is queried by 4 workers while the main
+  // thread hammers Evict: in-flight queries hold shared_ptr pins, so
+  // the mapping must survive until each run finishes, and every answer
+  // must equal the serial reference.
+  Graph graph = GenerateBarabasiAlbert(3000, 10, 17);
+  const std::string path = ::testing::TempDir() + "dispatcher_evict.kpx";
+  ASSERT_TRUE(SaveSnapshot(graph, path).ok());
+
+  HashingSink reference;
+  auto serial = EnumerateMaximalKPlexes(graph, EnumOptions::Ours(2, 8),
+                                        reference);
+  ASSERT_TRUE(serial.ok());
+
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterFile("snap", path).ok());
+  QueryEngine engine(catalog);
+  DispatcherOptions options;
+  options.workers = 4;
+  ServiceDispatcher dispatcher(engine, options);
+
+  constexpr int kJobs = 16;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    QueryRequest request = MakeRequest("snap", 2, 8);
+    request.use_cache = false;  // force a real execution per job
+    auto id = dispatcher.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Evict while the workers mine. Each Evict drops the catalog's own
+  // reference; queries already holding the graph keep it mapped.
+  std::atomic<bool> drained{false};
+  std::thread evictor([&] {
+    while (!drained.load()) {
+      (void)catalog.Evict("snap");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (uint64_t id : ids) {
+    auto info = dispatcher.Wait(id);
+    ASSERT_TRUE(info.ok());
+    ASSERT_EQ(info->state, JobState::kDone) << info->status.ToString();
+    EXPECT_EQ(info->result.fingerprint, reference.fingerprint());
+    EXPECT_EQ(info->result.num_plexes, serial->num_plexes);
+  }
+  drained.store(true);
+  evictor.join();
+
+  // The evictions really happened: the entry was re-materialized.
+  for (const auto& info : catalog.Entries()) {
+    if (info.name == "snap") EXPECT_GT(info.loads, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceDispatcher, BoundedQueueRejectsWhenFull) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("big", SlowGraph()).ok());
+  QueryEngine engine(catalog);
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  ServiceDispatcher dispatcher(engine, options);
+
+  auto running = dispatcher.Submit(MakeRequest("big", 3, 6));
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(WaitForState(dispatcher, *running, JobState::kRunning));
+
+  auto q1 = dispatcher.Submit(MakeRequest("big", 3, 7));
+  auto q2 = dispatcher.Submit(MakeRequest("big", 3, 8));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto rejected = dispatcher.Submit(MakeRequest("big", 3, 9));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+
+  // Cancelling a queued job frees a slot.
+  ASSERT_TRUE(dispatcher.Cancel(*q2).ok());
+  auto accepted = dispatcher.Submit(MakeRequest("big", 3, 9));
+  EXPECT_TRUE(accepted.ok());
+
+  ASSERT_TRUE(dispatcher.Cancel(*running).ok());
+  // Remaining queued jobs are retired by the destructor.
+}
+
+TEST(ServiceDispatcher, DestructorCancelsOutstandingJobs) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("big", SlowGraph()).ok());
+  QueryEngine engine(catalog);
+
+  WallTimer timer;
+  {
+    ServiceDispatcher dispatcher(engine);
+    auto running = dispatcher.Submit(MakeRequest("big", 3, 6));
+    ASSERT_TRUE(running.ok());
+    auto queued = dispatcher.Submit(MakeRequest("big", 3, 7));
+    ASSERT_TRUE(queued.ok());
+    ASSERT_TRUE(WaitForState(dispatcher, *running, JobState::kRunning));
+    // Destructor must flip the running job's cancel flag and retire the
+    // queued one instead of mining both to completion (minutes).
+  }
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);  // nothing partial cached
+}
+
+TEST(ServiceDispatcher, FinishedJobsArePrunedBeyondRetention) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", SmallGraph(2)).ok());
+  QueryEngine engine(catalog);
+  DispatcherOptions options;
+  options.finished_retention = 3;
+  ServiceDispatcher dispatcher(engine, options);
+
+  std::vector<uint64_t> ids;
+  for (uint32_t q = 4; q <= 9; ++q) {  // 6 jobs through retention 3
+    auto id = dispatcher.Submit(MakeRequest("g", 2, q));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  dispatcher.Drain();
+
+  // Only the 3 most recently finished jobs remain queryable; with one
+  // worker, completion order is submission order.
+  EXPECT_EQ(dispatcher.Jobs().size(), 3u);
+  EXPECT_EQ(dispatcher.GetJob(ids.front()).status().code(),
+            StatusCode::kNotFound);
+  auto newest = dispatcher.GetJob(ids.back());
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->state, JobState::kDone);
+}
+
+TEST(ServiceDispatcher, JobBookkeepingAndErrors) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", SmallGraph(1)).ok());
+  QueryEngine engine(catalog);
+  ServiceDispatcher dispatcher(engine);
+
+  EXPECT_EQ(dispatcher.GetJob(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dispatcher.Wait(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dispatcher.Cancel(42).code(), StatusCode::kNotFound);
+
+  auto ok = dispatcher.Submit(MakeRequest("g", 2, 5));
+  ASSERT_TRUE(ok.ok());
+  auto missing = dispatcher.Submit(MakeRequest("nosuch", 2, 5));
+  ASSERT_TRUE(missing.ok());  // submission succeeds; the *job* fails
+  dispatcher.Drain();
+
+  auto done = dispatcher.GetJob(*ok);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kDone);
+  EXPECT_GT(done->result.num_plexes, 0u);
+
+  auto failed = dispatcher.GetJob(*missing);
+  ASSERT_TRUE(failed.ok());
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->status.code(), StatusCode::kNotFound);
+
+  const auto jobs = dispatcher.Jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, *ok);       // submission order
+  EXPECT_EQ(jobs[1].id, *missing);
+  EXPECT_STREQ(JobStateName(jobs[0].state), "done");
+  EXPECT_STREQ(JobStateName(jobs[1].state), "failed");
+}
+
+}  // namespace
+}  // namespace kplex

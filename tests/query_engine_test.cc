@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include "core/enumerator.h"
 #include "core/sink.h"
@@ -233,6 +235,158 @@ TEST(QueryEngine, TruncatedParallelRunIsNotCached) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->from_cache);
   EXPECT_EQ(warm->fingerprint, sequential->fingerprint);
+}
+
+TEST(QueryEngine, TimedOutPartialResultIsNeverServedAsComplete) {
+  // Regression for the header contract: the canonical signature does
+  // NOT cover time_limit_seconds, so if a timed-out partial answer ever
+  // entered the cache it would satisfy a later unlimited query of the
+  // same signature — silently serving a partial set as complete.
+  GraphCatalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterGraph("m", GenerateErdosRenyi(300, 0.08, 11)).ok());
+  QueryEngine engine(catalog);
+
+  QueryRequest limited;
+  limited.graph = "m";
+  limited.k = 2;
+  limited.q = 5;
+  limited.time_limit_seconds = 1e-7;  // expires within the first checks
+  auto partial = engine.Run(limited);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  if (partial->timed_out) {
+    EXPECT_EQ(engine.cache_stats().entries, 0u);
+  }
+
+  QueryRequest unlimited = limited;
+  unlimited.time_limit_seconds = 0;
+  ASSERT_EQ(QueryEngine::CanonicalSignature(limited),
+            QueryEngine::CanonicalSignature(unlimited));
+  auto complete = engine.Run(unlimited);
+  ASSERT_TRUE(complete.ok());
+  if (partial->timed_out) {
+    EXPECT_FALSE(complete->from_cache);
+  }
+  EXPECT_FALSE(complete->timed_out);
+  EXPECT_GE(complete->num_plexes, partial->num_plexes);
+
+  // Only now is the signature cached — as the complete answer.
+  auto warm = engine.Run(unlimited);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_FALSE(warm->timed_out);
+  EXPECT_EQ(warm->num_plexes, complete->num_plexes);
+}
+
+TEST(QueryEngine, ConcurrentIdenticalQueriesExecuteOnce) {
+  // Single-flight: N threads racing the same cold query must produce
+  // one execution (1 miss) and identical answers for everyone else.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<QueryResult>> results(kThreads,
+                                             Status::Internal("unset"));
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      QueryRequest request;
+      request.graph = "g";
+      request.k = 2;
+      request.q = 5;
+      results[i] = engine.Run(request);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  uint64_t fingerprint = 0;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (fingerprint == 0) fingerprint = result->fingerprint;
+    EXPECT_EQ(result->fingerprint, fingerprint);
+  }
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryEngine, SingleFlightHoldsWithCachingDisabled) {
+  // cache_capacity 0 disables retention, not single-flight: racing
+  // identical queries still collapse, with the leader's answer shared
+  // through the in-flight latch.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog, /*cache_capacity=*/0);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<QueryResult>> results(kThreads,
+                                             Status::Internal("unset"));
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      QueryRequest request;
+      request.graph = "g";
+      request.k = 2;
+      request.q = 5;
+      results[i] = engine.Run(request);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  uint64_t fingerprint = 0;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (fingerprint == 0) fingerprint = result->fingerprint;
+    EXPECT_EQ(result->fingerprint, fingerprint);
+  }
+  // Nothing was retained afterwards: a later run recomputes.
+  auto later = engine.Run([] {
+    QueryRequest request;
+    request.graph = "g";
+    request.k = 2;
+    request.q = 5;
+    return request;
+  }());
+  ASSERT_TRUE(later.ok());
+  EXPECT_FALSE(later->from_cache);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(QueryEngine, ConcurrentDistinctQueriesAllCorrect) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+
+  // Serial references first.
+  std::map<uint32_t, uint64_t> reference;
+  for (uint32_t q = 4; q <= 8; ++q) {
+    HashingSink sink;
+    ASSERT_TRUE(
+        EnumerateMaximalKPlexes(TestGraph(), EnumOptions::Ours(2, q), sink)
+            .ok());
+    reference[q] = sink.fingerprint();
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<QueryResult>> results(5, Status::Internal("unset"));
+  for (uint32_t q = 4; q <= 8; ++q) {
+    threads.emplace_back([&, q] {
+      QueryRequest request;
+      request.graph = "g";
+      request.k = 2;
+      request.q = q;
+      results[q - 4] = engine.Run(request);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (uint32_t q = 4; q <= 8; ++q) {
+    const auto& result = results[q - 4];
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->fingerprint, reference[q]) << "q=" << q;
+  }
+  EXPECT_EQ(engine.cache_stats().entries, 5u);
 }
 
 TEST(QueryEngine, InvalidateGraphDropsOnlyThatGraph) {

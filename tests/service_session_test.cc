@@ -173,6 +173,102 @@ TEST(ServiceSession, MemoryBudgetFlowsThroughToCatalog) {
   EXPECT_EQ(session.catalog().MemoryBudgetBytes(), 123456u);
 }
 
+TEST(ServiceSession, WorkersFourMatchesWorkersOneJobForJob) {
+  // The ISSUE 3 acceptance shape at the command-interpreter level: the
+  // same submit batch over one catalog must print identical result
+  // lines at --workers 4 and --workers 1 (modulo timings, which the
+  // comparison strips along with completion order).
+  Graph graph = GenerateErdosRenyi(150, 0.1, 33);
+  const std::string edges_path = TempPath("workers_edges");
+  ASSERT_TRUE(SaveEdgeList(graph, edges_path).ok());
+
+  std::string script_text = "load g " + edges_path + "\n";
+  for (uint32_t q = 4; q <= 9; ++q) {
+    script_text += "submit g 2 " + std::to_string(q) + " cache=off\n";
+  }
+  script_text += "wait\njobs\nquit\n";
+
+  auto run_session = [&](uint32_t workers) {
+    ServiceSessionOptions options;
+    options.workers = workers;
+    std::ostringstream out;
+    ServiceSession session(out, options);
+    std::istringstream script(script_text);
+    EXPECT_EQ(session.RunScript(script), 0u) << out.str();
+    // Keep the "done" rows of the jobs table, stripping the trailing
+    // seconds column (the last whitespace-separated field) so only
+    // id/query/state/plexes are compared.
+    std::vector<std::string> results;
+    for (const auto& line : Lines(out.str())) {
+      if (line.find(" done ") == std::string::npos) continue;
+      std::string row = line;
+      while (!row.empty() && row.back() == ' ') row.pop_back();
+      row.erase(row.find_last_of(' ') + 1);
+      while (!row.empty() && row.back() == ' ') row.pop_back();
+      results.push_back(row);
+    }
+    return results;
+  };
+
+  const std::vector<std::string> serial = run_session(1);
+  const std::vector<std::string> concurrent = run_session(4);
+  ASSERT_EQ(serial.size(), 6u) << "expected one jobs row per submit";
+  EXPECT_EQ(serial, concurrent);
+
+  std::remove(edges_path.c_str());
+}
+
+TEST(ServiceSession, SubmitCancelWaitJobsFlow) {
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("dataset kc karate"));
+  EXPECT_TRUE(session.ExecuteLine("submit kc 2 6"));
+  EXPECT_TRUE(session.ExecuteLine("wait 1"));
+  EXPECT_NE(out.str().find("job 1 submitted: mine kc k=2 q=6 algo=ours"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("job 1: mined kc k=2 q=6"), std::string::npos)
+      << out.str();
+
+  // Unknown job ids and malformed ids are counted errors.
+  EXPECT_TRUE(session.ExecuteLine("cancel 99"));
+  EXPECT_TRUE(session.ExecuteLine("wait nope"));
+  EXPECT_EQ(session.errors(), 2u) << out.str();
+
+  // A job against an unregistered graph fails at run time, and waiting
+  // on it surfaces (and counts) the error.
+  EXPECT_TRUE(session.ExecuteLine("submit ghost 2 6"));
+  EXPECT_TRUE(session.ExecuteLine("wait 2"));
+  EXPECT_EQ(session.errors(), 3u) << out.str();
+  EXPECT_NE(out.str().find("job 2: error: NOT_FOUND"), std::string::npos)
+      << out.str();
+  // Viewing the same failure again is not another error.
+  EXPECT_TRUE(session.ExecuteLine("wait 2"));
+  EXPECT_EQ(session.errors(), 3u) << out.str();
+
+  // Cancelling an already-finished job is a FAILED_PRECONDITION.
+  EXPECT_TRUE(session.ExecuteLine("cancel 1"));
+  EXPECT_EQ(session.errors(), 4u) << out.str();
+
+  EXPECT_TRUE(session.ExecuteLine("wait"));
+  EXPECT_NE(out.str().find("all jobs finished: 1 done, 0 cancelled, "
+                           "1 failed"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(ServiceSession, BareWaitCountsUnviewedJobFailures) {
+  // A failed job must flip the batch exit code even when no one ever
+  // `wait ID`s it — the bare-wait summary counts it exactly once.
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("submit ghost 2 6"));
+  EXPECT_TRUE(session.ExecuteLine("wait"));
+  EXPECT_EQ(session.errors(), 1u) << out.str();
+  EXPECT_TRUE(session.ExecuteLine("wait 1"));
+  EXPECT_EQ(session.errors(), 1u) << out.str();  // no double count
+}
+
 TEST(ServiceSession, QuitStopsTheScript) {
   std::ostringstream out;
   ServiceSession session(out);

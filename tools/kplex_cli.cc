@@ -8,6 +8,7 @@
 //   kplex_cli snapshot --input G.txt --output G.kpx [--precompute]
 //             [--core-levels C1,C2,...] [--format v1|v2]
 //   kplex_cli serve [--script F] [--memory-budget-mb N] [--cache-capacity N]
+//             [--workers N]
 //   kplex_cli datasets
 //
 // --dataset NAME may replace --input to mine a registry dataset.
@@ -55,7 +56,7 @@ int Usage() {
                "            [--precompute] [--core-levels C1,C2,...]\n"
                "            [--format v1|v2]\n"
                "  kplex_cli serve [--script F] [--memory-budget-mb N]\n"
-               "                  [--cache-capacity N] [--echo]\n"
+               "                  [--cache-capacity N] [--workers N] [--echo]\n"
                "  kplex_cli datasets\n"
                "options for mine:\n"
                "  --dataset NAME    use a registry dataset instead of --input\n"
@@ -303,7 +304,9 @@ int RunSnapshot(const FlagParser& flags) {
 int RunServe(const FlagParser& flags) {
   auto budget_mb = flags.GetInt("memory-budget-mb", 0);
   auto cache_capacity = flags.GetInt("cache-capacity", 64);
-  for (const Status& s : {budget_mb.status(), cache_capacity.status()}) {
+  auto workers = flags.GetInt("workers", 1);
+  for (const Status& s :
+       {budget_mb.status(), cache_capacity.status(), workers.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -312,6 +315,10 @@ int RunServe(const FlagParser& flags) {
   if (*budget_mb < 0 || *cache_capacity < 0) {
     std::fprintf(stderr,
                  "--memory-budget-mb and --cache-capacity must be >= 0\n");
+    return 1;
+  }
+  if (*workers < 1 || *workers > 1024) {
+    std::fprintf(stderr, "--workers must be between 1 and 1024\n");
     return 1;
   }
   if (static_cast<uint64_t>(*budget_mb) > (SIZE_MAX >> 20)) {
@@ -324,6 +331,7 @@ int RunServe(const FlagParser& flags) {
       static_cast<std::size_t>(*budget_mb) * (std::size_t{1} << 20);
   options.result_cache_capacity = static_cast<std::size_t>(*cache_capacity);
   options.echo = flags.Has("echo");
+  options.workers = static_cast<uint32_t>(*workers);
   ServiceSession session(std::cout, options);
 
   const std::string script = flags.GetString("script", "");
@@ -379,7 +387,8 @@ int Main(int argc, char** argv) {
              "format"};
     run = RunSnapshot;
   } else if (command == "serve") {
-    known = {"script", "memory-budget-mb", "cache-capacity", "echo"};
+    known = {"script", "memory-budget-mb", "cache-capacity", "workers",
+             "echo"};
     run = RunServe;
   } else if (command == "datasets") {
     run = [](const FlagParser&) { return RunDatasets(); };
