@@ -66,10 +66,10 @@ PreparedReduction PrepareReduction(const Graph& graph,
     out.core.graph = std::move(ctcp.graph);
     out.core.to_original = std::move(ctcp.to_original);
   } else if (pre_coreness_usable) {
-    const std::vector<uint64_t>* mask = pre->MaskFor(core_level);
-    if (mask != nullptr &&
-        mask->size() == (graph.NumVertices() + 63) / 64) {
-      out.core = ReduceToCoreFromMask(graph, *mask);
+    const std::span<const uint64_t> mask = pre->MaskFor(core_level);
+    if (!mask.empty() &&
+        mask.size() == (graph.NumVertices() + 63) / 64) {
+      out.core = ReduceToCoreFromMask(graph, mask);
     } else {
       out.core = ReduceToCoreFromCoreness(graph, core_level, pre->coreness);
     }

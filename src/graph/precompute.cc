@@ -4,10 +4,42 @@
 
 namespace kplex {
 
-std::size_t GraphPrecompute::MemoryBytes() const {
-  std::size_t bytes = order.capacity() * sizeof(VertexId) +
-                      coreness.capacity() * sizeof(uint32_t);
+void GraphPrecompute::SetOrderOwned(std::vector<VertexId> values) {
+  owned_order_ = std::move(values);
+  order = owned_order_;
+}
+
+void GraphPrecompute::SetCorenessOwned(std::vector<uint32_t> values) {
+  owned_coreness_ = std::move(values);
+  coreness = owned_coreness_;
+}
+
+void GraphPrecompute::AddMaskOwned(uint32_t level,
+                                   std::vector<uint64_t> mask) {
+  auto [it, inserted] = owned_masks_.emplace(level, std::move(mask));
+  if (inserted) core_masks.emplace(level, it->second);
+}
+
+void GraphPrecompute::SetBacking(std::shared_ptr<const void> backing,
+                                 bool mapped) {
+  backing_ = std::move(backing);
+  mapped_ = mapped;
+}
+
+std::size_t GraphPrecompute::SectionBytes() const {
+  std::size_t bytes = order.size() * sizeof(VertexId) +
+                      coreness.size() * sizeof(uint32_t);
   for (const auto& [level, mask] : core_masks) {
+    (void)level;
+    bytes += mask.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+std::size_t GraphPrecompute::MemoryBytes() const {
+  std::size_t bytes = owned_order_.capacity() * sizeof(VertexId) +
+                      owned_coreness_.capacity() * sizeof(uint32_t);
+  for (const auto& [level, mask] : owned_masks_) {
     (void)level;
     bytes += mask.capacity() * sizeof(uint64_t);
   }
@@ -27,12 +59,12 @@ GraphPrecompute ComputeGraphPrecompute(
     const Graph& graph, std::span<const uint32_t> mask_levels) {
   DegeneracyResult degeneracy = ComputeDegeneracy(graph);
   GraphPrecompute pre;
-  pre.order = std::move(degeneracy.order);
-  pre.coreness = std::move(degeneracy.coreness);
   pre.degeneracy = degeneracy.degeneracy;
+  pre.SetOrderOwned(std::move(degeneracy.order));
   for (uint32_t level : mask_levels) {
-    pre.core_masks.emplace(level, PackCoreMask(pre.coreness, level));
+    pre.AddMaskOwned(level, PackCoreMask(degeneracy.coreness, level));
   }
+  pre.SetCorenessOwned(std::move(degeneracy.coreness));
   return pre;
 }
 

@@ -15,12 +15,20 @@
 //
 // Optional per-level core masks additionally store the membership bits
 // for hot (q-k) families so warm loads skip even the comparison scan.
+//
+// Storage mirrors Graph: the consumer-facing members are spans that
+// reference either heap vectors owned by this instance (the
+// ComputeGraphPrecompute case) or the snapshot's backing buffer —
+// typically the same mmap'ed .kpx file the CSR views read — kept alive
+// through a shared handle. Mapped sections cost no private heap; their
+// bytes ride the graph's whole-file MappedBytes accounting.
 
 #ifndef KPLEX_GRAPH_PRECOMPUTE_H_
 #define KPLEX_GRAPH_PRECOMPUTE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,16 +38,25 @@
 namespace kplex {
 
 struct GraphPrecompute {
+  GraphPrecompute() = default;
+  // Spans may reference this instance's own owned_* storage, so a
+  // member-wise copy would alias the source; moves keep heap buffers
+  // (and map nodes) stable, so the views stay valid.
+  GraphPrecompute(const GraphPrecompute&) = delete;
+  GraphPrecompute& operator=(const GraphPrecompute&) = delete;
+  GraphPrecompute(GraphPrecompute&&) = default;
+  GraphPrecompute& operator=(GraphPrecompute&&) = default;
+
   /// Degeneracy peeling order of the full graph (size n, or empty when
   /// the section is absent).
-  std::vector<VertexId> order;
+  std::span<const VertexId> order;
   /// coreness[v] = largest c with v in the c-core (size n, or empty).
-  std::vector<uint32_t> coreness;
+  std::span<const uint32_t> coreness;
   /// Graph degeneracy (max coreness); meaningful iff coreness present.
   uint32_t degeneracy = 0;
   /// level c -> packed membership bitmask of the c-core, ceil(n/64)
   /// little-endian uint64 words, bit v = vertex v survives.
-  std::map<uint32_t, std::vector<uint64_t>> core_masks;
+  std::map<uint32_t, std::span<const uint64_t>> core_masks;
 
   bool has_order() const { return !order.empty(); }
   bool has_coreness() const { return !coreness.empty(); }
@@ -47,13 +64,23 @@ struct GraphPrecompute {
     return order.empty() && coreness.empty() && core_masks.empty();
   }
 
-  /// The stored mask for exactly `level`, or nullptr.
-  const std::vector<uint64_t>* MaskFor(uint32_t level) const {
+  /// The stored mask for exactly `level`, or an empty span.
+  std::span<const uint64_t> MaskFor(uint32_t level) const {
     auto it = core_masks.find(level);
-    return it == core_masks.end() ? nullptr : &it->second;
+    return it == core_masks.end() ? std::span<const uint64_t>{} : it->second;
   }
 
-  /// Heap bytes held (catalog accounting).
+  /// True when the sections are views into a mapped snapshot (zero
+  /// private heap; bytes counted under the graph's MappedBytes).
+  bool mapped() const { return mapped_; }
+
+  /// Summed bytes of the section views (order + coreness + masks),
+  /// regardless of where they live. Informational, for stats/tests.
+  std::size_t SectionBytes() const;
+
+  /// Private heap bytes held (catalog budget accounting). Sections
+  /// served as views into a snapshot buffer report 0 here — the buffer
+  /// is attributed to the Graph sharing it.
   std::size_t MemoryBytes() const;
 
   /// Compact availability tag for query signatures and stats output:
@@ -61,6 +88,32 @@ struct GraphPrecompute {
   /// "+masks". Availability — not content — so equal-result queries
   /// against the same sections share a cache slot.
   std::string AvailabilityTag() const;
+
+  /// Points the spans at owned heap storage (ComputeGraphPrecompute and
+  /// legacy copy-decoding paths).
+  void SetOrderOwned(std::vector<VertexId> values);
+  void SetCorenessOwned(std::vector<uint32_t> values);
+  void AddMaskOwned(uint32_t level, std::vector<uint64_t> mask);
+
+  /// Points the spans at an external buffer kept alive by `backing`
+  /// (shared with the Graph decoded from the same snapshot, so the
+  /// sections stay readable for this instance's whole lifetime even if
+  /// the graph is dropped first). `mapped` says whether the buffer is
+  /// file-backed (mmap) rather than heap.
+  void SetBacking(std::shared_ptr<const void> backing, bool mapped);
+  void SetOrderView(std::span<const VertexId> view) { order = view; }
+  void SetCorenessView(std::span<const uint32_t> view) { coreness = view; }
+  void AddMaskView(uint32_t level, std::span<const uint64_t> view) {
+    core_masks.emplace(level, view);
+  }
+
+ private:
+  std::vector<VertexId> owned_order_;
+  std::vector<uint32_t> owned_coreness_;
+  // std::map nodes are stable under map moves, so mask spans stay valid.
+  std::map<uint32_t, std::vector<uint64_t>> owned_masks_;
+  std::shared_ptr<const void> backing_;
+  bool mapped_ = false;
 };
 
 /// Computes the sections for `graph`: peeling order, coreness, and a

@@ -1,5 +1,6 @@
 #include "graph/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -436,13 +437,16 @@ StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
         saw_adjacency = true;
         break;
       case kSectionOrder:
+        // Sections are 64-byte aligned in the file, so reinterpreting
+        // the payload as its element type is well-defined; the views
+        // stay alive through the precompute's share of `backing`.
         if (!loaded.precompute.order.empty() ||
             entry.length != n * sizeof(VertexId)) {
           return Status::InvalidArgument(
               "duplicate or mis-sized order section in '" + path + "'");
         }
-        loaded.precompute.order.resize(n);
-        std::memcpy(loaded.precompute.order.data(), payload, entry.length);
+        loaded.precompute.SetOrderView(
+            {reinterpret_cast<const VertexId*>(payload), n});
         break;
       case kSectionCoreness:
         if (!loaded.precompute.coreness.empty() ||
@@ -450,8 +454,8 @@ StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
           return Status::InvalidArgument(
               "duplicate or mis-sized coreness section in '" + path + "'");
         }
-        loaded.precompute.coreness.resize(n);
-        std::memcpy(loaded.precompute.coreness.data(), payload, entry.length);
+        loaded.precompute.SetCorenessView(
+            {reinterpret_cast<const uint32_t*>(payload), n});
         loaded.precompute.degeneracy = entry.param;
         break;
       case kSectionCoreMask: {
@@ -460,9 +464,9 @@ StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
           return Status::InvalidArgument(
               "duplicate or mis-sized core-mask section in '" + path + "'");
         }
-        std::vector<uint64_t> mask((n + 63) / 64);
-        std::memcpy(mask.data(), payload, entry.length);
-        loaded.precompute.core_masks.emplace(entry.param, std::move(mask));
+        loaded.precompute.AddMaskView(
+            entry.param,
+            {reinterpret_cast<const uint64_t*>(payload), (n + 63) / 64});
         break;
       }
       default:
@@ -497,7 +501,10 @@ StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
   // alongside coreness, so this check covers every consulted mask.
   if (loaded.precompute.has_coreness()) {
     for (const auto& [level, mask] : loaded.precompute.core_masks) {
-      if (mask != PackCoreMask(loaded.precompute.coreness, level)) {
+      const std::vector<uint64_t> expected =
+          PackCoreMask(loaded.precompute.coreness, level);
+      if (mask.size() != expected.size() ||
+          !std::equal(mask.begin(), mask.end(), expected.begin())) {
         return Status::InvalidArgument(
             "core-mask section for level " + std::to_string(level) +
             " contradicts the coreness section in '" + path + "'");
@@ -505,6 +512,12 @@ StatusOr<LoadedSnapshot> ParseSnapshotV2(const unsigned char* data,
     }
   }
 
+  // The precompute views reference the same buffer as the CSR views;
+  // sharing the handle keeps them independently alive (zero-copy: no
+  // section is ever duplicated onto the heap).
+  if (!loaded.precompute.empty()) {
+    loaded.precompute.SetBacking(backing, mapped);
+  }
   if (n > 0) {
     loaded.graph = CsrAccess::FromView(offsets, n + 1, adjacency,
                                        header.num_adjacency,

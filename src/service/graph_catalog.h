@@ -8,8 +8,10 @@
 //
 // Memory accounting distinguishes two kinds of resident bytes:
 //  - owned bytes: private heap (parsed edge lists, legacy snapshots,
-//    precompute sections). These count against the budget.
-//  - mapped bytes: mmap'ed v2 snapshot pages served zero-copy. The
+//    in-process-computed precompute). These count against the budget.
+//  - mapped bytes: mmap'ed v2 snapshot pages served zero-copy — the
+//    CSR and any precompute sections, which are views into the same
+//    whole-file mapping and count here, not as owned heap. The
 //    kernel reclaims clean mapped pages under pressure, so they do NOT
 //    count against the budget — that is exactly how many mapped graphs
 //    share one budget. They are tracked and reported separately.

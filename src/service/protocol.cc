@@ -1,0 +1,1519 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "bench_common/table_printer.h"
+
+namespace kplex {
+namespace {
+
+// ------------------------------------------------------- token utilities
+// (the historical ServiceSession helpers, verbatim where it matters for
+// error-string compatibility)
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Splits "key=value"; value empty when no '=' present.
+std::pair<std::string, std::string> SplitKeyValue(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return {token, ""};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& key, const std::string& value,
+                             uint64_t max = UINT64_MAX) {
+  // std::stoull accepts a sign and wraps negatives; digits only here.
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                     value + "'");
+    }
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (value.empty() || used != value.size() || parsed > max) {
+      throw std::out_of_range(value);
+    }
+    return static_cast<uint64_t>(parsed);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                   value + "' (expected 0.." +
+                                   std::to_string(max) + ")");
+  }
+}
+
+StatusOr<double> ParseDoubleValue(const std::string& key,
+                                  const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                   value + "'");
+  }
+}
+
+std::string HumanBytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (std::size_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (std::size_t{1} << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+/// Shortest decimal that survives a parse round trip for the values the
+/// protocol carries (option values, seconds).
+std::string CompactDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+// ------------------------------------------------------ text query grammar
+
+/// Parses "CMD NAME K Q [key=value ...]" (shared by mine and submit).
+/// The usage/error strings are the historical ones, byte-for-byte.
+StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    return Status::InvalidArgument(
+        "usage: " + args[0] +
+        " NAME K Q [algo=...] [threads=N] [max-results=N] "
+        "[time-limit=S] [tau-ms=T] [cache=on|off]");
+  }
+  QueryRequest request;
+  request.graph = args[1];
+  auto k = ParseUint("K", args[2], UINT32_MAX);
+  if (!k.ok()) return k.status();
+  auto q = ParseUint("Q", args[3], UINT32_MAX);
+  if (!q.ok()) return q.status();
+  request.k = static_cast<uint32_t>(*k);
+  request.q = static_cast<uint32_t>(*q);
+
+  for (std::size_t i = 4; i < args.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(args[i]);
+    if (key == "algo") {
+      auto algo = ParseQueryAlgo(value);
+      if (!algo.ok()) return algo.status();
+      request.algo = *algo;
+    } else if (key == "threads") {
+      auto parsed = ParseUint(key, value, UINT32_MAX);
+      if (!parsed.ok()) return parsed.status();
+      request.threads = static_cast<uint32_t>(*parsed);
+    } else if (key == "max-results") {
+      auto parsed = ParseUint(key, value);
+      if (!parsed.ok()) return parsed.status();
+      request.max_results = *parsed;
+    } else if (key == "time-limit") {
+      auto parsed = ParseDoubleValue(key, value);
+      if (!parsed.ok()) return parsed.status();
+      request.time_limit_seconds = *parsed;
+    } else if (key == "tau-ms") {
+      auto parsed = ParseDoubleValue(key, value);
+      if (!parsed.ok()) return parsed.status();
+      request.tau_ms = *parsed;
+    } else if (key == "ctcp") {
+      if (value != "on" && value != "off") {
+        return Status::InvalidArgument("ctcp must be on or off");
+      }
+      request.use_ctcp = value == "on";
+    } else if (key == "cache") {
+      if (value != "on" && value != "off") {
+        return Status::InvalidArgument("cache must be on or off");
+      }
+      request.use_cache = value == "on";
+    } else {
+      return Status::InvalidArgument("unknown " + args[0] + " option '" +
+                                     key + "'");
+    }
+  }
+  return request;
+}
+
+std::string FormatQueryArgs(const std::string& cmd,
+                            const QueryRequest& query) {
+  std::string line = cmd + " " + query.graph + " " +
+                     std::to_string(query.k) + " " + std::to_string(query.q);
+  if (query.algo != QueryAlgo::kOurs) {
+    line += std::string(" algo=") + QueryAlgoName(query.algo);
+  }
+  if (query.threads > 0) line += " threads=" + std::to_string(query.threads);
+  if (query.max_results > 0) {
+    line += " max-results=" + std::to_string(query.max_results);
+  }
+  if (query.time_limit_seconds > 0) {
+    line += " time-limit=" + CompactDouble(query.time_limit_seconds);
+  }
+  if (query.tau_ms != QueryRequest{}.tau_ms) {
+    line += " tau-ms=" + CompactDouble(query.tau_ms);
+  }
+  if (query.use_ctcp) line += " ctcp=on";
+  if (!query.use_cache) line += " cache=off";
+  return line;
+}
+
+// -------------------------------------------------- text result rendering
+
+void WriteMineLine(std::ostream& out, const QueryRequest& query,
+                   const QueryResult& result) {
+  out << "mined " << DescribeQuery(query) << ": " << result.num_plexes
+      << " plexes, max size " << result.max_plex_size << ", "
+      << FormatSeconds(result.seconds) << "s";
+  if (result.from_cache) out << " [cached]";
+  if (result.reduction_precomputed && !result.from_cache) {
+    out << " [precomputed reduction]";
+  }
+  if (result.timed_out) out << " [time limit hit]";
+  if (result.stopped_early) out << " [result cap hit]";
+  if (result.cancelled) out << " [cancelled]";
+  out << "\n";
+}
+
+/// The terminal outcome of a job ("mined ..." / cancellation notice /
+/// error line). `prefix` labels asynchronous results ("job 3: ").
+void WriteJobOutcome(std::ostream& out, const JobInfo& info,
+                     const std::string& prefix) {
+  switch (info.state) {
+    case JobState::kDone:
+      out << prefix;
+      WriteMineLine(out, info.request, info.result);
+      break;
+    case JobState::kCancelled:
+      if (!info.started) {
+        out << prefix << "cancelled " << DescribeQuery(info.request)
+            << " before it started\n";
+      } else {
+        out << prefix;
+        WriteMineLine(out, info.request, info.result);
+      }
+      break;
+    case JobState::kFailed:
+      out << prefix << "error: " << info.status.ToString() << "\n";
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      out << prefix << JobStateName(info.state) << "\n";  // unreachable
+      break;
+  }
+}
+
+constexpr const char kHelpText[] =
+    "commands:\n"
+    "  load NAME PATH        register + load a graph file\n"
+    "  dataset NAME KEY      register + load a registry dataset\n"
+    "  snapshot NAME PATH [precompute] [levels=C1,C2,...]\n"
+    "                        write NAME as a binary v2 snapshot;\n"
+    "                        precompute stores reduction sections\n"
+    "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
+    "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
+    "       [cache=on|off] [ctcp=on|off]\n"
+    "  submit NAME K Q [...] run a mine asynchronously; prints a\n"
+    "                        job id immediately\n"
+    "  cancel ID             cancel a queued or running job\n"
+    "  jobs                  status of every submitted job\n"
+    "  wait [ID]             block until job ID (or all jobs) done\n"
+    "  stats                 catalog + cache + dispatcher stats\n"
+    "  evict NAME            drop the resident copy\n"
+    "  hello [proto=N] [mode=text|framed]\n"
+    "                        negotiate the protocol version; mode=framed\n"
+    "                        switches to the JSON-lines encoding\n"
+    "  quit                  end the session\n";
+
+// ----------------------------------------------------------- JSON writing
+
+void JsonEscapeTo(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Appends `"key":` + primitive values to a flat JSON object/array under
+/// construction. Keeps the codec dependency-free.
+class JsonWriter {
+ public:
+  void BeginObject() { Separate(); out_ += '{'; fresh_ = true; }
+  void EndObject() { out_ += '}'; fresh_ = false; }
+  void BeginArray(const std::string& key) {
+    Key(key);
+    out_ += '[';
+    fresh_ = true;
+  }
+  void BeginObjectValue(const std::string& key) {
+    Key(key);
+    out_ += '{';
+    fresh_ = true;
+  }
+  void BeginArrayElementObject() { Separate(); out_ += '{'; fresh_ = true; }
+  void EndArray() { out_ += ']'; fresh_ = false; }
+
+  void Add(const std::string& key, const std::string& value) {
+    Key(key);
+    out_ += '"';
+    JsonEscapeTo(out_, value);
+    out_ += '"';
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  // One template for every unsigned integer width: uint32_t, uint64_t,
+  // and std::size_t (which is a third distinct type on LP64 macOS —
+  // fixed-width overloads would be ambiguous there). bool prefers its
+  // exact non-template overload below.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void Add(const std::string& key, T value) {
+    Key(key);
+    out_ += std::to_string(static_cast<uint64_t>(value));
+  }
+  void Add(const std::string& key, double value) {
+    Key(key);
+    out_ += CompactDouble(value);
+  }
+  void Add(const std::string& key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+  }
+  void AddElement(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Key(const std::string& key) {
+    Separate();
+    out_ += '"';
+    JsonEscapeTo(out_, key);
+    out_ += "\":";
+  }
+  void Separate() {
+    if (!fresh_ && !out_.empty() && out_.back() != '{' &&
+        out_.back() != '[') {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+// ----------------------------------------------------------- JSON parsing
+
+/// Minimal JSON value for the framed codec. Integers that fit uint64
+/// stay exact (job ids, max_results, fingerprints); everything else
+/// numeric is a double.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kUint, kDouble, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  uint64_t uint_value = 0;
+  double double_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent JSON parser: full string escapes, a depth cap
+/// against crafted nesting, and error positions. Crash-free on any
+/// byte sequence by construction (no recursion past kMaxDepth, no
+/// unchecked indexing).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("malformed frame: " + what +
+                                   " at byte " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return value;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a string key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':' after key");
+      auto element = ParseValue(depth + 1);
+      if (!element.ok()) return element.status();
+      value.object.emplace_back(key->string_value, *std::move(element));
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return value;
+    for (;;) {
+      auto element = ParseValue(depth + 1);
+      if (!element.ok()) return element.status();
+      value.array.push_back(*std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    ++pos_;  // '"'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control byte in string");
+      }
+      if (c != '\\') {
+        value.string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.string_value += '"'; break;
+        case '\\': value.string_value += '\\'; break;
+        case '/': value.string_value += '/'; break;
+        case 'n': value.string_value += '\n'; break;
+        case 'r': value.string_value += '\r'; break;
+        case 't': value.string_value += '\t'; break;
+        case 'b': value.string_value += '\b'; break;
+        case 'f': value.string_value += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape digit");
+          }
+          // BMP code points only (no surrogate-pair recombination);
+          // enough for the protocol's field values.
+          if (code < 0x80) {
+            value.string_value += static_cast<char>(code);
+          } else if (code < 0x800) {
+            value.string_value += static_cast<char>(0xC0 | (code >> 6));
+            value.string_value += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            value.string_value += static_cast<char>(0xE0 | (code >> 12));
+            value.string_value +=
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            value.string_value += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown string escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.bool_value = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.bool_value = false;
+      pos_ += 5;
+      return value;
+    }
+    return Error("expected true/false");
+  }
+
+  StatusOr<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Error("expected null");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    JsonValue value;
+    if (!fractional && token[0] != '-') {
+      uint64_t parsed = 0;
+      bool overflow = token.empty();
+      for (char c : token) {
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (parsed > (UINT64_MAX - digit) / 10) {
+          overflow = true;
+          break;
+        }
+        parsed = parsed * 10 + digit;
+      }
+      if (!overflow) {
+        value.kind = JsonValue::Kind::kUint;
+        value.uint_value = parsed;
+        return value;
+      }
+    }
+    try {
+      std::size_t used = 0;
+      value.double_value = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      return Error("malformed number '" + token + "'");
+    }
+    value.kind = JsonValue::Kind::kDouble;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------- framed field extraction
+
+Status UnknownField(const std::string& cmd, const std::string& key) {
+  return Status::InvalidArgument("unknown field '" + key + "' for '" + cmd +
+                                 "'");
+}
+
+Status WrongType(const std::string& key, const char* expected) {
+  return Status::InvalidArgument("field '" + key + "' must be " + expected);
+}
+
+StatusOr<std::string> GetString(const JsonValue& value,
+                                const std::string& key) {
+  if (value.kind != JsonValue::Kind::kString) {
+    return WrongType(key, "a string");
+  }
+  return value.string_value;
+}
+
+StatusOr<uint64_t> GetUint(const JsonValue& value, const std::string& key,
+                           uint64_t max = UINT64_MAX) {
+  if (value.kind != JsonValue::Kind::kUint || value.uint_value > max) {
+    return WrongType(key, ("an unsigned integer <= " + std::to_string(max))
+                              .c_str());
+  }
+  return value.uint_value;
+}
+
+StatusOr<double> GetDouble(const JsonValue& value, const std::string& key) {
+  if (value.kind == JsonValue::Kind::kUint) {
+    return static_cast<double>(value.uint_value);
+  }
+  if (value.kind == JsonValue::Kind::kDouble) return value.double_value;
+  return WrongType(key, "a number");
+}
+
+StatusOr<bool> GetBool(const JsonValue& value, const std::string& key) {
+  if (value.kind != JsonValue::Kind::kBool) {
+    return WrongType(key, "a boolean");
+  }
+  return value.bool_value;
+}
+
+// ------------------------------------------------- framed job rendering
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+void WriteQueryObject(JsonWriter& json, const std::string& key,
+                      const QueryRequest& query) {
+  json.BeginObjectValue(key);
+  json.Add("graph", query.graph);
+  json.Add("k", query.k);
+  json.Add("q", query.q);
+  json.Add("algo", QueryAlgoName(query.algo));
+  if (query.threads > 0) json.Add("threads", query.threads);
+  if (query.max_results > 0) json.Add("max_results", query.max_results);
+  if (query.time_limit_seconds > 0) {
+    json.Add("time_limit", query.time_limit_seconds);
+  }
+  if (query.tau_ms != QueryRequest{}.tau_ms) json.Add("tau_ms", query.tau_ms);
+  if (query.use_ctcp) json.Add("ctcp", true);
+  if (!query.use_cache) json.Add("cache", false);
+  json.EndObject();
+}
+
+void WriteJobFields(JsonWriter& json, const JobInfo& info) {
+  json.Add("job", info.id);
+  WriteQueryObject(json, "query", info.request);
+  json.Add("state", JobStateName(info.state));
+  json.Add("started", info.started);
+  const bool has_result =
+      info.state == JobState::kDone ||
+      (info.state == JobState::kCancelled && info.started);
+  if (has_result) {
+    json.Add("plexes", info.result.num_plexes);
+    json.Add("max_size", info.result.max_plex_size);
+    json.Add("fingerprint", HexFingerprint(info.result.fingerprint));
+    json.Add("seconds", info.result.seconds);
+    json.Add("compute_seconds", info.result.compute_seconds);
+    json.Add("cached", info.result.from_cache);
+    json.Add("precomputed", info.result.reduction_precomputed);
+    json.Add("timed_out", info.result.timed_out);
+    json.Add("stopped_early", info.result.stopped_early);
+    json.Add("cancelled", info.result.cancelled);
+  }
+  if (info.state == JobState::kFailed) {
+    json.BeginObjectValue("error");
+    json.Add("code", StatusCodeName(info.status.code()));
+    json.Add("message", info.status.message());
+    json.EndObject();
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- public API
+
+const char* WireModeName(WireMode mode) {
+  switch (mode) {
+    case WireMode::kText: return "text";
+    case WireMode::kFramed: return "framed";
+  }
+  return "?";
+}
+
+StatusOr<WireMode> ParseWireMode(const std::string& name) {
+  if (name == "text") return WireMode::kText;
+  if (name == "framed") return WireMode::kFramed;
+  return Status::InvalidArgument("mode must be text or framed, got '" + name +
+                                 "'");
+}
+
+std::string DescribeQuery(const QueryRequest& query) {
+  return query.graph + " k=" + std::to_string(query.k) +
+         " q=" + std::to_string(query.q) + " algo=" +
+         QueryAlgoName(query.algo);
+}
+
+bool IsBlankOrComment(const std::string& line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '#';
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- text parse
+
+StatusOr<Request> ParseTextRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') {
+    return Status::InvalidArgument("blank or comment line");
+  }
+  const std::string& cmd = tokens[0];
+  Request request;
+
+  if (cmd == "quit" || cmd == "exit") {
+    request.payload = QuitRequest{};
+    return request;
+  }
+  if (cmd == "hello") {
+    HelloRequest hello;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto [key, value] = SplitKeyValue(tokens[i]);
+      if (key == "proto") {
+        auto parsed = ParseUint(key, value, UINT32_MAX);
+        if (!parsed.ok()) return parsed.status();
+        hello.version = static_cast<uint32_t>(*parsed);
+      } else if (key == "mode") {
+        auto mode = ParseWireMode(value);
+        if (!mode.ok()) return mode.status();
+        hello.mode = *mode;
+      } else {
+        return Status::InvalidArgument(
+            "usage: hello [proto=N] [mode=text|framed]");
+      }
+    }
+    request.payload = hello;
+    return request;
+  }
+  if (cmd == "load") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("usage: load NAME PATH");
+    }
+    request.payload = LoadRequest{tokens[1], tokens[2]};
+    return request;
+  }
+  if (cmd == "dataset") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("usage: dataset NAME KEY");
+    }
+    request.payload = DatasetRequest{tokens[1], tokens[2]};
+    return request;
+  }
+  if (cmd == "snapshot") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument(
+          "usage: snapshot NAME PATH [precompute] [levels=C1,C2,...]");
+    }
+    SnapshotRequest snapshot;
+    snapshot.name = tokens[1];
+    snapshot.path = tokens[2];
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      const auto [key, value] = SplitKeyValue(tokens[i]);
+      if (key == "precompute" && value.empty()) {
+        snapshot.include_precompute = true;
+      } else if (key == "levels") {
+        auto parsed = ParseCoreLevelList(value);
+        if (!parsed.ok()) return parsed.status();
+        snapshot.include_precompute = true;
+        snapshot.core_mask_levels = *std::move(parsed);
+      } else {
+        return Status::InvalidArgument("unknown snapshot option '" +
+                                       tokens[i] + "'");
+      }
+    }
+    request.payload = std::move(snapshot);
+    return request;
+  }
+  if (cmd == "mine" || cmd == "submit") {
+    auto query = ParseQueryArgs(tokens);
+    if (!query.ok()) return query.status();
+    if (cmd == "mine") {
+      request.payload = MineRequest{*std::move(query)};
+    } else {
+      request.payload = SubmitRequest{*std::move(query)};
+    }
+    return request;
+  }
+  if (cmd == "cancel") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: cancel ID");
+    }
+    auto id = ParseUint("ID", tokens[1]);
+    if (!id.ok()) return id.status();
+    request.payload = CancelRequest{*id};
+    return request;
+  }
+  if (cmd == "jobs") {
+    request.payload = JobsRequest{};
+    return request;
+  }
+  if (cmd == "wait") {
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("usage: wait [ID]");
+    }
+    WaitRequest wait;
+    if (tokens.size() == 2) {
+      auto id = ParseUint("ID", tokens[1]);
+      if (!id.ok()) return id.status();
+      wait.job = *id;
+    }
+    request.payload = wait;
+    return request;
+  }
+  if (cmd == "stats") {
+    request.payload = StatsRequest{};
+    return request;
+  }
+  if (cmd == "evict") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: evict NAME");
+    }
+    request.payload = EvictRequest{tokens[1]};
+    return request;
+  }
+  if (cmd == "help") {
+    request.payload = HelpRequest{};
+    return request;
+  }
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (try 'help')");
+}
+
+// ------------------------------------------------------------ text format
+
+std::string FormatTextRequest(const Request& request) {
+  struct Visitor {
+    std::string operator()(const HelloRequest& hello) const {
+      std::string line = "hello proto=" + std::to_string(hello.version);
+      if (hello.mode.has_value()) {
+        line += std::string(" mode=") + WireModeName(*hello.mode);
+      }
+      return line;
+    }
+    std::string operator()(const LoadRequest& load) const {
+      return "load " + load.name + " " + load.path;
+    }
+    std::string operator()(const DatasetRequest& dataset) const {
+      return "dataset " + dataset.name + " " + dataset.key;
+    }
+    std::string operator()(const SnapshotRequest& snapshot) const {
+      std::string line = "snapshot " + snapshot.name + " " + snapshot.path;
+      if (!snapshot.core_mask_levels.empty()) {
+        line += " levels=";
+        for (std::size_t i = 0; i < snapshot.core_mask_levels.size(); ++i) {
+          if (i > 0) line += ",";
+          line += std::to_string(snapshot.core_mask_levels[i]);
+        }
+      } else if (snapshot.include_precompute) {
+        line += " precompute";
+      }
+      return line;
+    }
+    std::string operator()(const MineRequest& mine) const {
+      return FormatQueryArgs("mine", mine.query);
+    }
+    std::string operator()(const SubmitRequest& submit) const {
+      return FormatQueryArgs("submit", submit.query);
+    }
+    std::string operator()(const CancelRequest& cancel) const {
+      return "cancel " + std::to_string(cancel.job);
+    }
+    std::string operator()(const JobsRequest&) const { return "jobs"; }
+    std::string operator()(const WaitRequest& wait) const {
+      return wait.job.has_value() ? "wait " + std::to_string(*wait.job)
+                                  : "wait";
+    }
+    std::string operator()(const StatsRequest&) const { return "stats"; }
+    std::string operator()(const EvictRequest& evict) const {
+      return "evict " + evict.name;
+    }
+    std::string operator()(const HelpRequest&) const { return "help"; }
+    std::string operator()(const QuitRequest&) const { return "quit"; }
+  };
+  return std::visit(Visitor{}, request.payload);
+}
+
+void FormatTextResponse(const Response& response, std::ostream& out) {
+  struct Visitor {
+    std::ostream& out;
+
+    void operator()(const HelloResponse& hello) const {
+      // A hello rendered by the text formatter means the session is in
+      // (or just switched to) text mode.
+      out << "hello proto=" << hello.version << " mode="
+          << WireModeName(hello.mode.value_or(WireMode::kText)) << "\n";
+    }
+    void operator()(const LoadResponse& loaded) const {
+      out << "loaded " << loaded.name << ": " << loaded.num_vertices
+          << " vertices, " << loaded.num_edges << " edges (";
+      if (loaded.dataset_key.empty()) {
+        out << FormatSeconds(loaded.load_seconds) << "s";
+      } else {
+        out << "dataset " << loaded.dataset_key;
+      }
+      out << ")\n";
+    }
+    void operator()(const SnapshotResponse& snapshot) const {
+      out << "snapshot " << snapshot.name << " -> " << snapshot.path
+          << (snapshot.with_precompute ? " (with precompute sections)" : "")
+          << "\n";
+    }
+    void operator()(const MineResponse& mine) const {
+      WriteJobOutcome(out, mine.job, "");
+    }
+    void operator()(const SubmitResponse& submit) const {
+      out << "job " << submit.job << " submitted: mine "
+          << DescribeQuery(submit.query) << "\n";
+    }
+    void operator()(const CancelResponse& cancel) const {
+      out << "cancel requested for job " << cancel.job << "\n";
+    }
+    void operator()(const JobsResponse& jobs) const {
+      TablePrinter table({"id", "query", "state", "plexes", "seconds"});
+      for (const JobInfo& info : jobs.jobs) {
+        const bool has_result =
+            info.state == JobState::kDone ||
+            (info.state == JobState::kCancelled && info.started);
+        table.AddRow({std::to_string(info.id), DescribeQuery(info.request),
+                      JobStateName(info.state),
+                      has_result ? FormatCount(info.result.num_plexes) : "-",
+                      has_result ? FormatSeconds(info.result.seconds) : "-"});
+      }
+      table.Print(out);
+    }
+    void operator()(const WaitResponse& wait) const {
+      WriteJobOutcome(out, wait.job,
+                      "job " + std::to_string(wait.job.id) + ": ");
+    }
+    void operator()(const WaitAllResponse& all) const {
+      out << "all jobs finished: " << all.counts.done << " done, "
+          << all.counts.cancelled << " cancelled, " << all.counts.failed
+          << " failed\n";
+    }
+    void operator()(const StatsResponse& stats) const {
+      TablePrinter graphs({"name", "source", "resident", "vertices", "edges",
+                           "owned", "mapped", "precompute", "loads"});
+      for (const auto& info : stats.graphs) {
+        graphs.AddRow({info.name, info.source, info.resident ? "yes" : "no",
+                       FormatCount(info.num_vertices),
+                       FormatCount(info.num_edges),
+                       HumanBytes(info.memory_bytes),
+                       HumanBytes(info.mapped_bytes), info.precompute,
+                       FormatCount(info.loads)});
+      }
+      graphs.Print(out);
+      out << "resident: " << HumanBytes(stats.resident_bytes) << " owned";
+      if (stats.memory_budget_bytes > 0) {
+        out << " / budget " << HumanBytes(stats.memory_budget_bytes);
+      }
+      out << " + " << HumanBytes(stats.mapped_resident_bytes)
+          << " mapped (zero-copy, budget-exempt)\n";
+      out << "result cache: " << stats.cache.entries << "/"
+          << stats.cache.capacity << " entries, " << stats.cache.hits
+          << " hits, " << stats.cache.misses << " misses\n";
+      out << "dispatcher: " << stats.workers << " worker(s), "
+          << stats.jobs.queued << " queued, " << stats.jobs.running
+          << " running, "
+          << (stats.jobs.done + stats.jobs.cancelled + stats.jobs.failed)
+          << " finished\n";
+    }
+    void operator()(const EvictResponse& evict) const {
+      out << "evicted " << evict.name << "\n";
+    }
+    void operator()(const HelpResponse&) const { out << kHelpText; }
+    void operator()(const ByeResponse&) const {}  // quit prints nothing
+    void operator()(const ErrorResponse& error) const {
+      out << "error: " << error.status.ToString() << "\n";
+    }
+  };
+  std::visit(Visitor{out}, response.payload);
+}
+
+// ----------------------------------------------------------- framed parse
+
+StatusOr<Request> ParseFramedRequest(const std::string& line,
+                                     uint64_t* error_id) {
+  if (error_id != nullptr) *error_id = 0;
+  auto parsed = JsonParser(line).Parse();
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(
+        "malformed frame: expected a JSON object");
+  }
+  const JsonValue& frame = *parsed;
+
+  Request request;
+  const JsonValue* id = frame.Find("id");
+  if (id != nullptr) {
+    auto value = GetUint(*id, "id");
+    if (!value.ok()) return value.status();
+    request.id = *value;
+    // Publish the id before command validation: a rejected frame still
+    // gets a correlated error response.
+    if (error_id != nullptr) *error_id = request.id;
+  }
+  const JsonValue* cmd_field = frame.Find("cmd");
+  if (cmd_field == nullptr) {
+    return Status::InvalidArgument("frame is missing the 'cmd' field");
+  }
+  auto cmd = GetString(*cmd_field, "cmd");
+  if (!cmd.ok()) return cmd.status();
+
+  // Walks the remaining fields through a per-command handler; any key
+  // the handler does not recognize is a typo the client should hear
+  // about, mirroring the text grammar's unknown-option errors.
+  auto for_each_field =
+      [&](const std::function<Status(const std::string&, const JsonValue&)>&
+              handle) -> Status {
+    for (const auto& [key, value] : frame.object) {
+      if (key == "id" || key == "cmd") continue;
+      KPLEX_RETURN_IF_ERROR(handle(key, value));
+    }
+    return Status::Ok();
+  };
+
+  if (*cmd == "hello") {
+    HelloRequest hello;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "proto") {
+        auto parsed_version = GetUint(value, key, UINT32_MAX);
+        if (!parsed_version.ok()) return parsed_version.status();
+        hello.version = static_cast<uint32_t>(*parsed_version);
+        return Status::Ok();
+      }
+      if (key == "mode") {
+        auto name = GetString(value, key);
+        if (!name.ok()) return name.status();
+        auto mode = ParseWireMode(*name);
+        if (!mode.ok()) return mode.status();
+        hello.mode = *mode;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    request.payload = hello;
+    return request;
+  }
+  if (*cmd == "load" || *cmd == "dataset") {
+    std::string name, locator;
+    const std::string locator_key = *cmd == "load" ? "path" : "key";
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "name") {
+        auto parsed_name = GetString(value, key);
+        if (!parsed_name.ok()) return parsed_name.status();
+        name = *parsed_name;
+        return Status::Ok();
+      }
+      if (key == locator_key) {
+        auto parsed_locator = GetString(value, key);
+        if (!parsed_locator.ok()) return parsed_locator.status();
+        locator = *parsed_locator;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (name.empty() || locator.empty()) {
+      return Status::InvalidArgument("'" + *cmd +
+                                     "' requires fields name, " +
+                                     locator_key);
+    }
+    if (*cmd == "load") {
+      request.payload = LoadRequest{std::move(name), std::move(locator)};
+    } else {
+      request.payload = DatasetRequest{std::move(name), std::move(locator)};
+    }
+    return request;
+  }
+  if (*cmd == "snapshot") {
+    SnapshotRequest snapshot;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "name" || key == "path") {
+        auto parsed_string = GetString(value, key);
+        if (!parsed_string.ok()) return parsed_string.status();
+        (key == "name" ? snapshot.name : snapshot.path) = *parsed_string;
+        return Status::Ok();
+      }
+      if (key == "precompute") {
+        auto flag = GetBool(value, key);
+        if (!flag.ok()) return flag.status();
+        snapshot.include_precompute = *flag;
+        return Status::Ok();
+      }
+      if (key == "levels") {
+        if (value.kind != JsonValue::Kind::kArray) {
+          return WrongType(key, "an array of unsigned integers");
+        }
+        for (const JsonValue& level : value.array) {
+          auto parsed_level = GetUint(level, key, UINT32_MAX);
+          if (!parsed_level.ok()) return parsed_level.status();
+          snapshot.core_mask_levels.push_back(
+              static_cast<uint32_t>(*parsed_level));
+        }
+        snapshot.include_precompute = true;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (snapshot.name.empty() || snapshot.path.empty()) {
+      return Status::InvalidArgument(
+          "'snapshot' requires fields name, path");
+    }
+    request.payload = std::move(snapshot);
+    return request;
+  }
+  if (*cmd == "mine" || *cmd == "submit") {
+    QueryRequest query;
+    bool saw_k = false, saw_q = false;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "graph") {
+        auto name = GetString(value, key);
+        if (!name.ok()) return name.status();
+        query.graph = *name;
+        return Status::Ok();
+      }
+      if (key == "k" || key == "q" || key == "threads") {
+        auto parsed_uint = GetUint(value, key, UINT32_MAX);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        const uint32_t narrow = static_cast<uint32_t>(*parsed_uint);
+        if (key == "k") {
+          query.k = narrow;
+          saw_k = true;
+        } else if (key == "q") {
+          query.q = narrow;
+          saw_q = true;
+        } else {
+          query.threads = narrow;
+        }
+        return Status::Ok();
+      }
+      if (key == "algo") {
+        auto name = GetString(value, key);
+        if (!name.ok()) return name.status();
+        auto algo = ParseQueryAlgo(*name);
+        if (!algo.ok()) return algo.status();
+        query.algo = *algo;
+        return Status::Ok();
+      }
+      if (key == "max_results") {
+        auto parsed_uint = GetUint(value, key);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        query.max_results = *parsed_uint;
+        return Status::Ok();
+      }
+      if (key == "time_limit" || key == "tau_ms") {
+        auto parsed_double = GetDouble(value, key);
+        if (!parsed_double.ok()) return parsed_double.status();
+        (key == "time_limit" ? query.time_limit_seconds : query.tau_ms) =
+            *parsed_double;
+        return Status::Ok();
+      }
+      if (key == "ctcp" || key == "cache") {
+        auto flag = GetBool(value, key);
+        if (!flag.ok()) return flag.status();
+        (key == "ctcp" ? query.use_ctcp : query.use_cache) = *flag;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (query.graph.empty() || !saw_k || !saw_q) {
+      return Status::InvalidArgument("'" + *cmd +
+                                     "' requires fields graph, k, q");
+    }
+    if (*cmd == "mine") {
+      request.payload = MineRequest{std::move(query)};
+    } else {
+      request.payload = SubmitRequest{std::move(query)};
+    }
+    return request;
+  }
+  if (*cmd == "cancel" || *cmd == "wait") {
+    std::optional<uint64_t> job;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "job") {
+        auto parsed_job = GetUint(value, key);
+        if (!parsed_job.ok()) return parsed_job.status();
+        job = *parsed_job;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (*cmd == "cancel") {
+      if (!job.has_value()) {
+        return Status::InvalidArgument("'cancel' requires field job");
+      }
+      request.payload = CancelRequest{*job};
+    } else {
+      request.payload = WaitRequest{job};
+    }
+    return request;
+  }
+  if (*cmd == "evict") {
+    std::string name;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "name") {
+        auto parsed_name = GetString(value, key);
+        if (!parsed_name.ok()) return parsed_name.status();
+        name = *parsed_name;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (name.empty()) {
+      return Status::InvalidArgument("'evict' requires field name");
+    }
+    request.payload = EvictRequest{std::move(name)};
+    return request;
+  }
+  if (*cmd == "jobs" || *cmd == "stats" || *cmd == "help" ||
+      *cmd == "quit") {
+    Status walked = for_each_field(
+        [&](const std::string& key, const JsonValue&) -> Status {
+          return UnknownField(*cmd, key);
+        });
+    if (!walked.ok()) return walked;
+    if (*cmd == "jobs") request.payload = JobsRequest{};
+    else if (*cmd == "stats") request.payload = StatsRequest{};
+    else if (*cmd == "help") request.payload = HelpRequest{};
+    else request.payload = QuitRequest{};
+    return request;
+  }
+  return Status::InvalidArgument("unknown command '" + *cmd +
+                                 "' (try 'help')");
+}
+
+// ---------------------------------------------------------- framed format
+
+std::string FormatFramedRequest(const Request& request) {
+  JsonWriter json;
+  json.BeginObject();
+  if (request.id != 0) json.Add("id", request.id);
+
+  struct Visitor {
+    JsonWriter& json;
+
+    void operator()(const HelloRequest& hello) const {
+      json.Add("cmd", "hello");
+      json.Add("proto", hello.version);
+      if (hello.mode.has_value()) {
+        json.Add("mode", WireModeName(*hello.mode));
+      }
+    }
+    void operator()(const LoadRequest& load) const {
+      json.Add("cmd", "load");
+      json.Add("name", load.name);
+      json.Add("path", load.path);
+    }
+    void operator()(const DatasetRequest& dataset) const {
+      json.Add("cmd", "dataset");
+      json.Add("name", dataset.name);
+      json.Add("key", dataset.key);
+    }
+    void operator()(const SnapshotRequest& snapshot) const {
+      json.Add("cmd", "snapshot");
+      json.Add("name", snapshot.name);
+      json.Add("path", snapshot.path);
+      if (snapshot.include_precompute) json.Add("precompute", true);
+      if (!snapshot.core_mask_levels.empty()) {
+        json.BeginArray("levels");
+        for (uint32_t level : snapshot.core_mask_levels) {
+          json.AddElement(level);
+        }
+        json.EndArray();
+      }
+    }
+    void AddQuery(const char* cmd, const QueryRequest& query) const {
+      json.Add("cmd", cmd);
+      json.Add("graph", query.graph);
+      json.Add("k", query.k);
+      json.Add("q", query.q);
+      if (query.algo != QueryAlgo::kOurs) {
+        json.Add("algo", QueryAlgoName(query.algo));
+      }
+      if (query.threads > 0) json.Add("threads", query.threads);
+      if (query.max_results > 0) json.Add("max_results", query.max_results);
+      if (query.time_limit_seconds > 0) {
+        json.Add("time_limit", query.time_limit_seconds);
+      }
+      if (query.tau_ms != QueryRequest{}.tau_ms) {
+        json.Add("tau_ms", query.tau_ms);
+      }
+      if (query.use_ctcp) json.Add("ctcp", true);
+      if (!query.use_cache) json.Add("cache", false);
+    }
+    void operator()(const MineRequest& mine) const {
+      AddQuery("mine", mine.query);
+    }
+    void operator()(const SubmitRequest& submit) const {
+      AddQuery("submit", submit.query);
+    }
+    void operator()(const CancelRequest& cancel) const {
+      json.Add("cmd", "cancel");
+      json.Add("job", cancel.job);
+    }
+    void operator()(const JobsRequest&) const { json.Add("cmd", "jobs"); }
+    void operator()(const WaitRequest& wait) const {
+      json.Add("cmd", "wait");
+      if (wait.job.has_value()) json.Add("job", *wait.job);
+    }
+    void operator()(const StatsRequest&) const { json.Add("cmd", "stats"); }
+    void operator()(const EvictRequest& evict) const {
+      json.Add("cmd", "evict");
+      json.Add("name", evict.name);
+    }
+    void operator()(const HelpRequest&) const { json.Add("cmd", "help"); }
+    void operator()(const QuitRequest&) const { json.Add("cmd", "quit"); }
+  };
+  std::visit(Visitor{json}, request.payload);
+  json.EndObject();
+  return json.str();
+}
+
+std::string FormatFramedResponse(const Response& response) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Add("id", response.request_id);
+  json.Add("ok",
+           !std::holds_alternative<ErrorResponse>(response.payload));
+
+  struct Visitor {
+    JsonWriter& json;
+
+    void operator()(const HelloResponse& hello) const {
+      json.Add("type", "hello");
+      json.Add("proto", hello.version);
+      // A framed-rendered hello means the session is in (or just
+      // switched to) framed mode.
+      json.Add("mode", WireModeName(hello.mode.value_or(WireMode::kFramed)));
+    }
+    void operator()(const LoadResponse& loaded) const {
+      json.Add("type", "load");
+      json.Add("name", loaded.name);
+      json.Add("vertices", loaded.num_vertices);
+      json.Add("edges", loaded.num_edges);
+      json.Add("seconds", loaded.load_seconds);
+      if (!loaded.dataset_key.empty()) {
+        json.Add("dataset", loaded.dataset_key);
+      }
+    }
+    void operator()(const SnapshotResponse& snapshot) const {
+      json.Add("type", "snapshot");
+      json.Add("name", snapshot.name);
+      json.Add("path", snapshot.path);
+      json.Add("precompute", snapshot.with_precompute);
+    }
+    void operator()(const MineResponse& mine) const {
+      json.Add("type", "mine");
+      WriteJobFields(json, mine.job);
+    }
+    void operator()(const SubmitResponse& submit) const {
+      json.Add("type", "submitted");
+      json.Add("job", submit.job);
+      WriteQueryObject(json, "query", submit.query);
+    }
+    void operator()(const CancelResponse& cancel) const {
+      json.Add("type", "cancelling");
+      json.Add("job", cancel.job);
+    }
+    void operator()(const JobsResponse& jobs) const {
+      json.Add("type", "jobs");
+      json.BeginArray("jobs");
+      for (const JobInfo& info : jobs.jobs) {
+        json.BeginArrayElementObject();
+        WriteJobFields(json, info);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    void operator()(const WaitResponse& wait) const {
+      json.Add("type", "wait");
+      WriteJobFields(json, wait.job);
+    }
+    void operator()(const WaitAllResponse& all) const {
+      json.Add("type", "wait_all");
+      json.Add("done", all.counts.done);
+      json.Add("cancelled", all.counts.cancelled);
+      json.Add("failed", all.counts.failed);
+      json.BeginArray("failed_jobs");
+      for (uint64_t id : all.failed_jobs) json.AddElement(id);
+      json.EndArray();
+    }
+    void operator()(const StatsResponse& stats) const {
+      json.Add("type", "stats");
+      json.BeginArray("graphs");
+      for (const CatalogEntryInfo& info : stats.graphs) {
+        json.BeginArrayElementObject();
+        json.Add("name", info.name);
+        json.Add("source", info.source);
+        json.Add("resident", info.resident);
+        json.Add("evictable", info.evictable);
+        json.Add("mapped", info.mapped);
+        json.Add("vertices", info.num_vertices);
+        json.Add("edges", info.num_edges);
+        json.Add("owned_bytes", info.memory_bytes);
+        json.Add("mapped_bytes", info.mapped_bytes);
+        json.Add("precompute", info.precompute);
+        json.Add("loads", info.loads);
+        json.Add("load_seconds", info.last_load_seconds);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.Add("resident_bytes", stats.resident_bytes);
+      json.Add("mapped_resident_bytes", stats.mapped_resident_bytes);
+      json.Add("budget_bytes", stats.memory_budget_bytes);
+      json.BeginObjectValue("cache");
+      json.Add("entries", stats.cache.entries);
+      json.Add("capacity", stats.cache.capacity);
+      json.Add("hits", stats.cache.hits);
+      json.Add("misses", stats.cache.misses);
+      json.EndObject();
+      json.BeginObjectValue("dispatcher");
+      json.Add("workers", stats.workers);
+      json.Add("queued", stats.jobs.queued);
+      json.Add("running", stats.jobs.running);
+      json.Add("done", stats.jobs.done);
+      json.Add("cancelled", stats.jobs.cancelled);
+      json.Add("failed", stats.jobs.failed);
+      json.EndObject();
+    }
+    void operator()(const EvictResponse& evict) const {
+      json.Add("type", "evicted");
+      json.Add("name", evict.name);
+    }
+    void operator()(const HelpResponse&) const {
+      json.Add("type", "help");
+      json.Add("text", kHelpText);
+    }
+    void operator()(const ByeResponse&) const { json.Add("type", "bye"); }
+    void operator()(const ErrorResponse& error) const {
+      json.Add("type", "error");
+      json.Add("code", StatusCodeName(error.status.code()));
+      json.Add("message", error.status.message());
+    }
+  };
+  std::visit(Visitor{json}, response.payload);
+  json.EndObject();
+  return json.str();
+}
+
+// ---------------------------------------------------------- error hygiene
+
+std::string SanitizeErrorMessage(const std::string& message) {
+  std::string out;
+  out.reserve(message.size());
+  std::size_t i = 0;
+  while (i < message.size()) {
+    const bool at_boundary =
+        i == 0 || !(std::isalnum(static_cast<unsigned char>(message[i - 1])) ||
+                    message[i - 1] == '.' || message[i - 1] == '_' ||
+                    message[i - 1] == '-' || message[i - 1] == '/');
+    if (message[i] != '/' || !at_boundary) {
+      out += message[i++];
+      continue;
+    }
+    // An absolute path token: consume up to whitespace/quote/paren and
+    // keep only its last non-empty component.
+    const std::size_t start = i;
+    while (i < message.size()) {
+      const char c = message[i];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\'' ||
+          c == '"' || c == ')' || c == '(' || c == ',' || c == ';') {
+        break;
+      }
+      ++i;
+    }
+    std::string token = message.substr(start, i - start);
+    while (!token.empty() && token.back() == '/') token.pop_back();
+    const std::size_t slash = token.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? token : token.substr(slash + 1);
+    out += base.empty() ? "/" : base;
+  }
+  return out;
+}
+
+Status SanitizeErrorStatus(const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(), SanitizeErrorMessage(status.message()));
+}
+
+}  // namespace kplex

@@ -1,0 +1,305 @@
+// Structured service protocol v1: the typed Request/Response vocabulary
+// of the query service, shared by every front end — the scriptable
+// ServiceSession, `kplex_cli serve`, and the TCP transport
+// (service/tcp_server.h). The protocol separates three concerns that
+// used to live tangled inside ServiceSession::ExecuteLine:
+//
+//   1. *Messages*: one struct per operation (LoadRequest, MineRequest,
+//      ...) with explicit typed fields, wrapped in a std::variant. This
+//      is the API a network client or a future sharding coordinator
+//      programs against.
+//   2. *Codecs*: two interchangeable wire encodings of the same
+//      messages, both newline-delimited:
+//        - text: the historical human session grammar
+//          ("mine web 2 12 threads=8"). ParseTextRequest/
+//          FormatTextResponse round-trip it byte-for-byte, so existing
+//          scripts and transcripts are unaffected.
+//        - framed: one JSON object per line ("JSON lines"), carrying a
+//          client correlation id, machine-readable field names, and a
+//          structured error shape. Arbitrary strings (spaces in paths)
+//          survive framing; the text grammar cannot express them.
+//      A session starts in text mode; the `hello` handshake
+//      (HelloRequest) negotiates the protocol version and may switch
+//      the connection to framed mode.
+//   3. *Errors*: every failure is a structured Status (code + message)
+//      echoed with the request id — formatted as "error: CODE: msg" on
+//      the text wire and as {"ok":false,"code":...} on the framed wire.
+//      SanitizeErrorStatus scrubs absolute filesystem paths out of
+//      error messages before they reach a client (a service must not
+//      leak its host layout through strerror strings).
+//
+// Version/compat policy: kProtocolVersion only bumps on breaking
+// message-shape changes. A client `hello proto=N` negotiates
+// min(N, kProtocolVersion); unknown *fields* in framed requests are
+// rejected (typo safety), unknown *commands* report INVALID_ARGUMENT —
+// a v1 client can always talk to a v1+ server. See docs/SERVE.md for
+// the full message reference and wire examples.
+
+#ifndef KPLEX_SERVICE_PROTOCOL_H_
+#define KPLEX_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "service/dispatcher.h"
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Current protocol version (see the compat policy above).
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Wire encoding of a session. Text is the default; framed is opted
+/// into through the hello handshake.
+enum class WireMode { kText, kFramed };
+
+/// "text" / "framed".
+const char* WireModeName(WireMode mode);
+StatusOr<WireMode> ParseWireMode(const std::string& name);
+
+// ---------------------------------------------------------------- requests
+
+/// `hello [proto=N] [mode=text|framed]` — protocol handshake. The
+/// response carries the negotiated version min(N, kProtocolVersion);
+/// when `mode` is present the connection switches encodings for every
+/// subsequent message (the hello response itself is already sent in the
+/// new mode).
+struct HelloRequest {
+  uint32_t version = kProtocolVersion;
+  std::optional<WireMode> mode;
+};
+
+/// `load NAME PATH` — register + materialize a graph file (snapshots
+/// auto-detected by magic, else SNAP edge list).
+struct LoadRequest {
+  std::string name;
+  std::string path;
+};
+
+/// `dataset NAME KEY` — register + materialize a registry dataset.
+struct DatasetRequest {
+  std::string name;
+  std::string key;
+};
+
+/// `snapshot NAME PATH [precompute] [levels=C1,C2,...]` — write NAME as
+/// a v2 binary snapshot (levels implies precompute).
+struct SnapshotRequest {
+  std::string name;
+  std::string path;
+  bool include_precompute = false;
+  std::vector<uint32_t> core_mask_levels;
+};
+
+/// `mine NAME K Q [key=value ...]` — synchronous query (submit + wait
+/// on the service dispatcher). The embedded QueryRequest's cancel
+/// pointer is ignored; cancellation goes through CancelRequest.
+struct MineRequest {
+  QueryRequest query;
+};
+
+/// `submit NAME K Q [key=value ...]` — asynchronous query; the response
+/// carries the job id immediately.
+struct SubmitRequest {
+  QueryRequest query;
+};
+
+/// `cancel ID` — request cancellation of a queued/running job.
+struct CancelRequest {
+  uint64_t job = 0;
+};
+
+/// `jobs` — status of every retained job.
+struct JobsRequest {};
+
+/// `wait [ID]` — block until job ID (absent: every job) is terminal.
+struct WaitRequest {
+  std::optional<uint64_t> job;
+};
+
+/// `stats` — catalog + result-cache + dispatcher tables.
+struct StatsRequest {};
+
+/// `evict NAME` — drop the resident copy (reloads on next use).
+struct EvictRequest {
+  std::string name;
+};
+
+/// `help` — command summary.
+struct HelpRequest {};
+
+/// `quit` / `exit` — end the session (the transport closes after the
+/// ByeResponse).
+struct QuitRequest {};
+
+using RequestPayload =
+    std::variant<HelloRequest, LoadRequest, DatasetRequest, SnapshotRequest,
+                 MineRequest, SubmitRequest, CancelRequest, JobsRequest,
+                 WaitRequest, StatsRequest, EvictRequest, HelpRequest,
+                 QuitRequest>;
+
+struct Request {
+  /// Client-chosen correlation id, echoed in the response. Framed mode
+  /// only; always 0 on the text wire.
+  uint64_t id = 0;
+  RequestPayload payload;
+};
+
+// --------------------------------------------------------------- responses
+
+struct HelloResponse {
+  /// min(client version, kProtocolVersion).
+  uint32_t version = kProtocolVersion;
+  /// Set when the handshake switches the wire encoding (the adapter
+  /// applies it); absent when hello carried no mode.
+  std::optional<WireMode> mode;
+};
+
+struct LoadResponse {
+  std::string name;
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double load_seconds = 0;
+  /// Registry key for dataset loads; empty for file loads.
+  std::string dataset_key;
+};
+
+struct SnapshotResponse {
+  std::string name;
+  std::string path;
+  bool with_precompute = false;
+};
+
+/// Terminal outcome of a synchronous mine (the job ran to done,
+/// cancelled, or failed state before the response was produced).
+struct MineResponse {
+  JobInfo job;
+};
+
+struct SubmitResponse {
+  uint64_t job = 0;
+  QueryRequest query;  ///< as submitted (echoed in the confirmation)
+};
+
+struct CancelResponse {
+  uint64_t job = 0;
+};
+
+struct JobsResponse {
+  std::vector<JobInfo> jobs;  ///< submission order
+};
+
+/// Outcome of `wait ID` (terminal snapshot of that job).
+struct WaitResponse {
+  JobInfo job;
+};
+
+/// Outcome of bare `wait`: per-state tallies after the drain, plus the
+/// ids of failed jobs so adapters can count each failure exactly once
+/// toward a batch exit code.
+struct WaitAllResponse {
+  ServiceDispatcher::JobCounts counts;
+  std::vector<uint64_t> failed_jobs;
+};
+
+struct StatsResponse {
+  std::vector<CatalogEntryInfo> graphs;
+  std::size_t resident_bytes = 0;        ///< owned, budget-relevant
+  std::size_t mapped_resident_bytes = 0; ///< zero-copy, budget-exempt
+  std::size_t memory_budget_bytes = 0;   ///< 0 = unlimited
+  QueryEngine::CacheStats cache;
+  ServiceDispatcher::JobCounts jobs;
+  uint32_t workers = 0;
+};
+
+struct EvictResponse {
+  std::string name;
+};
+
+struct HelpResponse {};
+
+/// Acknowledges QuitRequest; the transport closes after sending it.
+struct ByeResponse {};
+
+/// Structured failure: Status code + sanitized message, echoed with the
+/// request id like every other response.
+struct ErrorResponse {
+  Status status;
+};
+
+using ResponsePayload =
+    std::variant<HelloResponse, LoadResponse, SnapshotResponse, MineResponse,
+                 SubmitResponse, CancelResponse, JobsResponse, WaitResponse,
+                 WaitAllResponse, StatsResponse, EvictResponse, HelpResponse,
+                 ByeResponse, ErrorResponse>;
+
+struct Response {
+  uint64_t request_id = 0;  ///< mirrors Request::id
+  ResponsePayload payload;
+};
+
+// -------------------------------------------------------------- text codec
+
+/// True for lines the text grammar skips silently (blank / '#' comment).
+bool IsBlankOrComment(const std::string& line);
+
+/// Parses one line of the session grammar into a typed request.
+/// Returns InvalidArgument with the historical error strings ("usage:
+/// ...", "unknown command '...' (try 'help')") on malformed input.
+/// `line` must not be blank or a comment (check IsBlankOrComment
+/// first).
+StatusOr<Request> ParseTextRequest(const std::string& line);
+
+/// Canonical command line for a request — the inverse of
+/// ParseTextRequest for every request whose strings contain no
+/// whitespace (the text grammar tokenizes; use the framed codec for
+/// arbitrary strings). Defaulted options are omitted.
+std::string FormatTextRequest(const Request& request);
+
+/// Writes the human text rendering of a response — byte-identical to
+/// the historical ServiceSession output (ByeResponse prints nothing).
+void FormatTextResponse(const Response& response, std::ostream& out);
+
+// ------------------------------------------------------------ framed codec
+
+/// Parses one JSON-lines frame ({"cmd":"mine","graph":...}). Malformed
+/// JSON, wrong field types, and unknown fields all return structured
+/// InvalidArgument errors — never a crash. When `error_id` is non-null
+/// it receives the frame's correlation id whenever one was readable
+/// (even if validation failed afterwards), so error responses can stay
+/// correlated; 0 when no id could be extracted.
+StatusOr<Request> ParseFramedRequest(const std::string& line,
+                                     uint64_t* error_id = nullptr);
+
+/// One-line JSON encoding of a request (no trailing newline).
+std::string FormatFramedRequest(const Request& request);
+
+/// One-line JSON encoding of a response (no trailing newline).
+std::string FormatFramedResponse(const Response& response);
+
+// ------------------------------------------------------------ error hygiene
+
+/// Replaces every absolute filesystem path in `message` with its last
+/// component ("cannot open '/srv/data/web.txt'" -> "cannot open
+/// 'web.txt'"), so service errors never leak the host's directory
+/// layout. Relative paths and non-path tokens pass through untouched.
+std::string SanitizeErrorMessage(const std::string& message);
+
+/// SanitizeErrorMessage applied to a Status (code preserved).
+Status SanitizeErrorStatus(const Status& status);
+
+// ---------------------------------------------------------------- helpers
+
+/// One-line summary of a query ("web k=2 q=12 algo=ours"), shared by
+/// submit confirmations, job tables, and result lines.
+std::string DescribeQuery(const QueryRequest& query);
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_PROTOCOL_H_

@@ -55,10 +55,13 @@ const char* QueryAlgoName(QueryAlgo algo) {
 }
 
 std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
+  // `|ctcp=on` is appended only when set so every pre-CTCP signature
+  // (and the cache entries stored under it) stays byte-identical.
   return request.graph + "|k=" + std::to_string(request.k) +
          "|q=" + std::to_string(request.q) + "|algo=" +
          QueryAlgoName(request.algo) +
-         "|max=" + std::to_string(request.max_results);
+         "|max=" + std::to_string(request.max_results) +
+         (request.use_ctcp ? "|ctcp=on" : "");
 }
 
 StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
@@ -209,6 +212,7 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
   }
   options.max_results = request.max_results;
   options.time_limit_seconds = request.time_limit_seconds;
+  options.use_ctcp_preprocess = request.use_ctcp;
   options.cancel = request.cancel;
   options.precompute = precompute.get();
 

@@ -1,0 +1,191 @@
+#include "service/service_api.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kplex {
+
+ServiceApi::ServiceApi(ServiceApiOptions options)
+    : catalog_(options.memory_budget_bytes),
+      engine_(catalog_, options.result_cache_capacity) {
+  DispatcherOptions dispatch;
+  dispatch.workers = options.workers == 0 ? 1 : options.workers;
+  dispatcher_ = std::make_unique<ServiceDispatcher>(engine_, dispatch);
+}
+
+namespace {
+
+void SanitizeJob(JobInfo& job) {
+  if (job.state == JobState::kFailed) {
+    job.status = SanitizeErrorStatus(job.status);
+  }
+}
+
+}  // namespace
+
+Response ServiceApi::Execute(const Request& request) {
+  Response response;
+  response.request_id = request.id;
+  response.payload = std::visit(
+      [this](const auto& payload) { return Handle(payload); },
+      request.payload);
+  // One sanitation chokepoint: whatever layer produced a Status — a
+  // direct command failure or a failed job's stored error — the
+  // message a client sees never carries absolute host paths.
+  if (auto* error = std::get_if<ErrorResponse>(&response.payload)) {
+    error->status = SanitizeErrorStatus(error->status);
+  } else if (auto* mine = std::get_if<MineResponse>(&response.payload)) {
+    SanitizeJob(mine->job);
+  } else if (auto* wait = std::get_if<WaitResponse>(&response.payload)) {
+    SanitizeJob(wait->job);
+  } else if (auto* jobs = std::get_if<JobsResponse>(&response.payload)) {
+    for (JobInfo& job : jobs->jobs) SanitizeJob(job);
+  }
+  return response;
+}
+
+void ServiceApi::CancelAllJobs() {
+  for (const JobInfo& info : dispatcher_->Jobs()) {
+    if (info.state == JobState::kQueued || info.state == JobState::kRunning) {
+      (void)dispatcher_->Cancel(info.id);  // lost races are fine
+    }
+  }
+}
+
+ResponsePayload ServiceApi::Handle(const HelloRequest& hello) {
+  if (hello.version == 0) {
+    return ErrorResponse{Status::InvalidArgument(
+        "unsupported protocol version 0 (this server speaks 1.." +
+        std::to_string(kProtocolVersion) + ")")};
+  }
+  HelloResponse response;
+  response.version = std::min(hello.version, kProtocolVersion);
+  response.mode = hello.mode;
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const LoadRequest& load) {
+  Status registered = catalog_.RegisterFile(load.name, load.path);
+  if (!registered.ok()) return ErrorResponse{registered};
+  auto graph = catalog_.Get(load.name);  // materialize eagerly
+  if (!graph.ok()) {
+    // A failed load must not leave a half-registered entry behind.
+    catalog_.Unregister(load.name);
+    return ErrorResponse{graph.status()};
+  }
+  LoadResponse response;
+  response.name = load.name;
+  response.num_vertices = (*graph)->NumVertices();
+  response.num_edges = (*graph)->NumEdges();
+  for (const auto& info : catalog_.Entries()) {
+    if (info.name == load.name) {
+      response.load_seconds = info.last_load_seconds;
+    }
+  }
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const DatasetRequest& dataset) {
+  Status registered = catalog_.RegisterDataset(dataset.name, dataset.key);
+  if (!registered.ok()) return ErrorResponse{registered};
+  auto graph = catalog_.Get(dataset.name);
+  if (!graph.ok()) {
+    catalog_.Unregister(dataset.name);
+    return ErrorResponse{graph.status()};
+  }
+  LoadResponse response;
+  response.name = dataset.name;
+  response.num_vertices = (*graph)->NumVertices();
+  response.num_edges = (*graph)->NumEdges();
+  response.dataset_key = dataset.key;
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const SnapshotRequest& snapshot) {
+  SnapshotWriteOptions options;
+  options.include_precompute = snapshot.include_precompute;
+  options.core_mask_levels = snapshot.core_mask_levels;
+  Status saved = catalog_.SaveSnapshotFor(snapshot.name, snapshot.path,
+                                          options);
+  if (!saved.ok()) return ErrorResponse{saved};
+  SnapshotResponse response;
+  response.name = snapshot.name;
+  response.path = snapshot.path;
+  response.with_precompute = options.include_precompute;
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const MineRequest& mine) {
+  // Synchronous mine is submit-and-wait on the shared dispatcher: one
+  // execution path for every query, and byte-identical output to the
+  // historical serial session.
+  auto id = dispatcher_->Submit(mine.query);
+  if (!id.ok()) return ErrorResponse{id.status()};
+  auto info = dispatcher_->Wait(*id);
+  if (!info.ok()) return ErrorResponse{info.status()};
+  return MineResponse{*std::move(info)};
+}
+
+ResponsePayload ServiceApi::Handle(const SubmitRequest& submit) {
+  auto id = dispatcher_->Submit(submit.query);
+  if (!id.ok()) return ErrorResponse{id.status()};
+  SubmitResponse response;
+  response.job = *id;
+  response.query = submit.query;
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const CancelRequest& cancel) {
+  Status cancelled = dispatcher_->Cancel(cancel.job);
+  if (!cancelled.ok()) return ErrorResponse{cancelled};
+  return CancelResponse{cancel.job};
+}
+
+ResponsePayload ServiceApi::Handle(const JobsRequest&) {
+  return JobsResponse{dispatcher_->Jobs()};
+}
+
+ResponsePayload ServiceApi::Handle(const WaitRequest& wait) {
+  if (wait.job.has_value()) {
+    auto info = dispatcher_->Wait(*wait.job);
+    if (!info.ok()) return ErrorResponse{info.status()};
+    return WaitResponse{*std::move(info)};
+  }
+  dispatcher_->Drain();
+  WaitAllResponse response;
+  response.counts = dispatcher_->Counts();
+  for (const JobInfo& info : dispatcher_->Jobs()) {
+    if (info.state == JobState::kFailed) {
+      response.failed_jobs.push_back(info.id);
+    }
+  }
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const StatsRequest&) {
+  StatsResponse response;
+  response.graphs = catalog_.Entries();
+  response.resident_bytes = catalog_.ResidentBytes();
+  response.mapped_resident_bytes = catalog_.MappedResidentBytes();
+  response.memory_budget_bytes = catalog_.MemoryBudgetBytes();
+  response.cache = engine_.cache_stats();
+  response.jobs = dispatcher_->Counts();
+  response.workers = dispatcher_->num_workers();
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const EvictRequest& evict) {
+  Status evicted = catalog_.Evict(evict.name);
+  if (!evicted.ok()) return ErrorResponse{evicted};
+  return EvictResponse{evict.name};
+}
+
+ResponsePayload ServiceApi::Handle(const HelpRequest&) {
+  return HelpResponse{};
+}
+
+ResponsePayload ServiceApi::Handle(const QuitRequest&) {
+  return ByeResponse{};
+}
+
+}  // namespace kplex

@@ -1,0 +1,89 @@
+// ServiceApi: the execution facade of the query service. One ServiceApi
+// owns the long-lived service state — a GraphCatalog, a QueryEngine,
+// and a ServiceDispatcher — and executes typed protocol requests
+// (service/protocol.h) against it, returning typed responses. Every
+// front end is a thin adapter over this class: ServiceSession parses
+// the text/framed wire into Requests and formats the Responses back;
+// the TCP server runs one such adapter per connection over a *shared*
+// ServiceApi, which is what makes graphs, cached results, and the job
+// queue visible to every client of one serve process.
+//
+// Error contract: Execute never throws and never returns free-form
+// text. Failures come back as ErrorResponse carrying a structured
+// Status whose message has been scrubbed of absolute filesystem paths
+// (SanitizeErrorStatus) — a network client learns what went wrong, not
+// how the server's disk is laid out.
+//
+// Thread-safety: Execute may be called from any number of threads
+// concurrently (the TCP server does); all state it touches lives in
+// the thread-safe catalog/engine/dispatcher underneath.
+
+#ifndef KPLEX_SERVICE_SERVICE_API_H_
+#define KPLEX_SERVICE_SERVICE_API_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "service/dispatcher.h"
+#include "service/graph_catalog.h"
+#include "service/protocol.h"
+#include "service/query_engine.h"
+
+namespace kplex {
+
+struct ServiceApiOptions {
+  /// Catalog memory budget in bytes (0 = unlimited).
+  std::size_t memory_budget_bytes = 0;
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t result_cache_capacity = 64;
+  /// Dispatcher worker threads. 1 (the default) preserves serial query
+  /// semantics; N > 1 lets submitted jobs run concurrently over the
+  /// shared catalog. 0 is clamped to 1.
+  uint32_t workers = 1;
+};
+
+class ServiceApi {
+ public:
+  explicit ServiceApi(ServiceApiOptions options = {});
+
+  ServiceApi(const ServiceApi&) = delete;
+  ServiceApi& operator=(const ServiceApi&) = delete;
+
+  /// Executes one typed request. The response mirrors the request id;
+  /// failures come back as ErrorResponse (sanitized Status), never an
+  /// exception.
+  Response Execute(const Request& request);
+
+  /// Cancels every queued/running dispatcher job (server shutdown).
+  void CancelAllJobs();
+
+  GraphCatalog& catalog() { return catalog_; }
+  QueryEngine& engine() { return engine_; }
+  ServiceDispatcher& dispatcher() { return *dispatcher_; }
+
+ private:
+  ResponsePayload Handle(const HelloRequest& hello);
+  ResponsePayload Handle(const LoadRequest& load);
+  ResponsePayload Handle(const DatasetRequest& dataset);
+  ResponsePayload Handle(const SnapshotRequest& snapshot);
+  ResponsePayload Handle(const MineRequest& mine);
+  ResponsePayload Handle(const SubmitRequest& submit);
+  ResponsePayload Handle(const CancelRequest& cancel);
+  ResponsePayload Handle(const JobsRequest&);
+  ResponsePayload Handle(const WaitRequest& wait);
+  ResponsePayload Handle(const StatsRequest&);
+  ResponsePayload Handle(const EvictRequest& evict);
+  ResponsePayload Handle(const HelpRequest&);
+  ResponsePayload Handle(const QuitRequest&);
+
+  GraphCatalog catalog_;
+  QueryEngine engine_;
+  // Pointer so the members above (which the dispatcher's workers reach
+  // through the engine) are fully constructed before any worker starts;
+  // the declaration order here is the destruction-order guarantee.
+  std::unique_ptr<ServiceDispatcher> dispatcher_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_SERVICE_API_H_

@@ -1,130 +1,139 @@
 #include "service/service_session.h"
 
-#include <cctype>
-#include <cstdio>
-#include <sstream>
-#include <vector>
-
-#include "bench_common/table_printer.h"
+#include <utility>
 
 namespace kplex {
-namespace {
-
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string token;
-  while (in >> token) tokens.push_back(token);
-  return tokens;
-}
-
-// Splits "key=value"; value empty when no '=' present.
-std::pair<std::string, std::string> SplitKeyValue(const std::string& token) {
-  const std::size_t eq = token.find('=');
-  if (eq == std::string::npos) return {token, ""};
-  return {token.substr(0, eq), token.substr(eq + 1)};
-}
-
-StatusOr<uint64_t> ParseUint(const std::string& key, const std::string& value,
-                             uint64_t max = UINT64_MAX) {
-  // std::stoull accepts a sign and wraps negatives; digits only here.
-  for (char c : value) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      return Status::InvalidArgument("malformed value for " + key + ": '" +
-                                     value + "'");
-    }
-  }
-  try {
-    std::size_t used = 0;
-    const unsigned long long parsed = std::stoull(value, &used);
-    if (value.empty() || used != value.size() || parsed > max) {
-      throw std::out_of_range(value);
-    }
-    return static_cast<uint64_t>(parsed);
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("malformed value for " + key + ": '" +
-                                   value + "' (expected 0.." +
-                                   std::to_string(max) + ")");
-  }
-}
-
-StatusOr<double> ParseDouble(const std::string& key,
-                             const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return parsed;
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("malformed value for " + key + ": '" +
-                                   value + "'");
-  }
-}
-
-std::string HumanBytes(std::size_t bytes) {
-  char buf[32];
-  if (bytes >= (std::size_t{1} << 20)) {
-    std::snprintf(buf, sizeof(buf), "%.1fMiB",
-                  static_cast<double>(bytes) / (1 << 20));
-  } else if (bytes >= (std::size_t{1} << 10)) {
-    std::snprintf(buf, sizeof(buf), "%.1fKiB",
-                  static_cast<double>(bytes) / (1 << 10));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
-  }
-  return buf;
-}
-
-}  // namespace
 
 ServiceSession::ServiceSession(std::ostream& out,
                                ServiceSessionOptions options)
-    : out_(out), options_(options),
-      catalog_(options.memory_budget_bytes),
-      engine_(catalog_, options.result_cache_capacity) {
-  DispatcherOptions dispatch;
-  dispatch.workers = options.workers == 0 ? 1 : options.workers;
-  dispatcher_ = std::make_unique<ServiceDispatcher>(engine_, dispatch);
+    : out_(out), echo_(options.echo) {
+  ServiceApiOptions api_options;
+  api_options.memory_budget_bytes = options.memory_budget_bytes;
+  api_options.result_cache_capacity = options.result_cache_capacity;
+  api_options.workers = options.workers;
+  api_ = std::make_shared<ServiceApi>(api_options);
 }
 
-void ServiceSession::Fail(const Status& status) {
+ServiceSession::ServiceSession(std::ostream& out,
+                               std::shared_ptr<ServiceApi> api, bool echo)
+    : out_(out), echo_(echo), api_(std::move(api)) {}
+
+void ServiceSession::Fail(const Status& status, uint64_t request_id) {
   ++errors_;
-  out_ << "error: " << status.ToString() << "\n";
+  if (mode_ == WireMode::kText) {
+    out_ << "error: " << status.ToString() << "\n";
+  } else {
+    Response response;
+    response.request_id = request_id;
+    response.payload = ErrorResponse{status};
+    out_ << FormatFramedResponse(response) << "\n";
+  }
 }
 
 bool ServiceSession::ExecuteLine(const std::string& line) {
-  std::vector<std::string> tokens = Tokenize(line);
-  if (tokens.empty() || tokens[0][0] == '#') return true;
-  if (options_.echo) out_ << "> " << line << "\n";
-  const std::string& cmd = tokens[0];
-  if (cmd == "quit" || cmd == "exit") return false;
-  if (cmd == "load") {
-    CmdLoad(tokens);
-  } else if (cmd == "dataset") {
-    CmdDataset(tokens);
-  } else if (cmd == "snapshot") {
-    CmdSnapshot(tokens);
-  } else if (cmd == "mine") {
-    CmdMine(tokens);
-  } else if (cmd == "submit") {
-    CmdSubmit(tokens);
-  } else if (cmd == "cancel") {
-    CmdCancel(tokens);
-  } else if (cmd == "jobs") {
-    CmdJobs();
-  } else if (cmd == "wait") {
-    CmdWait(tokens);
-  } else if (cmd == "stats") {
-    CmdStats();
-  } else if (cmd == "evict") {
-    CmdEvict(tokens);
-  } else if (cmd == "help") {
-    CmdHelp();
-  } else {
-    Fail(Status::InvalidArgument("unknown command '" + cmd +
-                                 "' (try 'help')"));
+  if (mode_ == WireMode::kText) {
+    if (IsBlankOrComment(line)) return true;
+    if (echo_) out_ << "> " << line << "\n";
+    auto request = ParseTextRequest(line);
+    if (!request.ok()) {
+      Fail(request.status());
+      return true;
+    }
+    return Dispatch(*request);
   }
-  return true;
+  // Framed mode tolerates truly blank keep-alive lines only; '#' is
+  // not a comment marker here — every non-blank frame gets a
+  // correlated response, or request/response clients would hang.
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+  uint64_t error_id = 0;
+  auto request = ParseFramedRequest(line, &error_id);
+  if (!request.ok()) {
+    // A rejected frame still answers under the client's id when one
+    // was readable, so pipelining clients never orphan the failure.
+    Fail(request.status(), error_id);
+    return true;
+  }
+  return Dispatch(*request);
+}
+
+bool ServiceSession::Dispatch(const Request& request) {
+  // The historical text grammar ends the session on `quit` without
+  // printing anything; the framed wire acknowledges with a bye frame so
+  // clients can distinguish a clean close from a dropped connection.
+  if (std::holds_alternative<QuitRequest>(request.payload) &&
+      mode_ == WireMode::kText) {
+    return false;
+  }
+  Response response;
+  if (const auto* mine = std::get_if<MineRequest>(&request.payload)) {
+    response = ExecuteMine(request.id, *mine);
+  } else {
+    response = api_->Execute(request);
+  }
+  NoteResponse(response);
+  // A hello that switches the wire mode is answered in the *new* mode,
+  // so a framed client's very first read is already a JSON frame.
+  if (const auto* hello = std::get_if<HelloResponse>(&response.payload)) {
+    if (hello->mode.has_value()) mode_ = *hello->mode;
+  }
+  if (mode_ == WireMode::kText) {
+    FormatTextResponse(response, out_);
+  } else {
+    out_ << FormatFramedResponse(response) << "\n";
+  }
+  return !std::holds_alternative<ByeResponse>(response.payload);
+}
+
+Response ServiceSession::ExecuteMine(uint64_t request_id,
+                                     const MineRequest& mine) {
+  Request submit;
+  submit.id = request_id;
+  submit.payload = SubmitRequest{mine.query};
+  Response submitted = api_->Execute(submit);
+  const auto* accepted = std::get_if<SubmitResponse>(&submitted.payload);
+  if (accepted == nullptr) return submitted;  // ErrorResponse (queue full)
+  RecordSubmittedJob(accepted->job);
+  Request wait;
+  wait.id = request_id;
+  wait.payload = WaitRequest{accepted->job};
+  Response waited = api_->Execute(wait);
+  if (auto* outcome = std::get_if<WaitResponse>(&waited.payload)) {
+    // Same terminal JobInfo, mine-shaped (no "job N: " prefix).
+    waited.payload = MineResponse{std::move(outcome->job)};
+  }
+  return waited;
+}
+
+void ServiceSession::RecordSubmittedJob(uint64_t id) {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  submitted_jobs_.push_back(id);
+}
+
+void ServiceSession::NoteResponse(const Response& response) {
+  if (std::holds_alternative<ErrorResponse>(response.payload)) {
+    ++errors_;
+    return;
+  }
+  if (const auto* submit = std::get_if<SubmitResponse>(&response.payload)) {
+    RecordSubmittedJob(submit->job);
+    return;
+  }
+  const JobInfo* job = nullptr;
+  if (const auto* mine = std::get_if<MineResponse>(&response.payload)) {
+    job = &mine->job;
+  } else if (const auto* wait = std::get_if<WaitResponse>(&response.payload)) {
+    job = &wait->job;
+  }
+  if (job != nullptr && job->state == JobState::kFailed &&
+      counted_failed_jobs_.insert(job->id).second) {
+    ++errors_;
+    return;
+  }
+  if (const auto* all = std::get_if<WaitAllResponse>(&response.payload)) {
+    for (uint64_t id : all->failed_jobs) {
+      if (counted_failed_jobs_.insert(id).second) ++errors_;
+    }
+  }
 }
 
 uint64_t ServiceSession::RunScript(std::istream& in) {
@@ -141,7 +150,7 @@ uint64_t ServiceSession::RunScript(std::istream& in) {
 }
 
 void ServiceSession::CountTerminalFailures() {
-  for (const JobInfo& info : dispatcher_->Jobs()) {
+  for (const JobInfo& info : api_->dispatcher().Jobs()) {
     if (info.state == JobState::kFailed &&
         counted_failed_jobs_.insert(info.id).second) {
       ++errors_;
@@ -149,345 +158,20 @@ void ServiceSession::CountTerminalFailures() {
   }
 }
 
-void ServiceSession::CmdLoad(const std::vector<std::string>& args) {
-  if (args.size() != 3) {
-    Fail(Status::InvalidArgument("usage: load NAME PATH"));
-    return;
+void ServiceSession::CancelOutstandingJobs() {
+  std::vector<uint64_t> jobs;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs = submitted_jobs_;
   }
-  Status registered = catalog_.RegisterFile(args[1], args[2]);
-  if (!registered.ok()) {
-    Fail(registered);
-    return;
-  }
-  auto graph = catalog_.Get(args[1]);  // materialize eagerly
-  if (!graph.ok()) {
-    catalog_.Unregister(args[1]);
-    Fail(graph.status());
-    return;
-  }
-  double load_seconds = 0;
-  for (const auto& info : catalog_.Entries()) {
-    if (info.name == args[1]) load_seconds = info.last_load_seconds;
-  }
-  out_ << "loaded " << args[1] << ": " << (*graph)->NumVertices()
-       << " vertices, " << (*graph)->NumEdges() << " edges ("
-       << FormatSeconds(load_seconds) << "s)\n";
-}
-
-void ServiceSession::CmdDataset(const std::vector<std::string>& args) {
-  if (args.size() != 3) {
-    Fail(Status::InvalidArgument("usage: dataset NAME KEY"));
-    return;
-  }
-  Status registered = catalog_.RegisterDataset(args[1], args[2]);
-  if (!registered.ok()) {
-    Fail(registered);
-    return;
-  }
-  auto graph = catalog_.Get(args[1]);
-  if (!graph.ok()) {
-    catalog_.Unregister(args[1]);
-    Fail(graph.status());
-    return;
-  }
-  out_ << "loaded " << args[1] << ": " << (*graph)->NumVertices()
-       << " vertices, " << (*graph)->NumEdges() << " edges (dataset "
-       << args[2] << ")\n";
-}
-
-void ServiceSession::CmdSnapshot(const std::vector<std::string>& args) {
-  if (args.size() < 3) {
-    Fail(Status::InvalidArgument(
-        "usage: snapshot NAME PATH [precompute] [levels=C1,C2,...]"));
-    return;
-  }
-  SnapshotWriteOptions options;
-  for (std::size_t i = 3; i < args.size(); ++i) {
-    const auto [key, value] = SplitKeyValue(args[i]);
-    if (key == "precompute" && value.empty()) {
-      options.include_precompute = true;
-    } else if (key == "levels") {
-      auto parsed = ParseCoreLevelList(value);
-      if (!parsed.ok()) { Fail(parsed.status()); return; }
-      options.include_precompute = true;
-      options.core_mask_levels = *std::move(parsed);
-    } else {
-      Fail(Status::InvalidArgument("unknown snapshot option '" + args[i] +
-                                   "'"));
-      return;
+  ServiceDispatcher& dispatcher = api_->dispatcher();
+  for (uint64_t id : jobs) {
+    auto info = dispatcher.GetJob(id);
+    if (info.ok() && (info->state == JobState::kQueued ||
+                      info->state == JobState::kRunning)) {
+      (void)dispatcher.Cancel(id);  // lost races with completion are fine
     }
   }
-  Status saved = catalog_.SaveSnapshotFor(args[1], args[2], options);
-  if (!saved.ok()) {
-    Fail(saved);
-    return;
-  }
-  out_ << "snapshot " << args[1] << " -> " << args[2]
-       << (options.include_precompute ? " (with precompute sections)" : "")
-       << "\n";
-}
-
-namespace {
-
-/// Parses "CMD NAME K Q [key=value ...]" (shared by mine and submit).
-StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
-  if (args.size() < 4) {
-    return Status::InvalidArgument(
-        "usage: " + args[0] +
-        " NAME K Q [algo=...] [threads=N] [max-results=N] "
-        "[time-limit=S] [tau-ms=T] [cache=on|off]");
-  }
-  QueryRequest request;
-  request.graph = args[1];
-  auto k = ParseUint("K", args[2], UINT32_MAX);
-  if (!k.ok()) return k.status();
-  auto q = ParseUint("Q", args[3], UINT32_MAX);
-  if (!q.ok()) return q.status();
-  request.k = static_cast<uint32_t>(*k);
-  request.q = static_cast<uint32_t>(*q);
-
-  for (std::size_t i = 4; i < args.size(); ++i) {
-    const auto [key, value] = SplitKeyValue(args[i]);
-    if (key == "algo") {
-      auto algo = ParseQueryAlgo(value);
-      if (!algo.ok()) return algo.status();
-      request.algo = *algo;
-    } else if (key == "threads") {
-      auto parsed = ParseUint(key, value, UINT32_MAX);
-      if (!parsed.ok()) return parsed.status();
-      request.threads = static_cast<uint32_t>(*parsed);
-    } else if (key == "max-results") {
-      auto parsed = ParseUint(key, value);
-      if (!parsed.ok()) return parsed.status();
-      request.max_results = *parsed;
-    } else if (key == "time-limit") {
-      auto parsed = ParseDouble(key, value);
-      if (!parsed.ok()) return parsed.status();
-      request.time_limit_seconds = *parsed;
-    } else if (key == "tau-ms") {
-      auto parsed = ParseDouble(key, value);
-      if (!parsed.ok()) return parsed.status();
-      request.tau_ms = *parsed;
-    } else if (key == "cache") {
-      if (value != "on" && value != "off") {
-        return Status::InvalidArgument("cache must be on or off");
-      }
-      request.use_cache = value == "on";
-    } else {
-      return Status::InvalidArgument("unknown " + args[0] + " option '" +
-                                     key + "'");
-    }
-  }
-  return request;
-}
-
-/// One-line summary of a request ("web k=2 q=12 algo=ours").
-std::string DescribeRequest(const QueryRequest& request) {
-  return request.graph + " k=" + std::to_string(request.k) +
-         " q=" + std::to_string(request.q) + " algo=" +
-         QueryAlgoName(request.algo);
-}
-
-void PrintMineLine(std::ostream& out, const QueryRequest& request,
-                   const QueryResult& result) {
-  out << "mined " << DescribeRequest(request) << ": " << result.num_plexes
-      << " plexes, max size " << result.max_plex_size << ", "
-      << FormatSeconds(result.seconds) << "s";
-  if (result.from_cache) out << " [cached]";
-  if (result.reduction_precomputed && !result.from_cache) {
-    out << " [precomputed reduction]";
-  }
-  if (result.timed_out) out << " [time limit hit]";
-  if (result.stopped_early) out << " [result cap hit]";
-  if (result.cancelled) out << " [cancelled]";
-  out << "\n";
-}
-
-}  // namespace
-
-void ServiceSession::PrintJobOutcome(const JobInfo& info,
-                                     const std::string& prefix) {
-  switch (info.state) {
-    case JobState::kDone:
-      out_ << prefix;
-      PrintMineLine(out_, info.request, info.result);
-      break;
-    case JobState::kCancelled:
-      if (!info.started) {
-        out_ << prefix << "cancelled " << DescribeRequest(info.request)
-             << " before it started\n";
-      } else {
-        out_ << prefix;
-        PrintMineLine(out_, info.request, info.result);
-      }
-      break;
-    case JobState::kFailed:
-      if (counted_failed_jobs_.insert(info.id).second) ++errors_;
-      out_ << prefix << "error: " << info.status.ToString() << "\n";
-      break;
-    case JobState::kQueued:
-    case JobState::kRunning:
-      out_ << prefix << JobStateName(info.state) << "\n";  // unreachable
-      break;
-  }
-}
-
-void ServiceSession::CmdMine(const std::vector<std::string>& args) {
-  auto request = ParseQueryArgs(args);
-  if (!request.ok()) {
-    Fail(request.status());
-    return;
-  }
-  // Synchronous mine is submit-and-wait on the shared dispatcher: one
-  // execution path for every query, and byte-identical output to the
-  // historical serial session.
-  auto id = dispatcher_->Submit(*request);
-  if (!id.ok()) {
-    Fail(id.status());
-    return;
-  }
-  auto info = dispatcher_->Wait(*id);
-  if (!info.ok()) {
-    Fail(info.status());
-    return;
-  }
-  // PrintJobOutcome handles the kFailed case too (one counted error
-  // per failed job, however it surfaces).
-  PrintJobOutcome(*info, "");
-}
-
-void ServiceSession::CmdSubmit(const std::vector<std::string>& args) {
-  auto request = ParseQueryArgs(args);
-  if (!request.ok()) {
-    Fail(request.status());
-    return;
-  }
-  auto id = dispatcher_->Submit(*request);
-  if (!id.ok()) {
-    Fail(id.status());
-    return;
-  }
-  out_ << "job " << *id << " submitted: mine " << DescribeRequest(*request)
-       << "\n";
-}
-
-void ServiceSession::CmdCancel(const std::vector<std::string>& args) {
-  if (args.size() != 2) {
-    Fail(Status::InvalidArgument("usage: cancel ID"));
-    return;
-  }
-  auto id = ParseUint("ID", args[1]);
-  if (!id.ok()) {
-    Fail(id.status());
-    return;
-  }
-  Status cancelled = dispatcher_->Cancel(*id);
-  if (!cancelled.ok()) {
-    Fail(cancelled);
-    return;
-  }
-  out_ << "cancel requested for job " << *id << "\n";
-}
-
-void ServiceSession::CmdJobs() {
-  TablePrinter table({"id", "query", "state", "plexes", "seconds"});
-  for (const JobInfo& info : dispatcher_->Jobs()) {
-    const bool has_result = info.state == JobState::kDone ||
-                            (info.state == JobState::kCancelled &&
-                             info.started);
-    table.AddRow({std::to_string(info.id), DescribeRequest(info.request),
-                  JobStateName(info.state),
-                  has_result ? FormatCount(info.result.num_plexes) : "-",
-                  has_result ? FormatSeconds(info.result.seconds) : "-"});
-  }
-  table.Print(out_);
-}
-
-void ServiceSession::CmdWait(const std::vector<std::string>& args) {
-  if (args.size() > 2) {
-    Fail(Status::InvalidArgument("usage: wait [ID]"));
-    return;
-  }
-  if (args.size() == 2) {
-    auto id = ParseUint("ID", args[1]);
-    if (!id.ok()) {
-      Fail(id.status());
-      return;
-    }
-    auto info = dispatcher_->Wait(*id);
-    if (!info.ok()) {
-      Fail(info.status());
-      return;
-    }
-    PrintJobOutcome(*info, "job " + std::to_string(info->id) + ": ");
-    return;
-  }
-  dispatcher_->Drain();
-  CountTerminalFailures();
-  const ServiceDispatcher::JobCounts counts = dispatcher_->Counts();
-  out_ << "all jobs finished: " << counts.done << " done, "
-       << counts.cancelled << " cancelled, " << counts.failed
-       << " failed\n";
-}
-
-void ServiceSession::CmdStats() {
-  TablePrinter graphs({"name", "source", "resident", "vertices", "edges",
-                       "owned", "mapped", "precompute", "loads"});
-  for (const auto& info : catalog_.Entries()) {
-    graphs.AddRow({info.name, info.source, info.resident ? "yes" : "no",
-                   FormatCount(info.num_vertices),
-                   FormatCount(info.num_edges), HumanBytes(info.memory_bytes),
-                   HumanBytes(info.mapped_bytes), info.precompute,
-                   FormatCount(info.loads)});
-  }
-  graphs.Print(out_);
-  out_ << "resident: " << HumanBytes(catalog_.ResidentBytes()) << " owned";
-  if (catalog_.MemoryBudgetBytes() > 0) {
-    out_ << " / budget " << HumanBytes(catalog_.MemoryBudgetBytes());
-  }
-  out_ << " + " << HumanBytes(catalog_.MappedResidentBytes())
-       << " mapped (zero-copy, budget-exempt)\n";
-  const QueryEngine::CacheStats cache = engine_.cache_stats();
-  out_ << "result cache: " << cache.entries << "/" << cache.capacity
-       << " entries, " << cache.hits << " hits, " << cache.misses
-       << " misses\n";
-  const ServiceDispatcher::JobCounts jobs = dispatcher_->Counts();
-  out_ << "dispatcher: " << dispatcher_->num_workers() << " worker(s), "
-       << jobs.queued << " queued, " << jobs.running << " running, "
-       << (jobs.done + jobs.cancelled + jobs.failed) << " finished\n";
-}
-
-void ServiceSession::CmdEvict(const std::vector<std::string>& args) {
-  if (args.size() != 2) {
-    Fail(Status::InvalidArgument("usage: evict NAME"));
-    return;
-  }
-  Status evicted = catalog_.Evict(args[1]);
-  if (!evicted.ok()) {
-    Fail(evicted);
-    return;
-  }
-  out_ << "evicted " << args[1] << "\n";
-}
-
-void ServiceSession::CmdHelp() {
-  out_ << "commands:\n"
-          "  load NAME PATH        register + load a graph file\n"
-          "  dataset NAME KEY      register + load a registry dataset\n"
-          "  snapshot NAME PATH [precompute] [levels=C1,C2,...]\n"
-          "                        write NAME as a binary v2 snapshot;\n"
-          "                        precompute stores reduction sections\n"
-          "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
-          "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
-          "       [cache=on|off]\n"
-          "  submit NAME K Q [...] run a mine asynchronously; prints a\n"
-          "                        job id immediately\n"
-          "  cancel ID             cancel a queued or running job\n"
-          "  jobs                  status of every submitted job\n"
-          "  wait [ID]             block until job ID (or all jobs) done\n"
-          "  stats                 catalog + cache + dispatcher stats\n"
-          "  evict NAME            drop the resident copy\n"
-          "  quit                  end the session\n";
 }
 
 }  // namespace kplex

@@ -1,40 +1,26 @@
-// ServiceSession: the scriptable command interpreter behind
-// `kplex_cli serve`. One session owns a GraphCatalog and a QueryEngine
-// and executes newline-separated commands from a script file, stdin, or
-// a test harness:
+// ServiceSession: the wire adapter behind `kplex_cli serve` and each
+// TCP connection. A session binds one output stream to a ServiceApi
+// (owned, or shared with other sessions of the same serve process) and
+// runs the protocol loop: parse a line into a typed Request
+// (service/protocol.h), execute it through the api, format the typed
+// Response back onto the stream. All command syntax, validation, and
+// rendering live in the protocol codecs — this class only keeps the
+// per-connection state the protocol is stateful about:
 //
-//   load NAME PATH        register + materialize a graph file (binary
-//                         snapshots auto-detected, else SNAP edge list)
-//   dataset NAME KEY      register + materialize a registry dataset
-//   snapshot NAME PATH [precompute] [levels=C1,C2,...]
-//                         write NAME as a binary v2 snapshot, optionally
-//                         with precomputed reduction sections
-//   mine NAME K Q [key=value ...]
-//                         keys: algo (ours|ours_p|basic|listplex|fp),
-//                         threads, max-results, time-limit, tau-ms,
-//                         cache (on|off)
-//   submit NAME K Q [key=value ...]
-//                         like mine, but asynchronous: returns a job id
-//                         immediately; the query runs on a worker
-//   cancel ID             request cancellation of a queued/running job
-//   jobs                  one-line status of every submitted job
-//   wait [ID]             block until job ID (or every job) finishes and
-//                         print the result line(s)
-//   stats                 catalog + result-cache + dispatcher tables
-//   evict NAME            drop the resident copy (reloads on next use)
-//   help                  command summary
-//   quit                  end the session
+//   - the wire mode (text until a `hello mode=framed` handshake),
+//   - the error tally for batch exit codes (a failed job counts exactly
+//     once no matter how often or through which command it surfaces),
+//   - the ids of jobs this session submitted, so a dropped TCP client's
+//     outstanding work can be cancelled (CancelOutstandingJobs).
 //
-// Blank lines and '#' comments are skipped. A failing command prints
-// "error: ..." and the session continues; failures are counted so batch
-// callers can exit non-zero.
+// The text grammar and its output are byte-identical to the historical
+// ServiceSession (see docs/SERVE.md for the command reference). Blank
+// lines and '#' comments are skipped; a failing command prints
+// "error: ..." and the session continues.
 //
-// Concurrency: every query — including synchronous `mine`, which is
-// submit-and-wait — executes on the session's ServiceDispatcher. With
-// the default single worker the behavior is exactly the historical
-// serial session; `--workers N` lets submitted jobs overlap while the
-// command loop stays responsive for cancel/jobs/stats. All printing
-// happens on the command-loop thread (workers never touch the stream).
+// Concurrency: one session is single-threaded (its transport's thread),
+// but many sessions may share one ServiceApi — all printing happens on
+// the session's own thread, never a dispatcher worker's.
 
 #ifndef KPLEX_SERVICE_SERVICE_SESSION_H_
 #define KPLEX_SERVICE_SERVICE_SESSION_H_
@@ -42,14 +28,14 @@
 #include <cstdint>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <set>
 #include <string>
 #include <vector>
 
-#include "service/dispatcher.h"
-#include "service/graph_catalog.h"
-#include "service/query_engine.h"
+#include "service/protocol.h"
+#include "service/service_api.h"
 
 namespace kplex {
 
@@ -68,53 +54,70 @@ struct ServiceSessionOptions {
 
 class ServiceSession {
  public:
+  /// Standalone session: constructs and owns its own ServiceApi.
   explicit ServiceSession(std::ostream& out,
                           ServiceSessionOptions options = {});
 
-  /// Executes one command line. Returns false once `quit` is reached.
+  /// Adapter over a shared ServiceApi (one per TCP connection; the api
+  /// outlives every session through the shared_ptr).
+  ServiceSession(std::ostream& out, std::shared_ptr<ServiceApi> api,
+                 bool echo = false);
+
+  /// Executes one wire line (text or framed, per the negotiated mode).
+  /// Returns false once `quit` is reached.
   bool ExecuteLine(const std::string& line);
 
   /// Executes lines from `in` until EOF or `quit`; returns the number of
-  /// failed commands.
+  /// failed commands (job failures nobody waited on included).
   uint64_t RunScript(std::istream& in);
 
-  uint64_t errors() const { return errors_; }
+  /// Requests cancellation of every non-terminal job this session
+  /// created — `submit`ted jobs and the job behind an in-flight
+  /// synchronous `mine`. Unlike the rest of the class this method is
+  /// safe to call from another thread (a transport's disconnect
+  /// watcher fires it while the session thread is blocked in a mine).
+  void CancelOutstandingJobs();
 
-  GraphCatalog& catalog() { return catalog_; }
-  QueryEngine& engine() { return engine_; }
-  ServiceDispatcher& dispatcher() { return *dispatcher_; }
+  uint64_t errors() const { return errors_; }
+  WireMode mode() const { return mode_; }
+
+  ServiceApi& api() { return *api_; }
+  GraphCatalog& catalog() { return api_->catalog(); }
+  QueryEngine& engine() { return api_->engine(); }
+  ServiceDispatcher& dispatcher() { return api_->dispatcher(); }
 
  private:
-  void Fail(const Status& status);
-  void CmdLoad(const std::vector<std::string>& args);
-  void CmdDataset(const std::vector<std::string>& args);
-  void CmdSnapshot(const std::vector<std::string>& args);
-  void CmdMine(const std::vector<std::string>& args);
-  void CmdSubmit(const std::vector<std::string>& args);
-  void CmdCancel(const std::vector<std::string>& args);
-  void CmdJobs();
-  void CmdWait(const std::vector<std::string>& args);
-  void CmdStats();
-  void CmdEvict(const std::vector<std::string>& args);
-  void CmdHelp();
-
-  /// Prints the terminal outcome of a job ("mined ..." / error line).
-  /// `prefix` labels asynchronous results ("job 3: ").
-  void PrintJobOutcome(const JobInfo& info, const std::string& prefix);
-
+  /// Executes a parsed request and writes its response; returns false
+  /// for quit.
+  bool Dispatch(const Request& request);
+  /// Synchronous mine = tracked submit + wait: the job id lands in
+  /// submitted_jobs_ *before* this thread blocks, so a disconnect
+  /// watcher can cancel it mid-run (ServiceApi's one-shot mine handler
+  /// offers no such window). Output is shaped exactly like
+  /// ServiceApi's MineResponse.
+  Response ExecuteMine(uint64_t request_id, const MineRequest& mine);
+  void RecordSubmittedJob(uint64_t id);
+  /// Prints "error: ..." in the current mode and counts it. In framed
+  /// mode the response carries `request_id` (the client's correlation
+  /// id when the failed frame had a readable one).
+  void Fail(const Status& status, uint64_t request_id = 0);
+  /// Error-tally bookkeeping: ErrorResponses, and terminal job failures
+  /// (each job id counted once, wherever it surfaces).
+  void NoteResponse(const Response& response);
   /// Folds failures of terminal jobs into errors_ (each job once).
   void CountTerminalFailures();
 
   std::ostream& out_;
-  ServiceSessionOptions options_;
-  GraphCatalog catalog_;
-  QueryEngine engine_;
-  // Pointer so the session stays movable-free but constructible before
-  // the dispatcher spins up its workers (engine_ must outlive it; the
-  // declaration order here is the destruction order guarantee).
-  std::unique_ptr<ServiceDispatcher> dispatcher_;
-  // Failed-job ids already counted toward errors_: a job failure is one
-  // error no matter how often (or through which command) it surfaces.
+  bool echo_ = false;
+  WireMode mode_ = WireMode::kText;
+  std::shared_ptr<ServiceApi> api_;
+  /// Jobs created through this session (for disconnect cancellation).
+  /// Guarded by jobs_mutex_: the one piece of session state a
+  /// transport's watcher thread reads concurrently.
+  std::mutex jobs_mutex_;
+  std::vector<uint64_t> submitted_jobs_;
+  /// Failed-job ids already counted toward errors_: a job failure is one
+  /// error no matter how often (or through which command) it surfaces.
   std::set<uint64_t> counted_failed_jobs_;
   uint64_t errors_ = 0;
 };

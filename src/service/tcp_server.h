@@ -1,0 +1,110 @@
+// TcpServer: the network transport of the query service. An accept
+// loop hands each connection to its own thread running a ServiceSession
+// over the server's shared ServiceApi, so every client sees one
+// catalog, one result cache, and one dispatcher — exactly the stdin
+// session protocol (text grammar by default, `hello mode=framed` for
+// JSON lines), newline-delimited in both directions.
+//
+// Lifecycle and robustness:
+//  - Start() binds/listens (port 0 picks an ephemeral port, readable
+//    via port()) and spawns the accept thread.
+//  - A connection past the connection cap receives one structured
+//    error line and is closed without a session.
+//  - A client disconnect cancels that session's outstanding jobs
+//    through the existing per-job cancel flags, so abandoned work does
+//    not occupy dispatcher workers. Orderly EOF (FIN: the tail of a
+//    `printf ... | nc` pipeline) first drains the already-received
+//    commands — in-flight work completes and its responses are
+//    delivered — then cancels whatever is still queued at teardown. A
+//    full hangup or reset (crashed client, abortive close) is spotted
+//    by a per-connection poll watcher and cancels immediately, even
+//    while the session thread is blocked inside a synchronous mine.
+//  - Stop() is graceful: stops accepting, shuts down every connection
+//    socket (unblocking reads), cancels all outstanding dispatcher
+//    jobs so no worker pins a join, and joins every thread. The
+//    destructor calls Stop().
+//
+// The server never touches stdin/stdout; `kplex_cli serve --listen`
+// composes it with an optional preload script and signal-driven
+// shutdown. See docs/SERVE.md for the wire reference.
+
+#ifndef KPLEX_SERVICE_TCP_SERVER_H_
+#define KPLEX_SERVICE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_api.h"
+#include "util/status.h"
+
+namespace kplex {
+
+struct TcpServerOptions {
+  /// Interface to bind. Loopback by default: exposing the service
+  /// beyond the host is a deployment decision, not a default.
+  std::string host = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Concurrent-connection cap; connections beyond it are refused with
+  /// a structured error line.
+  uint32_t max_connections = 64;
+};
+
+class TcpServer {
+ public:
+  explicit TcpServer(std::shared_ptr<ServiceApi> api,
+                     TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. IoError when the address
+  /// cannot be bound; Unimplemented on platforms without sockets.
+  Status Start();
+
+  /// Graceful shutdown (see the file comment). Idempotent; safe to call
+  /// while connections are mid-command.
+  void Stop();
+
+  /// The bound port (after a successful Start); meaningful with
+  /// options.port == 0.
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t accepted = 0;  ///< connections served (sessions started)
+    uint64_t refused = 0;   ///< connections rejected by the cap
+    uint64_t active = 0;    ///< sessions currently open
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins and erases finished connection threads (called under lock).
+  void ReapFinishedLocked();
+
+  std::shared_ptr<ServiceApi> api_;
+  const TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  uint64_t accepted_ = 0;
+  uint64_t refused_ = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_TCP_SERVER_H_

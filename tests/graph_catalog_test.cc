@@ -195,7 +195,7 @@ TEST(GraphCatalog, PrecomputeSectionsFlowThroughGetFull) {
   ASSERT_NE(full->precompute, nullptr);
   EXPECT_TRUE(full->precompute->has_order());
   EXPECT_TRUE(full->precompute->has_coreness());
-  EXPECT_NE(full->precompute->MaskFor(2), nullptr);
+  EXPECT_FALSE(full->precompute->MaskFor(2).empty());
   EXPECT_EQ(*catalog.PrecomputeTag("g"), "order+core+masks");
 
   ASSERT_TRUE(catalog.Evict("g").ok());

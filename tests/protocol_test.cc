@@ -1,0 +1,377 @@
+// Protocol v1 codec tests: every request round-trips through both wire
+// encodings (format -> parse -> format is the identity on the wire
+// bytes), malformed frames come back as structured errors instead of
+// crashes, response formatting is pinned against golden strings (the
+// byte-compatibility contract of the text wire), and error sanitation
+// strips absolute host paths.
+
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace kplex {
+namespace {
+
+// ----------------------------------------------------------- round trips
+
+/// The request corpus: one (or more) of every variant, with token-safe
+/// strings (the text grammar splits on whitespace; arbitrary strings
+/// are the framed codec's job) and parse-stable numeric values.
+std::vector<Request> Corpus() {
+  std::vector<Request> corpus;
+  auto add = [&corpus](RequestPayload payload, uint64_t id = 0) {
+    Request request;
+    request.id = id;
+    request.payload = std::move(payload);
+    corpus.push_back(std::move(request));
+  };
+
+  add(HelloRequest{});
+  add(HelloRequest{3, WireMode::kFramed}, 11);
+  add(HelloRequest{1, WireMode::kText});
+  add(LoadRequest{"web", "/data/web.kpx"}, 42);
+  add(DatasetRequest{"kc", "karate"});
+  add(SnapshotRequest{"web", "/tmp/web.kpx", false, {}});
+  add(SnapshotRequest{"web", "/tmp/web.kpx", true, {}});
+  add(SnapshotRequest{"web", "/tmp/web.kpx", true, {4, 8, 10}}, 7);
+
+  MineRequest defaults;
+  defaults.query.graph = "web";
+  defaults.query.k = 2;
+  defaults.query.q = 12;
+  add(defaults);
+
+  MineRequest loaded;
+  loaded.query.graph = "web";
+  loaded.query.k = 3;
+  loaded.query.q = 9;
+  loaded.query.algo = QueryAlgo::kListPlex;
+  loaded.query.threads = 8;
+  loaded.query.max_results = 1000;
+  loaded.query.time_limit_seconds = 2.5;
+  loaded.query.tau_ms = 0.25;
+  loaded.query.use_ctcp = true;
+  loaded.query.use_cache = false;
+  add(loaded, 99);
+
+  SubmitRequest submit;
+  submit.query.graph = "g";
+  submit.query.k = 1;
+  submit.query.q = 4;
+  submit.query.algo = QueryAlgo::kFp;
+  add(submit, 5);
+
+  add(CancelRequest{17});
+  add(JobsRequest{});
+  add(WaitRequest{});
+  add(WaitRequest{uint64_t{12}}, 3);
+  add(StatsRequest{});
+  add(EvictRequest{"web"});
+  add(HelpRequest{});
+  add(QuitRequest{});
+  return corpus;
+}
+
+TEST(ProtocolText, EveryRequestRoundTrips) {
+  for (const Request& request : Corpus()) {
+    const std::string wire = FormatTextRequest(request);
+    auto parsed = ParseTextRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << wire << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->payload.index(), request.payload.index()) << wire;
+    // Wire-level identity: re-formatting the parse reproduces the line.
+    EXPECT_EQ(FormatTextRequest(*parsed), wire);
+    // The text wire has no id channel.
+    EXPECT_EQ(parsed->id, 0u) << wire;
+  }
+}
+
+TEST(ProtocolFramed, EveryRequestRoundTrips) {
+  for (const Request& request : Corpus()) {
+    const std::string wire = FormatFramedRequest(request);
+    auto parsed = ParseFramedRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << wire << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->payload.index(), request.payload.index()) << wire;
+    EXPECT_EQ(parsed->id, request.id) << wire;
+    EXPECT_EQ(FormatFramedRequest(*parsed), wire);
+  }
+}
+
+TEST(ProtocolFramed, ArbitraryStringsSurviveFraming) {
+  // Paths with spaces, quotes, backslashes, and control bytes cannot
+  // ride the text grammar; the framed codec must carry them exactly.
+  LoadRequest load;
+  load.name = "weird graph";
+  load.path = "/data dir/we\"ird\\file\twith\nnewline";
+  Request request;
+  request.payload = load;
+  auto parsed = ParseFramedRequest(FormatFramedRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& round = std::get<LoadRequest>(parsed->payload);
+  EXPECT_EQ(round.name, load.name);
+  EXPECT_EQ(round.path, load.path);
+}
+
+// ------------------------------------------------------- malformed input
+
+TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"frobnicate", "unknown command 'frobnicate' (try 'help')"},
+      {"load onlyname", "usage: load NAME PATH"},
+      {"dataset a b c", "usage: dataset NAME KEY"},
+      {"snapshot g", "usage: snapshot NAME PATH [precompute] "
+                     "[levels=C1,C2,...]"},
+      {"snapshot g p bogus", "unknown snapshot option 'bogus'"},
+      {"mine", "usage: mine NAME K Q [algo=...] [threads=N] "
+               "[max-results=N] [time-limit=S] [tau-ms=T] [cache=on|off]"},
+      {"mine g -1 5", "malformed value for K: '-1'"},
+      {"mine g 2 5 threads=-2", "malformed value for threads: '-2'"},
+      {"mine g 2 99999999999",
+       "malformed value for Q: '99999999999' (expected 0..4294967295)"},
+      {"mine g 2 5 bogus=1", "unknown mine option 'bogus'"},
+      {"mine g 2 5 cache=maybe", "cache must be on or off"},
+      {"mine g 2 5 ctcp=maybe", "ctcp must be on or off"},
+      {"submit g 2 5 bogus=1", "unknown submit option 'bogus'"},
+      {"cancel", "usage: cancel ID"},
+      {"cancel nope", "malformed value for ID: 'nope'"},
+      {"wait 1 2", "usage: wait [ID]"},
+      {"evict", "usage: evict NAME"},
+      {"hello proto=x", "malformed value for proto: 'x'"},
+      {"hello mode=binary", "mode must be text or framed, got 'binary'"},
+      {"hello frob", "usage: hello [proto=N] [mode=text|framed]"},
+  };
+  for (const auto& [line, message] : cases) {
+    auto parsed = ParseTextRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << line;
+    EXPECT_EQ(parsed.status().message(), message) << line;
+  }
+}
+
+TEST(ProtocolFramed, MalformedFramesAreStructuredErrorsNeverCrashes) {
+  const std::vector<std::string> frames = {
+      "",
+      "not json at all",
+      "{",
+      "{}",
+      "[]",
+      "42",
+      "\"just a string\"",
+      "{\"cmd\":}",
+      "{\"cmd\":42}",
+      "{\"cmd\":\"mine\"}",                           // missing graph/k/q
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2}",   // missing q
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":-2,\"q\":5}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2.5,\"q\":5}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"bogus\":1}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":99999999999,\"q\":5}",
+      "{\"cmd\":\"load\",\"name\":\"g\"}",            // missing path
+      "{\"cmd\":\"load\",\"name\":\"g\",\"path\":7}",
+      "{\"cmd\":\"cancel\"}",                         // missing job
+      "{\"cmd\":\"jobs\",\"extra\":true}",
+      "{\"cmd\":\"nope\"}",
+      "{\"id\":\"seven\",\"cmd\":\"jobs\"}",
+      "{\"cmd\":\"quit\"} trailing",
+      "{\"cmd\":\"quit\",}",
+      "{\"cmd\" \"quit\"}",
+      "{\"cmd\":\"snapshot\",\"name\":\"g\",\"path\":\"p\","
+      "\"levels\":[1,\"x\"]}",
+      "{\"cmd\":\"hello\",\"mode\":\"binary\"}",
+      "{\"cmd\":\"quit\",\"cmd\"",
+      "{\"a\":\"\\u12\"}",
+      "{\"a\":\"\\q\"}",
+      "{\"a\":\"unterminated",
+      "{\"a\":truu}",
+      "{\"a\":nul}",
+      "{\"a\":1e}",
+      std::string(64, '['),  // nesting bomb
+      std::string("{\"cmd\":\"evict\",\"name\":\"") + std::string(1, '\x01') +
+          "\"}",
+  };
+  for (const std::string& frame : frames) {
+    auto parsed = ParseFramedRequest(frame);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << frame;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << frame;
+      EXPECT_FALSE(parsed.status().message().empty()) << frame;
+    }
+  }
+}
+
+TEST(ProtocolFramed, FingerprintsAreExactUint64) {
+  // 2^53-breaking values must survive the integer path (no double
+  // round-trip): job ids and max_results use raw uint64.
+  auto parsed = ParseFramedRequest(
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"max_results\":18446744073709551615}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(std::get<MineRequest>(parsed->payload).query.max_results,
+            UINT64_MAX);
+  // One past UINT64_MAX falls back to double and is rejected as
+  // non-integer.
+  EXPECT_FALSE(ParseFramedRequest("{\"cmd\":\"cancel\",\"job\":"
+                                  "18446744073709551616}")
+                   .ok());
+}
+
+// ------------------------------------------------------- response goldens
+
+std::string TextOf(ResponsePayload payload) {
+  Response response;
+  response.payload = std::move(payload);
+  std::ostringstream out;
+  FormatTextResponse(response, out);
+  return out.str();
+}
+
+TEST(ProtocolText, ResponseGoldens) {
+  LoadResponse loaded;
+  loaded.name = "web";
+  loaded.num_vertices = 875713;
+  loaded.num_edges = 4322051;
+  loaded.load_seconds = 0.0021;
+  EXPECT_EQ(TextOf(loaded),
+            "loaded web: 875713 vertices, 4322051 edges (0.0021s)\n");
+
+  LoadResponse dataset = loaded;
+  dataset.name = "kc";
+  dataset.num_vertices = 34;
+  dataset.num_edges = 78;
+  dataset.dataset_key = "karate";
+  EXPECT_EQ(TextOf(dataset),
+            "loaded kc: 34 vertices, 78 edges (dataset karate)\n");
+
+  SnapshotResponse snapshot;
+  snapshot.name = "web";
+  snapshot.path = "/tmp/web.kpx";
+  snapshot.with_precompute = true;
+  EXPECT_EQ(TextOf(snapshot),
+            "snapshot web -> /tmp/web.kpx (with precompute sections)\n");
+
+  JobInfo done;
+  done.id = 3;
+  done.request.graph = "web";
+  done.request.k = 2;
+  done.request.q = 12;
+  done.state = JobState::kDone;
+  done.started = true;
+  done.result.num_plexes = 2566;
+  done.result.max_plex_size = 14;
+  done.result.seconds = 1.8102;
+  EXPECT_EQ(TextOf(MineResponse{done}),
+            "mined web k=2 q=12 algo=ours: 2566 plexes, max size 14, "
+            "1.810s\n");
+  EXPECT_EQ(TextOf(WaitResponse{done}),
+            "job 3: mined web k=2 q=12 algo=ours: 2566 plexes, max size 14, "
+            "1.810s\n");
+
+  JobInfo cached = done;
+  cached.result.from_cache = true;
+  cached.result.reduction_precomputed = true;  // suppressed when cached
+  EXPECT_EQ(TextOf(MineResponse{cached}),
+            "mined web k=2 q=12 algo=ours: 2566 plexes, max size 14, "
+            "1.810s [cached]\n");
+
+  JobInfo partial = done;
+  partial.result.timed_out = true;
+  partial.result.stopped_early = true;
+  EXPECT_EQ(TextOf(MineResponse{partial}),
+            "mined web k=2 q=12 algo=ours: 2566 plexes, max size 14, "
+            "1.810s [time limit hit] [result cap hit]\n");
+
+  JobInfo never_ran = done;
+  never_ran.state = JobState::kCancelled;
+  never_ran.started = false;
+  EXPECT_EQ(TextOf(WaitResponse{never_ran}),
+            "job 3: cancelled web k=2 q=12 algo=ours before it started\n");
+
+  JobInfo failed = done;
+  failed.state = JobState::kFailed;
+  failed.status = Status::NotFound("no graph named 'web' is registered");
+  EXPECT_EQ(TextOf(MineResponse{failed}),
+            "error: NOT_FOUND: no graph named 'web' is registered\n");
+
+  SubmitResponse submit;
+  submit.job = 4;
+  submit.query = done.request;
+  EXPECT_EQ(TextOf(submit), "job 4 submitted: mine web k=2 q=12 algo=ours\n");
+
+  EXPECT_EQ(TextOf(CancelResponse{4}), "cancel requested for job 4\n");
+  EXPECT_EQ(TextOf(EvictResponse{"web"}), "evicted web\n");
+
+  WaitAllResponse all;
+  all.counts.done = 2;
+  all.counts.cancelled = 1;
+  all.counts.failed = 1;
+  all.failed_jobs = {9};
+  EXPECT_EQ(TextOf(all),
+            "all jobs finished: 2 done, 1 cancelled, 1 failed\n");
+
+  EXPECT_EQ(TextOf(ErrorResponse{Status::InvalidArgument("boom")}),
+            "error: INVALID_ARGUMENT: boom\n");
+  EXPECT_EQ(TextOf(ByeResponse{}), "");  // quit prints nothing on text
+
+  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=1 mode=text\n");
+}
+
+TEST(ProtocolFramed, ResponseShape) {
+  JobInfo done;
+  done.id = 3;
+  done.request.graph = "web";
+  done.request.k = 2;
+  done.request.q = 12;
+  done.state = JobState::kDone;
+  done.started = true;
+  done.result.num_plexes = 7;
+  done.result.fingerprint = 0x0123456789abcdefULL;
+
+  Response response;
+  response.request_id = 9;
+  response.payload = MineResponse{done};
+  const std::string frame = FormatFramedResponse(response);
+  EXPECT_EQ(frame.find('\n'), std::string::npos) << frame;
+  EXPECT_NE(frame.find("\"id\":9"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("\"ok\":true"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("\"type\":\"mine\""), std::string::npos) << frame;
+  EXPECT_NE(frame.find("\"fingerprint\":\"0x0123456789abcdef\""),
+            std::string::npos)
+      << frame;
+
+  response.payload = ErrorResponse{Status::NotFound("nope")};
+  const std::string error = FormatFramedResponse(response);
+  EXPECT_NE(error.find("\"ok\":false"), std::string::npos) << error;
+  EXPECT_NE(error.find("\"code\":\"NOT_FOUND\""), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("\"message\":\"nope\""), std::string::npos) << error;
+}
+
+// ------------------------------------------------------------- sanitation
+
+TEST(ProtocolSanitize, AbsolutePathsLoseTheirDirectories) {
+  EXPECT_EQ(SanitizeErrorMessage(
+                "cannot open '/srv/secret/layout/web.txt' for reading: "
+                "No such file or directory"),
+            "cannot open 'web.txt' for reading: No such file or directory");
+  EXPECT_EQ(SanitizeErrorMessage("cannot map /var/data/g.kpx: EACCES"),
+            "cannot map g.kpx: EACCES");
+  // Relative paths, options, and fractions pass through untouched.
+  EXPECT_EQ(SanitizeErrorMessage("cannot open 'data/karate.txt'"),
+            "cannot open 'data/karate.txt'");
+  EXPECT_EQ(SanitizeErrorMessage("cache must be on or off"),
+            "cache must be on or off");
+  EXPECT_EQ(SanitizeErrorMessage("ratio 3/4 is fine"), "ratio 3/4 is fine");
+  EXPECT_EQ(SanitizeErrorMessage("bare / stays"), "bare / stays");
+
+  const Status sanitized = SanitizeErrorStatus(
+      Status::IoError("cannot open '/a/b/c.txt' for writing"));
+  EXPECT_EQ(sanitized.code(), StatusCode::kIoError);
+  EXPECT_EQ(sanitized.message(), "cannot open 'c.txt' for writing");
+  EXPECT_TRUE(SanitizeErrorStatus(Status::Ok()).ok());
+}
+
+}  // namespace
+}  // namespace kplex

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -267,6 +268,182 @@ TEST(ServiceSession, BareWaitCountsUnviewedJobFailures) {
   EXPECT_EQ(session.errors(), 1u) << out.str();
   EXPECT_TRUE(session.ExecuteLine("wait 1"));
   EXPECT_EQ(session.errors(), 1u) << out.str();  // no double count
+}
+
+TEST(ServiceSession, TranscriptGoldenThroughTheProtocolAdapter) {
+  // The byte-compatibility contract of the api_redesign: the text wire
+  // through ParseTextRequest -> ServiceApi -> FormatTextResponse must
+  // reproduce the historical session transcript exactly (timings are
+  // the one nondeterministic field, normalized to <T>).
+  std::ostringstream out;
+  ServiceSession session(out);
+  std::istringstream script(
+      "# golden transcript\n"
+      "dataset kc karate\n"
+      "mine kc 2 6\n"
+      "mine kc 2 6\n"
+      "mine kc 2 6 ctcp=on\n"
+      "submit kc 2 5\n"
+      "wait 1\n"
+      "badcmd\n"
+      "evict nope\n"
+      "quit\n");
+  EXPECT_EQ(session.RunScript(script), 2u) << out.str();
+
+  std::string transcript = out.str();
+  // Normalize "0.0001s" -> "<T>s".
+  for (std::size_t pos = transcript.find('.'); pos != std::string::npos;
+       pos = transcript.find('.', pos + 1)) {
+    std::size_t start = pos;
+    while (start > 0 && std::isdigit(static_cast<unsigned char>(
+                            transcript[start - 1]))) {
+      --start;
+    }
+    std::size_t end = pos + 1;
+    while (end < transcript.size() &&
+           std::isdigit(static_cast<unsigned char>(transcript[end]))) {
+      ++end;
+    }
+    if (start < pos && end < transcript.size() && transcript[end] == 's') {
+      transcript.replace(start, end - start, "<T>");
+      pos = start;
+    }
+  }
+  EXPECT_EQ(transcript,
+            "loaded kc: 34 vertices, 78 edges (dataset karate)\n"
+            "mined kc k=2 q=6 algo=ours: 1 plexes, max size 6, <T>s\n"
+            "mined kc k=2 q=6 algo=ours: 1 plexes, max size 6, <T>s "
+            "[cached]\n"
+            "mined kc k=2 q=6 algo=ours: 1 plexes, max size 6, <T>s\n"
+            "job 4 submitted: mine kc k=2 q=5 algo=ours\n"
+            "job 1: mined kc k=2 q=6 algo=ours: 1 plexes, max size 6, "
+            "<T>s\n"
+            "error: INVALID_ARGUMENT: unknown command 'badcmd' (try "
+            "'help')\n"
+            "error: NOT_FOUND: no graph named 'nope' is registered\n");
+}
+
+TEST(ServiceSession, CtcpQueriesProduceTheSameAnswerUnderTheirOwnKey) {
+  // ctcp=on runs the CTCP reduction (same result set) and caches under
+  // a distinct signature, so it can be benchmarked against the plain
+  // pipeline without evicting its entries. The golden test above
+  // asserts the plex count matches; here the cache accounting.
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("dataset kc karate"));
+  EXPECT_TRUE(session.ExecuteLine("mine kc 2 6"));
+  EXPECT_TRUE(session.ExecuteLine("mine kc 2 6 ctcp=on"));
+  EXPECT_TRUE(session.ExecuteLine("mine kc 2 6 ctcp=on"));
+  EXPECT_EQ(session.errors(), 0u) << out.str();
+  const QueryEngine::CacheStats stats = session.engine().cache_stats();
+  EXPECT_EQ(stats.entries, 2u);  // plain and ctcp cached separately
+  EXPECT_EQ(stats.hits, 1u);     // the ctcp repeat
+  // Both pipelines count the same single 6-vertex 2-plex.
+  EXPECT_EQ(Lines(out.str()).size(), 4u) << out.str();
+  EXPECT_NE(out.str().find("[cached]"), std::string::npos);
+}
+
+TEST(ServiceSession, HelloSwitchesWireModesMidSession) {
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(session.ExecuteLine("dataset kc karate"));
+  EXPECT_EQ(session.mode(), WireMode::kText);
+
+  // The handshake response is already framed.
+  EXPECT_TRUE(session.ExecuteLine("hello proto=7 mode=framed"));
+  EXPECT_EQ(session.mode(), WireMode::kFramed);
+  std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u) << out.str();
+  // Version negotiation: min(7, kProtocolVersion).
+  EXPECT_EQ(lines[1],
+            "{\"id\":0,\"ok\":true,\"type\":\"hello\",\"proto\":1,"
+            "\"mode\":\"framed\"}");
+
+  // Framed request with a correlation id; the response echoes it.
+  EXPECT_TRUE(session.ExecuteLine(
+      "{\"id\":12,\"cmd\":\"mine\",\"graph\":\"kc\",\"k\":2,\"q\":6}"));
+  lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u) << out.str();
+  EXPECT_EQ(lines[2].find("{\"id\":12,\"ok\":true,\"type\":\"mine\""), 0u)
+      << lines[2];
+  EXPECT_NE(lines[2].find("\"plexes\":1"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find("\"fingerprint\":\"0x"), std::string::npos)
+      << lines[2];
+
+  // Malformed frames are framed errors (counted, session continues).
+  EXPECT_TRUE(session.ExecuteLine("not json"));
+  EXPECT_EQ(session.errors(), 1u);
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back().find("{\"id\":0,\"ok\":false,\"type\":\"error\","
+                              "\"code\":\"INVALID_ARGUMENT\""),
+            0u)
+      << lines.back();
+
+  // A frame that parses far enough to yield an id but fails validation
+  // still answers under that id, so pipelining clients stay correlated.
+  EXPECT_TRUE(session.ExecuteLine(
+      "{\"id\":44,\"cmd\":\"mine\",\"graph\":\"kc\",\"k\":2,\"q\":6,"
+      "\"bogus\":1}"));
+  EXPECT_EQ(session.errors(), 2u);
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back().find("{\"id\":44,\"ok\":false"), 0u)
+      << lines.back();
+
+  // '#' is not a comment marker on the framed wire: every non-blank
+  // line gets a response (a request/response client would otherwise
+  // hang), and only truly blank keep-alives are tolerated.
+  const std::size_t lines_before = Lines(out.str()).size();
+  EXPECT_TRUE(session.ExecuteLine("   "));
+  EXPECT_EQ(Lines(out.str()).size(), lines_before);
+  EXPECT_TRUE(session.ExecuteLine("# not a comment here"));
+  EXPECT_EQ(session.errors(), 3u);
+  lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), lines_before + 1);
+  EXPECT_EQ(lines.back().find("{\"id\":0,\"ok\":false"), 0u)
+      << lines.back();
+
+  // And back to text.
+  EXPECT_TRUE(session.ExecuteLine("{\"cmd\":\"hello\",\"mode\":\"text\"}"));
+  EXPECT_EQ(session.mode(), WireMode::kText);
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back(), "hello proto=1 mode=text");
+  EXPECT_TRUE(session.ExecuteLine("evict kc"));
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back(), "evicted kc");
+
+  // Framed quit ends the session with a bye frame.
+  EXPECT_TRUE(session.ExecuteLine("hello mode=framed"));
+  EXPECT_FALSE(session.ExecuteLine("{\"id\":9,\"cmd\":\"quit\"}"));
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back(), "{\"id\":9,\"ok\":true,\"type\":\"bye\"}");
+}
+
+TEST(ServiceSession, LoadErrorsNeverEchoAbsolutePaths) {
+  // The structured-error path scrubs host layout out of every failure
+  // a client sees: a missing absolute path is reported by basename
+  // only, with the strerror-style suffix intact.
+  std::ostringstream out;
+  ServiceSession session(out);
+  EXPECT_TRUE(
+      session.ExecuteLine("load broken /no/such/secret-dir/graph.txt"));
+  EXPECT_EQ(session.errors(), 1u);
+  EXPECT_NE(out.str().find("error: IO_ERROR:"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("'graph.txt'"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("/no/such"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("secret-dir"), std::string::npos) << out.str();
+
+  // A *job* failure takes a different path to the client (the Status
+  // stored in JobInfo, surfaced through mine/wait/jobs) — it must be
+  // scrubbed identically.
+  ASSERT_TRUE(session.catalog()
+                  .RegisterFile("lazy", "/no/such/secret-dir/lazy.txt")
+                  .ok());
+  EXPECT_TRUE(session.ExecuteLine("mine lazy 2 5"));
+  EXPECT_TRUE(session.ExecuteLine("jobs"));
+  EXPECT_EQ(session.errors(), 2u) << out.str();
+  EXPECT_NE(out.str().find("'lazy.txt'"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("/no/such"), std::string::npos) << out.str();
 }
 
 TEST(ServiceSession, QuitStopsTheScript) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -319,13 +320,32 @@ TEST(SnapshotV2, PrecomputeSectionsRoundTrip) {
   auto loaded = LoadSnapshotFull(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const DegeneracyResult expected = ComputeDegeneracy(g);
-  EXPECT_EQ(loaded->precompute.order, expected.order);
-  EXPECT_EQ(loaded->precompute.coreness, expected.coreness);
+  EXPECT_TRUE(std::ranges::equal(loaded->precompute.order, expected.order));
+  EXPECT_TRUE(
+      std::ranges::equal(loaded->precompute.coreness, expected.coreness));
   EXPECT_EQ(loaded->precompute.degeneracy, expected.degeneracy);
-  ASSERT_NE(loaded->precompute.MaskFor(3), nullptr);
-  EXPECT_EQ(loaded->precompute.MaskFor(2), nullptr);  // not stored
-  EXPECT_EQ(*loaded->precompute.MaskFor(3),
-            PackCoreMask(expected.coreness, 3));
+  ASSERT_FALSE(loaded->precompute.MaskFor(3).empty());
+  EXPECT_TRUE(loaded->precompute.MaskFor(2).empty());  // not stored
+  EXPECT_TRUE(std::ranges::equal(loaded->precompute.MaskFor(3),
+                                 PackCoreMask(expected.coreness, 3)));
+
+  // v2 sections are served zero-copy: views into the snapshot buffer,
+  // no private heap beyond bookkeeping, and — when the platform maps —
+  // counted under the graph's whole-file MappedBytes.
+  EXPECT_EQ(loaded->precompute.MemoryBytes(), 0u);
+  EXPECT_GT(loaded->precompute.SectionBytes(), 0u);
+  if (MappedFile::Supported()) {
+    EXPECT_TRUE(loaded->precompute.mapped());
+    EXPECT_GE(loaded->graph.MappedBytes(),
+              loaded->precompute.SectionBytes());
+  }
+
+  // The sections must stay readable after the graph (and its share of
+  // the mapping) is gone: the precompute holds its own backing handle.
+  const std::vector<VertexId> order_before(loaded->precompute.order.begin(),
+                                           loaded->precompute.order.end());
+  loaded->graph = Graph();
+  EXPECT_TRUE(std::ranges::equal(loaded->precompute.order, order_before));
   std::remove(path.c_str());
 }
 

@@ -2,14 +2,18 @@
 //
 //   kplex_cli mine --input G.txt --k 2 --q 12 [--algo ours|ours_p|basic|
 //             listplex|fp] [--threads N] [--tau-ms 0.1] [--output F]
-//             [--max-results N] [--time-limit S]
+//             [--max-results N] [--time-limit S] [--ctcp]
 //   kplex_cli max --input G.txt --k 2
 //   kplex_cli report --input G.txt
 //   kplex_cli snapshot --input G.txt --output G.kpx [--precompute]
 //             [--core-levels C1,C2,...] [--format v1|v2]
 //   kplex_cli serve [--script F] [--memory-budget-mb N] [--cache-capacity N]
-//             [--workers N]
+//             [--workers N] [--listen PORT] [--host H] [--max-connections N]
 //   kplex_cli datasets
+//
+// `serve` without --listen is the stdin/script session; with --listen it
+// serves the same protocol (docs/SERVE.md) to TCP clients until SIGINT/
+// SIGTERM, running --script first to preload the shared catalog.
 //
 // --dataset NAME may replace --input to mine a registry dataset.
 // Graphs are SNAP-format edge lists ('#' comments, "u v" per line) or
@@ -18,6 +22,7 @@
 // (--precompute at snapshot time) skips the (q-k)-core peel and the
 // degeneracy ordering on every subsequent run.
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -25,6 +30,11 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <unistd.h>
+#endif
 
 #include "baselines/fp.h"
 #include "baselines/listplex.h"
@@ -41,6 +51,7 @@
 #include "graph/triangles.h"
 #include "parallel/parallel_enumerator.h"
 #include "service/service_session.h"
+#include "service/tcp_server.h"
 #include "util/flags.h"
 
 namespace kplex {
@@ -57,6 +68,8 @@ int Usage() {
                "            [--format v1|v2]\n"
                "  kplex_cli serve [--script F] [--memory-budget-mb N]\n"
                "                  [--cache-capacity N] [--workers N] [--echo]\n"
+               "                  [--listen PORT] [--host H]\n"
+               "                  [--max-connections N]\n"
                "  kplex_cli datasets\n"
                "options for mine:\n"
                "  --dataset NAME    use a registry dataset instead of --input\n"
@@ -65,7 +78,9 @@ int Usage() {
                "  --tau-ms T        straggler timeout (default 0.1; parallel only)\n"
                "  --output FILE     write k-plexes (one line each) to FILE\n"
                "  --max-results N   stop after N results\n"
-               "  --time-limit S    soft wall-clock budget in seconds\n");
+               "  --time-limit S    soft wall-clock budget in seconds\n"
+               "  --ctcp            CTCP preprocessing instead of the "
+               "(q-k)-core\n");
   return 2;
 }
 
@@ -140,6 +155,7 @@ int RunMine(const FlagParser& flags) {
   }
   options.max_results = static_cast<uint64_t>(*max_results);
   options.time_limit_seconds = *time_limit;
+  options.use_ctcp_preprocess = flags.Has("ctcp");
   if (!loaded->precompute.empty()) {
     options.precompute = &loaded->precompute;
   }
@@ -301,12 +317,28 @@ int RunSnapshot(const FlagParser& flags) {
   return 0;
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+// Self-pipe for signal-driven serve shutdown: the handler performs one
+// async-signal-safe write; the serve loop blocks on the read end.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  const char byte = 1;
+  // The return value is deliberately unused: the pipe being full means a
+  // shutdown byte is already pending.
+  [[maybe_unused]] ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
+}
+#endif
+
 int RunServe(const FlagParser& flags) {
   auto budget_mb = flags.GetInt("memory-budget-mb", 0);
   auto cache_capacity = flags.GetInt("cache-capacity", 64);
   auto workers = flags.GetInt("workers", 1);
+  auto listen = flags.GetInt("listen", -1);
+  auto max_connections = flags.GetInt("max-connections", 64);
   for (const Status& s :
-       {budget_mb.status(), cache_capacity.status(), workers.status()}) {
+       {budget_mb.status(), cache_capacity.status(), workers.status(),
+        listen.status(), max_connections.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -326,27 +358,98 @@ int RunServe(const FlagParser& flags) {
                  static_cast<long long>(*budget_mb));
     return 1;
   }
-  ServiceSessionOptions options;
-  options.memory_budget_bytes =
-      static_cast<std::size_t>(*budget_mb) * (std::size_t{1} << 20);
-  options.result_cache_capacity = static_cast<std::size_t>(*cache_capacity);
-  options.echo = flags.Has("echo");
-  options.workers = static_cast<uint32_t>(*workers);
-  ServiceSession session(std::cout, options);
+  const bool network = flags.Has("listen");
+  if (network && (*listen < 0 || *listen > 65535)) {
+    std::fprintf(stderr, "--listen must be a port in 0..65535 (0 picks an "
+                         "ephemeral port)\n");
+    return 1;
+  }
+  if (!network && (flags.Has("host") || flags.Has("max-connections"))) {
+    std::fprintf(stderr, "--host/--max-connections require --listen\n");
+    return 1;
+  }
+  if (*max_connections < 1 || *max_connections > 4096) {
+    std::fprintf(stderr, "--max-connections must be between 1 and 4096\n");
+    return 1;
+  }
 
+  ServiceApiOptions api_options;
+  api_options.memory_budget_bytes =
+      static_cast<std::size_t>(*budget_mb) * (std::size_t{1} << 20);
+  api_options.result_cache_capacity =
+      static_cast<std::size_t>(*cache_capacity);
+  api_options.workers = static_cast<uint32_t>(*workers);
+  auto api = std::make_shared<ServiceApi>(api_options);
+
+  // The script runs first in both modes — in network mode it preloads
+  // the shared catalog before any client connects.
   const std::string script = flags.GetString("script", "");
   uint64_t failures = 0;
-  if (!script.empty()) {
-    std::ifstream in(script);
-    if (!in) {
-      std::fprintf(stderr, "cannot open script '%s'\n", script.c_str());
-      return 1;
+  {
+    ServiceSession session(std::cout, api, flags.Has("echo"));
+    if (!script.empty()) {
+      std::ifstream in(script);
+      if (!in) {
+        std::fprintf(stderr, "cannot open script '%s'\n", script.c_str());
+        return 1;
+      }
+      failures = session.RunScript(in);
+    } else if (!network) {
+      failures = session.RunScript(std::cin);
     }
-    failures = session.RunScript(in);
-  } else {
-    failures = session.RunScript(std::cin);
   }
-  return failures == 0 ? 0 : 1;
+  if (!network) return failures == 0 ? 0 : 1;
+  if (failures != 0) {
+    std::fprintf(stderr, "serve: preload script had %llu failure(s); "
+                         "not listening\n",
+                 static_cast<unsigned long long>(failures));
+    return 1;
+  }
+
+#if !defined(__unix__) && !defined(__APPLE__)
+  std::fprintf(stderr,
+               "serve --listen requires POSIX sockets on this platform\n");
+  return 1;
+#else
+  TcpServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(*listen);
+  server_options.max_connections = static_cast<uint32_t>(*max_connections);
+  TcpServer server(api, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  if (pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "cannot create the shutdown pipe\n");
+    server.Stop();
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  // The port line is machine-read by clients started with --listen 0
+  // (CI smoke script): keep its shape stable and flush it immediately.
+  std::printf("serving on %s:%u (protocol v%u, %lld workers)\n",
+              server_options.host.c_str(), server.port(),
+              kProtocolVersion, static_cast<long long>(*workers));
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.Stop();
+  const TcpServer::Stats stats = server.stats();
+  std::printf("serve: shutdown complete (%llu connections served, "
+              "%llu refused)\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.refused));
+  return 0;
+#endif  // POSIX
 }
 
 int RunDatasets() {
@@ -374,7 +477,7 @@ int Main(int argc, char** argv) {
   int (*run)(const FlagParser&) = nullptr;
   if (command == "mine") {
     known = {"input", "dataset", "k", "q", "algo", "threads", "tau-ms",
-             "output", "max-results", "time-limit"};
+             "output", "max-results", "time-limit", "ctcp"};
     run = RunMine;
   } else if (command == "max") {
     known = {"input", "dataset", "k"};
@@ -388,7 +491,7 @@ int Main(int argc, char** argv) {
     run = RunSnapshot;
   } else if (command == "serve") {
     known = {"script", "memory-budget-mb", "cache-capacity", "workers",
-             "echo"};
+             "echo", "listen", "host", "max-connections"};
     run = RunServe;
   } else if (command == "datasets") {
     run = [](const FlagParser&) { return RunDatasets(); };

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Network-serve smoke test: boots `kplex_cli serve --listen`, drives it
+over a real socket in both wire modes, and asserts a clean signal-driven
+shutdown.
+
+Usage: serve_smoke.py path/to/kplex_cli
+
+Checks (any failure exits non-zero):
+  1. the server prints its "serving on HOST:PORT" line (--listen 0, so
+     the port is read back from stdout);
+  2. a text-mode client loads a dataset and mines it;
+  3. a second, concurrent framed-mode client (hello handshake) mines the
+     same query and its JSON response carries the same plex count plus a
+     fingerprint;
+  4. malformed input produces a structured error, not a dropped server;
+  5. SIGTERM yields exit code 0 and the shutdown-complete line.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def roundtrip(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+        return self.file.readline().rstrip("\n")
+
+    def close(self):
+        self.sock.close()
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_smoke.py path/to/kplex_cli")
+    server = subprocess.Popen(
+        [sys.argv[1], "serve", "--listen", "0", "--workers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline().strip()
+        # "serving on 127.0.0.1:PORT (protocol v1, 2 workers)"
+        if not banner.startswith("serving on 127.0.0.1:"):
+            fail(f"unexpected banner: {banner!r}")
+        port = int(banner.split(":")[1].split(" ")[0])
+
+        text = LineClient(port)
+        loaded = text.roundtrip("dataset kc karate")
+        if loaded != "loaded kc: 34 vertices, 78 edges (dataset karate)":
+            fail(f"text load: {loaded!r}")
+        mined = text.roundtrip("mine kc 2 6")
+        if not mined.startswith("mined kc k=2 q=6 algo=ours: 1 plexes"):
+            fail(f"text mine: {mined!r}")
+
+        framed = LineClient(port)  # concurrent with the text client
+        hello = json.loads(framed.roundtrip("hello proto=1 mode=framed"))
+        if hello.get("type") != "hello" or hello.get("proto") != 1:
+            fail(f"handshake: {hello!r}")
+        response = json.loads(
+            framed.roundtrip(
+                json.dumps({"id": 5, "cmd": "mine", "graph": "kc",
+                            "k": 2, "q": 6})))
+        if (response.get("id") != 5 or response.get("state") != "done"
+                or response.get("plexes") != 1
+                or not str(response.get("fingerprint", "")).startswith("0x")):
+            fail(f"framed mine: {response!r}")
+
+        error = json.loads(framed.roundtrip("definitely not json"))
+        if error.get("ok") is not False or error.get("code") != \
+                "INVALID_ARGUMENT":
+            fail(f"malformed frame handling: {error!r}")
+
+        bye = json.loads(framed.roundtrip(json.dumps({"cmd": "quit"})))
+        if bye.get("type") != "bye":
+            fail(f"framed quit: {bye!r}")
+        framed.close()
+        text.close()
+
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not shut down within 30s of SIGTERM")
+        tail = server.stdout.read()
+        if code != 0:
+            fail(f"server exited {code}; output: {tail!r}")
+        if "serve: shutdown complete" not in tail:
+            fail(f"missing shutdown line; output: {tail!r}")
+        print("serve_smoke: OK")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()
