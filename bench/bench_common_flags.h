@@ -1,4 +1,5 @@
-// Shared environment-variable knobs for the bench binaries.
+// Shared environment-variable knobs and helpers for the bench
+// binaries.
 //
 //   KPLEX_BENCH_THREADS  worker threads for parallel benches
 //                        (default: hardware concurrency)
@@ -7,7 +8,11 @@
 #define KPLEX_BENCH_BENCH_COMMON_FLAGS_H_
 
 #include <cstdlib>
+#include <string>
 #include <thread>
+
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
 
 namespace kplex {
 
@@ -18,6 +23,42 @@ inline uint32_t BenchThreads() {
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 2;
+}
+
+/// The service-mode column pair shared by bench_fig8_speedup and
+/// bench_table4: run one (k, q) cell through the shared QueryEngine —
+/// cold executes, warm must be a result-cache hit — and self-check
+/// both fingerprints against the raw engine run.
+struct ServiceModeOutcome {
+  bool ok = false;
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+};
+
+inline ServiceModeOutcome RunServiceModeColdWarm(
+    GraphCatalog& catalog, QueryEngine& engine, const Graph& graph,
+    const std::string& name, uint32_t k, uint32_t q, uint32_t threads,
+    uint64_t expected_fingerprint) {
+  ServiceModeOutcome outcome;
+  if (!catalog.Contains(name) && !catalog.RegisterGraph(name, graph).ok()) {
+    return outcome;
+  }
+  QueryRequest request;
+  request.graph = name;
+  request.k = k;
+  request.q = q;
+  request.threads = threads;
+  auto cold = engine.Run(request);
+  auto warm = engine.Run(request);
+  if (!cold.ok() || !warm.ok() || cold->from_cache ||
+      cold->fingerprint != expected_fingerprint ||
+      warm->fingerprint != expected_fingerprint || !warm->from_cache) {
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.cold_seconds = cold->seconds;
+  outcome.warm_seconds = warm->seconds;
+  return outcome;
 }
 
 }  // namespace kplex

@@ -298,8 +298,90 @@ int Run() {
   std::printf("fingerprints identical across 1/2/4/8 workers (cold and "
               "warm): %s\n", contended_ok ? "yes" : "NO (BUG)");
 
+  // ---------------------------------------------- sharded seed space
+  // Sharded mining v1 (docs/SHARDING.md) inside one process: the same
+  // query as 1 shard vs 4 seed-range shards on a 4-worker dispatcher.
+  // The merged 4-shard fingerprint must equal the single-shard run —
+  // the same check the TCP coordinator applies across machines.
+  std::printf("\nsharded seed space (k=%u, q=%u; 4 dispatcher workers)\n",
+              kK, kQ);
+  bool shard_ok = true;
+  double one_shard_seconds = 0, four_shard_seconds = 0;
+  uint64_t one_shard_fingerprint = 0;
+  TablePrinter shard_table({"shards", "plexes", "seconds", "fingerprint ok"});
+  {
+    QueryEngine shard_engine(catalog, /*cache_capacity=*/0);
+    DispatcherOptions dispatch;
+    dispatch.workers = 4;
+    ServiceDispatcher dispatcher(shard_engine, dispatch);
+
+    // Probe for the seed-space size (the coordinator's planning step).
+    QueryRequest probe;
+    probe.graph = "bench";
+    probe.k = kK;
+    probe.q = kQ;
+    probe.seed_begin = 0;
+    probe.seed_end = 0;
+    auto probed = shard_engine.Run(probe);
+    const uint64_t total_seeds = probed.ok() ? probed->total_seeds : 0;
+    shard_ok = probed.ok() && total_seeds > 0;
+
+    auto run_shards = [&](uint32_t shards, double& seconds,
+                          uint64_t& fingerprint, uint64_t& plexes) {
+      WallTimer shard_timer;
+      std::vector<uint64_t> ids;
+      for (uint32_t i = 0; i < shards; ++i) {
+        QueryRequest request;
+        request.graph = "bench";
+        request.k = kK;
+        request.q = kQ;
+        request.seed_begin =
+            static_cast<uint32_t>(total_seeds * i / shards);
+        request.seed_end =
+            static_cast<uint32_t>(total_seeds * (i + 1) / shards);
+        if (shards == 1) request.seed_end = UINT32_MAX;  // the full run
+        auto id = dispatcher.Submit(request);
+        if (!id.ok()) return false;
+        ids.push_back(*id);
+      }
+      MergeableResult merged;
+      for (const uint64_t id : ids) {
+        auto info = dispatcher.Wait(id);
+        if (!info.ok() || info->state != JobState::kDone) return false;
+        MergeableResult piece;
+        piece.count = info->result.num_plexes;
+        piece.xor_hash = info->result.fingerprint_xor;
+        piece.max_plex_size = info->result.max_plex_size;
+        merged.Merge(piece);
+      }
+      seconds = shard_timer.ElapsedSeconds();
+      fingerprint = merged.fingerprint();
+      plexes = merged.count;
+      return true;
+    };
+
+    uint64_t one_plexes = 0, four_plexes = 0, four_fingerprint = 0;
+    shard_ok = shard_ok &&
+               run_shards(1, one_shard_seconds, one_shard_fingerprint,
+                          one_plexes) &&
+               run_shards(4, four_shard_seconds, four_fingerprint,
+                          four_plexes) &&
+               one_shard_fingerprint == four_fingerprint &&
+               one_shard_fingerprint == cold_sink.fingerprint() &&
+               one_plexes == four_plexes;
+    shard_table.AddRow({"1", FormatCount(one_plexes),
+                        FormatSeconds(one_shard_seconds), "(reference)"});
+    shard_table.AddRow({"4", FormatCount(four_plexes),
+                        FormatSeconds(four_shard_seconds),
+                        shard_ok ? "yes" : "NO (BUG)"});
+  }
+  shard_table.Print(std::cout);
+  std::printf("4-shard merge identical to 1 shard: %s (%.2fx)\n",
+              shard_ok ? "yes" : "NO (BUG)",
+              one_shard_seconds / std::max(four_shard_seconds, 1e-9));
+
   std::system(("rm -rf " + dir).c_str());
-  return identical && reduction_ok && contended_ok ? 0 : 1;
+  return identical && reduction_ok && contended_ok && shard_ok ? 0 : 1;
 }
 
 }  // namespace

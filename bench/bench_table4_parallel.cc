@@ -14,6 +14,8 @@
 #include "bench_common/dataset_registry.h"
 #include "bench_common/harness.h"
 #include "bench_common/table_printer.h"
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
 
 namespace {
 
@@ -42,9 +44,14 @@ int main() {
   std::printf("== Table 4: parallel running time (sec), %u threads ==\n\n",
               threads);
 
+  // Service-mode columns (ROADMAP): the same cell through a shared
+  // QueryEngine — cold executes the parallel engine, warm is a result-
+  // cache hit (fingerprint-checked against the raw runs).
   TablePrinter table({"dataset", "k", "q", "tau_best(ms)", "#k-plexes",
                       "FP-par", "ListPlex-par", "Ours(0.1ms)",
-                      "Ours(tau_best)"});
+                      "Ours(tau_best)", "svc cold", "svc warm"});
+  GraphCatalog catalog;
+  QueryEngine engine(catalog);
   bool all_agree = true;
   for (const auto& cell : kCells) {
     auto graph = LoadDataset(cell.dataset);
@@ -78,12 +85,23 @@ int main() {
       std::fprintf(stderr, "RESULT MISMATCH on %s k=%u q=%u\n", cell.dataset,
                    cell.k, cell.q);
     }
+    ServiceModeOutcome service = RunServiceModeColdWarm(
+        catalog, engine, *graph, cell.dataset, cell.k, cell.q, threads,
+        ours_default.fingerprint);
+    if (!service.ok) {
+      all_agree = false;
+      std::fprintf(stderr, "SERVICE-MODE MISMATCH on %s k=%u q=%u\n",
+                   cell.dataset, cell.k, cell.q);
+    }
     table.AddRow({cell.dataset, std::to_string(cell.k),
                   std::to_string(cell.q), FormatDouble(tau_best, 2),
                   FormatCount(ours_default.num_plexes),
                   FormatSeconds(fp.seconds), FormatSeconds(lp.seconds),
                   FormatSeconds(ours_default.seconds),
-                  FormatSeconds(best_time)});
+                  FormatSeconds(best_time),
+                  service.ok ? FormatSeconds(service.cold_seconds) : "-",
+                  service.ok ? FormatSeconds(service.warm_seconds) + " [hit]"
+                             : "-"});
   }
   table.Print(std::cout);
   std::printf("\nresult sets agree across algorithms: %s\n",

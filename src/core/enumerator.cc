@@ -1,5 +1,6 @@
 #include "core/enumerator.h"
 
+#include <algorithm>
 #include <string>
 
 #include "core/branch.h"
@@ -18,6 +19,12 @@ Status ValidateOptions(const EnumOptions& options) {
     return Status::InvalidArgument(
         "q must be >= 2k - 1 (Definition 3.4 requires it; got k=" +
         std::to_string(options.k) + ", q=" + std::to_string(options.q) + ")");
+  }
+  if (options.seed_range.begin > options.seed_range.end) {
+    return Status::InvalidArgument(
+        "seed range begin must be <= end (got " +
+        std::to_string(options.seed_range.begin) + ":" +
+        std::to_string(options.seed_range.end) + ")");
   }
   return Status::Ok();
 }
@@ -48,7 +55,16 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
           : 0;
 
   const uint64_t total_seeds = core.graph.NumVertices();
-  for (uint32_t idx = 0; idx < total_seeds; ++idx) {
+  result.total_seeds = total_seeds;
+  // Sharded mining: iterate only this shard's slice of the canonical
+  // seed order. Every plex is found from exactly one seed, so disjoint
+  // ranges partition the result set (docs/SHARDING.md).
+  const uint32_t range_begin = std::min<uint64_t>(
+      options.seed_range.begin, total_seeds);
+  const uint32_t range_end = static_cast<uint32_t>(std::min<uint64_t>(
+      options.seed_range.end, total_seeds));
+  const uint64_t shard_seeds = range_end - range_begin;
+  for (uint32_t idx = range_begin; idx < range_end; ++idx) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
       result.cancelled = true;
@@ -61,7 +77,8 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
       // Pruned seeds still count as processed: `done` must reach
       // `total` on a completed run.
       if (options.progress) {
-        options.progress(idx + 1, total_seeds, result.counters.outputs);
+        options.progress(idx + 1 - range_begin, shard_seeds,
+                         result.counters.outputs);
       }
       continue;
     }
@@ -71,7 +88,8 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
     EnumerateSubtasks(*sg, options, result.counters,
                       [&](TaskState&& task) { engine.Run(task); });
     if (options.progress) {
-      options.progress(idx + 1, total_seeds, result.counters.outputs);
+      options.progress(idx + 1 - range_begin, shard_seeds,
+                       result.counters.outputs);
     }
     if (engine.stopped_early()) {
       result.stopped_early = true;

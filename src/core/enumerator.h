@@ -19,6 +19,11 @@ namespace kplex {
 struct EnumResult {
   /// Number of maximal k-plexes emitted.
   uint64_t num_plexes = 0;
+  /// Seed vertices of the *reduced* graph — the size of the canonical
+  /// seed space, independent of any options.seed_range restriction. A
+  /// sharding coordinator probes this (with an empty range) to plan
+  /// ranges that exactly cover [0, total_seeds).
+  uint64_t total_seeds = 0;
   /// Wall time of the whole run (seconds).
   double seconds = 0.0;
   /// True when the run stopped early due to options.time_limit_seconds.
@@ -30,7 +35,8 @@ struct EnumResult {
   AlgoCounters counters;
 };
 
-/// Validates `options` against Definition 3.4 (k >= 1, q >= 2k - 1).
+/// Validates `options` against Definition 3.4 (k >= 1, q >= 2k - 1) and
+/// the seed range (begin <= end).
 Status ValidateOptions(const EnumOptions& options);
 
 /// Enumerates all maximal k-plexes of `graph` with at least q vertices,

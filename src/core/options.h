@@ -14,6 +14,24 @@ namespace kplex {
 
 struct GraphPrecompute;
 
+/// Half-open range [begin, end) of seed *indices* into the canonical
+/// seed order of the reduced graph (the degeneracy order of the
+/// (q-k)-core under the default options). Every maximal k-plex is
+/// emitted from exactly one seed — the minimum-order member of the plex
+/// — so disjoint ranges covering the whole seed space partition the
+/// result set: N shards merged equal one full run, exactly. Ranges
+/// beyond the seed count are clamped (the full default range
+/// [0, UINT32_MAX) always means "everything"), which is what lets a
+/// coordinator state ranges without knowing the reduced size first.
+/// See docs/SHARDING.md for the composition rules.
+struct SeedRange {
+  uint32_t begin = 0;
+  uint32_t end = UINT32_MAX;  ///< exclusive; clamped to the seed count
+
+  /// True when the range selects every seed (the non-sharded default).
+  bool IsFull() const { return begin == 0 && end == UINT32_MAX; }
+};
+
 /// Order in which seed vertices are processed (Section 3 / Section 4 of
 /// the paper). Degeneracy order is both the complexity-bound enabler and
 /// the load-balancing choice; the others exist to reproduce the paper's
@@ -108,6 +126,11 @@ struct EnumOptions {
   /// must outlive the run. Ignored under use_ctcp_preprocess (CTCP is a
   /// strictly different reduction).
   const GraphPrecompute* precompute = nullptr;
+
+  /// Shard of the seed space to enumerate (sharded mining). The default
+  /// full range is a complete run. The progress hook's done/total then
+  /// count the shard's seeds, not the whole reduced graph's.
+  SeedRange seed_range;
 
   /// Seed-vertex processing order. Only kDegeneracy carries the paper's
   /// complexity guarantees; the result *set* is identical under any

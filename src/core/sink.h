@@ -4,6 +4,7 @@
 #ifndef KPLEX_CORE_SINK_H_
 #define KPLEX_CORE_SINK_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/counters.h"
 #include "graph/graph.h"
 
 namespace kplex {
@@ -67,6 +69,10 @@ class CollectingSink : public ResultSink {
   std::vector<std::vector<VertexId>> results_;
 };
 
+/// The multiplier folding the result count into a fingerprint; shared
+/// by HashingSink and MergeableResult so both derive the same value.
+inline constexpr uint64_t kFingerprintCountMix = 0x9e3779b97f4a7c15ULL;
+
 /// Order-independent content fingerprint: XOR of per-plex hashes plus a
 /// count. Two runs produced the same result *set* iff their fingerprints
 /// match (up to hash collisions); used to compare algorithm variants on
@@ -76,14 +82,47 @@ class HashingSink : public ResultSink {
   void Emit(std::span<const VertexId> plex) override;
 
   uint64_t fingerprint() const {
-    return hash_.load(std::memory_order_relaxed) ^
-           (count_.load(std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL);
+    return xor_hash() ^ (count() * kFingerprintCountMix);
   }
+  /// The raw XOR aggregate, before the count is folded in. This is the
+  /// mergeable half of the fingerprint: XOR of disjoint shards' raw
+  /// hashes (plus summed counts) reconstructs the full-run fingerprint.
+  uint64_t xor_hash() const { return hash_.load(std::memory_order_relaxed); }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> hash_{0};
   std::atomic<uint64_t> count_{0};
+};
+
+/// The mergeable summary of one enumeration (or one shard of one):
+/// result count, the raw XOR fingerprint aggregate, the largest plex
+/// seen, and the algorithm counters. Merge() is associative and
+/// commutative, and for shards over *disjoint* seed ranges it is exact:
+/// merging the MergeableResults of ranges that partition [0, total)
+/// yields byte-identical count/fingerprint to one full run (each
+/// maximal k-plex is emitted by exactly one shard). This is the algebra
+/// a sharding coordinator folds ShardResults with — see
+/// docs/SHARDING.md.
+struct MergeableResult {
+  uint64_t count = 0;
+  uint64_t xor_hash = 0;        ///< XOR of per-plex hashes
+  std::size_t max_plex_size = 0;
+  AlgoCounters counters;
+
+  /// Folds another (disjoint) shard in. Associative and commutative.
+  void Merge(const MergeableResult& other) {
+    count += other.count;
+    xor_hash ^= other.xor_hash;
+    max_plex_size = std::max(max_plex_size, other.max_plex_size);
+    counters.MergeFrom(other.counters);
+  }
+
+  /// The composite fingerprint — identical to HashingSink::fingerprint()
+  /// of a single run over the union of the merged shards.
+  uint64_t fingerprint() const {
+    return xor_hash ^ (count * kFingerprintCountMix);
+  }
 };
 
 /// Adapts a std::function. The callback must be thread-safe if used with

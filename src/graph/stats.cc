@@ -17,4 +17,24 @@ GraphStats ComputeGraphStats(const Graph& graph) {
   return stats;
 }
 
+uint64_t GraphContentHash(const Graph& graph) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t value) {
+    // Byte-wise FNV-1a keeps the hash independent of host endianness
+    // quirks in wider multiplies (we feed fixed-width values).
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (value >> shift) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(graph.NumVertices());
+  for (uint64_t offset : graph.RawOffsets()) mix(offset);
+  for (VertexId v : graph.RawAdjacency()) mix(v);
+  // Avalanche, and reserve 0 as the "not yet computed" sentinel.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+}
+
 }  // namespace kplex

@@ -20,6 +20,17 @@ struct GraphStats {
 /// Computes n, m, Delta, D and the average degree of `graph`.
 GraphStats ComputeGraphStats(const Graph& graph);
 
+/// Deterministic content hash of a graph: FNV-1a over the vertex count
+/// and the raw CSR arrays, finished with an avalanche. Two graphs hash
+/// equal iff they have identical adjacency structure under the same
+/// vertex labeling — regardless of how they were loaded (edge list, v1
+/// or v2 snapshot), since all loaders produce the same canonical CSR.
+/// Never 0 for use as an "unknown" sentinel. One linear pass; the
+/// service computes it lazily and caches it per catalog entry. Sharding
+/// coordinators use it as the admission check that every worker mines
+/// the same bytes (docs/SHARDING.md).
+uint64_t GraphContentHash(const Graph& graph);
+
 }  // namespace kplex
 
 #endif  // KPLEX_GRAPH_STATS_H_

@@ -42,8 +42,17 @@ class ParallelRunner {
                            ? static_cast<int64_t>(
                                  parallel_options.timeout_ms * 1e6)
                            : 0),
+        // Sharded mining: the stage loop walks only this shard's slice
+        // [range_begin_, range_end_) of the canonical seed order, so
+        // disjoint ranges partition the result set exactly as in the
+        // sequential engine (docs/SHARDING.md).
+        range_begin_(static_cast<uint32_t>(std::min<uint64_t>(
+            options.seed_range.begin, reduced.NumVertices()))),
+        range_end_(static_cast<uint32_t>(std::min<uint64_t>(
+            options.seed_range.end, reduced.NumVertices()))),
         seeds_per_stage_(ResolveBatch(parallel_options.seeds_per_stage,
-                                      reduced.NumVertices(), num_threads_)),
+                                      range_end_ - range_begin_,
+                                      num_threads_)),
         queues_(num_threads_), counters_(num_threads_),
         barrier_(static_cast<std::ptrdiff_t>(num_threads_),
                  StageReset{this}) {}
@@ -92,7 +101,7 @@ class ParallelRunner {
     if (observed_cancel_.load(std::memory_order_relaxed)) return;
     uint64_t outputs = 0;
     for (const auto& c : counters_) outputs += c.value.outputs;
-    const uint64_t n = graph_.NumVertices();
+    const uint64_t n = range_end_ - range_begin_;
     const uint64_t done = std::min<uint64_t>(
         static_cast<uint64_t>(stages_done_) * num_threads_ *
             seeds_per_stage_, n);
@@ -124,14 +133,14 @@ class ParallelRunner {
   }
 
   void WorkerMain(uint32_t tid) {
-    const uint32_t n = static_cast<uint32_t>(graph_.NumVertices());
+    const uint32_t n = range_end_ - range_begin_;
     const uint32_t per_stage = num_threads_ * seeds_per_stage_;
     const uint32_t stages = (n + per_stage - 1) / per_stage;
     for (uint32_t stage = 0; stage < stages; ++stage) {
       for (uint32_t b = 0; b < seeds_per_stage_; ++b) {
-        const uint32_t seed_index =
-            stage * per_stage + b * num_threads_ + tid;
-        if (seed_index >= n) break;
+        const uint32_t offset = stage * per_stage + b * num_threads_ + tid;
+        if (offset >= n) break;
+        const uint32_t seed_index = range_begin_ + offset;
         // Only consult the cancel flag when there is a seed to skip —
         // an observation with no work left would taint a complete run.
         if (Cancelled() || stopped_early()) break;
@@ -228,6 +237,8 @@ class ParallelRunner {
   ResultSink& sink_;
   const uint32_t num_threads_;
   const int64_t timeout_nanos_;
+  const uint32_t range_begin_;  // clamped shard slice of the seed order
+  const uint32_t range_end_;
   const uint32_t seeds_per_stage_;
 
   std::vector<PaddedQueue> queues_;
@@ -252,6 +263,7 @@ StatusOr<EnumResult> ParallelEnumerateMaximalKPlexes(
   PreparedReduction prepared = PrepareReduction(graph, options,
                                                 result.counters);
   CoreReduction& core = prepared.core;
+  result.total_seeds = core.graph.NumVertices();
   if (core.graph.NumVertices() == 0) {
     result.seconds = timer.ElapsedSeconds();
     return result;

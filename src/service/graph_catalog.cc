@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bench_common/dataset_registry.h"
+#include "graph/stats.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -121,6 +122,11 @@ StatusOr<CatalogGraph> GraphCatalog::MaterializeWithLock(
   entry.num_vertices = loaded->graph.NumVertices();
   entry.num_edges = loaded->graph.NumEdges();
   entry.precompute_tag = loaded->precompute.AvailabilityTag();
+  // Fresh bytes, unknown hash: the source file may have changed since
+  // the last load, and a stale hash would let a mismatched snapshot
+  // through the shard admission check. ContentHash recomputes on the
+  // next request.
+  entry.content_hash = 0;
   entry.memory_bytes =
       loaded->graph.MemoryBytes() + loaded->precompute.MemoryBytes();
   entry.mapped_bytes = loaded->graph.MappedBytes();
@@ -159,6 +165,36 @@ StatusOr<std::string> GraphCatalog::PrecomputeTag(
     return Status::NotFound("no graph named '" + name + "' is registered");
   }
   return it->second.precompute_tag;
+}
+
+StatusOr<uint64_t> GraphCatalog::ContentHash(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("no graph named '" + name + "' is registered");
+    }
+    // Trust the cached hash only while the bytes that produced it are
+    // resident: an evicted entry reloads from a source that may have
+    // changed, so the hash must be recomputed with it (materialization
+    // clears it).
+    if (it->second.graph != nullptr && it->second.content_hash != 0) {
+      return it->second.content_hash;
+    }
+  }
+  // Pin the graph (materializing if needed) and hash outside the lock —
+  // the O(m) pass must not stall unrelated catalog traffic. Two racing
+  // first requests compute the same value; the second store is a no-op.
+  auto graph = Get(name);
+  if (!graph.ok()) return graph.status();
+  const uint64_t hash = GraphContentHash(**graph);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "' is registered");
+  }
+  it->second.content_hash = hash;
+  return hash;
 }
 
 void GraphCatalog::DropResident(Entry& entry) {
@@ -273,6 +309,7 @@ std::vector<CatalogEntryInfo> GraphCatalog::Entries() const {
     info.memory_bytes = entry.memory_bytes;
     info.mapped_bytes = entry.mapped_bytes;
     info.precompute = entry.precompute_tag;
+    info.content_hash = entry.content_hash;
     info.loads = entry.loads;
     info.last_load_seconds = entry.last_load_seconds;
     out.push_back(std::move(info));

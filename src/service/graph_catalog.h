@@ -58,6 +58,11 @@ struct CatalogEntryInfo {
   /// Precompute-section availability ("none", "order+core", ...);
   /// sticky after the first load so stats stay meaningful when evicted.
   std::string precompute = "unknown";
+  /// Content hash of the resident bytes (graph/stats.h); 0 until the
+  /// first ContentHash() request computes it. Reset by a reload (the
+  /// source may have changed) and recomputed on the next request. This
+  /// is the value a sharding coordinator matches workers against.
+  uint64_t content_hash = 0;
   uint64_t loads = 0;            ///< materializations (reloads included)
   double last_load_seconds = 0;  ///< wall time of the last materialization
 };
@@ -105,6 +110,15 @@ class GraphCatalog {
   /// eviction does not reset it). NotFound for unknown names.
   StatusOr<std::string> PrecomputeTag(const std::string& name) const;
 
+  /// Content hash of the named graph (GraphContentHash over its CSR),
+  /// materializing it if needed. Computed lazily on the first request —
+  /// the O(m) pass would otherwise tax every zero-copy mmap load — and
+  /// cached while the entry stays resident. A reload (after eviction)
+  /// resets it: the source file may hold different bytes now, and a
+  /// stale hash would defeat the shard admission check this value
+  /// exists for. NotFound for unknown names.
+  StatusOr<uint64_t> ContentHash(const std::string& name);
+
   /// Drops the resident copy of a reloadable entry (the registration
   /// stays; the next Get reloads). FailedPrecondition for pinned
   /// entries, NotFound for unknown names.
@@ -143,6 +157,7 @@ class GraphCatalog {
     std::size_t memory_bytes = 0;  // owned bytes while resident
     std::size_t mapped_bytes = 0;  // mapped bytes while resident
     std::string precompute_tag = "unknown";  // sticky after first load
+    uint64_t content_hash = 0;  // 0 = not yet computed; sticky once set
     uint64_t loads = 0;
     double last_load_seconds = 0;
     uint64_t sequence = 0;  // registration order for Entries()

@@ -67,6 +67,66 @@ StatusOr<double> ParseDoubleValue(const std::string& key,
   }
 }
 
+/// Parses "B:E" into a half-open seed range; E may be the literal
+/// "end" (= UINT32_MAX, "to the last seed").
+Status ParseSeedRangeValue(const std::string& value, uint32_t* begin,
+                           uint32_t* end) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "seed-range must be BEGIN:END (half-open; END may be 'end'), got '" +
+        value + "'");
+  }
+  auto parsed_begin =
+      ParseUint("seed-range", value.substr(0, colon), UINT32_MAX);
+  if (!parsed_begin.ok()) return parsed_begin.status();
+  const std::string end_token = value.substr(colon + 1);
+  uint64_t parsed_end = UINT32_MAX;
+  if (end_token != "end") {
+    auto parsed = ParseUint("seed-range", end_token, UINT32_MAX);
+    if (!parsed.ok()) return parsed.status();
+    parsed_end = *parsed;
+  }
+  if (*parsed_begin > parsed_end) {
+    return Status::InvalidArgument("seed-range begin must be <= end (got '" +
+                                   value + "')");
+  }
+  *begin = static_cast<uint32_t>(*parsed_begin);
+  *end = static_cast<uint32_t>(parsed_end);
+  return Status::Ok();
+}
+
+/// Renders a seed range as "B:E" ("end" for the open upper bound).
+std::string FormatSeedRangeValue(uint32_t begin, uint32_t end) {
+  return std::to_string(begin) + ":" +
+         (end == UINT32_MAX ? std::string("end") : std::to_string(end));
+}
+
+/// Parses a 64-bit hex value with a required 0x prefix (the wire shape
+/// of fingerprints and content hashes).
+StatusOr<uint64_t> ParseHexU64(const std::string& key,
+                               const std::string& value) {
+  if (value.size() < 3 || value.size() > 18 || value[0] != '0' ||
+      (value[1] != 'x' && value[1] != 'X')) {
+    return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                   value + "' (expected 0xHEX)");
+  }
+  uint64_t parsed = 0;
+  for (std::size_t i = 2; i < value.size(); ++i) {
+    const char c = value[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<uint64_t>(c - 'A' + 10);
+    else {
+      return Status::InvalidArgument("malformed value for " + key + ": '" +
+                                     value + "' (expected 0xHEX)");
+    }
+    parsed = (parsed << 4) | digit;
+  }
+  return parsed;
+}
+
 std::string HumanBytes(std::size_t bytes) {
   char buf[32];
   if (bytes >= (std::size_t{1} << 20)) {
@@ -89,6 +149,13 @@ std::string CompactDouble(double value) {
   return buf;
 }
 
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
 // ------------------------------------------------------ text query grammar
 
 /// Parses "CMD NAME K Q [key=value ...]" (shared by mine and submit).
@@ -98,7 +165,7 @@ StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument(
         "usage: " + args[0] +
         " NAME K Q [algo=...] [threads=N] [max-results=N] "
-        "[time-limit=S] [tau-ms=T] [cache=on|off]");
+        "[time-limit=S] [tau-ms=T] [cache=on|off] [seed-range=B:E]");
   }
   QueryRequest request;
   request.graph = args[1];
@@ -141,6 +208,9 @@ StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument("cache must be on or off");
       }
       request.use_cache = value == "on";
+    } else if (key == "seed-range") {
+      KPLEX_RETURN_IF_ERROR(ParseSeedRangeValue(value, &request.seed_begin,
+                                                &request.seed_end));
     } else {
       return Status::InvalidArgument("unknown " + args[0] + " option '" +
                                      key + "'");
@@ -168,6 +238,10 @@ std::string FormatQueryArgs(const std::string& cmd,
   }
   if (query.use_ctcp) line += " ctcp=on";
   if (!query.use_cache) line += " cache=off";
+  if (query.HasSeedRange()) {
+    line += " seed-range=" +
+            FormatSeedRangeValue(query.seed_begin, query.seed_end);
+  }
   return line;
 }
 
@@ -216,6 +290,35 @@ void WriteJobOutcome(std::ostream& out, const JobInfo& info,
   }
 }
 
+/// Text rendering of a shard outcome: every number a coordinator (or a
+/// human merging by hand) needs — the mergeable xor half, the composite
+/// fingerprint, the seed-space size, and the admission hash.
+void WriteShardOutcome(std::ostream& out, const ShardResultResponse& shard) {
+  const JobInfo& info = shard.job;
+  if (info.state == JobState::kFailed) {
+    out << "error: " << info.status.ToString() << "\n";
+    return;
+  }
+  if (info.state == JobState::kCancelled && !info.started) {
+    out << "cancelled shard " << DescribeQuery(info.request)
+        << " before it started\n";
+    return;
+  }
+  out << "shard " << DescribeQuery(info.request) << ": "
+      << info.result.num_plexes << " plexes, max size "
+      << info.result.max_plex_size << ", xor "
+      << HexFingerprint(info.result.fingerprint_xor) << ", fingerprint "
+      << HexFingerprint(info.result.fingerprint) << ", total seeds "
+      << info.result.total_seeds << ", hash "
+      << HexFingerprint(shard.content_hash) << ", "
+      << FormatSeconds(info.result.seconds) << "s";
+  if (info.result.from_cache) out << " [cached]";
+  if (info.result.timed_out) out << " [time limit hit]";
+  if (info.result.stopped_early) out << " [result cap hit]";
+  if (info.result.cancelled) out << " [cancelled]";
+  out << "\n";
+}
+
 constexpr const char kHelpText[] =
     "commands:\n"
     "  load NAME PATH        register + load a graph file\n"
@@ -228,6 +331,9 @@ constexpr const char kHelpText[] =
     "       [cache=on|off] [ctcp=on|off]\n"
     "  submit NAME K Q [...] run a mine asynchronously; prints a\n"
     "                        job id immediately\n"
+    "  mineshard NAME K Q [seed-range=B:E] [hash=0xH] [...]\n"
+    "                        mine one shard of the seed space; hash=\n"
+    "                        refuses a mismatched snapshot (sharding)\n"
     "  cancel ID             cancel a queued or running job\n"
     "  jobs                  status of every submitted job\n"
     "  wait [ID]             block until job ID (or all jobs) done\n"
@@ -633,13 +739,6 @@ StatusOr<bool> GetBool(const JsonValue& value, const std::string& key) {
 
 // ------------------------------------------------- framed job rendering
 
-std::string HexFingerprint(uint64_t fingerprint) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return buf;
-}
-
 void WriteQueryObject(JsonWriter& json, const std::string& key,
                       const QueryRequest& query) {
   json.BeginObjectValue(key);
@@ -655,6 +754,10 @@ void WriteQueryObject(JsonWriter& json, const std::string& key,
   if (query.tau_ms != QueryRequest{}.tau_ms) json.Add("tau_ms", query.tau_ms);
   if (query.use_ctcp) json.Add("ctcp", true);
   if (!query.use_cache) json.Add("cache", false);
+  if (query.HasSeedRange()) {
+    json.Add("seed_begin", query.seed_begin);
+    json.Add("seed_end", query.seed_end);
+  }
   json.EndObject();
 }
 
@@ -708,7 +811,17 @@ StatusOr<WireMode> ParseWireMode(const std::string& name) {
 std::string DescribeQuery(const QueryRequest& query) {
   return query.graph + " k=" + std::to_string(query.k) +
          " q=" + std::to_string(query.q) + " algo=" +
-         QueryAlgoName(query.algo);
+         QueryAlgoName(query.algo) +
+         (query.HasSeedRange()
+              ? " seeds=" +
+                    FormatSeedRangeValue(query.seed_begin, query.seed_end)
+              : "");
+}
+
+StatusOr<SeedRange> ParseSeedRangeText(const std::string& value) {
+  SeedRange range;
+  KPLEX_RETURN_IF_ERROR(ParseSeedRangeValue(value, &range.begin, &range.end));
+  return range;
 }
 
 bool IsBlankOrComment(const std::string& line) {
@@ -802,6 +915,28 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     }
     return request;
   }
+  if (cmd == "mineshard") {
+    // Split off the shard-only hash= option, then reuse the shared
+    // query grammar (which handles seed-range=).
+    MineShardRequest shard;
+    std::vector<std::string> query_tokens;
+    query_tokens.reserve(tokens.size());
+    for (const std::string& token : tokens) {
+      const auto [key, value] = SplitKeyValue(token);
+      if (key == "hash" && !value.empty()) {
+        auto parsed = ParseHexU64(key, value);
+        if (!parsed.ok()) return parsed.status();
+        shard.expected_hash = *parsed;
+      } else {
+        query_tokens.push_back(token);
+      }
+    }
+    auto query = ParseQueryArgs(query_tokens);
+    if (!query.ok()) return query.status();
+    shard.query = *std::move(query);
+    request.payload = std::move(shard);
+    return request;
+  }
   if (cmd == "cancel") {
     if (tokens.size() != 2) {
       return Status::InvalidArgument("usage: cancel ID");
@@ -883,6 +1018,13 @@ std::string FormatTextRequest(const Request& request) {
     std::string operator()(const SubmitRequest& submit) const {
       return FormatQueryArgs("submit", submit.query);
     }
+    std::string operator()(const MineShardRequest& shard) const {
+      std::string line = FormatQueryArgs("mineshard", shard.query);
+      if (shard.expected_hash != 0) {
+        line += " hash=" + HexFingerprint(shard.expected_hash);
+      }
+      return line;
+    }
     std::string operator()(const CancelRequest& cancel) const {
       return "cancel " + std::to_string(cancel.job);
     }
@@ -933,6 +1075,9 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
       out << "job " << submit.job << " submitted: mine "
           << DescribeQuery(submit.query) << "\n";
     }
+    void operator()(const ShardResultResponse& shard) const {
+      WriteShardOutcome(out, shard);
+    }
     void operator()(const CancelResponse& cancel) const {
       out << "cancel requested for job " << cancel.job << "\n";
     }
@@ -960,13 +1105,17 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
     }
     void operator()(const StatsResponse& stats) const {
       TablePrinter graphs({"name", "source", "resident", "vertices", "edges",
-                           "owned", "mapped", "precompute", "loads"});
+                           "owned", "mapped", "precompute", "hash",
+                           "loads"});
       for (const auto& info : stats.graphs) {
         graphs.AddRow({info.name, info.source, info.resident ? "yes" : "no",
                        FormatCount(info.num_vertices),
                        FormatCount(info.num_edges),
                        HumanBytes(info.memory_bytes),
                        HumanBytes(info.mapped_bytes), info.precompute,
+                       info.content_hash != 0
+                           ? HexFingerprint(info.content_hash)
+                           : "-",
                        FormatCount(info.loads)});
       }
       graphs.Print(out);
@@ -1135,8 +1284,9 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     request.payload = std::move(snapshot);
     return request;
   }
-  if (*cmd == "mine" || *cmd == "submit") {
+  if (*cmd == "mine" || *cmd == "submit" || *cmd == "mineshard") {
     QueryRequest query;
+    uint64_t expected_hash = 0;
     bool saw_k = false, saw_q = false;
     Status walked = for_each_field([&](const std::string& key,
                                        const JsonValue& value) -> Status {
@@ -1144,6 +1294,21 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
         auto name = GetString(value, key);
         if (!name.ok()) return name.status();
         query.graph = *name;
+        return Status::Ok();
+      }
+      if (key == "seed_begin" || key == "seed_end") {
+        auto parsed_uint = GetUint(value, key, UINT32_MAX);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        (key == "seed_begin" ? query.seed_begin : query.seed_end) =
+            static_cast<uint32_t>(*parsed_uint);
+        return Status::Ok();
+      }
+      if (key == "hash" && *cmd == "mineshard") {
+        auto text = GetString(value, key);
+        if (!text.ok()) return text.status();
+        auto parsed_hash = ParseHexU64(key, *text);
+        if (!parsed_hash.ok()) return parsed_hash.status();
+        expected_hash = *parsed_hash;
         return Status::Ok();
       }
       if (key == "k" || key == "q" || key == "threads") {
@@ -1195,10 +1360,18 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
       return Status::InvalidArgument("'" + *cmd +
                                      "' requires fields graph, k, q");
     }
+    if (query.seed_begin > query.seed_end) {
+      return Status::InvalidArgument(
+          "seed_begin must be <= seed_end (got " +
+          std::to_string(query.seed_begin) + ":" +
+          std::to_string(query.seed_end) + ")");
+    }
     if (*cmd == "mine") {
       request.payload = MineRequest{std::move(query)};
-    } else {
+    } else if (*cmd == "submit") {
       request.payload = SubmitRequest{std::move(query)};
+    } else {
+      request.payload = MineShardRequest{std::move(query), expected_hash};
     }
     return request;
   }
@@ -1319,12 +1492,22 @@ std::string FormatFramedRequest(const Request& request) {
       }
       if (query.use_ctcp) json.Add("ctcp", true);
       if (!query.use_cache) json.Add("cache", false);
+      if (query.HasSeedRange()) {
+        json.Add("seed_begin", query.seed_begin);
+        json.Add("seed_end", query.seed_end);
+      }
     }
     void operator()(const MineRequest& mine) const {
       AddQuery("mine", mine.query);
     }
     void operator()(const SubmitRequest& submit) const {
       AddQuery("submit", submit.query);
+    }
+    void operator()(const MineShardRequest& shard) const {
+      AddQuery("mineshard", shard.query);
+      if (shard.expected_hash != 0) {
+        json.Add("hash", HexFingerprint(shard.expected_hash));
+      }
     }
     void operator()(const CancelRequest& cancel) const {
       json.Add("cmd", "cancel");
@@ -1390,6 +1573,21 @@ std::string FormatFramedResponse(const Response& response) {
       json.Add("job", submit.job);
       WriteQueryObject(json, "query", submit.query);
     }
+    void operator()(const ShardResultResponse& shard) const {
+      json.Add("type", "shard_result");
+      WriteJobFields(json, shard.job);
+      const bool has_result =
+          shard.job.state == JobState::kDone ||
+          (shard.job.state == JobState::kCancelled && shard.job.started);
+      if (has_result) {
+        // The mergeable extras beyond the common job fields: the raw
+        // XOR half and the seed-space size (coordinator planning).
+        json.Add("fingerprint_xor",
+                 HexFingerprint(shard.job.result.fingerprint_xor));
+        json.Add("total_seeds", shard.job.result.total_seeds);
+      }
+      json.Add("content_hash", HexFingerprint(shard.content_hash));
+    }
     void operator()(const CancelResponse& cancel) const {
       json.Add("type", "cancelling");
       json.Add("job", cancel.job);
@@ -1432,6 +1630,9 @@ std::string FormatFramedResponse(const Response& response) {
         json.Add("owned_bytes", info.memory_bytes);
         json.Add("mapped_bytes", info.mapped_bytes);
         json.Add("precompute", info.precompute);
+        if (info.content_hash != 0) {
+          json.Add("content_hash", HexFingerprint(info.content_hash));
+        }
         json.Add("loads", info.loads);
         json.Add("load_seconds", info.last_load_seconds);
         json.EndObject();
@@ -1473,6 +1674,160 @@ std::string FormatFramedResponse(const Response& response) {
   std::visit(Visitor{json}, response.payload);
   json.EndObject();
   return json.str();
+}
+
+// ----------------------------------------------- framed client decode
+
+namespace {
+
+/// Parses a framed response line into its JSON object, surfacing
+/// {"ok":false,...} frames as the embedded structured Status.
+StatusOr<JsonValue> ParseResponseFrame(const std::string& line) {
+  auto parsed = JsonParser(line).Parse();
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(
+        "malformed frame: expected a JSON object");
+  }
+  const JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+    return Status::InvalidArgument(
+        "response frame is missing the 'ok' field");
+  }
+  if (!ok->bool_value) {
+    const JsonValue* code = parsed->Find("code");
+    const JsonValue* message = parsed->Find("message");
+    const StatusCode decoded =
+        code != nullptr && code->kind == JsonValue::Kind::kString
+            ? StatusCodeFromName(code->string_value)
+            : StatusCode::kInternal;
+    return Status(decoded,
+                  message != nullptr &&
+                          message->kind == JsonValue::Kind::kString
+                      ? message->string_value
+                      : "unspecified server error");
+  }
+  return parsed;
+}
+
+/// Requires frame["type"] == expected.
+Status ExpectFrameType(const JsonValue& frame, const char* expected) {
+  const JsonValue* type = frame.Find("type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString ||
+      type->string_value != expected) {
+    return Status::InvalidArgument(
+        std::string("expected a '") + expected + "' frame, got '" +
+        (type != nullptr && type->kind == JsonValue::Kind::kString
+             ? type->string_value
+             : "?") +
+        "'");
+  }
+  return Status::Ok();
+}
+
+/// Optional-field readers: absent fields keep the default.
+Status ReadUintField(const JsonValue& frame, const char* key,
+                     uint64_t* out) {
+  const JsonValue* value = frame.Find(key);
+  if (value == nullptr) return Status::Ok();
+  auto parsed = GetUint(*value, key);
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::Ok();
+}
+
+Status ReadHexField(const JsonValue& frame, const char* key, uint64_t* out) {
+  const JsonValue* value = frame.Find(key);
+  if (value == nullptr) return Status::Ok();
+  auto text = GetString(*value, key);
+  if (!text.ok()) return text.status();
+  auto parsed = ParseHexU64(key, *text);
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::Ok();
+}
+
+Status ReadDoubleField(const JsonValue& frame, const char* key,
+                       double* out) {
+  const JsonValue* value = frame.Find(key);
+  if (value == nullptr) return Status::Ok();
+  auto parsed = GetDouble(*value, key);
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::Ok();
+}
+
+Status ReadBoolField(const JsonValue& frame, const char* key, bool* out) {
+  const JsonValue* value = frame.Find(key);
+  if (value == nullptr) return Status::Ok();
+  auto parsed = GetBool(*value, key);
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<uint32_t> ParseFramedHelloVersion(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "hello"));
+  const JsonValue* proto = frame->Find("proto");
+  if (proto == nullptr) {
+    return Status::InvalidArgument("hello frame is missing 'proto'");
+  }
+  auto version = GetUint(*proto, "proto", UINT32_MAX);
+  if (!version.ok()) return version.status();
+  return static_cast<uint32_t>(*version);
+}
+
+StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "shard_result"));
+  ParsedShardResult result;
+  const JsonValue* state = frame->Find("state");
+  if (state == nullptr || state->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("shard_result frame is missing 'state'");
+  }
+  result.state = state->string_value;
+  if (result.state == "failed") {
+    // A failed shard job travels inside the frame (state + error); the
+    // coordinator consumes it as a structured Status like any other
+    // failure.
+    const JsonValue* error = frame->Find("error");
+    if (error != nullptr && error->kind == JsonValue::Kind::kObject) {
+      const JsonValue* code = error->Find("code");
+      const JsonValue* message = error->Find("message");
+      return Status(
+          code != nullptr && code->kind == JsonValue::Kind::kString
+              ? StatusCodeFromName(code->string_value)
+              : StatusCode::kInternal,
+          message != nullptr && message->kind == JsonValue::Kind::kString
+              ? message->string_value
+              : "shard job failed");
+    }
+    return Status::Internal("shard job failed");
+  }
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &result.request_id));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "plexes", &result.plexes));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "max_size", &result.max_size));
+  KPLEX_RETURN_IF_ERROR(
+      ReadUintField(*frame, "total_seeds", &result.total_seeds));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "fingerprint", &result.fingerprint));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "fingerprint_xor", &result.fingerprint_xor));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "content_hash", &result.content_hash));
+  KPLEX_RETURN_IF_ERROR(ReadDoubleField(*frame, "seconds", &result.seconds));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "timed_out", &result.timed_out));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "stopped_early", &result.stopped_early));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "cancelled", &result.cancelled));
+  return result;
 }
 
 // ---------------------------------------------------------- error hygiene

@@ -28,12 +28,16 @@
 //      error messages before they reach a client (a service must not
 //      leak its host layout through strerror strings).
 //
-// Version/compat policy: kProtocolVersion only bumps on breaking
-// message-shape changes. A client `hello proto=N` negotiates
-// min(N, kProtocolVersion); unknown *fields* in framed requests are
-// rejected (typo safety), unknown *commands* report INVALID_ARGUMENT —
-// a v1 client can always talk to a v1+ server. See docs/SERVE.md for
-// the full message reference and wire examples.
+// Version/compat policy: kProtocolVersion bumps when the message
+// vocabulary grows (additive — v2 added mineshard/shard_result) and is
+// how a client discovers a capability: `hello proto=N` negotiates
+// min(N, kProtocolVersion), so a coordinator that needs the sharding
+// vocabulary sends proto=2 and refuses a server that negotiates down
+// to 1. Message *shapes*, once shipped, never change (breaking changes
+// would require a new command name); unknown *fields* in framed
+// requests are rejected (typo safety), unknown *commands* report
+// INVALID_ARGUMENT — a v1 client can always talk to a v1+ server. See
+// docs/SERVE.md for the full message reference and wire examples.
 
 #ifndef KPLEX_SERVICE_PROTOCOL_H_
 #define KPLEX_SERVICE_PROTOCOL_H_
@@ -52,8 +56,13 @@
 
 namespace kplex {
 
-/// Current protocol version (see the compat policy above).
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Current protocol version (see the compat policy above). v2 added the
+/// sharded-mining vocabulary (mineshard / shard_result).
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// First protocol version that speaks mineshard/shard_result; what a
+/// shard coordinator requires its workers to negotiate.
+inline constexpr uint32_t kProtocolVersionSharding = 2;
 
 /// Wire encoding of a session. Text is the default; framed is opted
 /// into through the hello handshake.
@@ -110,6 +119,22 @@ struct SubmitRequest {
   QueryRequest query;
 };
 
+/// `mineshard NAME K Q [seed-range=B:E] [hash=0xH] [key=value ...]` —
+/// one shard of a coordinated enumeration: a synchronous mine
+/// restricted to the query's seed range (QueryRequest::seed_begin/
+/// seed_end — half-open indices into the canonical seed order of the
+/// reduced graph; see docs/SHARDING.md). When `expected_hash` is
+/// non-zero the worker first compares it against its own content hash
+/// of the named graph and refuses a mismatched snapshot with
+/// FAILED_PRECONDITION — the admission check that makes a merged
+/// result trustworthy. An empty range ([0:0)) is the coordinator's
+/// planning probe: it returns the content hash and the seed-space size
+/// without enumerating anything.
+struct MineShardRequest {
+  QueryRequest query;
+  uint64_t expected_hash = 0;  ///< 0 skips the admission check
+};
+
 /// `cancel ID` — request cancellation of a queued/running job.
 struct CancelRequest {
   uint64_t job = 0;
@@ -140,9 +165,9 @@ struct QuitRequest {};
 
 using RequestPayload =
     std::variant<HelloRequest, LoadRequest, DatasetRequest, SnapshotRequest,
-                 MineRequest, SubmitRequest, CancelRequest, JobsRequest,
-                 WaitRequest, StatsRequest, EvictRequest, HelpRequest,
-                 QuitRequest>;
+                 MineRequest, SubmitRequest, MineShardRequest, CancelRequest,
+                 JobsRequest, WaitRequest, StatsRequest, EvictRequest,
+                 HelpRequest, QuitRequest>;
 
 struct Request {
   /// Client-chosen correlation id, echoed in the response. Framed mode
@@ -185,6 +210,17 @@ struct MineResponse {
 struct SubmitResponse {
   uint64_t job = 0;
   QueryRequest query;  ///< as submitted (echoed in the confirmation)
+};
+
+/// Terminal outcome of one shard (MineShardRequest). The job's request
+/// echoes the seed range; its result carries the mergeable pieces — the
+/// plex count, the raw XOR fingerprint half (fingerprint_xor), and the
+/// seed-space size (total_seeds) — plus the content hash the worker
+/// verified, so a coordinator can fold ShardResults into one verified
+/// total (core/sink.h MergeableResult).
+struct ShardResultResponse {
+  JobInfo job;
+  uint64_t content_hash = 0;  ///< the worker's hash of the mined graph
 };
 
 struct CancelResponse {
@@ -235,9 +271,9 @@ struct ErrorResponse {
 
 using ResponsePayload =
     std::variant<HelloResponse, LoadResponse, SnapshotResponse, MineResponse,
-                 SubmitResponse, CancelResponse, JobsResponse, WaitResponse,
-                 WaitAllResponse, StatsResponse, EvictResponse, HelpResponse,
-                 ByeResponse, ErrorResponse>;
+                 SubmitResponse, ShardResultResponse, CancelResponse,
+                 JobsResponse, WaitResponse, WaitAllResponse, StatsResponse,
+                 EvictResponse, HelpResponse, ByeResponse, ErrorResponse>;
 
 struct Response {
   uint64_t request_id = 0;  ///< mirrors Request::id
@@ -283,6 +319,42 @@ std::string FormatFramedRequest(const Request& request);
 /// One-line JSON encoding of a response (no trailing newline).
 std::string FormatFramedResponse(const Response& response);
 
+// ------------------------------------------- framed client-side decode
+// The shard coordinator is a protocol *client*: it reads framed
+// response lines off worker sockets. These decoders parse the two
+// frames it consumes. Error frames ({"ok":false,...}) come back as the
+// embedded structured Status (code restored via StatusCodeFromName).
+
+/// Decodes a framed hello response; returns the negotiated version.
+StatusOr<uint32_t> ParseFramedHelloVersion(const std::string& line);
+
+/// A decoded shard_result frame — the mergeable summary of one shard.
+struct ParsedShardResult {
+  uint64_t request_id = 0;
+  std::string state;           ///< "done" unless the shard was cut short
+  uint64_t plexes = 0;
+  uint64_t max_size = 0;
+  uint64_t fingerprint = 0;     ///< composite, for per-shard logging
+  uint64_t fingerprint_xor = 0; ///< the mergeable XOR half
+  uint64_t total_seeds = 0;     ///< seed-space size (coordinator planning)
+  uint64_t content_hash = 0;    ///< the worker's graph hash
+  double seconds = 0;
+  // Truncation flags: a kDone job may still be a *partial* answer (hit
+  // the time limit or a result cap). A merge must reject these — the
+  // coordinator treats any of them as a hard failure.
+  bool timed_out = false;
+  bool stopped_early = false;
+  bool cancelled = false;
+
+  /// True iff this shard is a complete answer for its range.
+  bool IsComplete() const {
+    return state == "done" && !timed_out && !stopped_early && !cancelled;
+  }
+};
+
+/// Decodes a framed shard_result response line.
+StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line);
+
 // ------------------------------------------------------------ error hygiene
 
 /// Replaces every absolute filesystem path in `message` with its last
@@ -297,8 +369,14 @@ Status SanitizeErrorStatus(const Status& status);
 // ---------------------------------------------------------------- helpers
 
 /// One-line summary of a query ("web k=2 q=12 algo=ours"), shared by
-/// submit confirmations, job tables, and result lines.
+/// submit confirmations, job tables, and result lines. Sharded queries
+/// append " seeds=B:E".
 std::string DescribeQuery(const QueryRequest& query);
+
+/// Parses the wire seed-range grammar "B:E" (E may be the literal
+/// "end" for the open upper bound) into a half-open SeedRange. Shared
+/// by the protocol codecs and the CLI's --seed-range flag.
+StatusOr<SeedRange> ParseSeedRangeText(const std::string& value);
 
 }  // namespace kplex
 

@@ -24,6 +24,7 @@ class MeasuringSink : public ResultSink {
   uint64_t count() const { return counting_.count(); }
   std::size_t max_size() const { return counting_.max_size(); }
   uint64_t fingerprint() const { return hashing_.fingerprint(); }
+  uint64_t xor_hash() const { return hashing_.xor_hash(); }
 
  private:
   CountingSink counting_;
@@ -55,13 +56,19 @@ const char* QueryAlgoName(QueryAlgo algo) {
 }
 
 std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
-  // `|ctcp=on` is appended only when set so every pre-CTCP signature
-  // (and the cache entries stored under it) stays byte-identical.
+  // `|ctcp=on` / `|seed=B:E` are appended only when set so every
+  // pre-existing signature (and the cache entries stored under it)
+  // stays byte-identical. A shard is a complete deterministic answer
+  // for its range, so it caches under its own key.
   return request.graph + "|k=" + std::to_string(request.k) +
          "|q=" + std::to_string(request.q) + "|algo=" +
          QueryAlgoName(request.algo) +
          "|max=" + std::to_string(request.max_results) +
-         (request.use_ctcp ? "|ctcp=on" : "");
+         (request.use_ctcp ? "|ctcp=on" : "") +
+         (request.HasSeedRange()
+              ? "|seed=" + std::to_string(request.seed_begin) + ":" +
+                    std::to_string(request.seed_end)
+              : "");
 }
 
 StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
@@ -215,6 +222,14 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
   options.use_ctcp_preprocess = request.use_ctcp;
   options.cancel = request.cancel;
   options.precompute = precompute.get();
+  options.seed_range.begin = request.seed_begin;
+  options.seed_range.end = request.seed_end;
+  if (request.HasSeedRange() && request.algo == QueryAlgo::kFp) {
+    // The fp driver has its own search order; a range over the
+    // canonical degeneracy seed order means nothing to it.
+    return Status::InvalidArgument(
+        "the fp baseline does not support seed ranges");
+  }
 
   MeasuringSink sink;
   StatusOr<EnumResult> run = Status::Internal("unreachable");
@@ -234,6 +249,8 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
   result.num_plexes = run->num_plexes;
   result.max_plex_size = sink.max_size();
   result.fingerprint = sink.fingerprint();
+  result.fingerprint_xor = sink.xor_hash();
+  result.total_seeds = run->total_seeds;
   result.compute_seconds = run->seconds;
   result.timed_out = run->timed_out;
   result.stopped_early = run->stopped_early;

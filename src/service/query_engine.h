@@ -68,8 +68,21 @@ struct QueryRequest {
   bool use_ctcp = false;
   /// Bypass the result cache for this request (still records the miss).
   bool use_cache = true;
+  /// Shard of the canonical seed space to enumerate, as a half-open
+  /// index range into the reduced graph's seed order (EnumOptions::
+  /// seed_range; the defaults select everything). Part of the signature
+  /// when non-default — a shard is a complete, deterministic answer
+  /// *for its range*. Unsupported by the fp baseline (rejected).
+  uint32_t seed_begin = 0;
+  uint32_t seed_end = UINT32_MAX;
   /// Optional cooperative cancellation, forwarded into EnumOptions.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// True when the request selects a proper shard rather than the whole
+  /// seed space.
+  bool HasSeedRange() const {
+    return seed_begin != 0 || seed_end != UINT32_MAX;
+  }
 };
 
 struct QueryResult {
@@ -78,6 +91,15 @@ struct QueryResult {
   /// Order-independent result-set fingerprint (HashingSink), letting
   /// clients assert that two runs produced the same set.
   uint64_t fingerprint = 0;
+  /// The raw XOR half of the fingerprint (HashingSink::xor_hash) — the
+  /// mergeable part: a coordinator XORs shards' values and re-derives
+  /// the composite fingerprint from the summed count (core/sink.h
+  /// MergeableResult).
+  uint64_t fingerprint_xor = 0;
+  /// Seed count of the reduced graph — the size of the canonical seed
+  /// space a coordinator plans shard ranges over (independent of any
+  /// seed range this request carried).
+  uint64_t total_seeds = 0;
   /// Wall seconds of the run that produced the answer. For a cache hit
   /// this is the *original* run's time; `seconds` is the serving time.
   double compute_seconds = 0;

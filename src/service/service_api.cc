@@ -1,6 +1,7 @@
 #include "service/service_api.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace kplex {
@@ -36,6 +37,9 @@ Response ServiceApi::Execute(const Request& request) {
     error->status = SanitizeErrorStatus(error->status);
   } else if (auto* mine = std::get_if<MineResponse>(&response.payload)) {
     SanitizeJob(mine->job);
+  } else if (auto* shard =
+                 std::get_if<ShardResultResponse>(&response.payload)) {
+    SanitizeJob(shard->job);
   } else if (auto* wait = std::get_if<WaitResponse>(&response.payload)) {
     SanitizeJob(wait->job);
   } else if (auto* jobs = std::get_if<JobsResponse>(&response.payload)) {
@@ -124,6 +128,43 @@ ResponsePayload ServiceApi::Handle(const MineRequest& mine) {
   auto info = dispatcher_->Wait(*id);
   if (!info.ok()) return ErrorResponse{info.status()};
   return MineResponse{*std::move(info)};
+}
+
+StatusOr<ServiceApi::ShardSubmission> ServiceApi::SubmitShard(
+    const MineShardRequest& shard) {
+  // Shard admission: before any work, prove this worker holds the same
+  // graph bytes the coordinator planned against. The error carries both
+  // hashes so a mismatched-snapshot refusal is diagnosable from logs.
+  auto hash = catalog_.ContentHash(shard.query.graph);
+  if (!hash.ok()) return hash.status();
+  if (shard.expected_hash != 0 && *hash != shard.expected_hash) {
+    char expected[24], actual[24];
+    std::snprintf(expected, sizeof(expected), "0x%016llx",
+                  static_cast<unsigned long long>(shard.expected_hash));
+    std::snprintf(actual, sizeof(actual), "0x%016llx",
+                  static_cast<unsigned long long>(*hash));
+    return Status::FailedPrecondition(
+        "graph content hash mismatch for '" + shard.query.graph +
+        "': coordinator expected " + expected + ", this worker has " +
+        std::string(actual) + " (mismatched snapshot?)");
+  }
+  // Same execution path as a synchronous mine: submit (+ wait in the
+  // caller) on the shared dispatcher, so shard jobs are cancellable and
+  // visible in `jobs` like any other work.
+  auto id = dispatcher_->Submit(shard.query);
+  if (!id.ok()) return id.status();
+  return ShardSubmission{*id, *hash};
+}
+
+ResponsePayload ServiceApi::Handle(const MineShardRequest& shard) {
+  auto submitted = SubmitShard(shard);
+  if (!submitted.ok()) return ErrorResponse{submitted.status()};
+  auto info = dispatcher_->Wait(submitted->job);
+  if (!info.ok()) return ErrorResponse{info.status()};
+  // A failed job rides inside the shard response (state "failed" +
+  // error), like mine/wait outcomes, so session error accounting stays
+  // one-per-job.
+  return ShardResultResponse{*std::move(info), submitted->content_hash};
 }
 
 ResponsePayload ServiceApi::Handle(const SubmitRequest& submit) {

@@ -67,6 +67,9 @@ bool ServiceSession::Dispatch(const Request& request) {
   Response response;
   if (const auto* mine = std::get_if<MineRequest>(&request.payload)) {
     response = ExecuteMine(request.id, *mine);
+  } else if (const auto* shard =
+                 std::get_if<MineShardRequest>(&request.payload)) {
+    response = ExecuteMineShard(request.id, *shard);
   } else {
     response = api_->Execute(request);
   }
@@ -104,6 +107,29 @@ Response ServiceSession::ExecuteMine(uint64_t request_id,
   return waited;
 }
 
+Response ServiceSession::ExecuteMineShard(uint64_t request_id,
+                                          const MineShardRequest& shard) {
+  Response response;
+  response.request_id = request_id;
+  auto submitted = api_->SubmitShard(shard);
+  if (!submitted.ok()) {
+    response.payload = ErrorResponse{SanitizeErrorStatus(submitted.status())};
+    return response;
+  }
+  // The job id is visible to the disconnect watcher before this thread
+  // blocks, exactly like a synchronous mine.
+  RecordSubmittedJob(submitted->job);
+  Request wait;
+  wait.id = request_id;
+  wait.payload = WaitRequest{submitted->job};
+  Response waited = api_->Execute(wait);
+  if (auto* outcome = std::get_if<WaitResponse>(&waited.payload)) {
+    waited.payload =
+        ShardResultResponse{std::move(outcome->job), submitted->content_hash};
+  }
+  return waited;
+}
+
 void ServiceSession::RecordSubmittedJob(uint64_t id) {
   std::lock_guard<std::mutex> lock(jobs_mutex_);
   submitted_jobs_.push_back(id);
@@ -121,6 +147,9 @@ void ServiceSession::NoteResponse(const Response& response) {
   const JobInfo* job = nullptr;
   if (const auto* mine = std::get_if<MineResponse>(&response.payload)) {
     job = &mine->job;
+  } else if (const auto* shard =
+                 std::get_if<ShardResultResponse>(&response.payload)) {
+    job = &shard->job;
   } else if (const auto* wait = std::get_if<WaitResponse>(&response.payload)) {
     job = &wait->job;
   }

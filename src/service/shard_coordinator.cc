@@ -1,0 +1,408 @@
+#include "service/shard_coordinator.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/sink.h"
+#include "service/protocol.h"
+#include "service/tcp_client.h"
+#include "util/timer.h"
+
+namespace kplex {
+namespace {
+
+/// Decoded outcome of one shard round trip. The transport/verdict
+/// distinction is made at the *source* of the failure, never inferred
+/// from a Status code: a socket failure (SendLine/ReadLine) means the
+/// shard may not have completed and is safe to retry elsewhere, while
+/// anything decoded from a response frame — even one carrying
+/// IO_ERROR — is the worker's verdict and would repeat on any worker.
+struct ShardRoundTrip {
+  bool transport_failed = false;  ///< socket error; result/verdict unset
+  Status verdict;                 ///< worker's structured failure, if any
+  ParsedShardResult result;       ///< valid when transport ok && verdict ok
+  Status transport_error;         ///< the socket Status when transport_failed
+};
+
+struct PlannedShard {
+  uint32_t index = 0;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint32_t attempts = 0;  // dispatches so far
+};
+
+/// Shared fan-out state: the work queue plus completion/failure
+/// bookkeeping, all under one mutex.
+struct FanOut {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<PlannedShard> queue;
+  uint32_t outstanding = 0;   // shards not yet merged (queued or in flight)
+  uint32_t live_workers = 0;  // threads with a usable connection
+  uint32_t retries = 0;
+  bool failed = false;
+  Status failure;
+
+  void FailLocked(Status status) {
+    if (!failed) {
+      failed = true;
+      failure = std::move(status);
+    }
+    cv.notify_all();
+  }
+};
+
+/// One worker connection: framed handshake done, ready for mineshard
+/// round trips.
+struct WorkerLink {
+  std::string endpoint;
+  TcpClient client;
+};
+
+/// The one endpoint parser: splits "host:port" and validates the port,
+/// shared by ParseEndpointList (validation) and ConnectAndHandshake
+/// (connection), so the two can never drift.
+Status SplitEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  Status malformed = Status::InvalidArgument(
+      "endpoint must be host:port (port 1..65535), got '" + endpoint + "'");
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    return malformed;
+  }
+  uint32_t parsed = 0;
+  for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+    const char c = endpoint[i];
+    if (c < '0' || c > '9') return malformed;
+    parsed = parsed * 10 + static_cast<uint32_t>(c - '0');
+    if (parsed > 65535) return malformed;  // also stops overflow
+  }
+  if (parsed < 1) return malformed;
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return Status::Ok();
+}
+
+/// Sends one mineshard request and decodes the shard_result, keeping
+/// socket failures (retryable) apart from worker verdicts (fatal).
+ShardRoundTrip RoundTripShard(WorkerLink& link, const QueryRequest& base,
+                              const PlannedShard& shard,
+                              uint64_t expected_hash, uint64_t request_id) {
+  ShardRoundTrip out;
+  Request request;
+  request.id = request_id;
+  MineShardRequest payload;
+  payload.query = base;
+  payload.query.seed_begin = shard.begin;
+  payload.query.seed_end = shard.end;
+  payload.expected_hash = expected_hash;
+  request.payload = std::move(payload);
+  Status sent = link.client.SendLine(FormatFramedRequest(request));
+  if (!sent.ok()) {
+    out.transport_failed = true;
+    out.transport_error = sent;
+    return out;
+  }
+  auto line = link.client.ReadLine();
+  if (!line.ok()) {
+    out.transport_failed = true;
+    out.transport_error = line.status();
+    return out;
+  }
+  auto decoded = ParseFramedShardResult(*line);
+  if (!decoded.ok()) {
+    out.verdict = decoded.status();
+    return out;
+  }
+  out.result = *std::move(decoded);
+  return out;
+}
+
+Status ConnectAndHandshake(WorkerLink& link, const std::string& endpoint,
+                           double timeout_seconds) {
+  std::string host;
+  uint16_t port = 0;
+  KPLEX_RETURN_IF_ERROR(SplitEndpoint(endpoint, &host, &port));
+  link.endpoint = endpoint;
+  KPLEX_RETURN_IF_ERROR(link.client.Connect(host, port, timeout_seconds));
+  // The session starts in text mode; the handshake line is text, the
+  // response already framed.
+  KPLEX_RETURN_IF_ERROR(link.client.SendLine(
+      "hello proto=" + std::to_string(kProtocolVersionSharding) +
+      " mode=framed"));
+  auto hello = link.client.ReadLine();
+  if (!hello.ok()) return hello.status();
+  auto version = ParseFramedHelloVersion(*hello);
+  if (!version.ok()) return version.status();
+  if (*version < kProtocolVersionSharding) {
+    return Status::FailedPrecondition(
+        "worker " + endpoint + " negotiated protocol v" +
+        std::to_string(*version) + " but sharding needs v" +
+        std::to_string(kProtocolVersionSharding) +
+        " (upgrade the worker)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> ParseEndpointList(
+    const std::string& list) {
+  std::vector<std::string> endpoints;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!token.empty()) {
+      std::string host;
+      uint16_t port = 0;
+      KPLEX_RETURN_IF_ERROR(SplitEndpoint(token, &host, &port));
+      endpoints.push_back(token);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("endpoint list is empty");
+  }
+  return endpoints;
+}
+
+StatusOr<CoordinatedMineResult> CoordinateShardedMine(
+    const ShardCoordinatorOptions& options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (options.query.algo == QueryAlgo::kFp) {
+    return Status::InvalidArgument(
+        "the fp baseline does not support seed ranges (pick another algo)");
+  }
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("at least one worker endpoint is needed");
+  }
+  WallTimer timer;
+
+  // Connect + handshake every endpoint. Partial availability is fine —
+  // the fan-out just has fewer lanes — but zero workers is an error.
+  std::vector<std::unique_ptr<WorkerLink>> links;
+  Status last_connect_error = Status::Ok();
+  for (const std::string& endpoint : options.endpoints) {
+    auto link = std::make_unique<WorkerLink>();
+    Status connected =
+        ConnectAndHandshake(*link, endpoint, options.io_timeout_seconds);
+    if (!connected.ok()) {
+      // A version refusal is a configuration error worth failing loud
+      // on; a plain connect failure tolerates a dead spare.
+      if (connected.code() == StatusCode::kFailedPrecondition) {
+        return connected;
+      }
+      last_connect_error = connected;
+      continue;
+    }
+    links.push_back(std::move(link));
+  }
+  if (links.empty()) {
+    return Status::IoError("no worker endpoint is reachable (last error: " +
+                           last_connect_error.ToString() + ")");
+  }
+
+  // Planning probe: an empty shard returns the admission hash and the
+  // seed-space size without enumerating anything. Any reachable worker
+  // can answer it.
+  QueryRequest probe_query = options.query;
+  uint64_t content_hash = 0;
+  uint64_t total_seeds = 0;
+  // Every remaining lane is probed, not just one: admission must be
+  // deterministic (a lagging mismatched worker must not slip through
+  // just because faster lanes drained the queue first), and probing is
+  // cheap relative to mining. The per-shard hash stamp below stays as
+  // defense against a mid-run snapshot swap.
+  {
+    PlannedShard probe;
+    probe.begin = 0;
+    probe.end = 0;
+    std::string reference_endpoint;
+    Status probe_error = Status::Ok();
+    for (auto it = links.begin(); it != links.end();) {
+      ShardRoundTrip trip = RoundTripShard(**it, probe_query, probe,
+                                           /*expected_hash=*/0,
+                                           /*request_id=*/1);
+      if (trip.transport_failed) {
+        probe_error = trip.transport_error;
+        it = links.erase(it);  // dead connection; drop the lane
+        continue;
+      }
+      // A decoded failure is the worker's verdict — it would repeat.
+      if (!trip.verdict.ok()) return trip.verdict;
+      if (content_hash == 0) {
+        content_hash = trip.result.content_hash;
+        total_seeds = trip.result.total_seeds;
+        reference_endpoint = (*it)->endpoint;
+      } else if (trip.result.content_hash != content_hash) {
+        char expected[24], actual[24];
+        std::snprintf(expected, sizeof(expected), "0x%016llx",
+                      static_cast<unsigned long long>(content_hash));
+        std::snprintf(actual, sizeof(actual), "0x%016llx",
+                      static_cast<unsigned long long>(
+                          trip.result.content_hash));
+        return Status::FailedPrecondition(
+            "graph content hash mismatch for '" + options.query.graph +
+            "' between workers: " + reference_endpoint + " has " + expected +
+            ", " + (*it)->endpoint + " has " + actual +
+            " (mismatched snapshot?)");
+      }
+      ++it;
+    }
+    if (links.empty()) {
+      return Status::IoError("planning probe failed on every worker (last: " +
+                             probe_error.ToString() + ")");
+    }
+  }
+
+  // Plan W contiguous ranges that exactly partition [0, total_seeds).
+  // Empty tail shards (more shards than seeds) are legal and cheap.
+  FanOut state;
+  for (uint32_t i = 0; i < options.shards; ++i) {
+    PlannedShard shard;
+    shard.index = i;
+    shard.begin = static_cast<uint32_t>(total_seeds * i / options.shards);
+    shard.end =
+        static_cast<uint32_t>(total_seeds * (i + 1) / options.shards);
+    state.queue.push_back(shard);
+  }
+  state.outstanding = options.shards;
+  state.live_workers = static_cast<uint32_t>(links.size());
+
+  std::vector<ShardOutcome> outcomes(options.shards);
+  MergeableResult merged;
+
+  // Aborting the coordination must also unblock lanes parked inside a
+  // long recv on an in-flight shard: half-close every connection, which
+  // both wakes the lanes (transport failure; state.failed short-
+  // circuits them) and cancels the abandoned shards server-side through
+  // the sessions' disconnect handling.
+  auto shutdown_all_links = [&links] {
+    for (auto& link : links) link->client.Shutdown();
+  };
+
+  auto worker_main = [&](WorkerLink& link) {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    for (;;) {
+      while (state.queue.empty() && state.outstanding > 0 && !state.failed) {
+        state.cv.wait(lock);
+      }
+      if (state.failed || state.outstanding == 0) break;
+      PlannedShard shard = state.queue.front();
+      state.queue.pop_front();
+      ++shard.attempts;
+      lock.unlock();
+
+      ShardRoundTrip trip = RoundTripShard(link, options.query, shard,
+                                           content_hash,
+                                           /*request_id=*/shard.index + 2);
+
+      lock.lock();
+      if (state.failed) break;
+      if (trip.transport_failed) {
+        // The connection died mid-shard; the shard never completed.
+        // Hand it to another live lane and retire this one.
+        if (shard.attempts >= options.max_attempts) {
+          state.FailLocked(Status::IoError(
+              "shard " + std::to_string(shard.index) + " failed after " +
+              std::to_string(shard.attempts) + " attempts (last: " +
+              trip.transport_error.ToString() + ")"));
+          shutdown_all_links();
+          break;
+        }
+        ++state.retries;
+        state.queue.push_back(shard);
+        --state.live_workers;
+        if (state.live_workers == 0) {
+          state.FailLocked(Status::IoError(
+              "every worker connection failed; shard " +
+              std::to_string(shard.index) + " still pending (last: " +
+              trip.transport_error.ToString() + ")"));
+        }
+        state.cv.notify_all();
+        return;  // this lane's connection is gone
+      }
+      if (!trip.verdict.ok()) {
+        // A worker verdict (hash mismatch, bad options, failed job):
+        // retrying elsewhere would just repeat it.
+        state.FailLocked(trip.verdict);
+        shutdown_all_links();
+        break;
+      }
+      const ParsedShardResult& result = trip.result;
+      if (!result.IsComplete()) {
+        // A cut-short shard — cancelled, or kDone-but-truncated by a
+        // time limit / result cap — is a partial answer; partial
+        // answers never enter a merge.
+        std::string how = result.state;
+        if (result.timed_out) how += ", time limit hit";
+        if (result.stopped_early) how += ", result cap hit";
+        if (result.cancelled && result.state == "done") how += ", cancelled";
+        state.FailLocked(Status::FailedPrecondition(
+            "shard " + std::to_string(shard.index) + " on " + link.endpoint +
+            " is not a complete answer (" + how + ")"));
+        shutdown_all_links();
+        break;
+      }
+      MergeableResult piece;
+      piece.count = result.plexes;
+      piece.xor_hash = result.fingerprint_xor;
+      piece.max_plex_size = static_cast<std::size_t>(result.max_size);
+      merged.Merge(piece);
+      ShardOutcome& outcome = outcomes[shard.index];
+      outcome.index = shard.index;
+      outcome.begin = shard.begin;
+      outcome.end = shard.end;
+      outcome.endpoint = link.endpoint;
+      outcome.attempts = shard.attempts;
+      outcome.plexes = result.plexes;
+      outcome.fingerprint = result.fingerprint;
+      outcome.seconds = result.seconds;
+      --state.outstanding;
+      if (state.outstanding == 0) state.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(links.size());
+  for (auto& link : links) {
+    threads.emplace_back([&worker_main, &link] { worker_main(*link); });
+  }
+  for (auto& thread : threads) thread.join();
+  // Dropping the links closes every connection; workers cancel whatever
+  // an aborted coordination left running (session disconnect handling).
+  links.clear();
+
+  if (state.failed) return state.failure;
+
+  CoordinatedMineResult result;
+  result.num_plexes = merged.count;
+  result.max_plex_size = merged.max_plex_size;
+  result.fingerprint = merged.fingerprint();
+  result.fingerprint_xor = merged.xor_hash;
+  result.content_hash = content_hash;
+  result.total_seeds = total_seeds;
+  result.retries = state.retries;
+  result.shards = std::move(outcomes);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kplex

@@ -1,0 +1,106 @@
+// ShardCoordinator: the client-side fan-out of sharded mining v1. One
+// coordinated mine splits the canonical seed space of a (graph, k, q,
+// options) query into W half-open ranges, dispatches them as framed
+// `mineshard` requests over N TCP connections to `serve --listen`
+// workers, retries a shard whose connection failed mid-flight on
+// another live worker, and folds the returned ShardResults into one
+// verified total (core/sink.h MergeableResult: summed counts, XOR'd
+// fingerprint halves — exactly the single-run fingerprint when the
+// ranges partition the seed space, which the planner guarantees).
+//
+// Safety rails, in order:
+//  1. Version handshake: every worker must negotiate protocol >=
+//     kProtocolVersionSharding (a v1 server negotiates down and is
+//     refused before any work is planned).
+//  2. Admission hash: a planning probe (empty seed range) fetches one
+//     worker's graph content hash + seed-space size; every subsequent
+//     shard carries that hash and a worker holding different bytes
+//     refuses with FAILED_PRECONDITION. No partial merges of
+//     mismatched snapshots.
+//  3. Retry only transport failures (disconnect/timeout — the shard
+//     never completed anywhere); structured errors from a worker
+//     (mismatched hash, bad options, failed job) abort the whole
+//     coordination. A shard cut short (cancelled/timed out) is a hard
+//     failure too: a partial shard can never enter a merge.
+//
+// Closing the coordinator's connections cancels whatever is still
+// running server-side (the sessions' disconnect handling), so an
+// aborted coordination does not leak work. See docs/SHARDING.md for
+// the full model and a worked wire example.
+
+#ifndef KPLEX_SERVICE_SHARD_COORDINATOR_H_
+#define KPLEX_SERVICE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_engine.h"
+#include "util/status.h"
+
+namespace kplex {
+
+struct ShardCoordinatorOptions {
+  /// The query to shard. Its seed_begin/seed_end are ignored — the
+  /// coordinator plans the ranges. algo=fp is rejected (no seed-range
+  /// support); use_cache is forwarded (warm shards are legitimate:
+  /// same range, same bytes, same answer).
+  QueryRequest query;
+  /// Number of seed ranges to split the seed space into (>= 1).
+  uint32_t shards = 4;
+  /// Worker endpoints as "host:port". One framed connection is opened
+  /// per entry; list an endpoint twice to keep two shards in flight on
+  /// one worker process (pair with `serve --workers N`).
+  std::vector<std::string> endpoints;
+  /// Per-shard dispatch attempts (first try + retries) before the
+  /// coordination fails.
+  uint32_t max_attempts = 3;
+  /// Send/receive timeout per socket operation, seconds. 0 (the
+  /// default) means none — a *hung* (as opposed to dead) worker then
+  /// blocks its lane until it answers. Set it (CLI: `--io-timeout S`,
+  /// comfortably above the slowest expected shard) to turn a hung
+  /// worker into a retryable transport failure.
+  double io_timeout_seconds = 0;
+};
+
+/// One shard's final outcome (after any retries).
+struct ShardOutcome {
+  uint32_t index = 0;      ///< shard number in [0, shards)
+  uint32_t begin = 0;      ///< seed range [begin, end)
+  uint32_t end = 0;
+  std::string endpoint;    ///< worker that completed it
+  uint32_t attempts = 1;   ///< 1 = no retries
+  uint64_t plexes = 0;
+  uint64_t fingerprint = 0;  ///< per-shard composite (for logs)
+  double seconds = 0;        ///< worker-side wall time
+};
+
+struct CoordinatedMineResult {
+  uint64_t num_plexes = 0;
+  uint64_t max_plex_size = 0;
+  /// Merged composite fingerprint — equals a single-process run's.
+  uint64_t fingerprint = 0;
+  uint64_t fingerprint_xor = 0;
+  /// The admission hash every worker matched.
+  uint64_t content_hash = 0;
+  /// Seed-space size the ranges partitioned.
+  uint64_t total_seeds = 0;
+  double seconds = 0;      ///< coordinator wall time, probe included
+  uint32_t retries = 0;    ///< transport-failure re-dispatches
+  std::vector<ShardOutcome> shards;  ///< in shard order
+};
+
+/// Runs one coordinated sharded mine. Blocking; returns when every
+/// shard has been merged or the coordination failed (no partial
+/// results are ever returned).
+StatusOr<CoordinatedMineResult> CoordinateShardedMine(
+    const ShardCoordinatorOptions& options);
+
+/// Splits "host:port,host:port,..." into endpoint strings, validating
+/// each. Exposed for the CLI flag parser.
+StatusOr<std::vector<std::string>> ParseEndpointList(
+    const std::string& list);
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_SHARD_COORDINATOR_H_

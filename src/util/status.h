@@ -26,6 +26,11 @@ enum class StatusCode {
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName: "NOT_FOUND" -> kNotFound. Unrecognized
+/// names map to kInternal (a wire client decoding an error frame from a
+/// newer server still surfaces *an* error rather than dropping it).
+StatusCode StatusCodeFromName(const std::string& name);
+
 /// Result of a fallible operation: a code plus an optional message.
 class Status {
  public:

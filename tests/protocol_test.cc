@@ -65,6 +65,32 @@ std::vector<Request> Corpus() {
   submit.query.algo = QueryAlgo::kFp;
   add(submit, 5);
 
+  MineRequest ranged;
+  ranged.query.graph = "web";
+  ranged.query.k = 2;
+  ranged.query.q = 12;
+  ranged.query.seed_begin = 100;
+  ranged.query.seed_end = 250;
+  add(ranged, 6);
+
+  MineShardRequest shard;
+  shard.query.graph = "web";
+  shard.query.k = 2;
+  shard.query.q = 12;
+  shard.query.seed_begin = 0;
+  shard.query.seed_end = 1000;
+  shard.query.threads = 4;
+  shard.expected_hash = 0xbe7c0cfa5f1eee74ULL;
+  add(shard, 21);
+
+  MineShardRequest probe;  // the coordinator's planning probe shape
+  probe.query.graph = "web";
+  probe.query.k = 2;
+  probe.query.q = 12;
+  probe.query.seed_begin = 0;
+  probe.query.seed_end = 0;
+  add(probe);
+
   add(CancelRequest{17});
   add(JobsRequest{});
   add(WaitRequest{});
@@ -126,7 +152,8 @@ TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
                      "[levels=C1,C2,...]"},
       {"snapshot g p bogus", "unknown snapshot option 'bogus'"},
       {"mine", "usage: mine NAME K Q [algo=...] [threads=N] "
-               "[max-results=N] [time-limit=S] [tau-ms=T] [cache=on|off]"},
+               "[max-results=N] [time-limit=S] [tau-ms=T] [cache=on|off] "
+               "[seed-range=B:E]"},
       {"mine g -1 5", "malformed value for K: '-1'"},
       {"mine g 2 5 threads=-2", "malformed value for threads: '-2'"},
       {"mine g 2 99999999999",
@@ -135,6 +162,17 @@ TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
       {"mine g 2 5 cache=maybe", "cache must be on or off"},
       {"mine g 2 5 ctcp=maybe", "ctcp must be on or off"},
       {"submit g 2 5 bogus=1", "unknown submit option 'bogus'"},
+      {"mine g 2 5 seed-range=5",
+       "seed-range must be BEGIN:END (half-open; END may be 'end'), "
+       "got '5'"},
+      {"mine g 2 5 seed-range=x:9", "malformed value for seed-range: 'x'"},
+      {"mine g 2 5 seed-range=9:3",
+       "seed-range begin must be <= end (got '9:3')"},
+      {"mineshard g 2 5 hash=beef",
+       "malformed value for hash: 'beef' (expected 0xHEX)"},
+      {"mineshard g 2 5 hash=0xzz",
+       "malformed value for hash: '0xzz' (expected 0xHEX)"},
+      {"mineshard g 2 5 bogus=1", "unknown mineshard option 'bogus'"},
       {"cancel", "usage: cancel ID"},
       {"cancel nope", "malformed value for ID: 'nope'"},
       {"wait 1 2", "usage: wait [ID]"},
@@ -180,6 +218,17 @@ TEST(ProtocolFramed, MalformedFramesAreStructuredErrorsNeverCrashes) {
       "{\"cmd\":\"snapshot\",\"name\":\"g\",\"path\":\"p\","
       "\"levels\":[1,\"x\"]}",
       "{\"cmd\":\"hello\",\"mode\":\"binary\"}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"seed_begin\":9,\"seed_end\":3}",            // inverted range
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"seed_begin\":\"x\"}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"hash\":\"0xbeef\"}",                        // hash is shard-only
+      "{\"cmd\":\"mineshard\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"hash\":\"beef\"}",                          // missing 0x
+      "{\"cmd\":\"mineshard\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"hash\":12}",                                // hash must be a string
+      "{\"cmd\":\"mineshard\",\"graph\":\"g\"}",     // missing k/q
       "{\"cmd\":\"quit\",\"cmd\"",
       "{\"a\":\"\\u12\"}",
       "{\"a\":\"\\q\"}",
@@ -315,7 +364,28 @@ TEST(ProtocolText, ResponseGoldens) {
             "error: INVALID_ARGUMENT: boom\n");
   EXPECT_EQ(TextOf(ByeResponse{}), "");  // quit prints nothing on text
 
-  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=1 mode=text\n");
+  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=2 mode=text\n");
+
+  // Shard outcomes carry every number a merge needs.
+  JobInfo shard_done = done;
+  shard_done.request.seed_begin = 100;
+  shard_done.request.seed_end = 200;
+  shard_done.result.fingerprint = 0x0123456789abcdefULL;
+  shard_done.result.fingerprint_xor = 0x00000000deadbeefULL;
+  shard_done.result.total_seeds = 5000;
+  ShardResultResponse shard;
+  shard.job = shard_done;
+  shard.content_hash = 0x00000000c0ffee00ULL;
+  EXPECT_EQ(TextOf(shard),
+            "shard web k=2 q=12 algo=ours seeds=100:200: 2566 plexes, "
+            "max size 14, xor 0x00000000deadbeef, fingerprint "
+            "0x0123456789abcdef, total seeds 5000, hash 0x00000000c0ffee00, "
+            "1.810s\n");
+
+  ShardResultResponse failed_shard;
+  failed_shard.job = failed;
+  EXPECT_EQ(TextOf(failed_shard),
+            "error: NOT_FOUND: no graph named 'web' is registered\n");
 }
 
 TEST(ProtocolFramed, ResponseShape) {
@@ -347,6 +417,130 @@ TEST(ProtocolFramed, ResponseShape) {
   EXPECT_NE(error.find("\"code\":\"NOT_FOUND\""), std::string::npos)
       << error;
   EXPECT_NE(error.find("\"message\":\"nope\""), std::string::npos) << error;
+}
+
+// -------------------------------------------- framed client-side decode
+
+TEST(ProtocolFramed, ShardResultRoundTripsThroughTheClientDecoder) {
+  JobInfo done;
+  done.id = 3;
+  done.request.graph = "web";
+  done.request.k = 2;
+  done.request.q = 12;
+  done.request.seed_begin = 100;
+  done.request.seed_end = 200;
+  done.state = JobState::kDone;
+  done.started = true;
+  done.result.num_plexes = 2566;
+  done.result.max_plex_size = 14;
+  done.result.fingerprint = 0x0123456789abcdefULL;
+  done.result.fingerprint_xor = 0x00000000deadbeefULL;
+  done.result.total_seeds = 5000;
+  done.result.seconds = 0.25;
+
+  Response response;
+  response.request_id = 7;
+  response.payload = ShardResultResponse{done, 0x00000000c0ffee00ULL};
+  const std::string frame = FormatFramedResponse(response);
+  EXPECT_NE(frame.find("\"type\":\"shard_result\""), std::string::npos)
+      << frame;
+  EXPECT_NE(frame.find("\"seed_begin\":100"), std::string::npos) << frame;
+
+  auto decoded = ParseFramedShardResult(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_EQ(decoded->state, "done");
+  EXPECT_EQ(decoded->plexes, 2566u);
+  EXPECT_EQ(decoded->max_size, 14u);
+  EXPECT_EQ(decoded->fingerprint, 0x0123456789abcdefULL);
+  EXPECT_EQ(decoded->fingerprint_xor, 0x00000000deadbeefULL);
+  EXPECT_EQ(decoded->total_seeds, 5000u);
+  EXPECT_EQ(decoded->content_hash, 0x00000000c0ffee00ULL);
+  EXPECT_DOUBLE_EQ(decoded->seconds, 0.25);
+  EXPECT_TRUE(decoded->IsComplete());
+
+  // Truncation flags survive the decode: a kDone-but-timed-out (or
+  // result-capped) shard must never look complete to a coordinator.
+  done.result.timed_out = true;
+  response.payload = ShardResultResponse{done, 0x00000000c0ffee00ULL};
+  decoded = ParseFramedShardResult(FormatFramedResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->timed_out);
+  EXPECT_FALSE(decoded->IsComplete());
+
+  done.result.timed_out = false;
+  done.result.stopped_early = true;
+  response.payload = ShardResultResponse{done, 0x00000000c0ffee00ULL};
+  decoded = ParseFramedShardResult(FormatFramedResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->stopped_early);
+  EXPECT_FALSE(decoded->IsComplete());
+}
+
+TEST(ProtocolFramed, ClientDecoderSurfacesStructuredFailures) {
+  // An error frame becomes the embedded Status, code preserved.
+  Response response;
+  response.payload = ErrorResponse{Status::FailedPrecondition(
+      "graph content hash mismatch for 'web'")};
+  auto decoded = ParseFramedShardResult(FormatFramedResponse(response));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(decoded.status().message().find("hash mismatch"),
+            std::string::npos);
+
+  // A failed shard job rides inside an ok frame; the decoder unwraps
+  // its error the same way.
+  JobInfo failed;
+  failed.request.graph = "web";
+  failed.state = JobState::kFailed;
+  failed.status = Status::NotFound("no graph named 'web' is registered");
+  response.payload = ShardResultResponse{failed, 0};
+  decoded = ParseFramedShardResult(FormatFramedResponse(response));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+
+  // Wrong frame type and garbage are structured errors, never a crash.
+  EXPECT_FALSE(ParseFramedShardResult("{\"ok\":true,\"type\":\"mine\"}")
+                   .ok());
+  EXPECT_FALSE(ParseFramedShardResult("not json").ok());
+  EXPECT_FALSE(ParseFramedShardResult("{}").ok());
+}
+
+TEST(ProtocolFramed, HelloVersionDecoder) {
+  Response response;
+  HelloResponse hello;
+  hello.version = 2;
+  hello.mode = WireMode::kFramed;
+  response.payload = hello;
+  auto version = ParseFramedHelloVersion(FormatFramedResponse(response));
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 2u);
+
+  // A v1 server's hello decodes to 1 (the coordinator's refusal path).
+  hello.version = 1;
+  response.payload = hello;
+  version = ParseFramedHelloVersion(FormatFramedResponse(response));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+
+  EXPECT_FALSE(ParseFramedHelloVersion("{\"ok\":true,\"type\":\"bye\"}")
+                   .ok());
+  EXPECT_FALSE(ParseFramedHelloVersion("nope").ok());
+}
+
+TEST(ProtocolText, SeedRangeTextParser) {
+  auto range = ParseSeedRangeText("100:200");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->begin, 100u);
+  EXPECT_EQ(range->end, 200u);
+  range = ParseSeedRangeText("0:end");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->begin, 0u);
+  EXPECT_EQ(range->end, UINT32_MAX);
+  EXPECT_TRUE(range->IsFull());
+  EXPECT_FALSE(ParseSeedRangeText("5").ok());
+  EXPECT_FALSE(ParseSeedRangeText("9:3").ok());
+  EXPECT_FALSE(ParseSeedRangeText("a:b").ok());
 }
 
 // ------------------------------------------------------------- sanitation

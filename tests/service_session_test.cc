@@ -104,6 +104,72 @@ TEST(ServiceSession, EndToEndScriptWithCachedRepeatQuery) {
   std::remove(snapshot_path.c_str());
 }
 
+TEST(ServiceSession, MineShardTextFlowAndStatsHashColumn) {
+  // The sharded-mining session surface: a probe reports the seed-space
+  // size and content hash, disjoint shards partition the full mine's
+  // count, a wrong hash is refused with both hashes in the error, and
+  // `stats` reports the content hash once the admission check computed
+  // it (the diagnosability satellite of ISSUE 5).
+  Graph graph = GenerateErdosRenyi(150, 0.1, 21);
+  std::ostringstream out;
+  ServiceSession session(out);
+  ASSERT_TRUE(session.catalog().RegisterGraph("g", graph).ok());
+
+  // Before any shard work, stats shows no hash yet.
+  EXPECT_TRUE(session.ExecuteLine("stats"));
+  EXPECT_EQ(out.str().find("0x"), std::string::npos) << out.str();
+
+  EXPECT_TRUE(session.ExecuteLine("mine g 2 5"));
+  EXPECT_TRUE(session.ExecuteLine("mineshard g 2 5 seed-range=0:0"));
+  std::vector<std::string> lines = Lines(out.str());
+  const std::string probe = lines.back();
+  ASSERT_EQ(probe.find("shard g k=2 q=5 algo=ours seeds=0:0: 0 plexes"),
+            0u) << probe;
+  // Parse "total seeds N" and "hash 0x..." out of the probe line.
+  const std::size_t seeds_at = probe.find("total seeds ");
+  ASSERT_NE(seeds_at, std::string::npos);
+  const uint64_t total_seeds = std::stoull(probe.substr(seeds_at + 12));
+  ASSERT_GT(total_seeds, 0u);
+  const std::size_t hash_at = probe.find("hash 0x");
+  ASSERT_NE(hash_at, std::string::npos);
+  const std::string hash = probe.substr(hash_at + 5, 18);
+
+  // Two disjoint shards carrying the right hash partition the count.
+  const uint64_t half = total_seeds / 2;
+  EXPECT_TRUE(session.ExecuteLine("mineshard g 2 5 seed-range=0:" +
+                                  std::to_string(half) + " hash=" + hash));
+  EXPECT_TRUE(session.ExecuteLine("mineshard g 2 5 seed-range=" +
+                                  std::to_string(half) + ":end hash=" +
+                                  hash));
+  lines = Lines(out.str());
+  const uint64_t full_count = PlexCountOf(lines[lines.size() - 4]);
+  const uint64_t lo_count = PlexCountOf(lines[lines.size() - 2]);
+  const uint64_t hi_count = PlexCountOf(lines[lines.size() - 1]);
+  EXPECT_EQ(lo_count + hi_count, full_count);
+
+  // A wrong hash is refused, and the error names both hashes.
+  EXPECT_TRUE(session.ExecuteLine(
+      "mineshard g 2 5 seed-range=0:5 hash=0x0000000000000001"));
+  lines = Lines(out.str());
+  EXPECT_EQ(lines.back().find("error: FAILED_PRECONDITION: graph content "
+                              "hash mismatch for 'g'"),
+            0u) << lines.back();
+  EXPECT_NE(lines.back().find("0x0000000000000001"), std::string::npos);
+  EXPECT_NE(lines.back().find(hash), std::string::npos);
+
+  // And stats now reports the hash for the graph.
+  EXPECT_TRUE(session.ExecuteLine("stats"));
+  lines = Lines(out.str());
+  bool hash_in_stats = false;
+  for (const std::string& line : lines) {
+    hash_in_stats = hash_in_stats ||
+                    (line.rfind("g ", 0) == 0 &&
+                     line.find(hash) != std::string::npos);
+  }
+  EXPECT_TRUE(hash_in_stats) << out.str();
+  EXPECT_EQ(session.errors(), 1u);  // exactly the refused shard
+}
+
 TEST(ServiceSession, SnapshotReloadFasterThanEdgeListParse) {
   // The snapshot exists to beat re-parsing; assert it actually does on a
   // graph big enough that the margin is far from timer noise (~200k
@@ -356,7 +422,7 @@ TEST(ServiceSession, HelloSwitchesWireModesMidSession) {
   ASSERT_EQ(lines.size(), 2u) << out.str();
   // Version negotiation: min(7, kProtocolVersion).
   EXPECT_EQ(lines[1],
-            "{\"id\":0,\"ok\":true,\"type\":\"hello\",\"proto\":1,"
+            "{\"id\":0,\"ok\":true,\"type\":\"hello\",\"proto\":2,"
             "\"mode\":\"framed\"}");
 
   // Framed request with a correlation id; the response echoes it.
@@ -406,7 +472,7 @@ TEST(ServiceSession, HelloSwitchesWireModesMidSession) {
   EXPECT_TRUE(session.ExecuteLine("{\"cmd\":\"hello\",\"mode\":\"text\"}"));
   EXPECT_EQ(session.mode(), WireMode::kText);
   lines = Lines(out.str());
-  EXPECT_EQ(lines.back(), "hello proto=1 mode=text");
+  EXPECT_EQ(lines.back(), "hello proto=2 mode=text");
   EXPECT_TRUE(session.ExecuteLine("evict kc"));
   lines = Lines(out.str());
   EXPECT_EQ(lines.back(), "evicted kc");

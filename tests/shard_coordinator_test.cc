@@ -1,0 +1,301 @@
+// End-to-end tests of the shard coordinator: a 4-shard coordinated
+// mine over two TCP worker processes must reproduce a single-process
+// run exactly (count, fingerprint, max size) on multiple datasets; a
+// worker killed mid-shard is retried on the surviving worker with the
+// total still exact; mismatched snapshots are refused through the
+// content-hash admission check; and endpoint parsing rejects garbage.
+
+#include "service/shard_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KPLEX_TEST_SOCKETS 1
+#endif
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/enumerator.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "service/service_api.h"
+#include "service/tcp_server.h"
+
+namespace kplex {
+namespace {
+
+TEST(ShardEndpoints, ParseEndpointList) {
+  auto two = ParseEndpointList("127.0.0.1:4000,worker-2:5000");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[0], "127.0.0.1:4000");
+  EXPECT_FALSE(ParseEndpointList("").ok());
+  EXPECT_FALSE(ParseEndpointList("noport").ok());
+  EXPECT_FALSE(ParseEndpointList("host:").ok());
+  EXPECT_FALSE(ParseEndpointList(":123").ok());
+  EXPECT_FALSE(ParseEndpointList("host:0").ok());
+  EXPECT_FALSE(ParseEndpointList("host:99999").ok());
+  EXPECT_FALSE(ParseEndpointList("ok:1,bad").ok());
+}
+
+#if KPLEX_TEST_SOCKETS
+
+/// One in-process "worker process": its own ServiceApi (catalog, cache,
+/// dispatcher) behind its own TCP server — exactly what a separate
+/// `serve --listen` process exposes.
+struct Worker {
+  explicit Worker(uint32_t dispatcher_workers = 2) {
+    ServiceApiOptions options;
+    options.workers = dispatcher_workers;
+    api = std::make_shared<ServiceApi>(options);
+    server = std::make_unique<TcpServer>(api, TcpServerOptions{});
+  }
+
+  Status StartWith(const std::string& name, Graph graph) {
+    KPLEX_RETURN_IF_ERROR(api->catalog().RegisterGraph(name, std::move(graph)));
+    return server->Start();
+  }
+
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+
+  std::shared_ptr<ServiceApi> api;
+  std::unique_ptr<TcpServer> server;
+};
+
+struct Reference {
+  uint64_t count = 0;
+  uint64_t fingerprint = 0;
+  std::size_t max_size = 0;
+};
+
+Reference FullRun(const Graph& graph, uint32_t k, uint32_t q) {
+  HashingSink hashing;
+  CountingSink counting;
+  CallbackSink tee([&](std::span<const VertexId> plex) {
+    hashing.Emit(plex);
+    counting.Emit(plex);
+  });
+  auto result = EnumerateMaximalKPlexes(graph, EnumOptions::Ours(k, q), tee);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return Reference{counting.count(), hashing.fingerprint(),
+                   counting.max_size()};
+}
+
+TEST(ShardCoordinator, FourShardsOverTwoWorkersMatchSingleProcessRun) {
+  // Two datasets (the acceptance bar): an Erdos-Renyi and a
+  // Barabasi-Albert graph, mined at different (k, q).
+  const struct {
+    Graph graph;
+    uint32_t k, q;
+  } datasets[] = {
+      {GenerateErdosRenyi(220, 0.08, 11), 2, 5},
+      {GenerateBarabasiAlbert(300, 8, 7), 2, 6},
+  };
+  for (const auto& dataset : datasets) {
+    Worker a, b;
+    ASSERT_TRUE(a.StartWith("g", dataset.graph).ok());
+    ASSERT_TRUE(b.StartWith("g", dataset.graph).ok());
+
+    const Reference reference = FullRun(dataset.graph, dataset.k, dataset.q);
+
+    ShardCoordinatorOptions options;
+    options.query.graph = "g";
+    options.query.k = dataset.k;
+    options.query.q = dataset.q;
+    options.shards = 4;
+    options.endpoints = {a.endpoint(), b.endpoint()};
+    auto result = CoordinateShardedMine(options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    EXPECT_EQ(result->num_plexes, reference.count);
+    EXPECT_EQ(result->fingerprint, reference.fingerprint);
+    EXPECT_EQ(result->max_plex_size, reference.max_size);
+    EXPECT_EQ(result->retries, 0u);
+    EXPECT_NE(result->content_hash, 0u);
+    ASSERT_EQ(result->shards.size(), 4u);
+    uint64_t shard_sum = 0;
+    for (const ShardOutcome& shard : result->shards) {
+      shard_sum += shard.plexes;
+      EXPECT_EQ(shard.attempts, 1u);
+    }
+    EXPECT_EQ(shard_sum, reference.count);
+    // Every shard ran on one of the two workers. (Which lane pops
+    // which shard is a scheduling race — one fast lane legitimately
+    // may drain the whole queue — so participation of *both* is
+    // deliberately not asserted.)
+    for (const ShardOutcome& shard : result->shards) {
+      EXPECT_TRUE(shard.endpoint == a.endpoint() ||
+                  shard.endpoint == b.endpoint())
+          << shard.endpoint;
+    }
+  }
+}
+
+TEST(ShardCoordinator, ManyShardsOneRepeatedEndpointStillExact) {
+  // One worker process, listed twice: two lanes into one catalog, more
+  // shards than lanes — the queue drains correctly and merges exactly.
+  Graph graph = GenerateErdosRenyi(220, 0.08, 29);
+  Worker solo(/*dispatcher_workers=*/4);
+  ASSERT_TRUE(solo.StartWith("g", graph).ok());
+  const Reference reference = FullRun(graph, 2, 4);
+
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 2;
+  options.query.q = 4;
+  options.shards = 9;
+  options.endpoints = {solo.endpoint(), solo.endpoint()};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_plexes, reference.count);
+  EXPECT_EQ(result->fingerprint, reference.fingerprint);
+}
+
+TEST(ShardCoordinator, KilledWorkerMidShardRetriesAndStaysExact) {
+  // A workload slow enough (~2.5s single-threaded) that worker B is
+  // guaranteed to be mid-shard when it is killed.
+  Graph graph = GenerateBarabasiAlbert(1000, 12, 9);
+  Worker a, b;
+  ASSERT_TRUE(a.StartWith("g", graph).ok());
+  ASSERT_TRUE(b.StartWith("g", graph).ok());
+  const Reference reference = FullRun(graph, 3, 6);
+
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 3;
+  options.query.q = 6;
+  options.shards = 8;
+  options.max_attempts = 3;
+  options.endpoints = {a.endpoint(), b.endpoint()};
+
+  StatusOr<CoordinatedMineResult> result = Status::Internal("not run");
+  std::thread coordination(
+      [&] { result = CoordinateShardedMine(options); });
+
+  // Wait until B is actually running a *real* shard — a job with a
+  // non-empty seed range, not the empty-range admission probe (killing
+  // B during planning would just drop its lane with zero retries) —
+  // then kill it. Stop() closes B's sockets before cancelling its
+  // jobs, so the coordinator observes a transport failure (never a
+  // partial result) and retries the shard on A.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  bool b_running_shard = false;
+  while (!b_running_shard && std::chrono::steady_clock::now() < deadline) {
+    for (const JobInfo& job : b.api->dispatcher().Jobs()) {
+      b_running_shard =
+          b_running_shard || (job.state == JobState::kRunning &&
+                              job.request.seed_end > job.request.seed_begin);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(b_running_shard) << "worker B never picked up a shard";
+  b.server->Stop();
+
+  coordination.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_plexes, reference.count);
+  EXPECT_EQ(result->fingerprint, reference.fingerprint);
+  EXPECT_EQ(result->max_plex_size, reference.max_size);
+  EXPECT_GE(result->retries, 1u);
+  // Every shard that survived B's death completed on A.
+  for (const ShardOutcome& shard : result->shards) {
+    if (shard.attempts > 1) {
+      EXPECT_EQ(shard.endpoint, a.endpoint());
+    }
+  }
+}
+
+TEST(ShardCoordinator, TimedOutShardNeverEntersTheMerge) {
+  // A per-shard time limit that trips leaves the job kDone with
+  // timed_out=true — a *partial* shard. The coordinator must abort the
+  // coordination, never silently merge a truncated total.
+  Graph graph = GenerateErdosRenyi(220, 0.08, 11);
+  Worker a;
+  ASSERT_TRUE(a.StartWith("g", graph).ok());
+
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 2;
+  options.query.q = 4;
+  options.query.time_limit_seconds = 1e-9;  // trips after the first seed
+  options.shards = 2;
+  options.endpoints = {a.endpoint()};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("not a complete answer"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("time limit hit"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ShardCoordinator, MismatchedSnapshotIsRefusedThroughTheHash) {
+  // Worker B holds different bytes under the same name: the admission
+  // check must fail the whole coordination, not merge garbage.
+  Worker a, b;
+  ASSERT_TRUE(a.StartWith("g", GenerateErdosRenyi(220, 0.08, 11)).ok());
+  ASSERT_TRUE(b.StartWith("g", GenerateErdosRenyi(220, 0.08, 12)).ok());
+
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 2;
+  options.query.q = 5;
+  options.shards = 4;
+  options.endpoints = {a.endpoint(), b.endpoint()};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("content hash mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ShardCoordinator, UnknownGraphFailsStructurally) {
+  Worker a;
+  ASSERT_TRUE(a.StartWith("g", GenerateErdosRenyi(100, 0.1, 3)).ok());
+  ShardCoordinatorOptions options;
+  options.query.graph = "nope";
+  options.query.k = 2;
+  options.query.q = 5;
+  options.endpoints = {a.endpoint()};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardCoordinator, NoReachableWorkerIsAnIoError) {
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 2;
+  options.query.q = 5;
+  // Port 1 on loopback: reliably refused.
+  options.endpoints = {"127.0.0.1:1"};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ShardCoordinator, FpBaselineIsRejectedUpFront) {
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 2;
+  options.query.q = 5;
+  options.query.algo = QueryAlgo::kFp;
+  options.endpoints = {"127.0.0.1:1"};
+  auto result = CoordinateShardedMine(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+#endif  // KPLEX_TEST_SOCKETS
+
+}  // namespace
+}  // namespace kplex

@@ -3,6 +3,9 @@
 //   kplex_cli mine --input G.txt --k 2 --q 12 [--algo ours|ours_p|basic|
 //             listplex|fp] [--threads N] [--tau-ms 0.1] [--output F]
 //             [--max-results N] [--time-limit S] [--ctcp]
+//             [--seed-range B:E]
+//   kplex_cli mine --endpoints host:port,... --graph NAME --k K --q Q
+//             [--shards W] [other mine options]   (coordinated, sharded)
 //   kplex_cli max --input G.txt --k 2
 //   kplex_cli report --input G.txt
 //   kplex_cli snapshot --input G.txt --output G.kpx [--precompute]
@@ -14,6 +17,13 @@
 // `serve` without --listen is the stdin/script session; with --listen it
 // serves the same protocol (docs/SERVE.md) to TCP clients until SIGINT/
 // SIGTERM, running --script first to preload the shared catalog.
+//
+// `mine --endpoints` runs the sharded path (docs/SHARDING.md): the seed
+// space is split into --shards ranges, fanned out as `mineshard`
+// requests over framed TCP connections to the listed `serve --listen`
+// workers (--graph names the graph in *their* catalogs), and the
+// returned shard fingerprints are merged into one verified total.
+// `--seed-range B:E` instead mines one shard locally (manual runs).
 //
 // --dataset NAME may replace --input to mine a registry dataset.
 // Graphs are SNAP-format edge lists ('#' comments, "u v" per line) or
@@ -51,6 +61,7 @@
 #include "graph/triangles.h"
 #include "parallel/parallel_enumerator.h"
 #include "service/service_session.h"
+#include "service/shard_coordinator.h"
 #include "service/tcp_server.h"
 #include "util/flags.h"
 
@@ -61,6 +72,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  kplex_cli mine --input G.txt --k K --q Q [options]\n"
+               "  kplex_cli mine --endpoints host:port,... --graph NAME\n"
+               "            --k K --q Q [--shards W] [options]\n"
                "  kplex_cli max --input G.txt --k K\n"
                "  kplex_cli report --input G.txt\n"
                "  kplex_cli snapshot --input G.txt --output G.kpx\n"
@@ -80,7 +93,16 @@ int Usage() {
                "  --max-results N   stop after N results\n"
                "  --time-limit S    soft wall-clock budget in seconds\n"
                "  --ctcp            CTCP preprocessing instead of the "
-               "(q-k)-core\n");
+               "(q-k)-core\n"
+               "  --seed-range B:E  mine one shard of the seed space "
+               "(E may be 'end')\n"
+               "options for sharded mine (--endpoints):\n"
+               "  --graph NAME      graph name in the workers' catalogs\n"
+               "  --shards W        seed ranges to fan out (default 4)\n"
+               "  --max-attempts N  dispatches per shard before giving up\n"
+               "  --io-timeout S    per-socket-op timeout; a hung worker\n"
+               "                    becomes a retryable failure (default:\n"
+               "                    none — set above the slowest shard)\n");
   return 2;
 }
 
@@ -109,7 +131,116 @@ StatusOr<Graph> LoadInput(const FlagParser& flags) {
   return std::move(loaded->graph);
 }
 
+/// Coordinated sharded mine over TCP workers (docs/SHARDING.md).
+int RunShardedMine(const FlagParser& flags) {
+  ShardCoordinatorOptions options;
+  const std::string graph = flags.GetString("graph", "");
+  if (graph.empty()) {
+    std::fprintf(stderr, "--endpoints requires --graph NAME (the graph's "
+                         "name in the workers' catalogs)\n");
+    return 1;
+  }
+  if (flags.Has("input") || flags.Has("dataset") || flags.Has("output") ||
+      flags.Has("seed-range")) {
+    std::fprintf(stderr, "--input/--dataset/--output/--seed-range do not "
+                         "apply to a coordinated mine (the workers hold the "
+                         "graph; the coordinator plans the ranges)\n");
+    return 1;
+  }
+  auto endpoints = ParseEndpointList(flags.GetString("endpoints", ""));
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "%s\n", endpoints.status().ToString().c_str());
+    return 1;
+  }
+  options.endpoints = *std::move(endpoints);
+
+  auto k = flags.GetInt("k", 2);
+  auto q = flags.GetInt("q", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto tau = flags.GetDouble("tau-ms", 0.1);
+  auto max_results = flags.GetInt("max-results", 0);
+  auto time_limit = flags.GetDouble("time-limit", 0);
+  auto shards = flags.GetInt("shards", 4);
+  auto max_attempts = flags.GetInt("max-attempts", 3);
+  auto io_timeout = flags.GetDouble("io-timeout", 0);
+  for (const Status& s :
+       {k.status(), q.status(), threads.status(), tau.status(),
+        max_results.status(), time_limit.status(), shards.status(),
+        max_attempts.status(), io_timeout.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (*q == 0) {
+    std::fprintf(stderr, "--q is required (must be >= 2k - 1)\n");
+    return 1;
+  }
+  if (*shards < 1 || *max_attempts < 1) {
+    std::fprintf(stderr, "--shards and --max-attempts must be >= 1\n");
+    return 1;
+  }
+  if (*max_results > 0) {
+    // Each worker would stop after N results *of its shard*; the merged
+    // total would depend on the split. Refuse instead of lying.
+    std::fprintf(stderr, "--max-results does not compose across shards\n");
+    return 1;
+  }
+  options.query.graph = graph;
+  options.query.k = static_cast<uint32_t>(*k);
+  options.query.q = static_cast<uint32_t>(*q);
+  options.query.threads = static_cast<uint32_t>(*threads);
+  options.query.tau_ms = *tau;
+  options.query.time_limit_seconds = *time_limit;
+  options.query.use_ctcp = flags.Has("ctcp");
+  const std::string algo = flags.GetString("algo", "ours");
+  auto parsed_algo = ParseQueryAlgo(algo);
+  if (!parsed_algo.ok()) {
+    std::fprintf(stderr, "%s\n", parsed_algo.status().ToString().c_str());
+    return 1;
+  }
+  options.query.algo = *parsed_algo;
+  options.shards = static_cast<uint32_t>(*shards);
+  options.max_attempts = static_cast<uint32_t>(*max_attempts);
+  if (*io_timeout < 0) {
+    std::fprintf(stderr, "--io-timeout must be >= 0\n");
+    return 1;
+  }
+  options.io_timeout_seconds = *io_timeout;
+
+  auto result = CoordinateShardedMine(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"shard", "seeds", "worker", "attempts", "plexes",
+                      "seconds"});
+  for (const ShardOutcome& shard : result->shards) {
+    table.AddRow({std::to_string(shard.index),
+                  std::to_string(shard.begin) + ":" +
+                      std::to_string(shard.end),
+                  shard.endpoint, std::to_string(shard.attempts),
+                  FormatCount(shard.plexes), FormatSeconds(shard.seconds)});
+  }
+  table.Print(std::cout);
+  // The merged line is machine-read by tools/shard_smoke.py; keep its
+  // shape stable.
+  std::printf("coordinated mine %s k=%u q=%u: %llu plexes, max size %zu, "
+              "fingerprint 0x%016llx, hash 0x%016llx, %u shards over %zu "
+              "endpoints, %u retries, %.3fs\n",
+              graph.c_str(), options.query.k, options.query.q,
+              static_cast<unsigned long long>(result->num_plexes),
+              static_cast<std::size_t>(result->max_plex_size),
+              static_cast<unsigned long long>(result->fingerprint),
+              static_cast<unsigned long long>(result->content_hash),
+              options.shards, options.endpoints.size(), result->retries,
+              result->seconds);
+  return 0;
+}
+
 int RunMine(const FlagParser& flags) {
+  if (flags.Has("endpoints")) return RunShardedMine(flags);
   auto loaded = LoadInputFull(flags);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -159,6 +290,21 @@ int RunMine(const FlagParser& flags) {
   if (!loaded->precompute.empty()) {
     options.precompute = &loaded->precompute;
   }
+  const std::string seed_range = flags.GetString("seed-range", "");
+  if (!seed_range.empty()) {
+    if (algo == "fp") {
+      std::fprintf(stderr,
+                   "--seed-range does not apply to the fp baseline\n");
+      return 1;
+    }
+    auto parsed_range = ParseSeedRangeText(seed_range);
+    if (!parsed_range.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   parsed_range.status().ToString().c_str());
+      return 1;
+    }
+    options.seed_range = *parsed_range;
+  }
 
   const std::string output = flags.GetString("output", "");
   CountingSink counting;
@@ -201,6 +347,12 @@ int RunMine(const FlagParser& flags) {
               static_cast<long long>(*k), static_cast<long long>(*q),
               result->seconds, result->timed_out ? " (time limit hit)" : "",
               result->stopped_early ? " (result cap hit)" : "");
+  if (!seed_range.empty()) {
+    std::printf("seed shard %s of %llu total seeds (merge shards per "
+                "docs/SHARDING.md)\n",
+                seed_range.c_str(),
+                static_cast<unsigned long long>(result->total_seeds));
+  }
   std::printf("branch calls: %llu, sub-tasks: %llu (R1-pruned: %llu), "
               "ub-prunes: %llu\n",
               static_cast<unsigned long long>(result->counters.branch_calls),
@@ -477,7 +629,8 @@ int Main(int argc, char** argv) {
   int (*run)(const FlagParser&) = nullptr;
   if (command == "mine") {
     known = {"input", "dataset", "k", "q", "algo", "threads", "tau-ms",
-             "output", "max-results", "time-limit", "ctcp"};
+             "output", "max-results", "time-limit", "ctcp", "seed-range",
+             "endpoints", "graph", "shards", "max-attempts", "io-timeout"};
     run = RunMine;
   } else if (command == "max") {
     known = {"input", "dataset", "k"};
