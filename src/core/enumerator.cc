@@ -7,6 +7,7 @@
 #include "core/reduction.h"
 #include "core/seed_graph.h"
 #include "core/subtask.h"
+#include "obs/progress_throttle.h"
 #include "util/timer.h"
 
 namespace kplex {
@@ -64,6 +65,7 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
   const uint32_t range_end = static_cast<uint32_t>(std::min<uint64_t>(
       options.seed_range.end, total_seeds));
   const uint64_t shard_seeds = range_end - range_begin;
+  ProgressThrottle progress_throttle(options.progress_min_interval_ms);
   for (uint32_t idx = range_begin; idx < range_end; ++idx) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
@@ -76,7 +78,8 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
     if (!sg.has_value()) {
       // Pruned seeds still count as processed: `done` must reach
       // `total` on a completed run.
-      if (options.progress) {
+      if (options.progress &&
+          progress_throttle.ShouldEmit(idx + 1 - range_begin, shard_seeds)) {
         options.progress(idx + 1 - range_begin, shard_seeds,
                          result.counters.outputs);
       }
@@ -87,7 +90,8 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
     if (global_deadline > 0) engine.SetGlobalDeadline(global_deadline);
     EnumerateSubtasks(*sg, options, result.counters,
                       [&](TaskState&& task) { engine.Run(task); });
-    if (options.progress) {
+    if (options.progress &&
+        progress_throttle.ShouldEmit(idx + 1 - range_begin, shard_seeds)) {
       options.progress(idx + 1 - range_begin, shard_seeds,
                        result.counters.outputs);
     }

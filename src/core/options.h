@@ -117,6 +117,13 @@ struct EnumOptions {
   std::function<void(uint64_t done, uint64_t total, uint64_t outputs)>
       progress;
 
+  /// Minimum milliseconds between progress invocations (obs/
+  /// progress_throttle.h). The first and the final (done == total)
+  /// invocations always fire; <= 0 disables throttling (every seed /
+  /// stage reports). Suppressed invocations are counted in the
+  /// kplex_enum_progress_suppressed_total metric.
+  double progress_min_interval_ms = 100.0;
+
   /// Optional precomputed reduction sections for the *input* graph
   /// (degeneracy order, coreness, per-level core masks), typically
   /// decoded from a v2 snapshot (graph/precompute.h). When present and

@@ -1,0 +1,70 @@
+#ifndef KPLEX_OBS_TRACE_H_
+#define KPLEX_OBS_TRACE_H_
+
+// Per-query tracing. Every query/job/shard carries a trace id; the
+// pipeline stages it passes through (cache lookup, catalog load,
+// enumeration, queue wait, serialization, shard round trips) each
+// record a span. A span always feeds its duration into a latency
+// histogram; when tracing is enabled (--trace) it additionally emits
+// one structured JSON line to stderr:
+//
+//   {"ts":1754650000.123456,"span":"enumerate","trace":"0x000000000000002a",
+//    "us":1234.5,"graph":"kc","k":"2"}
+//
+// Emission goes through the logging mutex so span lines and --log-json
+// log lines interleave without tearing. The disabled path is one
+// relaxed atomic load plus a histogram observe — cheap enough to leave
+// compiled in everywhere.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kplex {
+
+/// Turns span emission on or off process-wide (default off). Histograms
+/// are fed either way.
+void SetTraceEnabled(bool enabled);
+bool TraceEnabled();
+
+/// Allocates a fresh nonzero trace id. Ids are process-local and
+/// monotonic; they exist to correlate span lines, not to be globally
+/// unique.
+uint64_t NextTraceId();
+
+/// Records one completed span: observes `seconds` into `latency` (when
+/// non-null) and, if tracing is enabled, emits the JSON span line.
+/// `attrs` are extra string key/value pairs appended to the line.
+void RecordSpan(
+    uint64_t trace_id, const char* name, double seconds,
+    Histogram* latency = nullptr,
+    const std::vector<std::pair<const char*, std::string>>& attrs = {});
+
+/// RAII sugar over RecordSpan: times from construction to End() (or the
+/// destructor, whichever comes first).
+class TraceSpan {
+ public:
+  TraceSpan(uint64_t trace_id, const char* name,
+            Histogram* latency = nullptr);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  void AddAttr(const char* key, std::string value);
+  void End();
+
+ private:
+  uint64_t trace_id_;
+  const char* name_;
+  Histogram* latency_;
+  int64_t start_nanos_;
+  bool ended_ = false;
+  std::vector<std::pair<const char*, std::string>> attrs_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_OBS_TRACE_H_

@@ -11,6 +11,7 @@
 #include "core/reduction.h"
 #include "core/seed_graph.h"
 #include "core/subtask.h"
+#include "obs/progress_throttle.h"
 #include "parallel/task_queue.h"
 #include "util/timer.h"
 
@@ -99,12 +100,13 @@ class ParallelRunner {
     // After a cancel the remaining stages skip their seeds; reporting
     // them as done would show a cancelled run reaching 100%.
     if (observed_cancel_.load(std::memory_order_relaxed)) return;
-    uint64_t outputs = 0;
-    for (const auto& c : counters_) outputs += c.value.outputs;
     const uint64_t n = range_end_ - range_begin_;
     const uint64_t done = std::min<uint64_t>(
         static_cast<uint64_t>(stages_done_) * num_threads_ *
             seeds_per_stage_, n);
+    if (!progress_throttle_.ShouldEmit(done, n)) return;
+    uint64_t outputs = 0;
+    for (const auto& c : counters_) outputs += c.value.outputs;
     options_.progress(done, n, outputs);
   }
 
@@ -247,6 +249,9 @@ class ParallelRunner {
   std::atomic<uint32_t> populate_done_{0};
   std::atomic<bool> observed_cancel_{false};
   std::atomic<bool> stopped_early_{false};
+  // Only the barrier-completion thread touches it (one at a time),
+  // matching the throttle's single-threaded contract.
+  ProgressThrottle progress_throttle_{options_.progress_min_interval_ms};
   uint32_t stages_done_ = 0;  // touched only at barrier completion
   std::barrier<StageReset> barrier_;
 };

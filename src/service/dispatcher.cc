@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace kplex {
+namespace {
+
+Gauge& QueueDepthGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("kplex_dispatcher_queue_depth");
+  return gauge;
+}
+Counter& JobsSubmittedTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_dispatcher_jobs_submitted_total");
+  return counter;
+}
+Counter& JobsCancelledTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_dispatcher_jobs_cancelled_total");
+  return counter;
+}
+Histogram& QueueWaitSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_dispatcher_queue_wait_seconds");
+  return histogram;
+}
+Histogram& JobRunSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_dispatcher_job_run_seconds");
+  return histogram;
+}
+
+}  // namespace
 
 const char* JobStateName(JobState state) {
   switch (state) {
@@ -34,6 +67,7 @@ ServiceDispatcher::~ServiceDispatcher() {
     // of running ones so their engines unwind; workers then drain out.
     for (const auto& job : queue_) FinishCancelledLocked(*job);
     queue_.clear();
+    QueueDepthGauge().Set(0);
     for (auto& kv : jobs_) {
       if (kv.second->state == JobState::kRunning) {
         kv.second->cancel.store(true, std::memory_order_relaxed);
@@ -46,6 +80,7 @@ ServiceDispatcher::~ServiceDispatcher() {
 }
 
 void ServiceDispatcher::FinishCancelledLocked(Job& job) {
+  JobsCancelledTotal().Increment();
   job.state = JobState::kCancelled;
   job.result = QueryResult{};
   job.result.cancelled = true;
@@ -79,9 +114,17 @@ StatusOr<uint64_t> ServiceDispatcher::Submit(const QueryRequest& request) {
     job->id = id;
     job->request = request;
     job->request.cancel = nullptr;  // cancellation goes through Cancel(id)
+    if (job->request.trace_id == 0) {
+      // The span trail starts at submission: queue wait, run time, and
+      // the engine's stage spans all correlate under this id.
+      job->request.trace_id = NextTraceId();
+    }
+    job->enqueued_nanos = WallTimer::NowNanos();
     jobs_.emplace(id, job);
     queue_.push_back(std::move(job));
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
+  JobsSubmittedTotal().Increment();
   work_cv_.notify_one();
   return id;
 }
@@ -96,6 +139,7 @@ void ServiceDispatcher::WorkerLoop() {
     }
     std::shared_ptr<Job> job = queue_.front();
     queue_.pop_front();
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
     if (job->cancel.load(std::memory_order_relaxed)) {
       // Cancelled while queued (Cancel() usually retires these itself;
       // this covers a flag flipped in the submission race window).
@@ -107,8 +151,17 @@ void ServiceDispatcher::WorkerLoop() {
     job->started = true;
     QueryRequest request = job->request;
     request.cancel = &job->cancel;
+    const double queue_wait_seconds =
+        static_cast<double>(WallTimer::NowNanos() - job->enqueued_nanos) *
+        1e-9;
     lock.unlock();
+    // Span emission does stderr IO; keep it outside the dispatcher lock.
+    RecordSpan(request.trace_id, "queue_wait", queue_wait_seconds,
+               &QueueWaitSeconds());
+    WallTimer run_timer;
     StatusOr<QueryResult> run = engine_.Run(request);
+    RecordSpan(request.trace_id, "job_run", run_timer.ElapsedSeconds(),
+               &JobRunSeconds());
     lock.lock();
     if (run.ok()) {
       job->result = *std::move(run);
@@ -137,11 +190,13 @@ Status ServiceDispatcher::Cancel(uint64_t id) {
         job->cancel.store(true, std::memory_order_relaxed);
         auto pos = std::find(queue_.begin(), queue_.end(), job);
         if (pos != queue_.end()) queue_.erase(pos);
+        QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
         FinishCancelledLocked(*job);
         break;
       }
       case JobState::kRunning:
         job->cancel.store(true, std::memory_order_relaxed);
+        JobsCancelledTotal().Increment();
         return Status::Ok();
       case JobState::kDone:
       case JobState::kCancelled:

@@ -133,6 +133,9 @@ class ServiceDispatcher {
     std::atomic<bool> cancel{false};
     JobState state = JobState::kQueued;
     bool started = false;
+    /// Monotonic enqueue tick (WallTimer::NowNanos) feeding the
+    /// queue-wait histogram when a worker picks the job up.
+    int64_t enqueued_nanos = 0;
     QueryResult result;
     Status status;
   };

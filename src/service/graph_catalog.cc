@@ -5,10 +5,37 @@
 
 #include "bench_common/dataset_registry.h"
 #include "graph/stats.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace kplex {
+namespace {
+
+Counter& LoadsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_catalog_loads_total");
+  return counter;
+}
+// Every resident copy dropped: budget eviction, explicit `evict`, or
+// unregister.
+Counter& EvictionsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_catalog_evictions_total");
+  return counter;
+}
+Gauge& OwnedBytesGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("kplex_catalog_owned_bytes");
+  return gauge;
+}
+Gauge& MappedBytesGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("kplex_catalog_mapped_bytes");
+  return gauge;
+}
+
+}  // namespace
 
 Status GraphCatalog::RegisterFile(const std::string& name,
                                   const std::string& path) {
@@ -56,6 +83,9 @@ Status GraphCatalog::RegisterLocked(const std::string& name, Entry entry) {
   if (resident) {
     resident_bytes_ += bytes;
     mapped_resident_bytes_ += mapped;
+    LoadsTotal().Increment();
+    OwnedBytesGauge().Set(static_cast<int64_t>(resident_bytes_));
+    MappedBytesGauge().Set(static_cast<int64_t>(mapped_resident_bytes_));
     lru_.Touch(name);
     EvictOverBudget(name);
   }
@@ -140,6 +170,9 @@ StatusOr<CatalogGraph> GraphCatalog::MaterializeWithLock(
   entry.last_load_seconds = load_seconds;
   resident_bytes_ += entry.memory_bytes;
   mapped_resident_bytes_ += entry.mapped_bytes;
+  LoadsTotal().Increment();
+  OwnedBytesGauge().Set(static_cast<int64_t>(resident_bytes_));
+  MappedBytesGauge().Set(static_cast<int64_t>(mapped_resident_bytes_));
   lru_.Touch(name);
   EvictOverBudget(name);
   return CatalogGraph{entry.graph, entry.precompute};
@@ -204,6 +237,9 @@ void GraphCatalog::DropResident(Entry& entry) {
   entry.mapped_bytes = 0;
   entry.graph.reset();
   entry.precompute.reset();
+  EvictionsTotal().Increment();
+  OwnedBytesGauge().Set(static_cast<int64_t>(resident_bytes_));
+  MappedBytesGauge().Set(static_cast<int64_t>(mapped_resident_bytes_));
 }
 
 void GraphCatalog::EvictOverBudget(const std::string& keep) {

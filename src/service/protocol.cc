@@ -338,6 +338,8 @@ constexpr const char kHelpText[] =
     "  jobs                  status of every submitted job\n"
     "  wait [ID]             block until job ID (or all jobs) done\n"
     "  stats                 catalog + cache + dispatcher stats\n"
+    "  metrics [format=table|prom]\n"
+    "                        scrape the process metrics registry\n"
     "  evict NAME            drop the resident copy\n"
     "  hello [proto=N] [mode=text|framed]\n"
     "                        negotiate the protocol version; mode=framed\n"
@@ -416,9 +418,25 @@ class JsonWriter {
     Key(key);
     out_ += value ? "true" : "false";
   }
-  void AddElement(uint64_t value) {
-    Separate();
+  // Exact overload so negative gauge values survive (the integral
+  // template above funnels through uint64_t).
+  void Add(const std::string& key, int64_t value) {
+    Key(key);
     out_ += std::to_string(value);
+  }
+  // Same template shape as Add: one overload for every unsigned
+  // integer width, so uint32_t callers do not see an ambiguity between
+  // uint64_t and double.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void AddElement(T value) {
+    Separate();
+    out_ += std::to_string(static_cast<uint64_t>(value));
+  }
+  void AddElement(double value) {
+    Separate();
+    out_ += CompactDouble(value);
   }
 
   const std::string& str() const { return out_; }
@@ -967,6 +985,19 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     request.payload = StatsRequest{};
     return request;
   }
+  if (cmd == "metrics") {
+    MetricsRequest metrics;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].rfind("format=", 0) == 0) {
+        metrics.format = tokens[i].substr(7);
+      } else {
+        return Status::InvalidArgument(
+            "usage: metrics [format=table|prom]");
+      }
+    }
+    request.payload = std::move(metrics);
+    return request;
+  }
   if (cmd == "evict") {
     if (tokens.size() != 2) {
       return Status::InvalidArgument("usage: evict NAME");
@@ -1034,6 +1065,10 @@ std::string FormatTextRequest(const Request& request) {
                                   : "wait";
     }
     std::string operator()(const StatsRequest&) const { return "stats"; }
+    std::string operator()(const MetricsRequest& metrics) const {
+      return metrics.format.empty() ? "metrics"
+                                    : "metrics format=" + metrics.format;
+    }
     std::string operator()(const EvictRequest& evict) const {
       return "evict " + evict.name;
     }
@@ -1133,6 +1168,23 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
           << " running, "
           << (stats.jobs.done + stats.jobs.cancelled + stats.jobs.failed)
           << " finished\n";
+    }
+    void operator()(const MetricsResponse& metrics) const {
+      // Deterministic framing for the multi-line body: a header line
+      // that announces exactly how many lines follow, so text clients
+      // (tools/metrics_smoke.py, kplex_cli metrics) can read the whole
+      // scrape without sentinels.
+      if (metrics.format == "prom") {
+        const std::string body = RenderMetricsPrometheus(metrics.snapshot);
+        std::size_t lines = 0;
+        for (char c : body) {
+          if (c == '\n') ++lines;
+        }
+        out << "metrics prom " << lines << " lines\n" << body;
+      } else {
+        out << "metrics " << metrics.snapshot.SeriesCount() << " series\n"
+            << RenderMetricsText(metrics.snapshot);
+      }
     }
     void operator()(const EvictResponse& evict) const {
       out << "evicted " << evict.name << "\n";
@@ -1417,6 +1469,22 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     request.payload = EvictRequest{std::move(name)};
     return request;
   }
+  if (*cmd == "metrics") {
+    MetricsRequest metrics;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "format") {
+        auto parsed_format = GetString(value, key);
+        if (!parsed_format.ok()) return parsed_format.status();
+        metrics.format = *parsed_format;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    request.payload = std::move(metrics);
+    return request;
+  }
   if (*cmd == "jobs" || *cmd == "stats" || *cmd == "help" ||
       *cmd == "quit") {
     Status walked = for_each_field(
@@ -1519,6 +1587,10 @@ std::string FormatFramedRequest(const Request& request) {
       if (wait.job.has_value()) json.Add("job", *wait.job);
     }
     void operator()(const StatsRequest&) const { json.Add("cmd", "stats"); }
+    void operator()(const MetricsRequest& metrics) const {
+      json.Add("cmd", "metrics");
+      if (!metrics.format.empty()) json.Add("format", metrics.format);
+    }
     void operator()(const EvictRequest& evict) const {
       json.Add("cmd", "evict");
       json.Add("name", evict.name);
@@ -1655,6 +1727,43 @@ std::string FormatFramedResponse(const Response& response) {
       json.Add("cancelled", stats.jobs.cancelled);
       json.Add("failed", stats.jobs.failed);
       json.EndObject();
+    }
+    void operator()(const MetricsResponse& metrics) const {
+      json.Add("type", "metrics");
+      json.BeginArray("counters");
+      for (const CounterSample& counter : metrics.snapshot.counters) {
+        json.BeginArrayElementObject();
+        json.Add("name", counter.name);
+        json.Add("value", counter.value);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.BeginArray("gauges");
+      for (const GaugeSample& gauge : metrics.snapshot.gauges) {
+        json.BeginArrayElementObject();
+        json.Add("name", gauge.name);
+        json.Add("value", gauge.value);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.BeginArray("histograms");
+      for (const HistogramSample& histogram : metrics.snapshot.histograms) {
+        json.BeginArrayElementObject();
+        json.Add("name", histogram.name);
+        json.Add("count", histogram.count);
+        json.Add("sum", histogram.sum);
+        json.Add("p50", histogram.p50);
+        json.Add("p95", histogram.p95);
+        json.Add("p99", histogram.p99);
+        json.BeginArray("le");
+        for (double bound : histogram.bounds) json.AddElement(bound);
+        json.EndArray();
+        json.BeginArray("buckets");
+        for (uint64_t count : histogram.buckets) json.AddElement(count);
+        json.EndArray();
+        json.EndObject();
+      }
+      json.EndArray();
     }
     void operator()(const EvictResponse& evict) const {
       json.Add("type", "evicted");
@@ -1828,6 +1937,31 @@ StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line) {
   KPLEX_RETURN_IF_ERROR(
       ReadBoolField(*frame, "cancelled", &result.cancelled));
   return result;
+}
+
+const char* RequestVerbName(const RequestPayload& payload) {
+  struct Visitor {
+    const char* operator()(const HelloRequest&) const { return "hello"; }
+    const char* operator()(const LoadRequest&) const { return "load"; }
+    const char* operator()(const DatasetRequest&) const { return "dataset"; }
+    const char* operator()(const SnapshotRequest&) const {
+      return "snapshot";
+    }
+    const char* operator()(const MineRequest&) const { return "mine"; }
+    const char* operator()(const SubmitRequest&) const { return "submit"; }
+    const char* operator()(const MineShardRequest&) const {
+      return "mineshard";
+    }
+    const char* operator()(const CancelRequest&) const { return "cancel"; }
+    const char* operator()(const JobsRequest&) const { return "jobs"; }
+    const char* operator()(const WaitRequest&) const { return "wait"; }
+    const char* operator()(const StatsRequest&) const { return "stats"; }
+    const char* operator()(const MetricsRequest&) const { return "metrics"; }
+    const char* operator()(const EvictRequest&) const { return "evict"; }
+    const char* operator()(const HelpRequest&) const { return "help"; }
+    const char* operator()(const QuitRequest&) const { return "quit"; }
+  };
+  return std::visit(Visitor{}, payload);
 }
 
 // ---------------------------------------------------------- error hygiene

@@ -49,6 +49,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/dispatcher.h"
 #include "service/graph_catalog.h"
 #include "service/query_engine.h"
@@ -57,8 +58,9 @@
 namespace kplex {
 
 /// Current protocol version (see the compat policy above). v2 added the
-/// sharded-mining vocabulary (mineshard / shard_result).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// sharded-mining vocabulary (mineshard / shard_result); v3 added the
+/// `metrics` scrape verb.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// First protocol version that speaks mineshard/shard_result; what a
 /// shard coordinator requires its workers to negotiate.
@@ -151,6 +153,16 @@ struct WaitRequest {
 /// `stats` — catalog + result-cache + dispatcher tables.
 struct StatsRequest {};
 
+/// `metrics [format=table|prom]` — scrape the process-wide
+/// MetricsRegistry (obs/metrics.h). `format` chooses the text-wire
+/// rendering: "table" (default) is one `counter|gauge|histogram` line
+/// per series, "prom" is the Prometheus text exposition format. The
+/// framed wire always carries the full structured snapshot and ignores
+/// `format`. v3 verb.
+struct MetricsRequest {
+  std::string format;  ///< "", "table", or "prom"
+};
+
 /// `evict NAME` — drop the resident copy (reloads on next use).
 struct EvictRequest {
   std::string name;
@@ -166,8 +178,8 @@ struct QuitRequest {};
 using RequestPayload =
     std::variant<HelloRequest, LoadRequest, DatasetRequest, SnapshotRequest,
                  MineRequest, SubmitRequest, MineShardRequest, CancelRequest,
-                 JobsRequest, WaitRequest, StatsRequest, EvictRequest,
-                 HelpRequest, QuitRequest>;
+                 JobsRequest, WaitRequest, StatsRequest, MetricsRequest,
+                 EvictRequest, HelpRequest, QuitRequest>;
 
 struct Request {
   /// Client-chosen correlation id, echoed in the response. Framed mode
@@ -254,6 +266,13 @@ struct StatsResponse {
   uint32_t workers = 0;
 };
 
+/// One MetricsRegistry scrape. `format` echoes the request's choice so
+/// the text codec knows which rendering to write.
+struct MetricsResponse {
+  std::string format;  ///< "", "table", or "prom"
+  MetricsSnapshot snapshot;
+};
+
 struct EvictResponse {
   std::string name;
 };
@@ -273,7 +292,8 @@ using ResponsePayload =
     std::variant<HelloResponse, LoadResponse, SnapshotResponse, MineResponse,
                  SubmitResponse, ShardResultResponse, CancelResponse,
                  JobsResponse, WaitResponse, WaitAllResponse, StatsResponse,
-                 EvictResponse, HelpResponse, ByeResponse, ErrorResponse>;
+                 MetricsResponse, EvictResponse, HelpResponse, ByeResponse,
+                 ErrorResponse>;
 
 struct Response {
   uint64_t request_id = 0;  ///< mirrors Request::id
@@ -372,6 +392,10 @@ Status SanitizeErrorStatus(const Status& status);
 /// submit confirmations, job tables, and result lines. Sharded queries
 /// append " seeds=B:E".
 std::string DescribeQuery(const QueryRequest& query);
+
+/// Wire verb of a request payload ("mine", "stats", ...). Stable names:
+/// they key the per-verb request metrics (kplex_requests_<verb>_total).
+const char* RequestVerbName(const RequestPayload& payload);
 
 /// Parses the wire seed-range grammar "B:E" (E may be the literal
 /// "end" for the open upper bound) into a half-open SeedRange. Shared

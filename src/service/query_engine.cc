@@ -6,11 +6,52 @@
 #include "baselines/fp.h"
 #include "baselines/listplex.h"
 #include "core/sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_enumerator.h"
 #include "util/timer.h"
 
 namespace kplex {
 namespace {
+
+// Instrument handles are resolved once and cached: the registry lookup
+// takes a mutex, the cached reference is a plain atomic bump. Engine
+// metrics are process-global (all engines feed the same series).
+Counter& QueriesTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_engine_queries_total");
+  return counter;
+}
+Counter& CacheHitsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_engine_cache_hits_total");
+  return counter;
+}
+Counter& CacheMissesTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_engine_cache_misses_total");
+  return counter;
+}
+Counter& SingleFlightCollapsesTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_engine_single_flight_collapses_total");
+  return counter;
+}
+Histogram& CacheLookupSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_stage_cache_lookup_seconds");
+  return histogram;
+}
+Histogram& CatalogLoadSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_stage_catalog_load_seconds");
+  return histogram;
+}
+Histogram& EnumerateSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_stage_enumerate_seconds");
+  return histogram;
+}
 
 // Counts, tracks the max size, and fingerprints in one pass; thread-safe
 // like every core sink so both engines can share it.
@@ -73,6 +114,9 @@ std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
 
 StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   WallTimer timer;
+  const uint64_t trace_id =
+      request.trace_id != 0 ? request.trace_id : NextTraceId();
+  QueriesTotal().Increment();
   // Resolve the graph's snapshot-section availability for the
   // signature. The tag is "unknown" until the first materialization, so
   // force one then (the first query was about to load the graph
@@ -81,6 +125,8 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   auto tag = catalog_.PrecomputeTag(request.graph);
   if (!tag.ok()) return tag.status();
   if (*tag == "unknown") {
+    TraceSpan load_span(trace_id, "catalog_load", &CatalogLoadSeconds());
+    load_span.AddAttr("graph", request.graph);
     auto materialized = catalog_.GetFull(request.graph);
     if (!materialized.ok()) return materialized.status();
     tag = catalog_.PrecomputeTag(request.graph);
@@ -90,12 +136,17 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
       CanonicalSignature(request) + "|pre=" + *tag;
   bool leader = false;
   {
+    // The span covers the lock-protected lookup *and* any single-flight
+    // wait behind a leader — both are time this query spent not
+    // executing.
+    TraceSpan lookup_span(trace_id, "cache_lookup", &CacheLookupSeconds());
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       if (cache_capacity_ > 0) {
         auto it = cache_.find(signature);
         if (request.use_cache && it != cache_.end()) {
           ++hits_;
+          CacheHitsTotal().Increment();
           cache_lru_.Touch(signature);
           QueryResult result = it->second;
           result.from_cache = true;
@@ -128,6 +179,8 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
         // The leader's complete answer, shared through the latch —
         // works even with the cache disabled.
         if (cache_capacity_ > 0) ++hits_;
+        CacheHitsTotal().Increment();
+        SingleFlightCollapsesTotal().Increment();
         QueryResult result = shared->result;
         result.from_cache = true;
         result.seconds = timer.ElapsedSeconds();
@@ -137,13 +190,14 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
       // shared; loop and become the leader ourselves.
     }
     if (cache_capacity_ > 0) ++misses_;
+    CacheMissesTotal().Increment();
     if (request.use_cache) {
       in_flight_[signature] = std::make_shared<InFlight>();
       leader = true;
     }
   }
 
-  auto executed = Execute(request);
+  auto executed = Execute(request, trace_id);
   if (!executed.ok()) {
     if (leader) FinishInFlight(signature, nullptr);
     return executed.status();
@@ -191,8 +245,16 @@ void QueryEngine::FinishInFlight(const std::string& signature,
   in_flight_.erase(it);
 }
 
-StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
-  auto resolved = catalog_.GetFull(request.graph);
+StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
+                                           uint64_t trace_id) {
+  StatusOr<CatalogGraph> resolved = Status::Internal("unreachable");
+  {
+    // Usually resident (the signature resolution above materialized
+    // it), in which case this records a near-zero span.
+    TraceSpan load_span(trace_id, "catalog_load", &CatalogLoadSeconds());
+    load_span.AddAttr("graph", request.graph);
+    resolved = catalog_.GetFull(request.graph);
+  }
   if (!resolved.ok()) return resolved.status();
   const std::shared_ptr<const Graph>& graph = resolved->graph;
   // Holds the sections alive for the whole run (eviction-safe).
@@ -233,15 +295,22 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
 
   MeasuringSink sink;
   StatusOr<EnumResult> run = Status::Internal("unreachable");
-  if (request.algo == QueryAlgo::kFp) {
-    run = FpEnumerate(*graph, request.k, request.q, sink);
-  } else if (request.threads > 0) {
-    ParallelOptions parallel;
-    parallel.num_threads = request.threads;
-    parallel.timeout_ms = request.tau_ms;
-    run = ParallelEnumerateMaximalKPlexes(*graph, options, parallel, sink);
-  } else {
-    run = EnumerateMaximalKPlexes(*graph, options, sink);
+  {
+    TraceSpan enumerate_span(trace_id, "enumerate", &EnumerateSeconds());
+    enumerate_span.AddAttr("graph", request.graph);
+    enumerate_span.AddAttr("k", std::to_string(request.k));
+    enumerate_span.AddAttr("q", std::to_string(request.q));
+    enumerate_span.AddAttr("algo", QueryAlgoName(request.algo));
+    if (request.algo == QueryAlgo::kFp) {
+      run = FpEnumerate(*graph, request.k, request.q, sink);
+    } else if (request.threads > 0) {
+      ParallelOptions parallel;
+      parallel.num_threads = request.threads;
+      parallel.timeout_ms = request.tau_ms;
+      run = ParallelEnumerateMaximalKPlexes(*graph, options, parallel, sink);
+    } else {
+      run = EnumerateMaximalKPlexes(*graph, options, sink);
+    }
   }
   if (!run.ok()) return run.status();
 

@@ -77,6 +77,9 @@ struct QueryRequest {
   uint32_t seed_end = UINT32_MAX;
   /// Optional cooperative cancellation, forwarded into EnumOptions.
   const std::atomic<bool>* cancel = nullptr;
+  /// Trace id correlating this query's spans (obs/trace.h). 0 lets the
+  /// engine allocate one. Not part of the cache signature.
+  uint64_t trace_id = 0;
 
   /// True when the request selects a proper shard rather than the whole
   /// seed space.
@@ -162,7 +165,8 @@ class QueryEngine {
     QueryResult result;
   };
 
-  StatusOr<QueryResult> Execute(const QueryRequest& request);
+  StatusOr<QueryResult> Execute(const QueryRequest& request,
+                                uint64_t trace_id);
   /// Releases the latch; `result` non-null shares a complete answer
   /// with the waiters.
   void FinishInFlight(const std::string& signature,

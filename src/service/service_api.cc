@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace kplex {
 
@@ -25,11 +29,28 @@ void SanitizeJob(JobInfo& job) {
 }  // namespace
 
 Response ServiceApi::Execute(const Request& request) {
+  // Execute is the one chokepoint every front end funnels through, so
+  // the per-verb request counters and latency histograms live here —
+  // stdin sessions, TCP connections, and shard workers all count.
+  const char* verb = RequestVerbName(request.payload);
+  MetricsRegistry::Global()
+      .GetCounter(std::string("kplex_requests_") + verb + "_total")
+      .Increment();
+  Histogram& verb_latency = MetricsRegistry::Global().GetHistogram(
+      std::string("kplex_request_") + verb + "_seconds");
+  WallTimer timer;
+
   Response response;
   response.request_id = request.id;
   response.payload = std::visit(
       [this](const auto& payload) { return Handle(payload); },
       request.payload);
+  verb_latency.Observe(timer.ElapsedSeconds());
+  if (std::holds_alternative<ErrorResponse>(response.payload)) {
+    MetricsRegistry::Global()
+        .GetCounter("kplex_requests_failed_total")
+        .Increment();
+  }
   // One sanitation chokepoint: whatever layer produced a Status — a
   // direct command failure or a failed job's stored error — the
   // message a client sees never carries absolute host paths.
@@ -213,6 +234,17 @@ ResponsePayload ServiceApi::Handle(const StatsRequest&) {
   response.jobs = dispatcher_->Counts();
   response.workers = dispatcher_->num_workers();
   return response;
+}
+
+ResponsePayload ServiceApi::Handle(const MetricsRequest& metrics) {
+  if (!metrics.format.empty() && metrics.format != "table" &&
+      metrics.format != "prom") {
+    return ErrorResponse{Status::InvalidArgument(
+        "unknown metrics format '" + metrics.format +
+        "' (expected table or prom)")};
+  }
+  return MetricsResponse{metrics.format,
+                         MetricsRegistry::Global().Snapshot()};
 }
 
 ResponsePayload ServiceApi::Handle(const EvictRequest& evict) {

@@ -85,6 +85,7 @@ class ServiceApi {
   ResponsePayload Handle(const JobsRequest&);
   ResponsePayload Handle(const WaitRequest& wait);
   ResponsePayload Handle(const StatsRequest&);
+  ResponsePayload Handle(const MetricsRequest& metrics);
   ResponsePayload Handle(const EvictRequest& evict);
   ResponsePayload Handle(const HelpRequest&);
   ResponsePayload Handle(const QuitRequest&);

@@ -2,7 +2,45 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace kplex {
+namespace {
+
+Histogram& SerializeSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_session_serialize_seconds");
+  return histogram;
+}
+
+// The session decomposes the logical mine/mineshard verbs into
+// submit + wait before they reach ServiceApi::Execute (the job id must
+// be visible to the disconnect watcher between the two). Execute's
+// per-verb accounting therefore only sees the transport verbs; the
+// logical verbs are counted here, at the decomposition point.
+Counter& MineRequestsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_requests_mine_total");
+  return counter;
+}
+Histogram& MineSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_request_mine_seconds");
+  return histogram;
+}
+Counter& MineShardRequestsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_requests_mineshard_total");
+  return counter;
+}
+Histogram& MineShardSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_request_mineshard_seconds");
+  return histogram;
+}
+
+}  // namespace
 
 ServiceSession::ServiceSession(std::ostream& out,
                                ServiceSessionOptions options)
@@ -79,16 +117,20 @@ bool ServiceSession::Dispatch(const Request& request) {
   if (const auto* hello = std::get_if<HelloResponse>(&response.payload)) {
     if (hello->mode.has_value()) mode_ = *hello->mode;
   }
+  WallTimer serialize_timer;
   if (mode_ == WireMode::kText) {
     FormatTextResponse(response, out_);
   } else {
     out_ << FormatFramedResponse(response) << "\n";
   }
+  SerializeSeconds().Observe(serialize_timer.ElapsedSeconds());
   return !std::holds_alternative<ByeResponse>(response.payload);
 }
 
 Response ServiceSession::ExecuteMine(uint64_t request_id,
                                      const MineRequest& mine) {
+  MineRequestsTotal().Increment();
+  WallTimer timer;
   Request submit;
   submit.id = request_id;
   submit.payload = SubmitRequest{mine.query};
@@ -104,11 +146,14 @@ Response ServiceSession::ExecuteMine(uint64_t request_id,
     // Same terminal JobInfo, mine-shaped (no "job N: " prefix).
     waited.payload = MineResponse{std::move(outcome->job)};
   }
+  MineSeconds().Observe(timer.ElapsedSeconds());
   return waited;
 }
 
 Response ServiceSession::ExecuteMineShard(uint64_t request_id,
                                           const MineShardRequest& shard) {
+  MineShardRequestsTotal().Increment();
+  WallTimer timer;
   Response response;
   response.request_id = request_id;
   auto submitted = api_->SubmitShard(shard);
@@ -127,6 +172,7 @@ Response ServiceSession::ExecuteMineShard(uint64_t request_id,
     waited.payload =
         ShardResultResponse{std::move(outcome->job), submitted->content_hash};
   }
+  MineShardSeconds().Observe(timer.ElapsedSeconds());
   return waited;
 }
 

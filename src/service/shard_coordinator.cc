@@ -11,12 +11,40 @@
 #include <utility>
 
 #include "core/sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/tcp_client.h"
 #include "util/timer.h"
 
 namespace kplex {
 namespace {
+
+Counter& ShardAttemptsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_shard_attempts_total");
+  return counter;
+}
+Counter& ShardRetriesTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_shard_retries_total");
+  return counter;
+}
+Counter& ShardTransportFailuresTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_shard_transport_failures_total");
+  return counter;
+}
+Counter& ShardVerdictFailuresTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "kplex_shard_verdict_failures_total");
+  return counter;
+}
+Histogram& ShardSeconds() {
+  static Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("kplex_shard_seconds");
+  return histogram;
+}
 
 /// Decoded outcome of one shard round trip. The transport/verdict
 /// distinction is made at the *source* of the failure, never inferred
@@ -194,6 +222,9 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
     return Status::InvalidArgument("at least one worker endpoint is needed");
   }
   WallTimer timer;
+  // One trace id spans the whole coordination: every shard round trip
+  // emits under it, so a trace groups cleanly per coordinated mine.
+  const uint64_t trace_id = NextTraceId();
 
   // Connect + handshake every endpoint. Partial availability is fine —
   // the fan-out just has fewer lanes — but zero workers is an error.
@@ -310,15 +341,27 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
       ++shard.attempts;
       lock.unlock();
 
+      ShardAttemptsTotal().Increment();
+      WallTimer shard_timer;
       ShardRoundTrip trip = RoundTripShard(link, options.query, shard,
                                            content_hash,
                                            /*request_id=*/shard.index + 2);
+      const double shard_seconds = shard_timer.ElapsedSeconds();
+      if (!trip.transport_failed && trip.verdict.ok()) {
+        // Only completed round trips price the shard histogram; failed
+        // ones are counted by their own series. Emitted before re-
+        // taking the fan-out lock (span emission does stderr IO).
+        RecordSpan(trace_id, "shard", shard_seconds, &ShardSeconds(),
+                   {{"shard", std::to_string(shard.index)},
+                    {"endpoint", link.endpoint}});
+      }
 
       lock.lock();
       if (state.failed) break;
       if (trip.transport_failed) {
         // The connection died mid-shard; the shard never completed.
         // Hand it to another live lane and retire this one.
+        ShardTransportFailuresTotal().Increment();
         if (shard.attempts >= options.max_attempts) {
           state.FailLocked(Status::IoError(
               "shard " + std::to_string(shard.index) + " failed after " +
@@ -328,6 +371,7 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
           break;
         }
         ++state.retries;
+        ShardRetriesTotal().Increment();
         state.queue.push_back(shard);
         --state.live_workers;
         if (state.live_workers == 0) {
@@ -342,6 +386,7 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
       if (!trip.verdict.ok()) {
         // A worker verdict (hash mismatch, bad options, failed job):
         // retrying elsewhere would just repeat it.
+        ShardVerdictFailuresTotal().Increment();
         state.FailLocked(trip.verdict);
         shutdown_all_links();
         break;

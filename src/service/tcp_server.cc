@@ -19,6 +19,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "service/service_session.h"
 #include "util/logging.h"
 
@@ -42,6 +43,32 @@ namespace {
 /// buffering without bound.
 constexpr std::size_t kMaxLineBytes = 1 << 20;
 
+Counter& ConnectionsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_tcp_connections_total");
+  return counter;
+}
+Counter& RefusedTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_tcp_refused_total");
+  return counter;
+}
+Gauge& ActiveConnectionsGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("kplex_tcp_active_connections");
+  return gauge;
+}
+Counter& BytesReadTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_tcp_bytes_read_total");
+  return counter;
+}
+Counter& BytesWrittenTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_tcp_bytes_written_total");
+  return counter;
+}
+
 bool WriteAll(int fd, const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
@@ -59,6 +86,7 @@ bool WriteAll(int fd, const std::string& bytes) {
       return false;
     }
     sent += static_cast<std::size_t>(n);
+    BytesWrittenTotal().Increment(static_cast<uint64_t>(n));
   }
   return true;
 }
@@ -147,6 +175,7 @@ void TcpServer::AcceptLoop() {
     }
     if (connections_.size() >= options_.max_connections) {
       ++refused_;
+      RefusedTotal().Increment();
       Response response;
       response.payload = ErrorResponse{Status::FailedPrecondition(
           "connection limit reached (" +
@@ -159,6 +188,7 @@ void TcpServer::AcceptLoop() {
       continue;
     }
     ++accepted_;
+    ConnectionsTotal().Increment();
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
@@ -168,6 +198,7 @@ void TcpServer::AcceptLoop() {
 }
 
 void TcpServer::ServeConnection(Connection* connection) {
+  ActiveConnectionsGauge().Add(1);
   std::ostringstream out;
   ServiceSession session(out, api_, /*echo=*/false);
 
@@ -230,6 +261,7 @@ void TcpServer::ServeConnection(Connection* connection) {
     const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // client closed (or Stop shut the socket down)
+    BytesReadTotal().Increment(static_cast<uint64_t>(n));
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 
@@ -249,6 +281,7 @@ void TcpServer::ServeConnection(Connection* connection) {
     connection->fd = -1;
   }
   connection->done.store(true, std::memory_order_release);
+  ActiveConnectionsGauge().Add(-1);
 }
 
 void TcpServer::ReapFinishedLocked() {

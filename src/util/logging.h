@@ -1,11 +1,19 @@
 // Tiny leveled logger to stderr. Benchmarks print their tables to stdout;
 // everything diagnostic goes through here so output stays parseable.
+//
+// Two output shapes, switched at runtime:
+//   plain (default):  [INFO file.cc:42] message
+//   JSON  (--log-json): {"ts":...,"level":"info","where":"file.cc:42",
+//                        "msg":"message"}
+// JSON mode emits exactly one object per line so serve logs and trace
+// spans (src/obs/trace.h) interleave parseably on the same stream.
 
 #ifndef KPLEX_UTIL_LOGGING_H_
 #define KPLEX_UTIL_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace kplex {
 
@@ -15,7 +23,28 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" / "error" (also accepts "warn").
+/// Returns false and leaves `out` untouched on an unknown name.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Switches between the plain prefix format and one-JSON-object-per-line
+/// output (default off).
+void SetLogJson(bool enabled);
+bool GetLogJson();
+
 namespace internal {
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// control characters). Shared by the JSON log format and trace spans.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+/// Writes one already-formatted line to stderr under the log mutex so it
+/// cannot interleave with a concurrent log message. Used by trace-span
+/// emission; the line must not contain '\n'.
+void EmitRawLine(const std::string& line);
+
+/// Seconds since the Unix epoch, as used by the JSON "ts" field.
+double WallClockSeconds();
 
 class LogMessage {
  public:
@@ -26,6 +55,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

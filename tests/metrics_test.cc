@@ -1,0 +1,327 @@
+// Tests for the observability layer (src/obs): registry and instrument
+// math, percentile edge cases, concurrent scrape safety, the progress
+// throttle, and an end-to-end check that driving the service increments
+// the verb/cache/stage series.
+//
+// The registry is process-global and shared by every test in this
+// binary, so assertions on wired-in series are delta-based: snapshot
+// before, act, snapshot after.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/progress_throttle.h"
+#include "obs/trace.h"
+#include "service/protocol.h"
+#include "service/service_api.h"
+
+namespace kplex {
+namespace {
+
+uint64_t CounterValue(const MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  for (const CounterSample& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+int64_t GaugeValue(const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return 0;
+}
+
+uint64_t HistogramCount(const MetricsSnapshot& snapshot,
+                        const std::string& name) {
+  for (const HistogramSample& histogram : snapshot.histograms) {
+    if (histogram.name == name) return histogram.count;
+  }
+  return 0;
+}
+
+TEST(MetricsRegistry, CounterAndGaugeMath) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test_counter_math_total");
+  const uint64_t before = counter.Value();
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), before + 42);
+  // Same name → same instrument.
+  EXPECT_EQ(&registry.GetCounter("test_counter_math_total"), &counter);
+
+  Gauge& gauge = registry.GetGauge("test_gauge_math");
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+  EXPECT_EQ(&registry.GetGauge("test_gauge_math"), &gauge);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndSum) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_buckets_seconds", {1.0, 2.0, 4.0});
+  const uint64_t before = histogram.Count();
+  histogram.Observe(0.5);   // bucket 0 (le 1)
+  histogram.Observe(1.0);   // bucket 0 (le is inclusive)
+  histogram.Observe(3.0);   // bucket 2 (le 4)
+  histogram.Observe(100.0); // overflow bucket
+  EXPECT_EQ(histogram.Count(), before + 4);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 104.5);
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 0u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);  // +Inf
+  // Custom bounds only apply on first registration.
+  Histogram& again = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_buckets_seconds", {9.0});
+  EXPECT_EQ(&again, &histogram);
+  EXPECT_EQ(histogram.bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, PercentileEdges) {
+  Histogram& empty = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_empty_seconds", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+
+  // Every observation in the overflow bucket clamps to the largest
+  // finite bound rather than inventing a value beyond it.
+  Histogram& overflow = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_overflow_seconds", {1.0, 2.0});
+  overflow.Observe(50.0);
+  overflow.Observe(60.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.99), 2.0);
+
+  // Interpolation stays inside the covering bucket.
+  Histogram& mid = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_mid_seconds", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) mid.Observe(1.5);  // all in (1, 2]
+  const double p50 = mid.Percentile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  // Out-of-range quantiles are clamped, not UB.
+  EXPECT_GE(mid.Percentile(-1.0), 0.0);
+  EXPECT_LE(mid.Percentile(2.0), 4.0);
+}
+
+TEST(MetricsRegistry, SnapshotAndRendering) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_render_total").Increment(3);
+  registry.GetGauge("test_render_depth").Set(-5);
+  registry.GetHistogram("test_render_seconds", {1.0}).Observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "test_render_total"), 3u);
+  EXPECT_EQ(GaugeValue(snapshot, "test_render_depth"), -5);
+  EXPECT_GE(HistogramCount(snapshot, "test_render_seconds"), 1u);
+  EXPECT_EQ(snapshot.SeriesCount(), snapshot.counters.size() +
+                                        snapshot.gauges.size() +
+                                        snapshot.histograms.size());
+
+  const std::string text = RenderMetricsText(snapshot);
+  EXPECT_NE(text.find("counter test_render_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("gauge test_render_depth -5\n"), std::string::npos);
+  EXPECT_NE(text.find("histogram test_render_seconds count="),
+            std::string::npos);
+
+  const std::string prom = RenderMetricsPrometheus(snapshot);
+  EXPECT_NE(prom.find("# TYPE test_render_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_render_total 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_render_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_render_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_render_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_render_seconds_count 1\n"), std::string::npos);
+}
+
+// Writers hammer a counter and a histogram while the main thread
+// scrapes; torn cuts are acceptable, crashes and lost updates are not.
+TEST(MetricsRegistry, ScrapeWhileWriting) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test_scrape_race_total");
+  Histogram& histogram =
+      registry.GetHistogram("test_scrape_race_seconds", {1e-3, 1.0});
+  const uint64_t counter_before = counter.Value();
+  const uint64_t histogram_before = histogram.Count();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(1e-4 * (i % 7));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    EXPECT_LE(CounterValue(snapshot, "test_scrape_race_total"),
+              counter_before + kThreads * kPerThread);
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(counter.Value(), counter_before + kThreads * kPerThread);
+  EXPECT_EQ(histogram.Count(), histogram_before + kThreads * kPerThread);
+}
+
+TEST(ProgressThrottle, DisabledIntervalPassesEverything) {
+  ProgressThrottle throttle(0.0);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(throttle.ShouldEmit(i, 1000));
+  }
+}
+
+TEST(ProgressThrottle, SuppressesWithinIntervalAndCountsIt) {
+  Counter& suppressed = MetricsRegistry::Global().GetCounter(
+      "kplex_enum_progress_suppressed_total");
+  const uint64_t before = suppressed.Value();
+  // An hour-long interval: after the first emission everything but the
+  // final call must be suppressed.
+  ProgressThrottle throttle(3600.0 * 1000.0);
+  EXPECT_TRUE(throttle.ShouldEmit(1, 1000));  // first call always passes
+  uint64_t let_through = 0;
+  for (uint64_t i = 2; i < 1000; ++i) {
+    if (throttle.ShouldEmit(i, 1000)) ++let_through;
+  }
+  EXPECT_EQ(let_through, 0u);
+  EXPECT_TRUE(throttle.ShouldEmit(1000, 1000));  // 100% always passes
+  EXPECT_EQ(suppressed.Value(), before + 998);
+}
+
+TEST(TraceSpans, FeedHistogramsEvenWhenDisabled) {
+  SetTraceEnabled(false);
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test_trace_span_seconds");
+  const uint64_t before = histogram.Count();
+  const uint64_t trace_id = NextTraceId();
+  EXPECT_NE(trace_id, 0u);
+  RecordSpan(trace_id, "test_span", 0.001, &histogram,
+             {{"attr", "value"}});
+  {
+    TraceSpan span(trace_id, "test_span_raii", &histogram);
+    span.AddAttr("graph", "kc");
+  }
+  EXPECT_EQ(histogram.Count(), before + 2);
+}
+
+// Driving the typed service API end to end: request verbs, engine
+// cache counters, and stage histograms all move.
+TEST(MetricsEndToEnd, ServiceTrafficIncrementsSeries) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const MetricsSnapshot before = registry.Snapshot();
+
+  ServiceApi api;
+  Request dataset;
+  dataset.payload = DatasetRequest{"kc", "karate"};
+  Response loaded = api.Execute(dataset);
+  ASSERT_FALSE(std::holds_alternative<ErrorResponse>(loaded.payload));
+
+  Request mine;
+  MineRequest mine_payload;
+  mine_payload.query.graph = "kc";
+  mine_payload.query.k = 2;
+  mine_payload.query.q = 6;
+  mine.payload = mine_payload;
+  Response first = api.Execute(mine);
+  ASSERT_FALSE(std::holds_alternative<ErrorResponse>(first.payload));
+  Response second = api.Execute(mine);  // warm repeat → cache hit
+  ASSERT_FALSE(std::holds_alternative<ErrorResponse>(second.payload));
+
+  Request scrape;
+  scrape.payload = MetricsRequest{};
+  Response response = api.Execute(scrape);
+  const auto* metrics = std::get_if<MetricsResponse>(&response.payload);
+  ASSERT_NE(metrics, nullptr);
+  const MetricsSnapshot& after = metrics->snapshot;
+
+  // Per-verb request series (ServiceApi::Execute chokepoint).
+  EXPECT_GE(CounterValue(after, "kplex_requests_mine_total"),
+            CounterValue(before, "kplex_requests_mine_total") + 2);
+  EXPECT_GE(CounterValue(after, "kplex_requests_dataset_total"),
+            CounterValue(before, "kplex_requests_dataset_total") + 1);
+  EXPECT_GE(CounterValue(after, "kplex_requests_metrics_total"),
+            CounterValue(before, "kplex_requests_metrics_total") + 1);
+  EXPECT_GE(HistogramCount(after, "kplex_request_mine_seconds"),
+            HistogramCount(before, "kplex_request_mine_seconds") + 2);
+
+  // Engine cache accounting: one miss (cold) and one hit (warm).
+  EXPECT_GE(CounterValue(after, "kplex_engine_queries_total"),
+            CounterValue(before, "kplex_engine_queries_total") + 2);
+  EXPECT_GE(CounterValue(after, "kplex_engine_cache_misses_total"),
+            CounterValue(before, "kplex_engine_cache_misses_total") + 1);
+  EXPECT_GE(CounterValue(after, "kplex_engine_cache_hits_total"),
+            CounterValue(before, "kplex_engine_cache_hits_total") + 1);
+
+  // Stage and dispatcher series moved with the cold mine.
+  EXPECT_GE(HistogramCount(after, "kplex_stage_enumerate_seconds"),
+            HistogramCount(before, "kplex_stage_enumerate_seconds") + 1);
+  EXPECT_GE(HistogramCount(after, "kplex_stage_cache_lookup_seconds"),
+            HistogramCount(before, "kplex_stage_cache_lookup_seconds") + 2);
+  EXPECT_GE(CounterValue(after, "kplex_dispatcher_jobs_submitted_total"),
+            CounterValue(before, "kplex_dispatcher_jobs_submitted_total") +
+                2);
+  EXPECT_GE(HistogramCount(after, "kplex_dispatcher_queue_wait_seconds"),
+            HistogramCount(before, "kplex_dispatcher_queue_wait_seconds") +
+                2);
+  EXPECT_GE(CounterValue(after, "kplex_catalog_loads_total"),
+            CounterValue(before, "kplex_catalog_loads_total") + 1);
+
+  // A request answered with an ErrorResponse lands in the failure
+  // counter. (A mine of a missing graph does not: its submit succeeds
+  // and the failure travels inside the job's terminal state.)
+  Request bad;
+  bad.payload = EvictRequest{"no_such_graph"};
+  Response failed = api.Execute(bad);
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(failed.payload));
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_GE(CounterValue(final_snapshot, "kplex_requests_failed_total"),
+            CounterValue(before, "kplex_requests_failed_total") + 1);
+}
+
+TEST(MetricsProtocol, TextAndFramedRoundTrip) {
+  // Text parse accepts the bare and format forms, rejects junk.
+  auto bare = ParseTextRequest("metrics");
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(std::holds_alternative<MetricsRequest>(bare->payload));
+  auto prom = ParseTextRequest("metrics format=prom");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_EQ(std::get<MetricsRequest>(prom->payload).format, "prom");
+  EXPECT_FALSE(ParseTextRequest("metrics bogus").ok());
+
+  // Framed round trip preserves the format.
+  Request request;
+  request.id = 9;
+  request.payload = MetricsRequest{"prom"};
+  const std::string frame = FormatFramedRequest(request);
+  auto parsed = ParseFramedRequest(frame, nullptr);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 9u);
+  EXPECT_EQ(std::get<MetricsRequest>(parsed->payload).format, "prom");
+
+  // An unknown format is rejected at execution with a structured error.
+  ServiceApi api;
+  Request bad;
+  bad.payload = MetricsRequest{"xml"};
+  Response response = api.Execute(bad);
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response.payload));
+}
+
+}  // namespace
+}  // namespace kplex

@@ -59,11 +59,15 @@
 #include "graph/snapshot.h"
 #include "graph/stats.h"
 #include "graph/triangles.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_enumerator.h"
 #include "service/service_session.h"
 #include "service/shard_coordinator.h"
+#include "service/tcp_client.h"
 #include "service/tcp_server.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace kplex {
 namespace {
@@ -83,7 +87,15 @@ int Usage() {
                "                  [--cache-capacity N] [--workers N] [--echo]\n"
                "                  [--listen PORT] [--host H]\n"
                "                  [--max-connections N]\n"
+               "  kplex_cli metrics --endpoint host:port\n"
+               "            [--format table|prom|json] [--io-timeout S]\n"
                "  kplex_cli datasets\n"
+               "global options (any command):\n"
+               "  --log-level L     debug, info, warning or error\n"
+               "  --log-json        one JSON object per log line\n"
+               "  --trace           emit per-query span lines to stderr\n"
+               "  --metrics-dump    print this process's metrics (Prometheus\n"
+               "                    format) to stderr at exit\n"
                "options for mine:\n"
                "  --dataset NAME    use a registry dataset instead of --input\n"
                "  --algo NAME       ours (default), ours_p, basic, listplex, fp\n"
@@ -604,6 +616,130 @@ int RunServe(const FlagParser& flags) {
 #endif  // POSIX
 }
 
+/// Scrapes a live `serve --listen` process's metrics registry. The
+/// table/prom forms ride the text wire (the session starts in text
+/// mode, so no handshake is needed); json asks over the framed wire and
+/// prints the raw response frame.
+int RunMetrics(const FlagParser& flags) {
+  const std::string endpoint = flags.GetString("endpoint", "");
+  if (endpoint.empty()) {
+    std::fprintf(stderr, "--endpoint host:port is required\n");
+    return 1;
+  }
+  const std::string format = flags.GetString("format", "table");
+  if (format != "table" && format != "prom" && format != "json") {
+    std::fprintf(stderr, "--format must be table, prom or json, got '%s'\n",
+                 format.c_str());
+    return 1;
+  }
+  auto io_timeout = flags.GetDouble("io-timeout", 5.0);
+  if (!io_timeout.ok() || *io_timeout < 0) {
+    std::fprintf(stderr, "--io-timeout must be a number >= 0\n");
+    return 1;
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  uint32_t port = 0;
+  if (colon != std::string::npos && colon > 0 && colon + 1 < endpoint.size()) {
+    for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+      const char c = endpoint[i];
+      if (c < '0' || c > '9' || port > 65535) { port = 0; break; }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+    }
+  }
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "--endpoint must be host:port (port 1..65535), "
+                         "got '%s'\n", endpoint.c_str());
+    return 1;
+  }
+
+  TcpClient client;
+  Status connected =
+      client.Connect(endpoint.substr(0, colon),
+                     static_cast<uint16_t>(port), *io_timeout);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  if (format == "json") {
+    Status sent = client.SendLine(
+        "hello proto=" + std::to_string(kProtocolVersion) + " mode=framed");
+    if (!sent.ok()) {
+      std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+      return 1;
+    }
+    auto hello = client.ReadLine();
+    if (!hello.ok()) {
+      std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+      return 1;
+    }
+    auto version = ParseFramedHelloVersion(*hello);
+    if (!version.ok()) {
+      std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+      return 1;
+    }
+    if (*version < 3) {
+      std::fprintf(stderr, "worker %s negotiated protocol v%u but the "
+                           "metrics verb needs v3 (upgrade the worker)\n",
+                   endpoint.c_str(), *version);
+      return 1;
+    }
+    Request request;
+    request.id = 2;
+    request.payload = MetricsRequest{};
+    sent = client.SendLine(FormatFramedRequest(request));
+    if (!sent.ok()) {
+      std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+      return 1;
+    }
+    auto line = client.ReadLine();
+    if (!line.ok()) {
+      std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    if (line->find("\"type\":\"error\"") != std::string::npos) {
+      std::fprintf(stderr, "%s\n", line->c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    return 0;
+  }
+
+  Status sent = client.SendLine(format == "prom" ? "metrics format=prom"
+                                                 : "metrics");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto header = client.ReadLine();
+  if (!header.ok()) {
+    std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+    return 1;
+  }
+  // The body length is announced up front ("metrics N series" /
+  // "metrics prom N lines"), so the scrape knows exactly how many lines
+  // to drain — no sentinel, no read-until-close.
+  unsigned long long body_lines = 0;
+  const int matched =
+      format == "prom"
+          ? std::sscanf(header->c_str(), "metrics prom %llu lines",
+                        &body_lines)
+          : std::sscanf(header->c_str(), "metrics %llu series", &body_lines);
+  if (matched != 1) {
+    std::fprintf(stderr, "%s\n", header->c_str());
+    return 1;
+  }
+  for (unsigned long long i = 0; i < body_lines; ++i) {
+    auto line = client.ReadLine();
+    if (!line.ok()) {
+      std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+  }
+  return 0;
+}
+
 int RunDatasets() {
   TablePrinter table({"name", "stands for", "category", "recipe"});
   for (const auto& spec : AllDatasets()) {
@@ -622,6 +758,20 @@ int Main(int argc, char** argv) {
   const FlagParser& flags = *parsed;
   if (flags.positional().size() != 1) return Usage();
   const std::string& command = flags.positional()[0];
+
+  // Global observability flags, valid on every command.
+  const std::string log_level = flags.GetString("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr, "--log-level must be debug, info, warning or "
+                           "error, got '%s'\n", log_level.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  if (flags.Has("log-json")) SetLogJson(true);
+  if (flags.Has("trace")) SetTraceEnabled(true);
 
   // Each command rejects the other commands' flags: a serve-only flag
   // on `mine` is a typo the user should hear about, not a no-op.
@@ -646,18 +796,32 @@ int Main(int argc, char** argv) {
     known = {"script", "memory-budget-mb", "cache-capacity", "workers",
              "echo", "listen", "host", "max-connections"};
     run = RunServe;
+  } else if (command == "metrics") {
+    known = {"endpoint", "format", "io-timeout"};
+    run = RunMetrics;
   } else if (command == "datasets") {
     run = [](const FlagParser&) { return RunDatasets(); };
   } else {
     return Usage();
   }
+  known.insert(known.end(),
+               {"log-level", "log-json", "trace", "metrics-dump"});
   auto unknown = flags.UnknownFlags(known);
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag --%s for '%s'\n",
                  unknown.front().c_str(), command.c_str());
     return Usage();
   }
-  return run(flags);
+  const int exit_code = run(flags);
+  if (flags.Has("metrics-dump")) {
+    // To stderr, after the command's own output: stdout stays the
+    // machine-readable surface (shard_smoke parses it), and a failed
+    // command still reports what its counters saw.
+    const std::string dump =
+        RenderMetricsPrometheus(MetricsRegistry::Global().Snapshot());
+    std::fputs(dump.c_str(), stderr);
+  }
+  return exit_code;
 }
 
 }  // namespace
