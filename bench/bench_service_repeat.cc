@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "service/dispatcher.h"
 #include "service/graph_catalog.h"
 #include "service/query_engine.h"
+#include "service/service_session.h"
 #include "util/timer.h"
 
 namespace kplex {
@@ -234,6 +236,102 @@ int Run() {
   std::printf("cold-to-warm speedup: %.0fx\n",
               cold->seconds / std::max(warm->seconds, 1e-9));
 
+  // ------------------------------------- streamed delivery (protocol v4)
+  // What results=stream costs on top of a count-only mine: buffering
+  // the plex bodies, then chunk-framing them through a ServiceSession
+  // (the exact serve code path, written to a sink in memory). top=K
+  // shows the selection sink's price for keeping only the K best.
+  // Self-checked: the streamed chunks must reassemble to the count-only
+  // answer and top=K must serve the K largest, best-first.
+  std::printf("\nstreamed delivery (k=%u, q=%u)\n", kK, kQ);
+  bool stream_ok = true;
+  {
+    TablePrinter stream_table({"mode", "plexes", "seconds", "vs count"});
+    QueryEngine stream_engine(catalog, /*cache_capacity=*/0);
+
+    QueryRequest count_only = request;
+    timer.Restart();
+    auto counted = stream_engine.Run(count_only);
+    const double count_seconds = timer.ElapsedSeconds();
+    stream_ok = counted.ok();
+
+    QueryRequest buffered = request;
+    buffered.collect_bodies = true;
+    timer.Restart();
+    auto bodies = stream_engine.Run(buffered);
+    const double buffered_seconds = timer.ElapsedSeconds();
+    stream_ok = stream_ok && bodies.ok() && bodies->plexes != nullptr &&
+                bodies->plexes->size() == counted->num_plexes &&
+                bodies->fingerprint == counted->fingerprint;
+
+    // The serve path end to end: chunk frames rendered by a framed
+    // ServiceSession into an in-memory sink.
+    std::ostringstream wire;
+    ServiceSession session(wire);
+    stream_ok = stream_ok &&
+                session.catalog().RegisterFile("bench", pre_path).ok() &&
+                session.ExecuteLine("hello proto=4 mode=framed");
+    timer.Restart();
+    stream_ok = stream_ok &&
+                session.ExecuteLine(
+                    "{\"id\":1,\"cmd\":\"mine\",\"graph\":\"bench\","
+                    "\"k\":" + std::to_string(kK) +
+                    ",\"q\":" + std::to_string(kQ) +
+                    ",\"results\":\"stream\",\"chunk\":64,"
+                    "\"cache\":false}");
+    const double streamed_seconds = timer.ElapsedSeconds();
+    uint64_t chunk_frames = 0;
+    const std::string transcript = wire.str();
+    for (std::size_t at = transcript.find("\"type\":\"result_chunk\"");
+         at != std::string::npos;
+         at = transcript.find("\"type\":\"result_chunk\"", at + 1)) {
+      ++chunk_frames;
+    }
+    const uint64_t expected_frames =
+        counted.ok() ? std::max<uint64_t>(
+                           1, (counted->num_plexes + 63) / 64)
+                     : 0;
+    stream_ok = stream_ok && chunk_frames == expected_frames &&
+                session.errors() == 0;
+
+    QueryRequest top = request;
+    top.collect_bodies = true;
+    top.top_k = 10;
+    timer.Restart();
+    auto best = stream_engine.Run(top);
+    const double top_seconds = timer.ElapsedSeconds();
+    stream_ok = stream_ok && best.ok() && best->plexes != nullptr &&
+                best->plexes->size() ==
+                    std::min<uint64_t>(10, counted->num_plexes);
+    if (stream_ok && !best->plexes->empty()) {
+      stream_ok = best->plexes->front().size() == counted->max_plex_size;
+      for (std::size_t i = 1; i < best->plexes->size(); ++i) {
+        stream_ok = stream_ok && (*best->plexes)[i - 1].size() >=
+                                     (*best->plexes)[i].size();
+      }
+    }
+
+    auto ratio = [&](double seconds) {
+      return FormatDouble(seconds / std::max(count_seconds, 1e-9), 2) + "x";
+    };
+    stream_table.AddRow({"count only", FormatCount(counted->num_plexes),
+                         FormatSeconds(count_seconds), "1.00x"});
+    stream_table.AddRow({"bodies buffered",
+                         FormatCount(counted->num_plexes),
+                         FormatSeconds(buffered_seconds),
+                         ratio(buffered_seconds)});
+    stream_table.AddRow({"streamed chunks (session)",
+                         FormatCount(counted->num_plexes),
+                         FormatSeconds(streamed_seconds),
+                         ratio(streamed_seconds)});
+    stream_table.AddRow({"top=10", "10", FormatSeconds(top_seconds),
+                         ratio(top_seconds)});
+    stream_table.Print(std::cout);
+    std::printf("streamed chunks reassemble the count-only answer and "
+                "top=K is best-first: %s\n",
+                stream_ok ? "yes" : "NO (BUG)");
+  }
+
   // --------------------------------------------- contended throughput
   // A batch of mixed queries (4 distinct q values, 3 copies each) runs
   // through the ServiceDispatcher at increasing worker counts over the
@@ -381,7 +479,9 @@ int Run() {
               one_shard_seconds / std::max(four_shard_seconds, 1e-9));
 
   std::system(("rm -rf " + dir).c_str());
-  return identical && reduction_ok && contended_ok && shard_ok ? 0 : 1;
+  return identical && reduction_ok && stream_ok && contended_ok && shard_ok
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -86,6 +86,7 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
       continue;
     }
 
+    const uint64_t outputs_before_seed = result.counters.outputs;
     BranchEngine engine(*sg, options, sink, result.counters);
     if (global_deadline > 0) engine.SetGlobalDeadline(global_deadline);
     EnumerateSubtasks(*sg, options, result.counters,
@@ -97,6 +98,9 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
     }
     if (engine.stopped_early()) {
       result.stopped_early = true;
+      result.has_resume = true;
+      result.resume_seed = idx;
+      result.resume_ordinal = result.counters.outputs - outputs_before_seed;
       break;
     }
     if (engine.cancelled()) {

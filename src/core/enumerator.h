@@ -32,6 +32,16 @@ struct EnumResult {
   bool stopped_early = false;
   /// True when the run was aborted through options.cancel.
   bool cancelled = false;
+  /// Resume cursor, set by the sequential driver when the run stopped
+  /// at options.max_results: `resume_seed` is the canonical seed index
+  /// that was mid-enumeration and `resume_ordinal` the number of plexes
+  /// already emitted from that seed. Re-running with seed_range.begin =
+  /// resume_seed while dropping the first resume_ordinal emissions
+  /// continues the enumeration exactly where it stopped (each seed
+  /// re-enumerates deterministically from scratch).
+  bool has_resume = false;
+  uint32_t resume_seed = 0;
+  uint64_t resume_ordinal = 0;
   AlgoCounters counters;
 };
 

@@ -32,4 +32,42 @@ void HashingSink::Emit(std::span<const VertexId> plex) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+// "a ranks strictly ahead of b" for top-K selection: larger size first,
+// then the lexicographically smaller vertex list. Total order on
+// distinct plexes, so the selected set is emission-order independent.
+bool RanksAhead(const std::vector<VertexId>& a,
+                const std::vector<VertexId>& b) {
+  if (a.size() != b.size()) return a.size() > b.size();
+  return a < b;
+}
+
+}  // namespace
+
+void TopKSink::Emit(std::span<const VertexId> plex) {
+  if (k_ == 0) return;
+  std::vector<VertexId> candidate(plex.begin(), plex.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(candidate));
+    std::push_heap(heap_.begin(), heap_.end(), RanksAhead);
+    return;
+  }
+  // heap_.front() is the worst kept plex; replace it only when the
+  // candidate ranks strictly ahead of it.
+  if (RanksAhead(candidate, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), RanksAhead);
+    heap_.back() = std::move(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), RanksAhead);
+  }
+}
+
+std::vector<std::vector<VertexId>> TopKSink::Selected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<VertexId>> out = heap_;
+  std::sort(out.begin(), out.end(), RanksAhead);
+  return out;
+}
+
 }  // namespace kplex

@@ -59,6 +59,13 @@ class CollectingSink : public ResultSink {
   /// Results sorted lexicographically (canonical order for comparison).
   std::vector<std::vector<VertexId>> SortedResults() const;
 
+  /// Results in emission order — the order a sequential run delivers
+  /// them in, which is the order cursor pagination slices.
+  std::vector<std::vector<VertexId>> Results() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_;
+  }
+
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return results_.size();
@@ -136,6 +143,85 @@ class CallbackSink : public ResultSink {
 
  private:
   std::function<void(std::span<const VertexId>)> fn_;
+};
+
+/// Server-side selection predicate over emitted plexes. A zero size
+/// bound means "unbounded"; `contain` relies on the sink contract that
+/// plexes arrive sorted ascending (binary search).
+struct PlexFilter {
+  uint64_t min_size = 0;
+  uint64_t max_size = 0;
+  bool has_contain = false;
+  VertexId contain = 0;
+
+  bool IsActive() const {
+    return min_size > 0 || max_size > 0 || has_contain;
+  }
+
+  bool Matches(std::span<const VertexId> plex) const {
+    if (min_size > 0 && plex.size() < min_size) return false;
+    if (max_size > 0 && plex.size() > max_size) return false;
+    if (has_contain &&
+        !std::binary_search(plex.begin(), plex.end(), contain)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Forwards only the plexes a PlexFilter accepts. Stateless beyond the
+/// filter, so thread safety is inherited from the inner sink.
+class FilteringSink : public ResultSink {
+ public:
+  FilteringSink(PlexFilter filter, ResultSink& next)
+      : filter_(filter), next_(next) {}
+
+  void Emit(std::span<const VertexId> plex) override {
+    if (filter_.Matches(plex)) next_.Emit(plex);
+  }
+
+ private:
+  PlexFilter filter_;
+  ResultSink& next_;
+};
+
+/// Drops the first `skip` emissions and forwards the rest — the resume
+/// half of a cursor: re-enumerating the cursor seed from scratch is
+/// deterministic, so skipping the already-delivered prefix continues a
+/// truncated run exactly where it stopped.
+class SkippingSink : public ResultSink {
+ public:
+  SkippingSink(uint64_t skip, ResultSink& next) : skip_(skip), next_(next) {}
+
+  void Emit(std::span<const VertexId> plex) override {
+    if (seen_.fetch_add(1, std::memory_order_relaxed) >= skip_) {
+      next_.Emit(plex);
+    }
+  }
+
+ private:
+  const uint64_t skip_;
+  std::atomic<uint64_t> seen_{0};
+  ResultSink& next_;
+};
+
+/// Keeps the K largest plexes seen (top=K). Ties break deterministically:
+/// larger size wins, then the lexicographically smaller vertex list, so
+/// the selection is independent of emission order. Call Selected() after
+/// the run; it returns the winners best-first.
+class TopKSink : public ResultSink {
+ public:
+  explicit TopKSink(std::size_t k) : k_(k) {}
+
+  void Emit(std::span<const VertexId> plex) override;
+
+  std::vector<std::vector<VertexId>> Selected() const;
+
+ private:
+  const std::size_t k_;
+  mutable std::mutex mutex_;
+  // Heap ordered so the *worst* kept plex is on top, ready to be evicted.
+  std::vector<std::vector<VertexId>> heap_;
 };
 
 }  // namespace kplex

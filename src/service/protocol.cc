@@ -102,6 +102,69 @@ std::string FormatSeedRangeValue(uint32_t begin, uint32_t end) {
          (end == UINT32_MAX ? std::string("end") : std::to_string(end));
 }
 
+/// Parses the resume-token grammar "SEED:ORDINAL".
+Status ParseCursorValue(const std::string& value, uint32_t* seed,
+                        uint64_t* ordinal) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "cursor must be SEED:ORDINAL (the resume token a truncated run "
+        "returned), got '" + value + "'");
+  }
+  auto parsed_seed = ParseUint("cursor", value.substr(0, colon), UINT32_MAX);
+  if (!parsed_seed.ok()) return parsed_seed.status();
+  auto parsed_ordinal = ParseUint("cursor", value.substr(colon + 1));
+  if (!parsed_ordinal.ok()) return parsed_ordinal.status();
+  *seed = static_cast<uint32_t>(*parsed_seed);
+  *ordinal = *parsed_ordinal;
+  return Status::Ok();
+}
+
+/// Cross-option validation shared by both codecs (the text filter
+/// grammar and the framed min_size/max_size fields accumulate into the
+/// same request fields).
+Status CheckSelectionOptions(const QueryRequest& query) {
+  if (query.filter_min_size > 0 && query.filter_max_size > 0 &&
+      query.filter_min_size > query.filter_max_size) {
+    return Status::InvalidArgument(
+        "filter size>=" + std::to_string(query.filter_min_size) +
+        " contradicts size<=" + std::to_string(query.filter_max_size));
+  }
+  return Status::Ok();
+}
+
+/// Parses the selection grammar "size>=S[,size<=T]" (terms in either
+/// order) into the request's filter bounds.
+Status ParseFilterValue(const std::string& value, QueryRequest* request) {
+  if (value.empty()) {
+    return Status::InvalidArgument(
+        "filter must be size>=S or size<=T (comma-separated terms)");
+  }
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string term = value.substr(pos, comma - pos);
+    uint64_t* slot = nullptr;
+    if (term.rfind("size>=", 0) == 0) {
+      slot = &request->filter_min_size;
+    } else if (term.rfind("size<=", 0) == 0) {
+      slot = &request->filter_max_size;
+    } else {
+      return Status::InvalidArgument("malformed filter term '" + term +
+                                     "' (expected size>=S or size<=T)");
+    }
+    auto parsed = ParseUint("filter", term.substr(6));
+    if (!parsed.ok()) return parsed.status();
+    if (*parsed == 0) {
+      return Status::InvalidArgument("filter size bound must be >= 1");
+    }
+    *slot = *parsed;
+    pos = comma + 1;
+  }
+  return CheckSelectionOptions(*request);
+}
+
 /// Parses a 64-bit hex value with a required 0x prefix (the wire shape
 /// of fingerprints and content hashes).
 StatusOr<uint64_t> ParseHexU64(const std::string& key,
@@ -165,7 +228,9 @@ StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument(
         "usage: " + args[0] +
         " NAME K Q [algo=...] [threads=N] [max-results=N] "
-        "[time-limit=S] [tau-ms=T] [cache=on|off] [seed-range=B:E]");
+        "[time-limit=S] [tau-ms=T] [cache=on|off] [seed-range=B:E] "
+        "[results=stream|count] [chunk=N] [filter=size>=S,size<=T] "
+        "[contain=V] [top=K] [mode=enumerate|maximum] [cursor=S:O]");
   }
   QueryRequest request;
   request.graph = args[1];
@@ -211,11 +276,47 @@ StatusOr<QueryRequest> ParseQueryArgs(const std::vector<std::string>& args) {
     } else if (key == "seed-range") {
       KPLEX_RETURN_IF_ERROR(ParseSeedRangeValue(value, &request.seed_begin,
                                                 &request.seed_end));
+    } else if (key == "results") {
+      if (value != "stream" && value != "count") {
+        return Status::InvalidArgument("results must be stream or count");
+      }
+      request.collect_bodies = value == "stream";
+    } else if (key == "chunk") {
+      auto parsed = ParseUint(key, value, 65536);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("chunk must be >= 1");
+      }
+      request.chunk_size = static_cast<uint32_t>(*parsed);
+    } else if (key == "filter") {
+      KPLEX_RETURN_IF_ERROR(ParseFilterValue(value, &request));
+    } else if (key == "contain") {
+      auto parsed = ParseUint(key, value, UINT32_MAX);
+      if (!parsed.ok()) return parsed.status();
+      request.has_contain = true;
+      request.contain = static_cast<uint32_t>(*parsed);
+    } else if (key == "top") {
+      auto parsed = ParseUint(key, value);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("top must be >= 1");
+      }
+      request.top_k = *parsed;
+    } else if (key == "mode") {
+      if (value != "enumerate" && value != "maximum") {
+        return Status::InvalidArgument("mode must be enumerate or maximum");
+      }
+      request.maximum = value == "maximum";
+    } else if (key == "cursor") {
+      KPLEX_RETURN_IF_ERROR(ParseCursorValue(value, &request.cursor_seed,
+                                             &request.cursor_ordinal));
+      request.has_cursor = true;
     } else {
       return Status::InvalidArgument("unknown " + args[0] + " option '" +
                                      key + "'");
     }
   }
+  KPLEX_RETURN_IF_ERROR(CheckSelectionOptions(request));
   return request;
 }
 
@@ -242,6 +343,25 @@ std::string FormatQueryArgs(const std::string& cmd,
     line += " seed-range=" +
             FormatSeedRangeValue(query.seed_begin, query.seed_end);
   }
+  if (query.collect_bodies) line += " results=stream";
+  if (query.chunk_size > 0) line += " chunk=" + std::to_string(query.chunk_size);
+  if (query.filter_min_size > 0 || query.filter_max_size > 0) {
+    line += " filter=";
+    if (query.filter_min_size > 0) {
+      line += "size>=" + std::to_string(query.filter_min_size);
+      if (query.filter_max_size > 0) line += ",";
+    }
+    if (query.filter_max_size > 0) {
+      line += "size<=" + std::to_string(query.filter_max_size);
+    }
+  }
+  if (query.has_contain) line += " contain=" + std::to_string(query.contain);
+  if (query.top_k > 0) line += " top=" + std::to_string(query.top_k);
+  if (query.maximum) line += " mode=maximum";
+  if (query.has_cursor) {
+    line += " cursor=" +
+            FormatCursorValue(query.cursor_seed, query.cursor_ordinal);
+  }
   return line;
 }
 
@@ -259,6 +379,11 @@ void WriteMineLine(std::ostream& out, const QueryRequest& query,
   if (result.timed_out) out << " [time limit hit]";
   if (result.stopped_early) out << " [result cap hit]";
   if (result.cancelled) out << " [cancelled]";
+  if (result.has_cursor) {
+    out << " [cursor "
+        << FormatCursorValue(result.cursor_seed, result.cursor_ordinal)
+        << "]";
+  }
   out << "\n";
 }
 
@@ -328,7 +453,13 @@ constexpr const char kHelpText[] =
     "                        precompute stores reduction sections\n"
     "  mine NAME K Q [algo=ours|ours_p|basic|listplex|fp]\n"
     "       [threads=N] [max-results=N] [time-limit=S] [tau-ms=T]\n"
-    "       [cache=on|off] [ctcp=on|off]\n"
+    "       [cache=on|off] [ctcp=on|off] [results=stream|count]\n"
+    "       [chunk=N] [filter=size>=S,size<=T] [contain=V] [top=K]\n"
+    "       [mode=enumerate|maximum] [cursor=S:O]\n"
+    "                        results=stream delivers the plex bodies in\n"
+    "                        bounded result chunks before the summary;\n"
+    "                        a max-results-truncated sequential run\n"
+    "                        reports a cursor to resume from\n"
     "  submit NAME K Q [...] run a mine asynchronously; prints a\n"
     "                        job id immediately\n"
     "  mineshard NAME K Q [seed-range=B:E] [hash=0xH] [...]\n"
@@ -388,6 +519,7 @@ class JsonWriter {
     fresh_ = true;
   }
   void BeginArrayElementObject() { Separate(); out_ += '{'; fresh_ = true; }
+  void BeginArrayElementArray() { Separate(); out_ += '['; fresh_ = true; }
   void EndArray() { out_ += ']'; fresh_ = false; }
 
   void Add(const std::string& key, const std::string& value) {
@@ -798,6 +930,13 @@ void WriteJobFields(JsonWriter& json, const JobInfo& info) {
     json.Add("timed_out", info.result.timed_out);
     json.Add("stopped_early", info.result.stopped_early);
     json.Add("cancelled", info.result.cancelled);
+    if (info.result.plexes != nullptr) {
+      json.Add("bodies", info.result.plexes->size());
+    }
+    if (info.result.has_cursor) {
+      json.Add("cursor", FormatCursorValue(info.result.cursor_seed,
+                                           info.result.cursor_ordinal));
+    }
   }
   if (info.state == JobState::kFailed) {
     json.BeginObjectValue("error");
@@ -1113,6 +1252,20 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
     void operator()(const ShardResultResponse& shard) const {
       WriteShardOutcome(out, shard);
     }
+    void operator()(const ResultChunkResponse& chunk) const {
+      out << "chunk " << chunk.seq;
+      if (chunk.last) out << " last";
+      out << ":";
+      for (std::size_t i = 0; i < chunk.plexes.size(); ++i) {
+        out << (i == 0 ? " " : " | ");
+        const std::vector<VertexId>& plex = chunk.plexes[i];
+        for (std::size_t j = 0; j < plex.size(); ++j) {
+          if (j > 0) out << " ";
+          out << plex[j];
+        }
+      }
+      out << "\n";
+    }
     void operator()(const CancelResponse& cancel) const {
       out << "cancel requested for job " << cancel.job << "\n";
     }
@@ -1405,6 +1558,67 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
         (key == "ctcp" ? query.use_ctcp : query.use_cache) = *flag;
         return Status::Ok();
       }
+      if (key == "results") {
+        auto text = GetString(value, key);
+        if (!text.ok()) return text.status();
+        if (*text != "stream" && *text != "count") {
+          return Status::InvalidArgument("results must be stream or count");
+        }
+        query.collect_bodies = *text == "stream";
+        return Status::Ok();
+      }
+      if (key == "chunk") {
+        auto parsed_uint = GetUint(value, key, 65536);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        if (*parsed_uint == 0) {
+          return Status::InvalidArgument("chunk must be >= 1");
+        }
+        query.chunk_size = static_cast<uint32_t>(*parsed_uint);
+        return Status::Ok();
+      }
+      if (key == "min_size" || key == "max_size") {
+        auto parsed_uint = GetUint(value, key);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        if (*parsed_uint == 0) {
+          return Status::InvalidArgument("filter size bound must be >= 1");
+        }
+        (key == "min_size" ? query.filter_min_size : query.filter_max_size) =
+            *parsed_uint;
+        return Status::Ok();
+      }
+      if (key == "contain") {
+        auto parsed_uint = GetUint(value, key, UINT32_MAX);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        query.has_contain = true;
+        query.contain = static_cast<uint32_t>(*parsed_uint);
+        return Status::Ok();
+      }
+      if (key == "top") {
+        auto parsed_uint = GetUint(value, key);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        if (*parsed_uint == 0) {
+          return Status::InvalidArgument("top must be >= 1");
+        }
+        query.top_k = *parsed_uint;
+        return Status::Ok();
+      }
+      if (key == "mode") {
+        auto text = GetString(value, key);
+        if (!text.ok()) return text.status();
+        if (*text != "enumerate" && *text != "maximum") {
+          return Status::InvalidArgument("mode must be enumerate or maximum");
+        }
+        query.maximum = *text == "maximum";
+        return Status::Ok();
+      }
+      if (key == "cursor") {
+        auto text = GetString(value, key);
+        if (!text.ok()) return text.status();
+        KPLEX_RETURN_IF_ERROR(ParseCursorValue(*text, &query.cursor_seed,
+                                               &query.cursor_ordinal));
+        query.has_cursor = true;
+        return Status::Ok();
+      }
       return UnknownField(*cmd, key);
     });
     if (!walked.ok()) return walked;
@@ -1418,6 +1632,7 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
           std::to_string(query.seed_begin) + ":" +
           std::to_string(query.seed_end) + ")");
     }
+    KPLEX_RETURN_IF_ERROR(CheckSelectionOptions(query));
     if (*cmd == "mine") {
       request.payload = MineRequest{std::move(query)};
     } else if (*cmd == "submit") {
@@ -1564,6 +1779,21 @@ std::string FormatFramedRequest(const Request& request) {
         json.Add("seed_begin", query.seed_begin);
         json.Add("seed_end", query.seed_end);
       }
+      if (query.collect_bodies) json.Add("results", "stream");
+      if (query.chunk_size > 0) json.Add("chunk", query.chunk_size);
+      if (query.filter_min_size > 0) {
+        json.Add("min_size", query.filter_min_size);
+      }
+      if (query.filter_max_size > 0) {
+        json.Add("max_size", query.filter_max_size);
+      }
+      if (query.has_contain) json.Add("contain", query.contain);
+      if (query.top_k > 0) json.Add("top", query.top_k);
+      if (query.maximum) json.Add("mode", "maximum");
+      if (query.has_cursor) {
+        json.Add("cursor",
+                 FormatCursorValue(query.cursor_seed, query.cursor_ordinal));
+      }
     }
     void operator()(const MineRequest& mine) const {
       AddQuery("mine", mine.query);
@@ -1659,6 +1889,19 @@ std::string FormatFramedResponse(const Response& response) {
         json.Add("total_seeds", shard.job.result.total_seeds);
       }
       json.Add("content_hash", HexFingerprint(shard.content_hash));
+    }
+    void operator()(const ResultChunkResponse& chunk) const {
+      json.Add("type", "result_chunk");
+      json.Add("job", chunk.job);
+      json.Add("seq", chunk.seq);
+      json.Add("last", chunk.last);
+      json.BeginArray("plexes");
+      for (const std::vector<VertexId>& plex : chunk.plexes) {
+        json.BeginArrayElementArray();
+        for (VertexId v : plex) json.AddElement(v);
+        json.EndArray();
+      }
+      json.EndArray();
     }
     void operator()(const CancelResponse& cancel) const {
       json.Add("type", "cancelling");
@@ -1937,6 +2180,108 @@ StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line) {
   KPLEX_RETURN_IF_ERROR(
       ReadBoolField(*frame, "cancelled", &result.cancelled));
   return result;
+}
+
+StatusOr<std::string> PeekFramedResponseType(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  const JsonValue* type = frame->Find("type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("response frame is missing 'type'");
+  }
+  return type->string_value;
+}
+
+StatusOr<ParsedResultChunk> ParseFramedResultChunk(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "result_chunk"));
+  ParsedResultChunk chunk;
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &chunk.request_id));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "job", &chunk.job));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "seq", &chunk.seq));
+  KPLEX_RETURN_IF_ERROR(ReadBoolField(*frame, "last", &chunk.last));
+  const JsonValue* plexes = frame->Find("plexes");
+  if (plexes == nullptr || plexes->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "result_chunk frame is missing the 'plexes' array");
+  }
+  chunk.plexes.reserve(plexes->array.size());
+  for (const JsonValue& plex : plexes->array) {
+    if (plex.kind != JsonValue::Kind::kArray) {
+      return WrongType("plexes", "an array of vertex-id arrays");
+    }
+    std::vector<VertexId> vertices;
+    vertices.reserve(plex.array.size());
+    for (const JsonValue& vertex : plex.array) {
+      auto parsed = GetUint(vertex, "plexes", UINT32_MAX);
+      if (!parsed.ok()) return parsed.status();
+      vertices.push_back(static_cast<VertexId>(*parsed));
+    }
+    chunk.plexes.push_back(std::move(vertices));
+  }
+  return chunk;
+}
+
+StatusOr<ParsedMineResult> ParseFramedMineResult(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "mine"));
+  ParsedMineResult result;
+  const JsonValue* state = frame->Find("state");
+  if (state == nullptr || state->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("mine frame is missing 'state'");
+  }
+  result.state = state->string_value;
+  if (result.state == "failed") {
+    const JsonValue* error = frame->Find("error");
+    if (error != nullptr && error->kind == JsonValue::Kind::kObject) {
+      const JsonValue* code = error->Find("code");
+      const JsonValue* message = error->Find("message");
+      return Status(
+          code != nullptr && code->kind == JsonValue::Kind::kString
+              ? StatusCodeFromName(code->string_value)
+              : StatusCode::kInternal,
+          message != nullptr && message->kind == JsonValue::Kind::kString
+              ? message->string_value
+              : "mine job failed");
+    }
+    return Status::Internal("mine job failed");
+  }
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &result.request_id));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "plexes", &result.plexes));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "max_size", &result.max_size));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "bodies", &result.bodies));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "fingerprint", &result.fingerprint));
+  KPLEX_RETURN_IF_ERROR(ReadDoubleField(*frame, "seconds", &result.seconds));
+  KPLEX_RETURN_IF_ERROR(ReadBoolField(*frame, "cached", &result.cached));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "timed_out", &result.timed_out));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "stopped_early", &result.stopped_early));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "cancelled", &result.cancelled));
+  const JsonValue* cursor = frame->Find("cursor");
+  if (cursor != nullptr) {
+    auto text = GetString(*cursor, "cursor");
+    if (!text.ok()) return text.status();
+    KPLEX_RETURN_IF_ERROR(ParseCursorValue(*text, &result.cursor_seed,
+                                           &result.cursor_ordinal));
+    result.has_cursor = true;
+  }
+  return result;
+}
+
+StatusOr<ResumeCursor> ParseCursorText(const std::string& value) {
+  ResumeCursor cursor;
+  KPLEX_RETURN_IF_ERROR(
+      ParseCursorValue(value, &cursor.seed, &cursor.ordinal));
+  return cursor;
+}
+
+std::string FormatCursorValue(uint32_t seed, uint64_t ordinal) {
+  return std::to_string(seed) + ":" + std::to_string(ordinal);
 }
 
 const char* RequestVerbName(const RequestPayload& payload) {

@@ -59,12 +59,19 @@ namespace kplex {
 
 /// Current protocol version (see the compat policy above). v2 added the
 /// sharded-mining vocabulary (mineshard / shard_result); v3 added the
-/// `metrics` scrape verb.
-inline constexpr uint32_t kProtocolVersion = 3;
+/// `metrics` scrape verb; v4 added streamed result bodies
+/// (results=stream / result_chunk frames / cursor resume) and the
+/// server-side selection options (filter / contain / top / mode).
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// First protocol version that speaks mineshard/shard_result; what a
 /// shard coordinator requires its workers to negotiate.
 inline constexpr uint32_t kProtocolVersionSharding = 2;
+
+/// First protocol version that streams result bodies and understands
+/// the selection options; what a streaming client requires its server
+/// to negotiate.
+inline constexpr uint32_t kProtocolVersionStreaming = 4;
 
 /// Wire encoding of a session. Text is the default; framed is opted
 /// into through the hello handshake.
@@ -273,6 +280,20 @@ struct MetricsResponse {
   MetricsSnapshot snapshot;
 };
 
+/// One bounded slice of a streamed result body (`results=stream`, v4):
+/// up to chunk-size plexes, each a sorted vertex-id list. `seq` numbers
+/// the chunks of one response from 0 and `last` marks the final slice;
+/// every chunk frame precedes the final mine/verdict frame of the same
+/// request id, so a client drains chunks until `last` and then reads
+/// the verdict. An empty result still sends one empty last chunk — the
+/// body stream is always present when bodies were requested.
+struct ResultChunkResponse {
+  uint64_t job = 0;
+  uint64_t seq = 0;
+  bool last = false;
+  std::vector<std::vector<VertexId>> plexes;
+};
+
 struct EvictResponse {
   std::string name;
 };
@@ -290,10 +311,10 @@ struct ErrorResponse {
 
 using ResponsePayload =
     std::variant<HelloResponse, LoadResponse, SnapshotResponse, MineResponse,
-                 SubmitResponse, ShardResultResponse, CancelResponse,
-                 JobsResponse, WaitResponse, WaitAllResponse, StatsResponse,
-                 MetricsResponse, EvictResponse, HelpResponse, ByeResponse,
-                 ErrorResponse>;
+                 SubmitResponse, ShardResultResponse, ResultChunkResponse,
+                 CancelResponse, JobsResponse, WaitResponse, WaitAllResponse,
+                 StatsResponse, MetricsResponse, EvictResponse, HelpResponse,
+                 ByeResponse, ErrorResponse>;
 
 struct Response {
   uint64_t request_id = 0;  ///< mirrors Request::id
@@ -375,6 +396,51 @@ struct ParsedShardResult {
 /// Decodes a framed shard_result response line.
 StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line);
 
+/// The frame's "type" value ("mine", "result_chunk", "error", ...) —
+/// how a streaming client decides which decoder to hand a line to.
+/// Error frames are NOT surfaced as a type: they come back as their
+/// embedded structured Status, like every decoder here.
+StatusOr<std::string> PeekFramedResponseType(const std::string& line);
+
+/// A decoded result_chunk frame — one bounded slice of a streamed body.
+struct ParsedResultChunk {
+  uint64_t request_id = 0;
+  uint64_t job = 0;
+  uint64_t seq = 0;
+  bool last = false;
+  std::vector<std::vector<VertexId>> plexes;
+};
+
+/// Decodes a framed result_chunk response line.
+StatusOr<ParsedResultChunk> ParseFramedResultChunk(const std::string& line);
+
+/// A decoded final mine frame — the verdict a streaming client reads
+/// after draining the chunk frames of the same request id.
+struct ParsedMineResult {
+  uint64_t request_id = 0;
+  std::string state;        ///< "done" / "cancelled" / "failed"
+  uint64_t plexes = 0;      ///< served count (post-filter / post-top)
+  uint64_t max_size = 0;
+  /// Number of bodies the server buffered (and streamed, for a
+  /// results=stream request) — what the chunk frames should reassemble
+  /// to. 0 when the request did not ask for bodies.
+  uint64_t bodies = 0;
+  uint64_t fingerprint = 0;
+  double seconds = 0;
+  bool cached = false;
+  bool timed_out = false;
+  bool stopped_early = false;
+  bool cancelled = false;
+  /// Resume cursor, present when the run stopped at max-results with
+  /// more enumeration left.
+  bool has_cursor = false;
+  uint32_t cursor_seed = 0;
+  uint64_t cursor_ordinal = 0;
+};
+
+/// Decodes a framed mine response line.
+StatusOr<ParsedMineResult> ParseFramedMineResult(const std::string& line);
+
 // ------------------------------------------------------------ error hygiene
 
 /// Replaces every absolute filesystem path in `message` with its last
@@ -401,6 +467,22 @@ const char* RequestVerbName(const RequestPayload& payload);
 /// "end" for the open upper bound) into a half-open SeedRange. Shared
 /// by the protocol codecs and the CLI's --seed-range flag.
 StatusOr<SeedRange> ParseSeedRangeText(const std::string& value);
+
+/// A parsed resume token (wire grammar "SEED:ORDINAL").
+struct ResumeCursor {
+  uint32_t seed = 0;
+  uint64_t ordinal = 0;
+};
+
+/// Parses the cursor grammar "SEED:ORDINAL". Shared by the protocol
+/// codecs and the CLI's --cursor flag.
+StatusOr<ResumeCursor> ParseCursorText(const std::string& value);
+
+/// Formats a cursor as its wire token "SEED:ORDINAL".
+std::string FormatCursorValue(uint32_t seed, uint64_t ordinal);
+
+/// Default result_chunk size when the request left `chunk` unset.
+inline constexpr uint32_t kDefaultResultChunkSize = 32;
 
 }  // namespace kplex
 

@@ -5,6 +5,7 @@
 
 #include "baselines/fp.h"
 #include "baselines/listplex.h"
+#include "core/max_kplex.h"
 #include "core/sink.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -101,6 +102,8 @@ std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
   // pre-existing signature (and the cache entries stored under it)
   // stays byte-identical. A shard is a complete deterministic answer
   // for its range, so it caches under its own key.
+  // The v4 selection options follow the same append-only rule; note
+  // chunk_size is absent on purpose (pure presentation).
   return request.graph + "|k=" + std::to_string(request.k) +
          "|q=" + std::to_string(request.q) + "|algo=" +
          QueryAlgoName(request.algo) +
@@ -109,6 +112,22 @@ std::string QueryEngine::CanonicalSignature(const QueryRequest& request) {
          (request.HasSeedRange()
               ? "|seed=" + std::to_string(request.seed_begin) + ":" +
                     std::to_string(request.seed_end)
+              : "") +
+         (request.collect_bodies ? "|bodies=on" : "") +
+         (request.filter_min_size > 0
+              ? "|minsize=" + std::to_string(request.filter_min_size)
+              : "") +
+         (request.filter_max_size > 0
+              ? "|maxsize=" + std::to_string(request.filter_max_size)
+              : "") +
+         (request.has_contain
+              ? "|contain=" + std::to_string(request.contain)
+              : "") +
+         (request.top_k > 0 ? "|top=" + std::to_string(request.top_k) : "") +
+         (request.maximum ? "|mode=maximum" : "") +
+         (request.has_cursor
+              ? "|cursor=" + std::to_string(request.cursor_seed) + ":" +
+                    std::to_string(request.cursor_ordinal)
               : "");
 }
 
@@ -247,6 +266,36 @@ void QueryEngine::FinishInFlight(const std::string& signature,
 
 StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
                                            uint64_t trace_id) {
+  // Reject non-composing v4 selection options before any graph work.
+  if (request.maximum &&
+      (request.HasFilter() || request.top_k > 0 || request.has_cursor ||
+       request.max_results > 0 || request.HasSeedRange())) {
+    return Status::InvalidArgument(
+        "mode=maximum answers with the single largest k-plex and does not "
+        "compose with filters, top, cursors, max-results or seed ranges");
+  }
+  if (request.has_cursor) {
+    if (request.threads > 0) {
+      return Status::InvalidArgument(
+          "cursor resume requires a sequential run (threads=0): parallel "
+          "truncation does not produce a deterministic prefix");
+    }
+    if (request.algo == QueryAlgo::kFp) {
+      return Status::InvalidArgument(
+          "the fp baseline does not support cursors (it has its own "
+          "search order)");
+    }
+    if (request.top_k > 0) {
+      return Status::InvalidArgument(
+          "cursor does not compose with top=K (top selects over the "
+          "whole run, not a page of it)");
+    }
+    if (request.HasSeedRange()) {
+      return Status::InvalidArgument(
+          "cursor and seed-range are mutually exclusive (the cursor "
+          "already positions the seed space)");
+    }
+  }
   StatusOr<CatalogGraph> resolved = Status::Internal("unreachable");
   {
     // Usually resident (the signature resolution above materialized
@@ -260,6 +309,37 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
   // Holds the sections alive for the whole run (eviction-safe).
   const std::shared_ptr<const GraphPrecompute>& precompute =
       resolved->precompute;
+
+  if (request.maximum) {
+    // mode=maximum serves the maximum-k-plex solver: the answer is the
+    // single largest k-plex (count 0 or 1), measured through the same
+    // fingerprint algebra so clients can compare it like any result set.
+    StatusOr<MaxKPlexResult> found = Status::Internal("unreachable");
+    {
+      TraceSpan enumerate_span(trace_id, "enumerate", &EnumerateSeconds());
+      enumerate_span.AddAttr("graph", request.graph);
+      enumerate_span.AddAttr("k", std::to_string(request.k));
+      enumerate_span.AddAttr("mode", "maximum");
+      found = FindMaximumKPlex(*graph, request.k);
+    }
+    if (!found.ok()) return found.status();
+    QueryResult result;
+    result.compute_seconds = found->seconds;
+    std::vector<std::vector<VertexId>> bodies;
+    if (found->found) {
+      MeasuringSink measure;
+      measure.Emit(std::span<const VertexId>(found->plex));
+      result.num_plexes = 1;
+      result.max_plex_size = found->plex.size();
+      result.fingerprint = measure.fingerprint();
+      result.fingerprint_xor = measure.xor_hash();
+      bodies.push_back(std::move(found->plex));
+    }
+    result.plexes =
+        std::make_shared<const std::vector<std::vector<VertexId>>>(
+            std::move(bodies));
+    return result;
+  }
 
   EnumOptions options;
   switch (request.algo) {
@@ -293,7 +373,53 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
         "the fp baseline does not support seed ranges");
   }
 
-  MeasuringSink sink;
+  // Cursor resume: restart at the cursor's seed, drop the emissions a
+  // previous page already delivered, and lift the cap by the same
+  // amount so max_results still bounds *this* page. max_results (and
+  // the cursor ordinal) count raw enumeration emissions, before any
+  // filter — a filtered page may therefore carry fewer than
+  // max_results matches, but pagination stays exact.
+  uint64_t skip = 0;
+  if (request.has_cursor) {
+    options.seed_range.begin = request.cursor_seed;
+    skip = request.cursor_ordinal;
+    if (options.max_results > 0) {
+      if (options.max_results > UINT64_MAX - skip) {
+        return Status::InvalidArgument(
+            "cursor ordinal + max-results overflows");
+      }
+      options.max_results += skip;
+    }
+  }
+
+  // The sink chain (innermost first): a measuring/collecting target,
+  // wrapped by the server-side filter, wrapped by the cursor skip. The
+  // measuring sink sits after the filter, so the reported count and
+  // fingerprint describe exactly the served set.
+  const bool want_bodies = request.collect_bodies || request.top_k > 0;
+  MeasuringSink measuring;
+  CollectingSink collecting;
+  TopKSink topk(static_cast<std::size_t>(request.top_k));
+  CallbackSink tee([&](std::span<const VertexId> plex) {
+    measuring.Emit(plex);
+    collecting.Emit(plex);
+  });
+  ResultSink* target = &measuring;
+  if (request.top_k > 0) {
+    target = &topk;
+  } else if (want_bodies) {
+    target = &tee;
+  }
+  PlexFilter filter;
+  filter.min_size = request.filter_min_size;
+  filter.max_size = request.filter_max_size;
+  filter.has_contain = request.has_contain;
+  filter.contain = request.contain;
+  FilteringSink filtered(filter, *target);
+  if (filter.IsActive()) target = &filtered;
+  SkippingSink skipping(skip, *target);
+  ResultSink& sink = skip > 0 ? static_cast<ResultSink&>(skipping) : *target;
+
   StatusOr<EnumResult> run = Status::Internal("unreachable");
   {
     TraceSpan enumerate_span(trace_id, "enumerate", &EnumerateSeconds());
@@ -315,10 +441,41 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
   if (!run.ok()) return run.status();
 
   QueryResult result;
-  result.num_plexes = run->num_plexes;
-  result.max_plex_size = sink.max_size();
-  result.fingerprint = sink.fingerprint();
-  result.fingerprint_xor = sink.xor_hash();
+  if (request.top_k > 0) {
+    // The selection is finalized only after the run; measure the
+    // winners so count/max/fingerprint describe the served set.
+    auto selected = topk.Selected();
+    MeasuringSink selected_measure;
+    for (const auto& plex : selected) {
+      selected_measure.Emit(std::span<const VertexId>(plex));
+    }
+    result.num_plexes = selected_measure.count();
+    result.max_plex_size = selected_measure.max_size();
+    result.fingerprint = selected_measure.fingerprint();
+    result.fingerprint_xor = selected_measure.xor_hash();
+    result.plexes =
+        std::make_shared<const std::vector<std::vector<VertexId>>>(
+            std::move(selected));
+  } else {
+    result.num_plexes = measuring.count();
+    result.max_plex_size = measuring.max_size();
+    result.fingerprint = measuring.fingerprint();
+    result.fingerprint_xor = measuring.xor_hash();
+    if (want_bodies) {
+      // Sequential runs keep enumeration order so cursor pages
+      // concatenate; parallel emission order is racy, so sort for a
+      // deterministic (cacheable) body list.
+      result.plexes =
+          std::make_shared<const std::vector<std::vector<VertexId>>>(
+              request.threads > 0 ? collecting.SortedResults()
+                                  : collecting.Results());
+    }
+    if (run->has_resume && request.threads == 0) {
+      result.has_cursor = true;
+      result.cursor_seed = run->resume_seed;
+      result.cursor_ordinal = run->resume_ordinal;
+    }
+  }
   result.total_seeds = run->total_seeds;
   result.compute_seconds = run->seconds;
   result.timed_out = run->timed_out;

@@ -75,6 +75,38 @@ struct QueryRequest {
   /// *for its range*. Unsupported by the fp baseline (rejected).
   uint32_t seed_begin = 0;
   uint32_t seed_end = UINT32_MAX;
+  /// Collect the plex bodies of the answer (wire option results=stream).
+  /// Part of the signature (`|bodies=on`): the cached entry carries the
+  /// bodies, so only body-carrying entries may serve body requests.
+  bool collect_bodies = false;
+  /// Preferred result_chunk size for streamed delivery. Presentation
+  /// only — it never changes the result set, so it is NOT part of the
+  /// signature. 0 means the server default.
+  uint32_t chunk_size = 0;
+  /// Server-side selection (wire `filter=size>=S[,size<=T]` and
+  /// `contain=V`): only matching plexes are counted, fingerprinted and
+  /// collected. Each is part of the signature when set. Zero size
+  /// bounds mean "unbounded".
+  uint64_t filter_min_size = 0;
+  uint64_t filter_max_size = 0;
+  bool has_contain = false;
+  uint32_t contain = 0;
+  /// Keep only the K largest plexes (wire `top=K`; 0 keeps all).
+  /// Selection is deterministic (size, then lexicographic) and happens
+  /// in the sink, so the served set is emission-order independent.
+  uint64_t top_k = 0;
+  /// Maximum-k-plex mode (wire `mode=maximum`): serve FindMaximumKPlex
+  /// instead of enumeration — the answer is the single largest k-plex
+  /// (count 0 or 1). q, algo and threads do not apply and are ignored;
+  /// filters/top/cursor/seed ranges are rejected.
+  bool maximum = false;
+  /// Resume cursor (wire `cursor=SEED:ORDINAL`) from a previous
+  /// max_results-truncated sequential run: enumeration restarts at seed
+  /// index cursor_seed and drops the first cursor_ordinal emissions.
+  /// Sequential engines only (parallel truncation is nondeterministic).
+  bool has_cursor = false;
+  uint32_t cursor_seed = 0;
+  uint64_t cursor_ordinal = 0;
   /// Optional cooperative cancellation, forwarded into EnumOptions.
   const std::atomic<bool>* cancel = nullptr;
   /// Trace id correlating this query's spans (obs/trace.h). 0 lets the
@@ -85,6 +117,11 @@ struct QueryRequest {
   /// seed space.
   bool HasSeedRange() const {
     return seed_begin != 0 || seed_end != UINT32_MAX;
+  }
+
+  /// True when any server-side selection predicate is set.
+  bool HasFilter() const {
+    return filter_min_size > 0 || filter_max_size > 0 || has_contain;
   }
 };
 
@@ -114,6 +151,18 @@ struct QueryResult {
   /// True when the run consumed precomputed snapshot sections instead
   /// of peeling the (q-k)-core itself (counters prove the skip).
   bool reduction_precomputed = false;
+  /// The plex bodies of the answer, present iff the request asked for
+  /// them (collect_bodies / top_k / maximum). Shared so cache copies
+  /// stay O(1). Sequential enumeration keeps emission order (the order
+  /// cursors paginate); parallel runs are sorted lexicographically;
+  /// top=K is best-first.
+  std::shared_ptr<const std::vector<std::vector<VertexId>>> plexes;
+  /// Resume cursor: set when a sequential run stopped at max_results
+  /// with more of the enumeration left. Feeding it back as the
+  /// request's cursor continues exactly where this run stopped.
+  bool has_cursor = false;
+  uint32_t cursor_seed = 0;
+  uint64_t cursor_ordinal = 0;
   std::string signature;
 };
 

@@ -1,5 +1,7 @@
 #include "service/service_session.h"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -37,6 +39,26 @@ Counter& MineShardRequestsTotal() {
 Histogram& MineShardSeconds() {
   static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
       "kplex_request_mineshard_seconds");
+  return histogram;
+}
+Counter& StreamChunksTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_stream_chunks_total");
+  return counter;
+}
+Counter& StreamPlexesTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_stream_plexes_total");
+  return counter;
+}
+Counter& StreamBytesTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("kplex_stream_bytes_total");
+  return counter;
+}
+Histogram& StreamWriteSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "kplex_session_stream_write_seconds");
   return histogram;
 }
 
@@ -117,6 +139,19 @@ bool ServiceSession::Dispatch(const Request& request) {
   if (const auto* hello = std::get_if<HelloResponse>(&response.payload)) {
     if (hello->mode.has_value()) mode_ = *hello->mode;
   }
+  // Streamed delivery: a results=stream mine's plex bodies travel as
+  // bounded result_chunk frames ahead of the final verdict frame.
+  // Backpressure is the transport's: each chunk is a blocking write, so
+  // a slow client throttles this (the session's own) thread, never a
+  // dispatcher worker.
+  if (const auto* mine = std::get_if<MineRequest>(&request.payload)) {
+    if (mine->query.collect_bodies) {
+      if (const auto* outcome = std::get_if<MineResponse>(&response.payload);
+          outcome != nullptr && outcome->job.result.plexes != nullptr) {
+        EmitResultChunks(request.id, mine->query, outcome->job);
+      }
+    }
+  }
   WallTimer serialize_timer;
   if (mode_ == WireMode::kText) {
     FormatTextResponse(response, out_);
@@ -125,6 +160,50 @@ bool ServiceSession::Dispatch(const Request& request) {
   }
   SerializeSeconds().Observe(serialize_timer.ElapsedSeconds());
   return !std::holds_alternative<ByeResponse>(response.payload);
+}
+
+void ServiceSession::EmitResultChunks(uint64_t request_id,
+                                      const QueryRequest& query,
+                                      const JobInfo& job) {
+  const std::vector<std::vector<VertexId>>& plexes = *job.result.plexes;
+  const uint32_t chunk_size =
+      query.chunk_size > 0 ? query.chunk_size : kDefaultResultChunkSize;
+  uint64_t seq = 0;
+  std::size_t offset = 0;
+  WallTimer timer;
+  // An empty result still sends one empty last chunk, so a streaming
+  // client always sees the chunk phase terminate explicitly.
+  do {
+    const std::size_t take =
+        std::min<std::size_t>(chunk_size, plexes.size() - offset);
+    ResultChunkResponse chunk;
+    chunk.job = job.id;
+    chunk.seq = seq++;
+    chunk.plexes.assign(plexes.begin() + static_cast<std::ptrdiff_t>(offset),
+                        plexes.begin() +
+                            static_cast<std::ptrdiff_t>(offset + take));
+    offset += take;
+    chunk.last = offset == plexes.size();
+    const uint64_t plex_count = chunk.plexes.size();
+    Response response;
+    response.request_id = request_id;
+    response.payload = std::move(chunk);
+    std::size_t bytes = 0;
+    if (mode_ == WireMode::kText) {
+      std::ostringstream rendered;
+      FormatTextResponse(response, rendered);
+      bytes = rendered.str().size();
+      out_ << rendered.str();
+    } else {
+      const std::string line = FormatFramedResponse(response);
+      bytes = line.size() + 1;
+      out_ << line << "\n";
+    }
+    StreamChunksTotal().Increment();
+    StreamPlexesTotal().Increment(plex_count);
+    StreamBytesTotal().Increment(bytes);
+  } while (offset < plexes.size());
+  StreamWriteSeconds().Observe(timer.ElapsedSeconds());
 }
 
 Response ServiceSession::ExecuteMine(uint64_t request_id,

@@ -90,6 +90,12 @@ class ServiceSession {
   /// Executes a parsed request and writes its response; returns false
   /// for quit.
   bool Dispatch(const Request& request);
+  /// Writes the buffered plex bodies of a results=stream mine as
+  /// bounded result_chunk frames (chunk size from the request, default
+  /// kDefaultResultChunkSize), ahead of the final verdict frame. An
+  /// empty result emits one empty last chunk.
+  void EmitResultChunks(uint64_t request_id, const QueryRequest& query,
+                        const JobInfo& job);
   /// Synchronous mine = tracked submit + wait: the job id lands in
   /// submitted_jobs_ *before* this thread blocks, so a disconnect
   /// watcher can cancel it mid-run (ServiceApi's one-shot mine handler

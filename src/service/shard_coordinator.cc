@@ -206,6 +206,43 @@ StatusOr<std::vector<std::string>> ParseEndpointList(
   return endpoints;
 }
 
+Status ValidateCoordinatedQuery(const QueryRequest& query) {
+  if (query.algo == QueryAlgo::kFp) {
+    return Status::InvalidArgument(
+        "the fp baseline does not support seed ranges (pick another algo)");
+  }
+  if (query.max_results > 0) {
+    return Status::InvalidArgument(
+        "max-results does not compose with a coordinated mine: each worker "
+        "would stop after the cap within its own shard, so the merged total "
+        "would depend on the shard split. Coordinated mines are count-exact; "
+        "run a single-process mine for a truncated answer");
+  }
+  if (query.collect_bodies || query.chunk_size > 0) {
+    return Status::InvalidArgument(
+        "results=stream does not compose with a coordinated mine: shards "
+        "return mergeable summaries (count + fingerprint), not plex bodies. "
+        "Stream from a single worker instead");
+  }
+  if (query.HasFilter() || query.top_k > 0) {
+    return Status::InvalidArgument(
+        "server-side selection (filter/contain/top) does not compose with a "
+        "coordinated mine: the merge algebra is exact only over the full "
+        "result set of each shard");
+  }
+  if (query.maximum) {
+    return Status::InvalidArgument(
+        "mode=maximum does not compose with a coordinated mine: the maximum "
+        "search is not seed-range partitionable. Run it against one worker");
+  }
+  if (query.has_cursor) {
+    return Status::InvalidArgument(
+        "cursor resume does not compose with a coordinated mine: cursors "
+        "describe a sequential single-process enumeration order");
+  }
+  return Status::Ok();
+}
+
 StatusOr<CoordinatedMineResult> CoordinateShardedMine(
     const ShardCoordinatorOptions& options) {
   if (options.shards < 1) {
@@ -214,10 +251,7 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
   if (options.max_attempts < 1) {
     return Status::InvalidArgument("max_attempts must be >= 1");
   }
-  if (options.query.algo == QueryAlgo::kFp) {
-    return Status::InvalidArgument(
-        "the fp baseline does not support seed ranges (pick another algo)");
-  }
+  KPLEX_RETURN_IF_ERROR(ValidateCoordinatedQuery(options.query));
   if (options.endpoints.empty()) {
     return Status::InvalidArgument("at least one worker endpoint is needed");
   }

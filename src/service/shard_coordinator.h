@@ -90,9 +90,18 @@ struct CoordinatedMineResult {
   std::vector<ShardOutcome> shards;  ///< in shard order
 };
 
+/// Checks that `query` is one a coordinated mine can answer exactly.
+/// Coordinated mines are count-exact by construction (the merge algebra
+/// needs every shard's complete result set), so options that truncate
+/// or reshape the served set — max-results, results=stream, filters,
+/// top=K, mode=maximum, cursors — are rejected with a structured
+/// InvalidArgument explaining the incompatibility. Exposed so the CLI
+/// can surface the explanation before opening any connection.
+Status ValidateCoordinatedQuery(const QueryRequest& query);
+
 /// Runs one coordinated sharded mine. Blocking; returns when every
 /// shard has been merged or the coordination failed (no partial
-/// results are ever returned).
+/// results are ever returned). Validates with ValidateCoordinatedQuery.
 StatusOr<CoordinatedMineResult> CoordinateShardedMine(
     const ShardCoordinatorOptions& options);
 

@@ -83,6 +83,46 @@ std::vector<Request> Corpus() {
   shard.expected_hash = 0xbe7c0cfa5f1eee74ULL;
   add(shard, 21);
 
+  MineRequest streamed;  // the v4 streamed-selection shape, all options
+  streamed.query.graph = "web";
+  streamed.query.k = 2;
+  streamed.query.q = 12;
+  streamed.query.max_results = 50;
+  streamed.query.collect_bodies = true;
+  streamed.query.chunk_size = 7;
+  streamed.query.filter_min_size = 13;
+  streamed.query.filter_max_size = 20;
+  streamed.query.has_contain = true;
+  streamed.query.contain = 33;
+  add(streamed, 12);
+
+  MineRequest top;  // top=K implies bodies on the wire
+  top.query.graph = "web";
+  top.query.k = 2;
+  top.query.q = 12;
+  top.query.collect_bodies = true;
+  top.query.top_k = 5;
+  add(top, 13);
+
+  MineRequest maximum;  // FindMaximumKPlex through the service stack
+  maximum.query.graph = "web";
+  maximum.query.k = 3;
+  maximum.query.q = 2;
+  maximum.query.collect_bodies = true;
+  maximum.query.maximum = true;
+  add(maximum, 14);
+
+  MineRequest resumed;  // cursor resume of a truncated run
+  resumed.query.graph = "web";
+  resumed.query.k = 2;
+  resumed.query.q = 12;
+  resumed.query.max_results = 7;
+  resumed.query.collect_bodies = true;
+  resumed.query.has_cursor = true;
+  resumed.query.cursor_seed = 17;
+  resumed.query.cursor_ordinal = 4;
+  add(resumed, 15);
+
   MineShardRequest probe;  // the coordinator's planning probe shape
   probe.query.graph = "web";
   probe.query.k = 2;
@@ -153,7 +193,9 @@ TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
       {"snapshot g p bogus", "unknown snapshot option 'bogus'"},
       {"mine", "usage: mine NAME K Q [algo=...] [threads=N] "
                "[max-results=N] [time-limit=S] [tau-ms=T] [cache=on|off] "
-               "[seed-range=B:E]"},
+               "[seed-range=B:E] [results=stream|count] [chunk=N] "
+               "[filter=size>=S,size<=T] [contain=V] [top=K] "
+               "[mode=enumerate|maximum] [cursor=S:O]"},
       {"mine g -1 5", "malformed value for K: '-1'"},
       {"mine g 2 5 threads=-2", "malformed value for threads: '-2'"},
       {"mine g 2 99999999999",
@@ -173,6 +215,23 @@ TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
       {"mineshard g 2 5 hash=0xzz",
        "malformed value for hash: '0xzz' (expected 0xHEX)"},
       {"mineshard g 2 5 bogus=1", "unknown mineshard option 'bogus'"},
+      {"mine g 2 5 results=maybe", "results must be stream or count"},
+      {"mine g 2 5 chunk=0", "chunk must be >= 1"},
+      {"mine g 2 5 chunk=999999",
+       "malformed value for chunk: '999999' (expected 0..65536)"},
+      {"mine g 2 5 filter=garbage",
+       "malformed filter term 'garbage' (expected size>=S or size<=T)"},
+      {"mine g 2 5 filter=size>=0", "filter size bound must be >= 1"},
+      {"mine g 2 5 filter=size>=x", "malformed value for filter: 'x'"},
+      {"mine g 2 5 filter=size>=9,size<=3",
+       "filter size>=9 contradicts size<=3"},
+      {"mine g 2 5 contain=x", "malformed value for contain: 'x'"},
+      {"mine g 2 5 top=0", "top must be >= 1"},
+      {"mine g 2 5 mode=banana", "mode must be enumerate or maximum"},
+      {"mine g 2 5 cursor=7",
+       "cursor must be SEED:ORDINAL (the resume token a truncated run "
+       "returned), got '7'"},
+      {"mine g 2 5 cursor=a:3", "malformed value for cursor: 'a'"},
       {"cancel", "usage: cancel ID"},
       {"cancel nope", "malformed value for ID: 'nope'"},
       {"wait 1 2", "usage: wait [ID]"},
@@ -229,6 +288,22 @@ TEST(ProtocolFramed, MalformedFramesAreStructuredErrorsNeverCrashes) {
       "{\"cmd\":\"mineshard\",\"graph\":\"g\",\"k\":2,\"q\":5,"
       "\"hash\":12}",                                // hash must be a string
       "{\"cmd\":\"mineshard\",\"graph\":\"g\"}",     // missing k/q
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"results\":\"maybe\"}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"chunk\":0}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"chunk\":\"seven\"}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"min_size\":0}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"min_size\":9,\"max_size\":3}",              // contradictory filter
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"top\":0}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"mode\":\"banana\"}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"cursor\":\"bogus\"}",                       // no SEED:ORDINAL shape
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"cursor\":7}",
+      "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
+      "\"cursor\":\"3:x\"}",
       "{\"cmd\":\"quit\",\"cmd\"",
       "{\"a\":\"\\u12\"}",
       "{\"a\":\"\\q\"}",
@@ -364,7 +439,7 @@ TEST(ProtocolText, ResponseGoldens) {
             "error: INVALID_ARGUMENT: boom\n");
   EXPECT_EQ(TextOf(ByeResponse{}), "");  // quit prints nothing on text
 
-  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=3 mode=text\n");
+  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=4 mode=text\n");
 
   // Shard outcomes carry every number a merge needs.
   JobInfo shard_done = done;
@@ -526,6 +601,210 @@ TEST(ProtocolFramed, HelloVersionDecoder) {
   EXPECT_FALSE(ParseFramedHelloVersion("{\"ok\":true,\"type\":\"bye\"}")
                    .ok());
   EXPECT_FALSE(ParseFramedHelloVersion("nope").ok());
+}
+
+// ------------------------------------------- v4 streamed result delivery
+
+TEST(ProtocolText, ResultChunkGoldens) {
+  ResultChunkResponse chunk;
+  chunk.job = 3;
+  chunk.seq = 0;
+  chunk.plexes = {{1, 2, 3}, {4, 5}};
+  EXPECT_EQ(TextOf(chunk), "chunk 0: 1 2 3 | 4 5\n");
+
+  ResultChunkResponse last;
+  last.job = 3;
+  last.seq = 2;
+  last.last = true;
+  last.plexes = {{7}};
+  EXPECT_EQ(TextOf(last), "chunk 2 last: 7\n");
+
+  // An empty result's single terminating chunk.
+  ResultChunkResponse empty;
+  empty.seq = 0;
+  empty.last = true;
+  EXPECT_EQ(TextOf(empty), "chunk 0 last:\n");
+}
+
+TEST(ProtocolText, TruncatedMineLineCarriesTheResumeCursor) {
+  JobInfo truncated;
+  truncated.id = 3;
+  truncated.request.graph = "web";
+  truncated.request.k = 2;
+  truncated.request.q = 12;
+  truncated.state = JobState::kDone;
+  truncated.started = true;
+  truncated.result.num_plexes = 7;
+  truncated.result.max_plex_size = 9;
+  truncated.result.seconds = 0.1;
+  truncated.result.stopped_early = true;
+  truncated.result.has_cursor = true;
+  truncated.result.cursor_seed = 17;
+  truncated.result.cursor_ordinal = 4;
+  EXPECT_EQ(TextOf(MineResponse{truncated}),
+            "mined web k=2 q=12 algo=ours: 7 plexes, max size 9, 0.100s "
+            "[result cap hit] [cursor 17:4]\n");
+}
+
+TEST(ProtocolFramed, ResultChunkFrameGoldenAndClientDecode) {
+  ResultChunkResponse chunk;
+  chunk.job = 3;
+  chunk.seq = 1;
+  chunk.last = true;
+  chunk.plexes = {{1, 2, 3}, {4, 5}};
+  Response response;
+  response.request_id = 9;
+  response.payload = chunk;
+  const std::string frame = FormatFramedResponse(response);
+  // The golden streamed transcript unit: nested vertex-id arrays.
+  EXPECT_EQ(frame,
+            "{\"id\":9,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+            "\"seq\":1,\"last\":true,\"plexes\":[[1,2,3],[4,5]]}");
+
+  auto type = PeekFramedResponseType(frame);
+  ASSERT_TRUE(type.ok()) << type.status().ToString();
+  EXPECT_EQ(*type, "result_chunk");
+
+  auto decoded = ParseFramedResultChunk(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 9u);
+  EXPECT_EQ(decoded->job, 3u);
+  EXPECT_EQ(decoded->seq, 1u);
+  EXPECT_TRUE(decoded->last);
+  EXPECT_EQ(decoded->plexes, chunk.plexes);
+
+  // An empty chunk round-trips as an empty plexes array.
+  ResultChunkResponse empty;
+  empty.last = true;
+  response.payload = empty;
+  const std::string empty_frame = FormatFramedResponse(response);
+  EXPECT_NE(empty_frame.find("\"plexes\":[]"), std::string::npos)
+      << empty_frame;
+  decoded = ParseFramedResultChunk(empty_frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->plexes.empty());
+  EXPECT_TRUE(decoded->last);
+}
+
+TEST(ProtocolFramed, MalformedResultChunkFramesAreErrorsNeverCrashes) {
+  const std::vector<std::string> frames = {
+      "",
+      "not json",
+      "{}",
+      "{\"ok\":true,\"type\":\"mine\"}",  // wrong frame type
+      // Truncated mid-plexes (a cut TCP stream's final partial line).
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"plexes\":[[1",
+      // Missing the plexes array entirely.
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+      "\"seq\":0,\"last\":false}",
+      // Flat array where nested vertex-id arrays are required.
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+      "\"seq\":0,\"last\":false,\"plexes\":[1,2]}",
+      // Non-numeric vertex id.
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+      "\"seq\":0,\"last\":false,\"plexes\":[[1,\"x\"]]}",
+      // Wrong-typed seq / last.
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+      "\"seq\":\"zero\",\"last\":false,\"plexes\":[]}",
+      "{\"id\":1,\"ok\":true,\"type\":\"result_chunk\",\"job\":3,"
+      "\"seq\":0,\"last\":\"yes\",\"plexes\":[]}",
+      // An error frame surfaces as its embedded status, not a chunk.
+      "{\"id\":1,\"ok\":false,\"type\":\"error\","
+      "\"code\":\"INTERNAL\",\"message\":\"boom\"}",
+  };
+  for (const std::string& frame : frames) {
+    auto decoded = ParseFramedResultChunk(frame);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << frame;
+  }
+}
+
+TEST(ProtocolFramed, MineResultDecoderReadsBodiesAndCursor) {
+  JobInfo done;
+  done.id = 3;
+  done.request.graph = "web";
+  done.request.k = 2;
+  done.request.q = 12;
+  done.request.collect_bodies = true;
+  done.state = JobState::kDone;
+  done.started = true;
+  done.result.num_plexes = 7;
+  done.result.max_plex_size = 9;
+  done.result.fingerprint = 0x0123456789abcdefULL;
+  done.result.seconds = 0.25;
+  done.result.stopped_early = true;
+  done.result.plexes =
+      std::make_shared<std::vector<std::vector<VertexId>>>(
+          std::vector<std::vector<VertexId>>{{1, 2}, {3, 4}, {5, 6}});
+  done.result.has_cursor = true;
+  done.result.cursor_seed = 17;
+  done.result.cursor_ordinal = 4;
+
+  Response response;
+  response.request_id = 2;
+  response.payload = MineResponse{done};
+  const std::string frame = FormatFramedResponse(response);
+  EXPECT_NE(frame.find("\"bodies\":3"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("\"cursor\":\"17:4\""), std::string::npos) << frame;
+
+  auto decoded = ParseFramedMineResult(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 2u);
+  EXPECT_EQ(decoded->state, "done");
+  EXPECT_EQ(decoded->plexes, 7u);
+  EXPECT_EQ(decoded->max_size, 9u);
+  EXPECT_EQ(decoded->bodies, 3u);
+  EXPECT_EQ(decoded->fingerprint, 0x0123456789abcdefULL);
+  EXPECT_TRUE(decoded->stopped_early);
+  EXPECT_TRUE(decoded->has_cursor);
+  EXPECT_EQ(decoded->cursor_seed, 17u);
+  EXPECT_EQ(decoded->cursor_ordinal, 4u);
+
+  // Without bodies or truncation both extras are absent and default.
+  done.result.plexes = nullptr;
+  done.result.has_cursor = false;
+  done.result.stopped_early = false;
+  response.payload = MineResponse{done};
+  decoded = ParseFramedMineResult(FormatFramedResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->bodies, 0u);
+  EXPECT_FALSE(decoded->has_cursor);
+
+  // A failed mine surfaces its embedded status.
+  JobInfo failed;
+  failed.request.graph = "web";
+  failed.state = JobState::kFailed;
+  failed.status = Status::NotFound("no graph named 'web' is registered");
+  response.payload = MineResponse{failed};
+  auto error = ParseFramedMineResult(FormatFramedResponse(response));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+
+  // Wrong type / garbage / bogus cursor token are structured errors.
+  EXPECT_FALSE(ParseFramedMineResult("{\"ok\":true,\"type\":\"hello\"}")
+                   .ok());
+  EXPECT_FALSE(ParseFramedMineResult("nope").ok());
+  EXPECT_FALSE(
+      ParseFramedMineResult(
+          "{\"id\":1,\"ok\":true,\"type\":\"mine\",\"state\":\"done\","
+          "\"cursor\":\"bogus\"}")
+          .ok());
+  EXPECT_FALSE(
+      ParseFramedMineResult(
+          "{\"id\":1,\"ok\":true,\"type\":\"mine\",\"state\":\"done\","
+          "\"cursor\":7}")
+          .ok());
+}
+
+TEST(ProtocolText, CursorTextParser) {
+  auto cursor = ParseCursorText("17:4");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  EXPECT_EQ(cursor->seed, 17u);
+  EXPECT_EQ(cursor->ordinal, 4u);
+  EXPECT_EQ(FormatCursorValue(cursor->seed, cursor->ordinal), "17:4");
+  EXPECT_FALSE(ParseCursorText("17").ok());
+  EXPECT_FALSE(ParseCursorText("x:4").ok());
+  EXPECT_FALSE(ParseCursorText("17:y").ok());
+  EXPECT_FALSE(ParseCursorText("").ok());
 }
 
 TEST(ProtocolText, SeedRangeTextParser) {

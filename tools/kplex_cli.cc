@@ -89,6 +89,11 @@ int Usage() {
                "                  [--max-connections N]\n"
                "  kplex_cli metrics --endpoint host:port\n"
                "            [--format table|prom|json] [--io-timeout S]\n"
+               "  kplex_cli query {--endpoint host:port --graph NAME |\n"
+               "            --input G.txt} --k K --q Q [--stream] [--chunk N]\n"
+               "            [--top K] [--contain V] [--min-size S]\n"
+               "            [--max-size T] [--maximum] [--max-results N]\n"
+               "            [--cursor S:O] [mine options]\n"
                "  kplex_cli datasets\n"
                "global options (any command):\n"
                "  --log-level L     debug, info, warning or error\n"
@@ -114,7 +119,19 @@ int Usage() {
                "  --max-attempts N  dispatches per shard before giving up\n"
                "  --io-timeout S    per-socket-op timeout; a hung worker\n"
                "                    becomes a retryable failure (default:\n"
-               "                    none — set above the slowest shard)\n");
+               "                    none — set above the slowest shard)\n"
+               "options for query (protocol v4 selection):\n"
+               "  --stream          print every plex body (streamed in\n"
+               "                    bounded chunks from a remote worker)\n"
+               "  --chunk N         plexes per result chunk (default 32)\n"
+               "  --top K           only the K largest plexes, best first\n"
+               "  --contain V       only plexes containing vertex V\n"
+               "  --min-size S      only plexes with >= S vertices\n"
+               "  --max-size T      only plexes with <= T vertices\n"
+               "  --maximum         the single largest k-plex (max verb\n"
+               "                    through the service stack)\n"
+               "  --cursor S:O      resume a max-results-truncated\n"
+               "                    sequential query where it stopped\n");
   return 2;
 }
 
@@ -192,17 +209,12 @@ int RunShardedMine(const FlagParser& flags) {
     std::fprintf(stderr, "--shards and --max-attempts must be >= 1\n");
     return 1;
   }
-  if (*max_results > 0) {
-    // Each worker would stop after N results *of its shard*; the merged
-    // total would depend on the split. Refuse instead of lying.
-    std::fprintf(stderr, "--max-results does not compose across shards\n");
-    return 1;
-  }
   options.query.graph = graph;
   options.query.k = static_cast<uint32_t>(*k);
   options.query.q = static_cast<uint32_t>(*q);
   options.query.threads = static_cast<uint32_t>(*threads);
   options.query.tau_ms = *tau;
+  options.query.max_results = static_cast<uint64_t>(*max_results);
   options.query.time_limit_seconds = *time_limit;
   options.query.use_ctcp = flags.Has("ctcp");
   const std::string algo = flags.GetString("algo", "ours");
@@ -212,6 +224,13 @@ int RunShardedMine(const FlagParser& flags) {
     return 1;
   }
   options.query.algo = *parsed_algo;
+  // Surface option incompatibilities (max-results, filters, streaming)
+  // as their structured explanations before opening any connection.
+  Status compatible = ValidateCoordinatedQuery(options.query);
+  if (!compatible.ok()) {
+    std::fprintf(stderr, "%s\n", compatible.ToString().c_str());
+    return 1;
+  }
   options.shards = static_cast<uint32_t>(*shards);
   options.max_attempts = static_cast<uint32_t>(*max_attempts);
   if (*io_timeout < 0) {
@@ -740,6 +759,281 @@ int RunMetrics(const FlagParser& flags) {
   return 0;
 }
 
+/// Builds the QueryRequest of a `query` invocation from its flags (the
+/// selection surface of protocol v4: bodies, filters, top-K, maximum
+/// mode, cursors). `graph` is the catalog name the request carries.
+StatusOr<QueryRequest> BuildQueryRequest(const FlagParser& flags,
+                                         const std::string& graph) {
+  QueryRequest query;
+  query.graph = graph;
+  auto k = flags.GetInt("k", 2);
+  auto q = flags.GetInt("q", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto max_results = flags.GetInt("max-results", 0);
+  auto time_limit = flags.GetDouble("time-limit", 0);
+  auto chunk = flags.GetInt("chunk", 0);
+  auto top = flags.GetInt("top", 0);
+  auto contain = flags.GetInt("contain", -1);
+  auto min_size = flags.GetInt("min-size", 0);
+  auto max_size = flags.GetInt("max-size", 0);
+  for (const Status& s :
+       {k.status(), q.status(), threads.status(), max_results.status(),
+        time_limit.status(), chunk.status(), top.status(), contain.status(),
+        min_size.status(), max_size.status()}) {
+    if (!s.ok()) return s;
+  }
+  query.maximum = flags.Has("maximum");
+  if (*q == 0 && !query.maximum) {
+    return Status::InvalidArgument("--q is required (must be >= 2k - 1)");
+  }
+  query.k = static_cast<uint32_t>(*k);
+  query.q = static_cast<uint32_t>(*q);
+  query.threads = static_cast<uint32_t>(*threads);
+  query.max_results = static_cast<uint64_t>(*max_results);
+  query.time_limit_seconds = *time_limit;
+  query.use_ctcp = flags.Has("ctcp");
+  query.chunk_size = static_cast<uint32_t>(*chunk);
+  query.top_k = static_cast<uint64_t>(*top);
+  if (flags.Has("contain")) {
+    if (*contain < 0) {
+      return Status::InvalidArgument("--contain must be a vertex id >= 0");
+    }
+    query.has_contain = true;
+    query.contain = static_cast<uint32_t>(*contain);
+  }
+  query.filter_min_size = static_cast<uint64_t>(*min_size);
+  query.filter_max_size = static_cast<uint64_t>(*max_size);
+  const std::string algo = flags.GetString("algo", "ours");
+  auto parsed_algo = ParseQueryAlgo(algo);
+  if (!parsed_algo.ok()) return parsed_algo.status();
+  query.algo = *parsed_algo;
+  const std::string cursor = flags.GetString("cursor", "");
+  if (!cursor.empty()) {
+    auto parsed_cursor = ParseCursorText(cursor);
+    if (!parsed_cursor.ok()) return parsed_cursor.status();
+    query.has_cursor = true;
+    query.cursor_seed = parsed_cursor->seed;
+    query.cursor_ordinal = parsed_cursor->ordinal;
+  }
+  // The query verb exists to show plexes: stream mode, top-K and
+  // maximum mode all ask the server for bodies. A bare `query` (none of
+  // the three) is a count-only probe.
+  query.collect_bodies =
+      flags.Has("stream") || query.top_k > 0 || query.maximum;
+  return query;
+}
+
+void PrintPlexLine(const std::vector<VertexId>& plex) {
+  for (std::size_t i = 0; i < plex.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : " ", plex[i]);
+  }
+  std::printf("\n");
+}
+
+/// `query` against a live `serve --listen` worker: framed protocol v4
+/// streaming client. The chunk frames arrive before the verdict frame;
+/// each plex prints as one line, then the summary (cursor included).
+int RunRemoteQuery(const FlagParser& flags, const std::string& endpoint) {
+  const std::string graph = flags.GetString("graph", "");
+  if (graph.empty()) {
+    std::fprintf(stderr, "--endpoint requires --graph NAME (the graph's "
+                         "name in the worker's catalog)\n");
+    return 1;
+  }
+  auto query = BuildQueryRequest(flags, graph);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto io_timeout = flags.GetDouble("io-timeout", 0);
+  if (!io_timeout.ok() || *io_timeout < 0) {
+    std::fprintf(stderr, "--io-timeout must be a number >= 0\n");
+    return 1;
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  uint32_t port = 0;
+  if (colon != std::string::npos && colon > 0 && colon + 1 < endpoint.size()) {
+    for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+      const char c = endpoint[i];
+      if (c < '0' || c > '9' || port > 65535) { port = 0; break; }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+    }
+  }
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "--endpoint must be host:port (port 1..65535), "
+                         "got '%s'\n", endpoint.c_str());
+    return 1;
+  }
+
+  TcpClient client;
+  Status connected = client.Connect(endpoint.substr(0, colon),
+                                    static_cast<uint16_t>(port), *io_timeout);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  Status sent = client.SendLine(
+      "hello proto=" + std::to_string(kProtocolVersion) + " mode=framed");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto hello = client.ReadLine();
+  if (!hello.ok()) {
+    std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+  auto version = ParseFramedHelloVersion(*hello);
+  if (!version.ok()) {
+    std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+    return 1;
+  }
+  if (*version < kProtocolVersionStreaming) {
+    std::fprintf(stderr, "worker %s negotiated protocol v%u but streamed "
+                         "queries need v%u (upgrade the worker)\n",
+                 endpoint.c_str(), *version, kProtocolVersionStreaming);
+    return 1;
+  }
+
+  Request request;
+  request.id = 2;
+  request.payload = MineRequest{*query};
+  sent = client.SendLine(FormatFramedRequest(request));
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t streamed = 0;
+  uint64_t expected_seq = 0;
+  for (;;) {
+    auto line = client.ReadLine();
+    if (!line.ok()) {
+      std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    auto type = PeekFramedResponseType(*line);
+    if (!type.ok()) {
+      std::fprintf(stderr, "%s\n", type.status().ToString().c_str());
+      return 1;
+    }
+    if (*type == "result_chunk") {
+      auto chunk = ParseFramedResultChunk(*line);
+      if (!chunk.ok()) {
+        std::fprintf(stderr, "%s\n", chunk.status().ToString().c_str());
+        return 1;
+      }
+      if (chunk->seq != expected_seq) {
+        std::fprintf(stderr, "stream out of order: expected chunk %llu, "
+                             "got %llu\n",
+                     static_cast<unsigned long long>(expected_seq),
+                     static_cast<unsigned long long>(chunk->seq));
+        return 1;
+      }
+      ++expected_seq;
+      for (const std::vector<VertexId>& plex : chunk->plexes) {
+        PrintPlexLine(plex);
+        ++streamed;
+      }
+      continue;
+    }
+    if (*type == "mine") {
+      auto verdict = ParseFramedMineResult(*line);
+      if (!verdict.ok()) {
+        std::fprintf(stderr, "%s\n", verdict.status().ToString().c_str());
+        return 1;
+      }
+      if (query->collect_bodies && verdict->bodies != streamed) {
+        std::fprintf(stderr, "stream truncated: server buffered %llu "
+                             "bodies but %llu arrived\n",
+                     static_cast<unsigned long long>(verdict->bodies),
+                     static_cast<unsigned long long>(streamed));
+        return 1;
+      }
+      std::printf("query %s k=%u q=%u: %llu plexes, max size %llu, "
+                  "fingerprint 0x%016llx, %.3fs%s%s%s",
+                  graph.c_str(), query->k, query->q,
+                  static_cast<unsigned long long>(verdict->plexes),
+                  static_cast<unsigned long long>(verdict->max_size),
+                  static_cast<unsigned long long>(verdict->fingerprint),
+                  verdict->seconds, verdict->cached ? " [cached]" : "",
+                  verdict->timed_out ? " [time limit hit]" : "",
+                  verdict->stopped_early ? " [result cap hit]" : "");
+      if (verdict->has_cursor) {
+        std::printf(" [cursor %s]",
+                    FormatCursorValue(verdict->cursor_seed,
+                                      verdict->cursor_ordinal).c_str());
+      }
+      std::printf("\n");
+      return verdict->state == "done" ? 0 : 1;
+    }
+    std::fprintf(stderr, "unexpected '%s' frame mid-stream\n",
+                 type->c_str());
+    return 1;
+  }
+}
+
+/// `query` against a local graph file/dataset: same selection surface,
+/// served by an in-process QueryEngine (no server round trip).
+int RunLocalQuery(const FlagParser& flags) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  GraphCatalog catalog;
+  Status registered = catalog.RegisterGraph("input", *std::move(loaded));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+  auto query = BuildQueryRequest(flags, "input");
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine(catalog, /*cache_capacity=*/0);
+  auto result = engine.Run(*query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (result->plexes != nullptr) {
+    for (const std::vector<VertexId>& plex : *result->plexes) {
+      PrintPlexLine(plex);
+    }
+  }
+  std::printf("query %s k=%u q=%u: %llu plexes, max size %zu, "
+              "fingerprint 0x%016llx, %.3fs%s%s",
+              flags.GetString("input", flags.GetString("dataset", "")).c_str(),
+              query->k, query->q,
+              static_cast<unsigned long long>(result->num_plexes),
+              result->max_plex_size,
+              static_cast<unsigned long long>(result->fingerprint),
+              result->seconds,
+              result->timed_out ? " [time limit hit]" : "",
+              result->stopped_early ? " [result cap hit]" : "");
+  if (result->has_cursor) {
+    std::printf(" [cursor %s]",
+                FormatCursorValue(result->cursor_seed,
+                                  result->cursor_ordinal).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunQuery(const FlagParser& flags) {
+  const std::string endpoint = flags.GetString("endpoint", "");
+  const bool local = flags.Has("input") || flags.Has("dataset");
+  if (endpoint.empty() != local) {
+    std::fprintf(stderr, "query needs exactly one of --endpoint host:port "
+                         "(remote) or --input/--dataset (local)\n");
+    return 1;
+  }
+  return endpoint.empty() ? RunLocalQuery(flags)
+                          : RunRemoteQuery(flags, endpoint);
+}
+
 int RunDatasets() {
   TablePrinter table({"name", "stands for", "category", "recipe"});
   for (const auto& spec : AllDatasets()) {
@@ -799,6 +1093,12 @@ int Main(int argc, char** argv) {
   } else if (command == "metrics") {
     known = {"endpoint", "format", "io-timeout"};
     run = RunMetrics;
+  } else if (command == "query") {
+    known = {"endpoint", "graph", "input", "dataset", "k", "q", "algo",
+             "threads", "max-results", "time-limit", "ctcp", "stream",
+             "chunk", "top", "contain", "min-size", "max-size", "maximum",
+             "cursor", "io-timeout"};
+    run = RunQuery;
   } else if (command == "datasets") {
     run = [](const FlagParser&) { return RunDatasets(); };
   } else {

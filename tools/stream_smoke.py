@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Streamed-results smoke test: boots `kplex_cli serve --listen`, drives
+protocol v4 result streaming over a real socket, and checks the failure
+modes a unit test cannot (killed clients, server restarts).
+
+Usage: stream_smoke.py path/to/kplex_cli
+
+Checks (any failure exits non-zero):
+  1. the hello handshake negotiates protocol v4;
+  2. a results=stream mine delivers ordered result_chunk frames whose
+     reassembly matches the one-shot (buffered) mine of the same query:
+     same count, same fingerprint, chunk seqs contiguous, exactly one
+     last chunk;
+  3. a client killed mid-stream does not wedge the server: the very
+     next client connects and mines within the timeout (the worker slot
+     and session thread are reclaimed);
+  4. a resume cursor from a max_results-truncated run stays valid
+     across a server restart on the same dataset: the resumed pages and
+     the first page reassemble the full result set exactly, no loss and
+     no duplicates.
+"""
+
+import json
+import signal
+import socket
+import struct
+import subprocess
+import sys
+
+
+TIMEOUT = 30
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=TIMEOUT)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+
+    def recv(self):
+        return self.file.readline().rstrip("\n")
+
+    def roundtrip(self, line):
+        self.send(line)
+        return self.recv()
+
+    def close(self):
+        self.sock.close()
+
+    def kill_abruptly(self):
+        # RST instead of FIN: the hard-crash shape of a dropped client.
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                             struct.pack("ii", 1, 0))
+        self.sock.close()
+
+
+def fail(message):
+    print(f"stream_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(cli):
+    server = subprocess.Popen(
+        [cli, "serve", "--listen", "0", "--workers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = server.stdout.readline().strip()
+    if not banner.startswith("serving on 127.0.0.1:"):
+        server.kill()
+        fail(f"unexpected banner: {banner!r}")
+    return server, int(banner.split(":")[1].split(" ")[0])
+
+
+def framed_client(port):
+    client = LineClient(port)
+    hello = json.loads(client.roundtrip("hello proto=4 mode=framed"))
+    if hello.get("type") != "hello" or hello.get("proto") != 4:
+        fail(f"handshake did not negotiate v4: {hello!r}")
+    return client
+
+
+def drain_stream(client, chunk_size):
+    """Reads chunk frames until the final mine frame; returns
+    (bodies, verdict)."""
+    bodies = []
+    next_seq = 0
+    saw_last = False
+    while True:
+        frame = json.loads(client.recv())
+        if frame.get("type") == "result_chunk":
+            if saw_last:
+                fail(f"chunk after the last chunk: {frame!r}")
+            if frame.get("seq") != next_seq:
+                fail(f"out-of-order chunk: expected seq {next_seq}, "
+                     f"got {frame!r}")
+            next_seq += 1
+            plexes = frame.get("plexes")
+            if not isinstance(plexes, list):
+                fail(f"chunk without plexes array: {frame!r}")
+            if frame.get("last"):
+                saw_last = True
+                if len(plexes) > chunk_size:
+                    fail(f"oversized last chunk: {frame!r}")
+            elif len(plexes) != chunk_size:
+                fail(f"undersized non-final chunk: {frame!r}")
+            bodies.extend(tuple(p) for p in plexes)
+        elif frame.get("type") == "mine":
+            if not saw_last:
+                fail(f"verdict before the last chunk: {frame!r}")
+            return bodies, frame
+        else:
+            fail(f"unexpected frame mid-stream: {frame!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: stream_smoke.py path/to/kplex_cli")
+    cli = sys.argv[1]
+    server, port = start_server(cli)
+    try:
+        client = framed_client(port)
+        loaded = json.loads(client.roundtrip(
+            json.dumps({"cmd": "dataset", "name": "kc", "key": "karate"})))
+        if loaded.get("type") != "load":
+            fail(f"dataset load: {loaded!r}")
+
+        # ---- streamed vs one-shot equality ----
+        one_shot = json.loads(client.roundtrip(json.dumps(
+            {"id": 1, "cmd": "mine", "graph": "kc", "k": 2, "q": 4})))
+        if one_shot.get("state") != "done":
+            fail(f"one-shot mine: {one_shot!r}")
+
+        client.send(json.dumps(
+            {"id": 2, "cmd": "mine", "graph": "kc", "k": 2, "q": 4,
+             "results": "stream", "chunk": 7, "cache": False}))
+        bodies, verdict = drain_stream(client, 7)
+        if verdict.get("plexes") != one_shot["plexes"]:
+            fail(f"streamed count {verdict.get('plexes')} != one-shot "
+                 f"{one_shot['plexes']}")
+        if verdict.get("fingerprint") != one_shot["fingerprint"]:
+            fail("streamed fingerprint diverged from the one-shot run")
+        if len(bodies) != one_shot["plexes"]:
+            fail(f"reassembled {len(bodies)} bodies, expected "
+                 f"{one_shot['plexes']}")
+        if len(set(bodies)) != len(bodies):
+            fail("streamed bodies contain duplicates")
+        full_set = bodies
+
+        # ---- killed client mid-stream frees the worker slot ----
+        victim = framed_client(port)
+        victim.roundtrip(json.dumps(
+            {"cmd": "dataset", "name": "kc", "key": "karate"}))
+        victim.send(json.dumps(
+            {"id": 3, "cmd": "mine", "graph": "kc", "k": 2, "q": 4,
+             "results": "stream", "chunk": 1, "cache": False}))
+        victim.recv()  # first chunk is in flight — die mid-stream
+        victim.kill_abruptly()
+
+        survivor = framed_client(port)
+        after = json.loads(survivor.roundtrip(json.dumps(
+            {"id": 4, "cmd": "mine", "graph": "kc", "k": 2, "q": 4})))
+        if after.get("state") != "done" or \
+                after.get("plexes") != one_shot["plexes"]:
+            fail(f"server wedged after killed client: {after!r}")
+        survivor.close()
+
+        # ---- resume cursor survives a server restart ----
+        client.send(json.dumps(
+            {"id": 5, "cmd": "mine", "graph": "kc", "k": 2, "q": 4,
+             "results": "stream", "chunk": 7, "max_results": 40,
+             "cache": False}))
+        first_page, verdict = drain_stream(client, 7)
+        cursor = verdict.get("cursor")
+        if not verdict.get("stopped_early") or not cursor:
+            fail(f"truncated run returned no cursor: {verdict!r}")
+        client.close()
+
+        server.send_signal(signal.SIGTERM)
+        if server.wait(timeout=TIMEOUT) != 0:
+            fail("server did not exit cleanly before the restart")
+        server, port = start_server(cli)
+
+        resumed = framed_client(port)
+        resumed.roundtrip(json.dumps(
+            {"cmd": "dataset", "name": "kc", "key": "karate"}))
+        pages = list(first_page)
+        while cursor:
+            resumed.send(json.dumps(
+                {"id": 6, "cmd": "mine", "graph": "kc", "k": 2, "q": 4,
+                 "results": "stream", "chunk": 7, "max_results": 40,
+                 "cursor": cursor, "cache": False}))
+            page, verdict = drain_stream(resumed, 7)
+            pages.extend(page)
+            cursor = verdict.get("cursor")
+        if pages != full_set:
+            fail(f"cursor pagination across restart reassembled "
+                 f"{len(pages)} bodies (expected {len(full_set)}, "
+                 f"exact order)")
+        resumed.close()
+
+        server.send_signal(signal.SIGTERM)
+        if server.wait(timeout=TIMEOUT) != 0:
+            fail("server did not shut down cleanly")
+        print("stream_smoke: OK")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()
