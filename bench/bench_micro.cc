@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/bounds.h"
 #include "core/enumerator.h"
 #include "core/pair_matrix.h"
@@ -18,10 +22,107 @@
 #include "graph/kcore.h"
 #include "obs/metrics.h"
 #include "util/bitset.h"
+#include "util/bitset_kernels.h"
 #include "util/rng.h"
 
 namespace kplex {
 namespace {
+
+// ---- raw kernel rows: portable baseline vs dispatched table ----
+//
+// These benchmark the word loops directly (no DynamicBitset wrapper) so
+// baseline-vs-SIMD speedups are visible regardless of which table the
+// process dispatched to. The `/0` suffix is the portable table, `/1`
+// the dispatched one; on hardware without a SIMD table both rows
+// coincide. Sizes are in bits.
+
+std::vector<uint64_t> RandomWords(std::size_t words, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(words);
+  for (auto& w : out) w = rng.Next();
+  return out;
+}
+
+const kernels::KernelTable& TableForArg(int64_t arg) {
+  return arg == 0 ? kernels::Portable() : kernels::Dispatched();
+}
+
+void SetKernelLabel(benchmark::State& state) {
+  state.SetLabel(TableForArg(state.range(1)).name);
+}
+
+void BM_KernelAndCount(benchmark::State& state) {
+  const std::size_t words = (state.range(0) + 63) / 64;
+  const auto a = RandomWords(words, 11), b = RandomWords(words, 12);
+  const auto& table = TableForArg(state.range(1));
+  SetKernelLabel(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.and_count(a.data(), b.data(), words));
+  }
+}
+BENCHMARK(BM_KernelAndCount)
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1});
+
+void BM_KernelAndCount3(benchmark::State& state) {
+  const std::size_t words = (state.range(0) + 63) / 64;
+  const auto a = RandomWords(words, 21), b = RandomWords(words, 22),
+             c = RandomWords(words, 23);
+  const auto& table = TableForArg(state.range(1));
+  SetKernelLabel(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.and_count3(a.data(), b.data(), c.data(), words));
+  }
+}
+BENCHMARK(BM_KernelAndCount3)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1});
+
+void BM_KernelAndNotCount(benchmark::State& state) {
+  const std::size_t words = (state.range(0) + 63) / 64;
+  const auto a = RandomWords(words, 31), b = RandomWords(words, 32);
+  const auto& table = TableForArg(state.range(1));
+  SetKernelLabel(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.andnot_count(a.data(), b.data(), words));
+  }
+}
+BENCHMARK(BM_KernelAndNotCount)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1});
+
+void BM_KernelAndInto(benchmark::State& state) {
+  const std::size_t words = (state.range(0) + 63) / 64;
+  auto a = RandomWords(words, 41);
+  const auto b = RandomWords(words, 42);
+  const auto& table = TableForArg(state.range(1));
+  SetKernelLabel(state);
+  for (auto _ : state) {
+    table.and_into(a.data(), b.data(), words);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_KernelAndInto)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1});
+
+void BM_KernelSubset(benchmark::State& state) {
+  const std::size_t words = (state.range(0) + 63) / 64;
+  const auto b = RandomWords(words, 52);
+  auto a = b;
+  for (auto& w : a) w &= 0x5555555555555555ULL;  // a ⊆ b: no early exit
+  const auto& table = TableForArg(state.range(1));
+  SetKernelLabel(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.subset(a.data(), b.data(), words));
+  }
+}
+BENCHMARK(BM_KernelSubset)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1});
 
 void BM_BitsetAndCount(benchmark::State& state) {
   const std::size_t bits = state.range(0);
@@ -202,4 +303,32 @@ BENCHMARK(BM_EnumerateInstrumented);
 }  // namespace
 }  // namespace kplex
 
-BENCHMARK_MAIN();
+// Custom main so `bench_micro --json out.json` emits the kernel and
+// enumeration rows as machine-readable JSON (google-benchmark's own
+// JSON reporter under a stable spelling that scripts can rely on).
+// All other flags pass through to the benchmark library untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  storage.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      storage.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
+      storage.emplace_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& s : storage) args.push_back(s.data());
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,8 +23,8 @@ void IteratePruning(const Graph& graph, uint32_t seed,
   const int64_t thr_n1 = static_cast<int64_t>(q) - 2 * static_cast<int64_t>(k);
   const int64_t thr_n2 = thr_n1 + 2;
 
-  std::vector<char> in_n1(graph.NumVertices(), 0);
-  for (VertexId v : n1) in_n1[v] = 1;
+  DynamicBitset in_n1(graph.NumVertices());
+  for (VertexId v : n1) in_n1.Set(v);
 
   bool changed = true;
   while (changed) {
@@ -35,12 +35,12 @@ void IteratePruning(const Graph& graph, uint32_t seed,
       for (VertexId u : n1) {
         int64_t common = 0;
         for (VertexId w : graph.Neighbors(u)) {
-          if (in_n1[w]) ++common;
+          if (in_n1.Test(w)) ++common;
         }
         if (common >= thr_n1) {
           kept.push_back(u);
         } else {
-          in_n1[u] = 0;
+          in_n1.Reset(u);
           changed = true;
           if (counters != nullptr) ++counters->seed_vertices_pruned;
         }
@@ -53,7 +53,7 @@ void IteratePruning(const Graph& graph, uint32_t seed,
       for (VertexId u : n2) {
         int64_t common = 0;
         for (VertexId w : graph.Neighbors(u)) {
-          if (in_n1[w]) ++common;
+          if (in_n1.Test(w)) ++common;
         }
         // Without Corollary 5.2 we still must keep N^2 vertices reachable
         // through a surviving N1 witness (the set-enumeration search space
@@ -126,12 +126,12 @@ std::optional<SeedGraph> BuildSeedGraph(
   // Theorem 5.1 common-neighbor conditions (common neighbors restricted
   // to the surviving N1, which is where they must live in any extension
   // of a result of this task).
-  std::vector<char> in_n1(graph.NumVertices(), 0);
-  for (VertexId v : n1) in_n1[v] = 1;
+  DynamicBitset in_n1(graph.NumVertices());
+  for (VertexId v : n1) in_n1.Set(v);
   auto common_with_n1 = [&](VertexId x) {
     int64_t c = 0;
     for (VertexId w : graph.Neighbors(x)) {
-      if (in_n1[w]) ++c;
+      if (in_n1.Test(w)) ++c;
     }
     return c;
   };
@@ -204,14 +204,16 @@ std::optional<SeedGraph> BuildSeedGraph(
   sg.n1_mask.ResizeClear(sg.universe);
   sg.n2_mask.ResizeClear(sg.universe);
   sg.fringe_mask.ResizeClear(sg.universe);
-  for (uint32_t i = 0; i < sg.num_vi; ++i) sg.vi_mask.Set(i);
-  for (uint32_t i = 1; i <= sg.num_n1; ++i) sg.n1_mask.Set(i);
-  for (uint32_t i = 1 + sg.num_n1; i < sg.num_vi; ++i) sg.n2_mask.Set(i);
-  for (uint32_t i = sg.num_vi; i < sg.universe; ++i) sg.fringe_mask.Set(i);
+  sg.vi_mask.SetRange(0, sg.num_vi);
+  sg.n1_mask.SetRange(1, 1 + sg.num_n1);
+  sg.n2_mask.SetRange(1 + sg.num_n1, sg.num_vi);
+  sg.fringe_mask.SetRange(sg.num_vi, sg.universe);
 
   sg.deg_vi.resize(sg.num_vi);
   for (uint32_t i = 0; i < sg.num_vi; ++i) {
-    sg.deg_vi[i] = sg.adj.DegreeIn(i, sg.vi_mask);
+    // V_i occupies the bit prefix, so the count only walks vi_words.
+    sg.deg_vi[i] = static_cast<uint32_t>(
+        sg.adj.Row(i).AndCountLimit(sg.vi_mask, sg.vi_words));
   }
 
   if (options.use_pair_pruning_r2) {

@@ -4,35 +4,45 @@
 
 #include "graph/builder.h"
 #include "graph/kcore.h"
+#include "util/bitset.h"
 
 namespace kplex {
 namespace {
 
 // One edge-rule sweep over the current graph; returns the surviving
-// edges and counts deletions.
+// edges and counts deletions. Triangle (common-neighbor) counts run
+// against a bitmap of N(u) that lives across u's whole edge block:
+// sparse endpoints scan their list with early exit at the threshold,
+// dense endpoints materialize a second bitmap and let the dispatched
+// and_count kernel do the word-parallel intersection.
 std::vector<std::pair<VertexId, VertexId>> EdgeSweep(const Graph& graph,
                                                      int64_t threshold,
                                                      uint64_t* pruned) {
+  const std::size_t n = graph.NumVertices();
+  DynamicBitset row_u(n), row_v(n);
+  // Word-parallel pays once materializing + clearing N(v) costs less
+  // than testing each neighbor: ~2 words of kernel work per 64 bits.
+  const std::size_t dense_cutoff = 2 * ((n + 63) / 64);
   std::vector<std::pair<VertexId, VertexId>> kept;
   kept.reserve(graph.NumEdges());
-  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+  for (VertexId u = 0; u < n; ++u) {
     auto nu = graph.Neighbors(u);
+    bool u_marked = false;
     for (VertexId v : nu) {
       if (v <= u) continue;
-      // Sorted-merge common-neighbor count.
+      if (!u_marked) {
+        for (VertexId w : nu) row_u.Set(w);
+        u_marked = true;
+      }
       auto nv = graph.Neighbors(v);
       int64_t common = 0;
-      auto iu = nu.begin();
-      auto iv = nv.begin();
-      while (iu != nu.end() && iv != nv.end() && common < threshold) {
-        if (*iu < *iv) {
-          ++iu;
-        } else if (*iv < *iu) {
-          ++iv;
-        } else {
-          ++common;
-          ++iu;
-          ++iv;
+      if (nv.size() >= dense_cutoff) {
+        for (VertexId w : nv) row_v.Set(w);
+        common = static_cast<int64_t>(row_u.AndCount(row_v));
+        for (VertexId w : nv) row_v.Reset(w);
+      } else {
+        for (VertexId w : nv) {
+          if (row_u.Test(w) && ++common >= threshold) break;
         }
       }
       if (common >= threshold) {
@@ -40,6 +50,9 @@ std::vector<std::pair<VertexId, VertexId>> EdgeSweep(const Graph& graph,
       } else {
         ++*pruned;
       }
+    }
+    if (u_marked) {
+      for (VertexId w : nu) row_u.Reset(w);
     }
   }
   return kept;

@@ -3,15 +3,14 @@
 namespace kplex {
 
 LocalGraph::LocalGraph(uint32_t size)
-    : size_(size), rows_(size, DynamicBitset(size)), degree_(size, 0),
-      alive_(size) {
+    : size_(size), matrix_(size, size), degree_(size, 0), alive_(size) {
   alive_.SetAll();
 }
 
 void LocalGraph::AddEdge(uint32_t u, uint32_t v) {
-  if (rows_[u].Test(v)) return;
-  rows_[u].Set(v);
-  rows_[v].Set(u);
+  if (matrix_.Test(u, v)) return;
+  matrix_.Set(u, v);
+  matrix_.Set(v, u);
   ++degree_[u];
   ++degree_[v];
 }
@@ -19,11 +18,11 @@ void LocalGraph::AddEdge(uint32_t u, uint32_t v) {
 void LocalGraph::RemoveVertex(uint32_t v) {
   if (!alive_.Test(v)) return;
   alive_.Reset(v);
-  rows_[v].ForEach([&](std::size_t u) {
-    rows_[u].Reset(v);
+  matrix_.Row(v).ForEach([&](std::size_t u) {
+    matrix_.Reset(static_cast<uint32_t>(u), v);
     --degree_[u];
   });
-  rows_[v].ResetAll();
+  matrix_.ClearRow(v);
   degree_[v] = 0;
 }
 

@@ -1,7 +1,10 @@
 // LocalGraph: dense adjacency-matrix representation of a small vertex
-// universe (a seed subgraph plus its exclusive-set fringe). Each vertex
-// owns a DynamicBitset adjacency row over the whole universe, so the
-// branch-and-bound inner loops are pure word-parallel bit algebra.
+// universe (a seed subgraph plus its exclusive-set fringe). The matrix
+// is a flat BitMatrix — one contiguous buffer, fixed word stride,
+// 64-byte-aligned rows — so the branch-and-bound inner loops stream
+// consecutive cache lines through the SIMD-dispatched bit kernels
+// instead of chasing one heap allocation per row. Rows are exposed as
+// BitSpan views that compose directly with the DynamicBitset P/C/X sets.
 //
 // Seed subgraphs are dense (Section 4: "since G_i tends to be dense, it
 // is efficient when G_i is represented by an adjacency matrix"), which is
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/bit_matrix.h"
 #include "util/bitset.h"
 
 namespace kplex {
@@ -29,17 +33,18 @@ class LocalGraph {
   /// Adds the undirected edge (u, v); u != v.
   void AddEdge(uint32_t u, uint32_t v);
 
-  bool HasEdge(uint32_t u, uint32_t v) const { return rows_[u].Test(v); }
+  bool HasEdge(uint32_t u, uint32_t v) const { return matrix_.Test(u, v); }
 
-  /// Adjacency row of v (bitset over the local universe).
-  const DynamicBitset& Row(uint32_t v) const { return rows_[v]; }
+  /// Adjacency row of v: a span over the flat matrix, fed straight into
+  /// the dispatched kernels by callers.
+  BitSpan Row(uint32_t v) const { return matrix_.Row(v); }
 
   /// Degree of v within the universe.
   uint32_t Degree(uint32_t v) const { return degree_[v]; }
 
   /// popcount(Row(v) & mask): degree of v restricted to `mask`.
-  uint32_t DegreeIn(uint32_t v, const DynamicBitset& mask) const {
-    return static_cast<uint32_t>(rows_[v].AndCount(mask));
+  uint32_t DegreeIn(uint32_t v, BitSpan mask) const {
+    return static_cast<uint32_t>(Row(v).AndCount(mask));
   }
 
   /// Removes vertex v: clears its row and its column bit everywhere.
@@ -54,7 +59,7 @@ class LocalGraph {
 
  private:
   uint32_t size_ = 0;
-  std::vector<DynamicBitset> rows_;
+  BitMatrix matrix_;
   std::vector<uint32_t> degree_;
   DynamicBitset alive_;
 };

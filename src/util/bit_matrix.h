@@ -1,0 +1,103 @@
+// BitMatrix: a dense 2-D bit array stored as ONE contiguous uint64_t
+// buffer with a fixed word stride per row, rows aligned to 64 bytes.
+//
+// This is the storage layer under LocalGraph's adjacency matrix: the
+// branch-and-bound inner loops walk many rows in sequence, and a flat
+// buffer keeps them on consecutive cache lines instead of chasing one
+// heap pointer per row (the old vector<DynamicBitset> layout). The
+// stride is rounded up to 8 words (64 bytes) so every row starts on a
+// cache-line/AVX-512-friendly boundary.
+//
+// Rows present as BitSpan views, so they flow straight into the
+// dispatched kernels of util/bitset_kernels.h. Invariant: bits at
+// column >= cols() and the padding words between ceil(cols/64) and the
+// stride are zero — Set/Reset assert the column range in debug builds.
+
+#ifndef KPLEX_UTIL_BIT_MATRIX_H_
+#define KPLEX_UTIL_BIT_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitset_kernels.h"
+
+namespace kplex {
+
+/// Mutable counterpart of BitSpan; converts to BitSpan for reads.
+struct MutableBitSpan {
+  uint64_t* words = nullptr;
+  std::size_t num_bits = 0;
+
+  operator BitSpan() const { return BitSpan{words, num_bits}; }
+  std::size_t num_words() const { return (num_bits + 63) / 64; }
+
+  void Set(std::size_t i) {
+    assert(i < num_bits && "MutableBitSpan::Set out of range");
+    words[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Reset(std::size_t i) {
+    assert(i < num_bits && "MutableBitSpan::Reset out of range");
+    words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(std::size_t i) const { return (words[i >> 6] >> (i & 63)) & 1; }
+
+  void AndWith(BitSpan o) {
+    kernels::Active().and_into(words, o.words, num_words());
+  }
+  void OrWith(BitSpan o) {
+    kernels::Active().or_into(words, o.words, num_words());
+  }
+  void AndNotWith(BitSpan o) {
+    kernels::Active().andnot_into(words, o.words, num_words());
+  }
+};
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  /// rows x cols, all bits clear.
+  BitMatrix(uint32_t rows, uint32_t cols);
+  ~BitMatrix();
+
+  BitMatrix(const BitMatrix& o);
+  BitMatrix& operator=(const BitMatrix& o);
+  BitMatrix(BitMatrix&& o) noexcept;
+  BitMatrix& operator=(BitMatrix&& o) noexcept;
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  /// Words per row; a multiple of 8 (64-byte row alignment).
+  std::size_t word_stride() const { return stride_; }
+
+  BitSpan Row(uint32_t r) const {
+    assert(r < rows_ && "BitMatrix::Row out of range");
+    return BitSpan{data_ + r * stride_, cols_};
+  }
+  MutableBitSpan MutableRow(uint32_t r) {
+    assert(r < rows_ && "BitMatrix::MutableRow out of range");
+    return MutableBitSpan{data_ + r * stride_, cols_};
+  }
+
+  bool Test(uint32_t r, uint32_t c) const { return Row(r).Test(c); }
+  void Set(uint32_t r, uint32_t c) { MutableRow(r).Set(c); }
+  void Reset(uint32_t r, uint32_t c) { MutableRow(r).Reset(c); }
+
+  /// Zeroes every bit of row r (padding words stay zero by invariant).
+  void ClearRow(uint32_t r);
+
+  /// Total heap bytes owned by the buffer (memory accounting).
+  std::size_t AllocatedBytes() const {
+    return static_cast<std::size_t>(rows_) * stride_ * sizeof(uint64_t);
+  }
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::size_t stride_ = 0;     // words per row, multiple of 8
+  uint64_t* data_ = nullptr;   // 64-byte aligned, rows_ * stride_ words
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_BIT_MATRIX_H_

@@ -11,13 +11,26 @@ std::vector<uint32_t> DynamicBitset::ToVector() const {
 
 uint64_t DynamicBitset::Hash() const {
   uint64_t h = 0xcbf29ce484222325ULL;
-  for (uint64_t w : words_) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    if (i + 1 == words_.size()) w &= TailMask();
     h ^= w;
     h *= 0x100000001b3ULL;
   }
   h ^= num_bits_;
   h *= 0x100000001b3ULL;
   return h;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& o) const {
+  if (num_bits_ != o.num_bits_) return false;
+  if (words_.empty()) return true;
+  for (std::size_t i = 0; i + 1 < words_.size(); ++i) {
+    if (words_[i] != o.words_[i]) return false;
+  }
+  // Tail-masked compare: a stray slack-bit write cannot flip equality.
+  const uint64_t mask = TailMask();
+  return (words_.back() & mask) == (o.words_.back() & mask);
 }
 
 }  // namespace kplex

@@ -1,16 +1,31 @@
 // DynamicBitset: a fixed-width (set at construction/resize) bitset over
 // 64-bit words. It is the workhorse of the mining engine: the P/C/X sets
-// of every branch-and-bound node and every adjacency-matrix row of a seed
-// subgraph are DynamicBitsets, and the hot operations (intersection
-// popcounts, subset tests, masked iteration) are all word-parallel.
+// of every branch-and-bound node are DynamicBitsets, and the hot
+// operations (intersection popcounts, subset tests, masked iteration)
+// all route through the SIMD-dispatched word kernels of
+// util/bitset_kernels.h — the same kernels that serve the flat
+// BitMatrix adjacency rows, so a DynamicBitset composes freely with
+// BitSpan operands (adjacency rows convert implicitly).
+//
+// Invariants and preconditions:
+//   * Trailing slack: bits in [num_bits_, words*64) are always zero.
+//     Count(), Hash() and operator== additionally mask the tail word so
+//     a stray slack write can never make equal sets compare unequal;
+//     debug builds assert the index range on every Set/Reset/Test.
+//   * Binary operations require operands of equal size (and therefore
+//     equal word counts). Debug builds assert this; release builds do
+//     not check, and mismatched operands are undefined behavior.
 
 #ifndef KPLEX_UTIL_BITSET_H_
 #define KPLEX_UTIL_BITSET_H_
 
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/bitset_kernels.h"
 
 namespace kplex {
 
@@ -32,9 +47,21 @@ class DynamicBitset {
   std::size_t size() const { return num_bits_; }
   std::size_t num_words() const { return words_.size(); }
 
-  void Set(std::size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
-  void Reset(std::size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  /// Read-only view; lets a DynamicBitset stand in wherever the kernel
+  /// layer expects a BitSpan (and vice versa for binary-op operands).
+  BitSpan AsSpan() const { return BitSpan{words_.data(), num_bits_}; }
+  operator BitSpan() const { return AsSpan(); }
+
+  void Set(std::size_t i) {
+    assert(i < num_bits_ && "DynamicBitset::Set index out of range");
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Reset(std::size_t i) {
+    assert(i < num_bits_ && "DynamicBitset::Reset index out of range");
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
   bool Test(std::size_t i) const {
+    assert(i < num_bits_ && "DynamicBitset::Test index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
   void Assign(std::size_t i, bool value) {
@@ -58,6 +85,23 @@ class DynamicBitset {
     words_[full_words] &= ~uint64_t{0} << (n & 63);
   }
 
+  /// Sets bits [begin, end), word-parallel.
+  void SetRange(std::size_t begin, std::size_t end) {
+    assert(end <= num_bits_ && "DynamicBitset::SetRange end out of range");
+    if (begin >= end) return;
+    const std::size_t bw = begin >> 6;
+    const std::size_t ew = (end - 1) >> 6;
+    const uint64_t bmask = ~uint64_t{0} << (begin & 63);
+    const uint64_t emask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+    if (bw == ew) {
+      words_[bw] |= bmask & emask;
+      return;
+    }
+    words_[bw] |= bmask;
+    for (std::size_t i = bw + 1; i < ew; ++i) words_[i] = ~uint64_t{0};
+    words_[ew] |= emask;
+  }
+
   /// Sets bits [0, size) and clears the trailing slack of the last word.
   void SetAll() {
     for (auto& w : words_) w = ~uint64_t{0};
@@ -67,11 +111,13 @@ class DynamicBitset {
     for (auto& w : words_) w = 0;
   }
 
-  /// Number of set bits.
+  /// Number of set bits. Tail-masked: immune to slack-bit corruption.
   std::size_t Count() const {
-    std::size_t c = 0;
-    for (uint64_t w : words_) c += std::popcount(w);
-    return c;
+    if (words_.empty()) return 0;
+    std::size_t c =
+        kernels::Active().count(words_.data(), words_.size() - 1);
+    return c + static_cast<std::size_t>(
+                   std::popcount(words_.back() & TailMask()));
   }
 
   bool Any() const {
@@ -82,74 +128,59 @@ class DynamicBitset {
   }
   bool None() const { return !Any(); }
 
-  // In-place set algebra. All operands must have equal size.
-  void AndWith(const DynamicBitset& o) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  // In-place set algebra. Precondition: operands have equal size (debug
+  // builds assert; see the header comment).
+  void AndWith(BitSpan o) {
+    kernels::Active().and_into(words_.data(), o.words, SameSizeWords(o));
   }
-  void OrWith(const DynamicBitset& o) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  void OrWith(BitSpan o) {
+    kernels::Active().or_into(words_.data(), o.words, SameSizeWords(o));
   }
-  void AndNotWith(const DynamicBitset& o) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  void AndNotWith(BitSpan o) {
+    kernels::Active().andnot_into(words_.data(), o.words, SameSizeWords(o));
   }
-  void XorWith(const DynamicBitset& o) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  void XorWith(BitSpan o) {
+    kernels::Active().xor_into(words_.data(), o.words, SameSizeWords(o));
   }
 
   /// popcount(this & o) without materializing the intersection.
-  std::size_t AndCount(const DynamicBitset& o) const {
-    std::size_t c = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      c += std::popcount(words_[i] & o.words_[i]);
-    }
-    return c;
+  std::size_t AndCount(BitSpan o) const {
+    return kernels::Active().and_count(words_.data(), o.words,
+                                       SameSizeWords(o));
   }
 
   /// popcount(this & b & c) without materializing intermediates.
-  std::size_t AndCount3(const DynamicBitset& b, const DynamicBitset& c) const {
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      count += std::popcount(words_[i] & b.words_[i] & c.words_[i]);
-    }
-    return count;
+  std::size_t AndCount3(BitSpan b, BitSpan c) const {
+    SameSizeWords(b);
+    return kernels::Active().and_count3(words_.data(), b.words, c.words,
+                                        SameSizeWords(c));
   }
 
   /// popcount(this & o) over the first `word_limit` words only. Callers
   /// use this when all set bits of one operand are known to lie in a
   /// prefix of the universe (e.g. the V_i prefix of a seed subgraph).
-  std::size_t AndCountLimit(const DynamicBitset& o,
-                            std::size_t word_limit) const {
-    std::size_t count = 0;
-    const std::size_t end = word_limit < words_.size() ? word_limit : words_.size();
-    for (std::size_t i = 0; i < end; ++i) {
-      count += std::popcount(words_[i] & o.words_[i]);
-    }
-    return count;
+  std::size_t AndCountLimit(BitSpan o, std::size_t word_limit) const {
+    const std::size_t words = SameSizeWords(o);
+    return kernels::Active().and_count(
+        words_.data(), o.words, word_limit < words ? word_limit : words);
   }
 
   /// popcount(this & ~o).
-  std::size_t AndNotCount(const DynamicBitset& o) const {
-    std::size_t c = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      c += std::popcount(words_[i] & ~o.words_[i]);
-    }
-    return c;
+  std::size_t AndNotCount(BitSpan o) const {
+    return kernels::Active().andnot_count(words_.data(), o.words,
+                                          SameSizeWords(o));
   }
 
   /// True iff (this & o) has at least one set bit.
-  bool Intersects(const DynamicBitset& o) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & o.words_[i]) return true;
-    }
-    return false;
+  bool Intersects(BitSpan o) const {
+    return kernels::Active().intersects(words_.data(), o.words,
+                                        SameSizeWords(o));
   }
 
   /// True iff every set bit of this is also set in o.
-  bool IsSubsetOf(const DynamicBitset& o) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & ~o.words_[i]) return false;
-    }
-    return true;
+  bool IsSubsetOf(BitSpan o) const {
+    return kernels::Active().subset(words_.data(), o.words,
+                                    SameSizeWords(o));
   }
 
   /// Index of the lowest set bit, or kNpos if none.
@@ -157,71 +188,59 @@ class DynamicBitset {
 
   /// Index of the lowest set bit >= from, or kNpos if none.
   std::size_t FindNext(std::size_t from) const {
-    if (from >= num_bits_) return kNpos;
-    std::size_t wi = from >> 6;
-    uint64_t w = words_[wi] & (~uint64_t{0} << (from & 63));
-    while (true) {
-      if (w != 0) return (wi << 6) + std::countr_zero(w);
-      if (++wi == words_.size()) return kNpos;
-      w = words_[wi];
-    }
+    return kernels::FindNextBit(words_.data(), num_bits_, from);
   }
 
-  /// Calls fn(i) for every set bit i in ascending order.
+  /// Calls fn(i) for every set bit i in ascending order. The word is
+  /// snapshotted per iteration, so resetting the current bit inside fn
+  /// is safe.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      uint64_t w = words_[wi];
-      while (w != 0) {
-        std::size_t bit = std::countr_zero(w);
-        fn((wi << 6) + bit);
-        w &= w - 1;
-      }
-    }
+    kernels::ForEachBit(words_.data(), words_.size(),
+                        static_cast<Fn&&>(fn));
   }
 
   /// Calls fn(i) for every set bit of (this & o), ascending.
   template <typename Fn>
-  void ForEachAnd(const DynamicBitset& o, Fn&& fn) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      uint64_t w = words_[wi] & o.words_[wi];
-      while (w != 0) {
-        std::size_t bit = std::countr_zero(w);
-        fn((wi << 6) + bit);
-        w &= w - 1;
-      }
-    }
+  void ForEachAnd(BitSpan o, Fn&& fn) const {
+    kernels::ForEachAndBit(words_.data(), o.words, SameSizeWords(o),
+                           static_cast<Fn&&>(fn));
   }
 
   /// Calls fn(i) for every set bit of (this & ~o), ascending.
   template <typename Fn>
-  void ForEachAndNot(const DynamicBitset& o, Fn&& fn) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      uint64_t w = words_[wi] & ~o.words_[wi];
-      while (w != 0) {
-        std::size_t bit = std::countr_zero(w);
-        fn((wi << 6) + bit);
-        w &= w - 1;
-      }
-    }
+  void ForEachAndNot(BitSpan o, Fn&& fn) const {
+    kernels::ForEachAndNotBit(words_.data(), o.words, SameSizeWords(o),
+                              static_cast<Fn&&>(fn));
   }
 
   /// The set bits as a vector of indices (test/debug convenience).
   std::vector<uint32_t> ToVector() const;
 
-  /// Order-insensitive 64-bit content hash (FNV-1a over words).
+  /// Order-insensitive 64-bit content hash (FNV-1a over words,
+  /// tail-masked).
   uint64_t Hash() const;
 
-  bool operator==(const DynamicBitset& o) const {
-    return num_bits_ == o.num_bits_ && words_ == o.words_;
-  }
+  bool operator==(const DynamicBitset& o) const;
 
  private:
+  /// 1-bits at the meaningful positions of the last word.
+  uint64_t TailMask() const {
+    const std::size_t slack = words_.size() * 64 - num_bits_;
+    return ~uint64_t{0} >> slack;  // slack < 64 whenever words_ nonempty
+  }
+
+  /// Asserts the equal-size precondition of binary ops (debug builds)
+  /// and returns the shared word count.
+  std::size_t SameSizeWords(BitSpan o) const {
+    assert(o.num_bits == num_bits_ &&
+           "DynamicBitset binary op requires equal-size operands");
+    (void)o;
+    return words_.size();
+  }
+
   void TrimTail() {
-    std::size_t slack = words_.size() * 64 - num_bits_;
-    if (slack > 0 && !words_.empty()) {
-      words_.back() &= ~uint64_t{0} >> slack;
-    }
+    if (!words_.empty()) words_.back() &= TailMask();
   }
 
   std::size_t num_bits_ = 0;

@@ -1,0 +1,153 @@
+#include "util/bitset_kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace kplex {
+namespace kernels {
+
+// Defined in the per-ISA TUs (bitset_kernels_avx2.cc / _neon.cc); each
+// returns its table when the CPU supports the ISA, nullptr otherwise.
+#if defined(__x86_64__) || defined(_M_X64)
+const KernelTable* Avx2TableOrNull();
+#endif
+#if defined(__aarch64__)
+const KernelTable* NeonTableOrNull();
+#endif
+
+namespace {
+
+// ---- portable reference implementations --------------------------------
+
+std::size_t CountPortable(const uint64_t* a, std::size_t words) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words; ++i) c += std::popcount(a[i]);
+  return c;
+}
+
+std::size_t AndCountPortable(const uint64_t* a, const uint64_t* b,
+                             std::size_t words) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words; ++i) c += std::popcount(a[i] & b[i]);
+  return c;
+}
+
+std::size_t AndCount3Portable(const uint64_t* a, const uint64_t* b,
+                              const uint64_t* c, std::size_t words) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    n += std::popcount(a[i] & b[i] & c[i]);
+  }
+  return n;
+}
+
+std::size_t AndNotCountPortable(const uint64_t* a, const uint64_t* b,
+                                std::size_t words) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words; ++i) c += std::popcount(a[i] & ~b[i]);
+  return c;
+}
+
+void AndIntoPortable(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] &= src[i];
+}
+
+void OrIntoPortable(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+void AndNotIntoPortable(uint64_t* dst, const uint64_t* src,
+                        std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] &= ~src[i];
+}
+
+void XorIntoPortable(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] ^= src[i];
+}
+
+bool SubsetPortable(const uint64_t* a, const uint64_t* b, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+bool IntersectsPortable(const uint64_t* a, const uint64_t* b,
+                        std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+constexpr KernelTable kPortableTable = {
+    "portable",
+    /*level=*/0,
+    CountPortable,
+    AndCountPortable,
+    AndCount3Portable,
+    AndNotCountPortable,
+    AndIntoPortable,
+    OrIntoPortable,
+    AndNotIntoPortable,
+    XorIntoPortable,
+    SubsetPortable,
+    IntersectsPortable,
+};
+
+bool EnvForcesPortable() {
+  const char* env = std::getenv("KPLEX_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+         std::strcmp(env, "portable") == 0;
+}
+
+const KernelTable* SelectDispatched() {
+#if defined(KPLEX_NO_SIMD)
+  return &kPortableTable;
+#else
+  if (EnvForcesPortable()) return &kPortableTable;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (const KernelTable* avx2 = Avx2TableOrNull()) return avx2;
+#endif
+#if defined(__aarch64__)
+  if (const KernelTable* neon = NeonTableOrNull()) return neon;
+#endif
+  return &kPortableTable;
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+// Constant-initialized so any pre-main DynamicBitset use is safe; the
+// initializer of kDispatchUpgrade below swaps in the dispatched table.
+constinit const KernelTable* active = &kPortableTable;
+}  // namespace internal
+
+const KernelTable& Portable() { return kPortableTable; }
+
+const KernelTable& Dispatched() {
+  static const KernelTable* dispatched = SelectDispatched();
+  return *dispatched;
+}
+
+namespace {
+// Runs during static initialization of this TU; other TUs initializing
+// earlier simply see the (bit-identical) portable table.
+const bool kDispatchUpgrade = [] {
+  internal::active = &Dispatched();
+  return true;
+}();
+}  // namespace
+
+void SetActiveForTest(const KernelTable* table) {
+  internal::active = table != nullptr ? table : &Dispatched();
+}
+
+const char* DispatchedName() { return Dispatched().name; }
+
+int DispatchedLevel() { return Dispatched().level; }
+
+}  // namespace kernels
+}  // namespace kplex

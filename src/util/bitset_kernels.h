@@ -1,0 +1,239 @@
+// Word-level bit-algebra kernels and the BitSpan view they operate on.
+//
+// Every hot operation of the mining engine — intersection popcounts,
+// subset tests, masked iteration over adjacency rows — bottoms out in a
+// loop over 64-bit words. This header centralizes those loops behind a
+// table of function pointers (`KernelTable`) so one process-wide
+// dispatch decision, made once at startup, selects between:
+//
+//   portable  plain word loops (std::popcount); always available, and
+//             the reference implementation every variant must match
+//             bit-for-bit (tests/bitset_kernels_test.cc),
+//   avx2      256-bit lanes with vpshufb nibble-LUT popcounts, compiled
+//             into its own TU with -mavx2 and used only when the CPU
+//             reports AVX2 support,
+//   neon      128-bit lanes via vcntq_u8 on aarch64.
+//
+// Compiling with -DKPLEX_NO_SIMD (CMake option KPLEX_NO_SIMD) pins the
+// dispatch to `portable`, as does the runtime escape hatch
+// KPLEX_SIMD=off in the environment. The selected ISA is exported as
+// the `kplex_simd_dispatch` gauge (docs/OBSERVABILITY.md).
+//
+// Preconditions shared by every table entry: operand arrays hold
+// exactly `words` 64-bit words, and bits past a span's logical size are
+// zero (the trailing-slack invariant DynamicBitset and BitMatrix
+// maintain). Callers pass equal word counts; the kernels do not check.
+
+#ifndef KPLEX_UTIL_BITSET_KERNELS_H_
+#define KPLEX_UTIL_BITSET_KERNELS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kplex {
+namespace kernels {
+
+struct KernelTable {
+  const char* name;  // "portable", "avx2", "neon"
+  int level;         // 0 portable, 1 avx2, 2 neon (kplex_simd_dispatch)
+
+  std::size_t (*count)(const uint64_t* a, std::size_t words);
+  std::size_t (*and_count)(const uint64_t* a, const uint64_t* b,
+                           std::size_t words);
+  std::size_t (*and_count3)(const uint64_t* a, const uint64_t* b,
+                            const uint64_t* c, std::size_t words);
+  std::size_t (*andnot_count)(const uint64_t* a, const uint64_t* b,
+                              std::size_t words);
+  void (*and_into)(uint64_t* dst, const uint64_t* src, std::size_t words);
+  void (*or_into)(uint64_t* dst, const uint64_t* src, std::size_t words);
+  void (*andnot_into)(uint64_t* dst, const uint64_t* src, std::size_t words);
+  void (*xor_into)(uint64_t* dst, const uint64_t* src, std::size_t words);
+  bool (*subset)(const uint64_t* a, const uint64_t* b,
+                 std::size_t words);  // every set bit of a also set in b
+  bool (*intersects)(const uint64_t* a, const uint64_t* b,
+                     std::size_t words);  // (a & b) != 0
+};
+
+/// The reference word-loop table; always available.
+const KernelTable& Portable();
+
+/// The best table for this machine: AVX2/NEON when compiled in and
+/// supported, otherwise portable. Honors KPLEX_NO_SIMD and KPLEX_SIMD=off.
+const KernelTable& Dispatched();
+
+namespace internal {
+// Constant-initialized to the portable table so pre-main callers are
+// safe; upgraded to Dispatched() by a dynamic initializer in
+// bitset_kernels.cc (results are bit-identical either way).
+extern const KernelTable* active;
+}  // namespace internal
+
+/// The table the process is currently routing through.
+inline const KernelTable& Active() { return *internal::active; }
+
+/// Test hook: force a specific table (e.g. &Portable() to pin the
+/// baseline path); nullptr restores Dispatched(). Not thread-safe —
+/// call only from single-threaded test setup.
+void SetActiveForTest(const KernelTable* table);
+
+/// Name / level of the startup dispatch decision (independent of any
+/// SetActiveForTest override).
+const char* DispatchedName();
+int DispatchedLevel();
+
+// ---- find-next / for-each word iteration -------------------------------
+//
+// Bit-iteration stays header-inline: the ctz-and-clear loop is already
+// optimal scalar code and the per-bit callback cannot cross a C
+// function-pointer boundary without losing inlining.
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of the lowest set bit >= `from` in a `num_bits`-bit span, or
+/// kNpos. Requires the trailing-slack invariant.
+inline std::size_t FindNextBit(const uint64_t* words, std::size_t num_bits,
+                               std::size_t from) {
+  if (from >= num_bits) return kNpos;
+  const std::size_t num_words = (num_bits + 63) / 64;
+  std::size_t wi = from >> 6;
+  uint64_t w = words[wi] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) return (wi << 6) + std::countr_zero(w);
+    if (++wi == num_words) return kNpos;
+    w = words[wi];
+  }
+}
+
+/// Calls fn(i) for every set bit, ascending. Reading a word snapshot per
+/// iteration makes clearing the current bit inside fn safe.
+template <typename Fn>
+inline void ForEachBit(const uint64_t* words, std::size_t num_words,
+                       Fn&& fn) {
+  for (std::size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      std::size_t bit = std::countr_zero(w);
+      fn((wi << 6) + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+template <typename Fn>
+inline void ForEachAndBit(const uint64_t* a, const uint64_t* b,
+                          std::size_t num_words, Fn&& fn) {
+  for (std::size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t w = a[wi] & b[wi];
+    while (w != 0) {
+      std::size_t bit = std::countr_zero(w);
+      fn((wi << 6) + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+template <typename Fn>
+inline void ForEachAndNotBit(const uint64_t* a, const uint64_t* b,
+                             std::size_t num_words, Fn&& fn) {
+  for (std::size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t w = a[wi] & ~b[wi];
+    while (w != 0) {
+      std::size_t bit = std::countr_zero(w);
+      fn((wi << 6) + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace kernels
+
+// ---- BitSpan -----------------------------------------------------------
+//
+// Non-owning read view over `num_bits` bits backed by 64-bit words with
+// a zeroed tail. BitMatrix rows and DynamicBitsets both present as
+// BitSpans, so the same kernels serve the flat adjacency matrix and the
+// standalone P/C/X sets.
+
+struct BitSpan {
+  const uint64_t* words = nullptr;
+  std::size_t num_bits = 0;
+
+  std::size_t size() const { return num_bits; }
+  std::size_t num_words() const { return (num_bits + 63) / 64; }
+
+  bool Test(std::size_t i) const { return (words[i >> 6] >> (i & 63)) & 1; }
+
+  std::size_t Count() const {
+    return kernels::Active().count(words, num_words());
+  }
+
+  std::size_t AndCount(BitSpan o) const {
+    return kernels::Active().and_count(words, o.words, num_words());
+  }
+
+  std::size_t AndCount3(BitSpan b, BitSpan c) const {
+    return kernels::Active().and_count3(words, b.words, c.words, num_words());
+  }
+
+  /// popcount(this & o) over the first `word_limit` words only (the
+  /// vi_words prefix optimization of the seed-graph layout).
+  std::size_t AndCountLimit(BitSpan o, std::size_t word_limit) const {
+    const std::size_t nw = num_words();
+    return kernels::Active().and_count(words, o.words,
+                                       word_limit < nw ? word_limit : nw);
+  }
+
+  std::size_t AndNotCount(BitSpan o) const {
+    return kernels::Active().andnot_count(words, o.words, num_words());
+  }
+
+  bool Intersects(BitSpan o) const {
+    return kernels::Active().intersects(words, o.words, num_words());
+  }
+
+  bool IsSubsetOf(BitSpan o) const {
+    return kernels::Active().subset(words, o.words, num_words());
+  }
+
+  bool Any() const {
+    const std::size_t nw = num_words();
+    for (std::size_t i = 0; i < nw; ++i) {
+      if (words[i] != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  std::size_t FindFirst() const { return FindNext(0); }
+  std::size_t FindNext(std::size_t from) const {
+    return kernels::FindNextBit(words, num_bits, from);
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    kernels::ForEachBit(words, num_words(), static_cast<Fn&&>(fn));
+  }
+  template <typename Fn>
+  void ForEachAnd(BitSpan o, Fn&& fn) const {
+    kernels::ForEachAndBit(words, o.words, num_words(), static_cast<Fn&&>(fn));
+  }
+  template <typename Fn>
+  void ForEachAndNot(BitSpan o, Fn&& fn) const {
+    kernels::ForEachAndNotBit(words, o.words, num_words(),
+                              static_cast<Fn&&>(fn));
+  }
+
+  /// The set bits as indices (test/debug convenience).
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    ForEach([&](std::size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+    return out;
+  }
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_UTIL_BITSET_KERNELS_H_

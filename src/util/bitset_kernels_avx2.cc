@@ -1,0 +1,198 @@
+// AVX2 variants of the bitset kernels. This TU is the only one compiled
+// with -mavx2 (+ -mpopcnt); nothing here runs unless the runtime CPU
+// check in Avx2TableOrNull() passes, so the rest of the binary stays
+// baseline-ISA clean. Popcounts use the vpshufb nibble-LUT + vpsadbw
+// reduction; loads are unaligned (DynamicBitset words are only 8-byte
+// aligned — BitMatrix rows are 64-byte aligned but share these entry
+// points).
+
+#include "util/bitset_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#if !defined(__AVX2__)
+
+// Compiled without -mavx2 (unexpected on the supported toolchains):
+// degrade to "no AVX2 table" so dispatch falls back to portable.
+namespace kplex {
+namespace kernels {
+const KernelTable* Avx2TableOrNull() { return nullptr; }
+}  // namespace kernels
+}  // namespace kplex
+
+#else
+
+#include <immintrin.h>
+
+namespace kplex {
+namespace kernels {
+namespace {
+
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  // Four lane-wise u64 sums of the 32 byte counts.
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::size_t HorizontalSum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::size_t>(_mm_extract_epi64(sum, 1));
+}
+
+inline __m256i Load(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void Store(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+std::size_t CountAvx2(const uint64_t* a, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    acc = _mm256_add_epi64(acc, Popcount256(Load(a + i)));
+  }
+  std::size_t c = HorizontalSum(acc);
+  for (; i < words; ++i) c += static_cast<std::size_t>(_popcnt64(a[i]));
+  return c;
+}
+
+std::size_t AndCountAvx2(const uint64_t* a, const uint64_t* b,
+                         std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, Popcount256(_mm256_and_si256(Load(a + i), Load(b + i))));
+  }
+  std::size_t c = HorizontalSum(acc);
+  for (; i < words; ++i) {
+    c += static_cast<std::size_t>(_popcnt64(a[i] & b[i]));
+  }
+  return c;
+}
+
+std::size_t AndCount3Avx2(const uint64_t* a, const uint64_t* b,
+                          const uint64_t* c, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_and_si256(Load(a + i), Load(b + i)), Load(c + i));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  std::size_t n = HorizontalSum(acc);
+  for (; i < words; ++i) {
+    n += static_cast<std::size_t>(_popcnt64(a[i] & b[i] & c[i]));
+  }
+  return n;
+}
+
+std::size_t AndNotCountAvx2(const uint64_t* a, const uint64_t* b,
+                            std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    // vpandn computes ~x & y, so pass b first.
+    acc = _mm256_add_epi64(
+        acc, Popcount256(_mm256_andnot_si256(Load(b + i), Load(a + i))));
+  }
+  std::size_t c = HorizontalSum(acc);
+  for (; i < words; ++i) {
+    c += static_cast<std::size_t>(_popcnt64(a[i] & ~b[i]));
+  }
+  return c;
+}
+
+void AndIntoAvx2(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    Store(dst + i, _mm256_and_si256(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+void OrIntoAvx2(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    Store(dst + i, _mm256_or_si256(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+void AndNotIntoAvx2(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    Store(dst + i, _mm256_andnot_si256(Load(src + i), Load(dst + i)));
+  }
+  for (; i < words; ++i) dst[i] &= ~src[i];
+}
+
+void XorIntoAvx2(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    Store(dst + i, _mm256_xor_si256(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] ^= src[i];
+}
+
+bool SubsetAvx2(const uint64_t* a, const uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    // vptest CF: set iff (~b & a) == 0, i.e. a ⊆ b over these lanes.
+    if (!_mm256_testc_si256(Load(b + i), Load(a + i))) return false;
+  }
+  for (; i < words; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+bool IntersectsAvx2(const uint64_t* a, const uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    // vptest ZF: set iff (a & b) == 0 over these lanes.
+    if (!_mm256_testz_si256(Load(a + i), Load(b + i))) return true;
+  }
+  for (; i < words; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",
+    /*level=*/1,
+    CountAvx2,
+    AndCountAvx2,
+    AndCount3Avx2,
+    AndNotCountAvx2,
+    AndIntoAvx2,
+    OrIntoAvx2,
+    AndNotIntoAvx2,
+    XorIntoAvx2,
+    SubsetAvx2,
+    IntersectsAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2TableOrNull() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Table : nullptr;
+}
+
+}  // namespace kernels
+}  // namespace kplex
+
+#endif  // __AVX2__
+#endif  // x86-64

@@ -1,0 +1,143 @@
+// NEON variants of the bitset kernels for aarch64 (where Advanced SIMD
+// is baseline, so no special compile flags are needed). Popcounts use
+// vcntq_u8 byte counts reduced with vaddvq_u8 — a 128-bit vector holds
+// at most 128 set bits, so the byte-sum fits in the u8 horizontal add.
+
+#include "util/bitset_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace kplex {
+namespace kernels {
+namespace {
+
+inline uint64x2_t Load(const uint64_t* p) { return vld1q_u64(p); }
+
+inline std::size_t Popcount128(uint64x2_t v) {
+  return vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+
+std::size_t CountNeon(const uint64_t* a, std::size_t words) {
+  std::size_t c = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) c += Popcount128(Load(a + i));
+  for (; i < words; ++i) c += std::popcount(a[i]);
+  return c;
+}
+
+std::size_t AndCountNeon(const uint64_t* a, const uint64_t* b,
+                         std::size_t words) {
+  std::size_t c = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    c += Popcount128(vandq_u64(Load(a + i), Load(b + i)));
+  }
+  for (; i < words; ++i) c += std::popcount(a[i] & b[i]);
+  return c;
+}
+
+std::size_t AndCount3Neon(const uint64_t* a, const uint64_t* b,
+                          const uint64_t* c, std::size_t words) {
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    n += Popcount128(
+        vandq_u64(vandq_u64(Load(a + i), Load(b + i)), Load(c + i)));
+  }
+  for (; i < words; ++i) n += std::popcount(a[i] & b[i] & c[i]);
+  return n;
+}
+
+std::size_t AndNotCountNeon(const uint64_t* a, const uint64_t* b,
+                            std::size_t words) {
+  std::size_t c = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    // vbic computes a & ~b.
+    c += Popcount128(vbicq_u64(Load(a + i), Load(b + i)));
+  }
+  for (; i < words; ++i) c += std::popcount(a[i] & ~b[i]);
+  return c;
+}
+
+void AndIntoNeon(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+void OrIntoNeon(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+void AndNotIntoNeon(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] &= ~src[i];
+}
+
+void XorIntoNeon(uint64_t* dst, const uint64_t* src, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < words; ++i) dst[i] ^= src[i];
+}
+
+bool SubsetNeon(const uint64_t* a, const uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint64x2_t diff = vbicq_u64(Load(a + i), Load(b + i));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(diff)) != 0) return false;
+  }
+  for (; i < words; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+bool IntersectsNeon(const uint64_t* a, const uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint64x2_t both = vandq_u64(Load(a + i), Load(b + i));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(both)) != 0) return true;
+  }
+  for (; i < words; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+constexpr KernelTable kNeonTable = {
+    "neon",
+    /*level=*/2,
+    CountNeon,
+    AndCountNeon,
+    AndCount3Neon,
+    AndNotCountNeon,
+    AndIntoNeon,
+    OrIntoNeon,
+    AndNotIntoNeon,
+    XorIntoNeon,
+    SubsetNeon,
+    IntersectsNeon,
+};
+
+}  // namespace
+
+const KernelTable* NeonTableOrNull() { return &kNeonTable; }
+
+}  // namespace kernels
+}  // namespace kplex
+
+#endif  // __aarch64__

@@ -155,6 +155,65 @@ TEST(Bitset, EqualityAndHash) {
   EXPECT_NE(a.Hash(), b.Hash());
 }
 
+TEST(Bitset, SetRange) {
+  DynamicBitset b(300);
+  b.SetRange(0, 0);  // empty range: no-op
+  EXPECT_TRUE(b.None());
+  b.SetRange(5, 6);  // single bit
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{5}));
+  b.ResetAll();
+  b.SetRange(60, 70);  // crosses one word boundary
+  EXPECT_EQ(b.Count(), 10u);
+  EXPECT_EQ(b.FindFirst(), 60u);
+  EXPECT_FALSE(b.Test(59));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(70));
+  b.ResetAll();
+  b.SetRange(1, 300);  // spans full interior words + partial tail word
+  EXPECT_EQ(b.Count(), 299u);
+  EXPECT_FALSE(b.Test(0));
+  b.ResetAll();
+  b.SetRange(64, 128);  // exactly one aligned word
+  EXPECT_EQ(b.Count(), 64u);
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(127));
+  EXPECT_FALSE(b.Test(128));
+}
+
+// Regression: writes to slack bits of the tail word (indices in
+// [num_bits, words*64)) used to be silently accepted by Set/Reset and
+// could make two equal-content bitsets compare unequal and hash apart.
+// Debug builds now assert the index range; release builds mask the tail
+// in Count/Hash/operator== so even a corrupted slack bit cannot change
+// observable equality.
+TEST(Bitset, SlackBitsCannotBreakEquality) {
+#ifndef NDEBUG
+  DynamicBitset guarded(70);
+  EXPECT_DEATH(guarded.Set(70), "out of range");
+  EXPECT_DEATH(guarded.Set(127), "out of range");
+  EXPECT_DEATH(guarded.Reset(100), "out of range");
+  EXPECT_DEATH(guarded.Test(71), "out of range");
+#else
+  // Release build: simulate slack corruption through the mutable word
+  // view a kernel could write (same backing layout) and confirm the
+  // comparison surface is immune.
+  DynamicBitset a(70), b(70);
+  a.Set(3);
+  b.Set(3);
+  // Corrupt a slack bit of `a` via its span's backing words.
+  auto* words = const_cast<uint64_t*>(a.AsSpan().words);
+  words[1] |= uint64_t{1} << 20;  // bit 84: beyond num_bits, within word
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+#endif
+}
+
+TEST(Bitset, EqualityRequiresSameSize) {
+  DynamicBitset a(70), b(77);
+  EXPECT_FALSE(a == b);  // same content, different widths
+}
+
 // Randomized differential test against std::set semantics.
 TEST(Bitset, RandomizedAgainstReferenceSet) {
   Rng rng(42);

@@ -6,6 +6,7 @@
 
 #include "graph/builder.h"
 #include "graph/subgraph.h"
+#include "util/bitset_kernels.h"
 
 namespace kplex {
 namespace {
@@ -57,6 +58,39 @@ TEST(LocalGraph, RemoveVertexUpdatesEverything) {
   EXPECT_EQ(lg.AliveMask().Count(), 3u);
   lg.RemoveVertex(1);  // idempotent
   EXPECT_EQ(lg.AliveMask().Count(), 3u);
+}
+
+TEST(LocalGraph, RowsArePrefixOfAlignedMatrix) {
+  LocalGraph lg(70);
+  lg.AddEdge(0, 69);
+  lg.AddEdge(0, 1);
+  BitSpan row = lg.Row(0);
+  EXPECT_EQ(row.num_bits, 70u);
+  EXPECT_EQ(row.Count(), 2u);
+  EXPECT_TRUE(row.Test(69));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(row.words) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(lg.Row(1).words) % 64, 0u);
+}
+
+// The same invariants must hold whether counts run on the portable word
+// loops or the dispatched SIMD table; this pins both paths.
+TEST(LocalGraph, InvariantsHoldUnderForcedBaseline) {
+  for (const kernels::KernelTable* table :
+       {&kernels::Portable(), &kernels::Dispatched()}) {
+    kernels::SetActiveForTest(table);
+    LocalGraph lg(130);
+    for (uint32_t v = 1; v < 130; ++v) lg.AddEdge(0, v);
+    lg.AddEdge(1, 2);
+    DynamicBitset mask(130);
+    mask.SetRange(0, 65);
+    EXPECT_EQ(lg.Degree(0), 129u) << table->name;
+    EXPECT_EQ(lg.DegreeIn(0, mask), 64u) << table->name;
+    lg.RemoveVertex(2);
+    EXPECT_EQ(lg.Degree(0), 128u) << table->name;
+    EXPECT_EQ(lg.Degree(1), 1u) << table->name;
+    EXPECT_EQ(lg.AliveMask().Count(), 129u) << table->name;
+    kernels::SetActiveForTest(nullptr);
+  }
 }
 
 TEST(InducedSubgraph, ExtractsEdgesAndMapping) {
