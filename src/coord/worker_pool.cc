@@ -1,0 +1,129 @@
+#include "coord/worker_pool.h"
+
+#include <algorithm>
+
+namespace kplex {
+
+const char* WorkerStateName(WorkerState state) {
+  switch (state) {
+    case WorkerState::kIdle:
+      return "idle";
+    case WorkerState::kBusy:
+      return "busy";
+    case WorkerState::kDraining:
+      return "draining";
+    case WorkerState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+uint64_t WorkerPool::Register(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (WorkerRecord& worker : workers_) {
+    if (worker.endpoint == endpoint) {
+      worker.state = WorkerState::kIdle;
+      return worker.id;
+    }
+  }
+  WorkerRecord worker;
+  worker.id = next_id_++;
+  worker.endpoint = endpoint;
+  worker.state = WorkerState::kIdle;
+  workers_.push_back(std::move(worker));
+  return workers_.back().id;
+}
+
+Status WorkerPool::Heartbeat(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker == nullptr) {
+    return Status::NotFound("unknown worker " + std::to_string(id));
+  }
+  if (worker->state == WorkerState::kDead) {
+    worker->state = WorkerState::kIdle;
+  }
+  return Status::Ok();
+}
+
+Status WorkerPool::Drain(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker == nullptr) {
+    return Status::NotFound("unknown worker " + std::to_string(id));
+  }
+  if (worker->state == WorkerState::kDead) {
+    return Status::FailedPrecondition("worker " + std::to_string(id) +
+                                      " is dead (re-register to revive it)");
+  }
+  worker->state = WorkerState::kDraining;
+  return Status::Ok();
+}
+
+void WorkerPool::MarkBusy(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker != nullptr && worker->state == WorkerState::kIdle) {
+    worker->state = WorkerState::kBusy;
+  }
+}
+
+void WorkerPool::MarkIdle(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker != nullptr && worker->state == WorkerState::kBusy) {
+    worker->state = WorkerState::kIdle;
+  }
+}
+
+void WorkerPool::MarkDead(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker != nullptr) worker->state = WorkerState::kDead;
+}
+
+void WorkerPool::NoteChunkDone(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker != nullptr) ++worker->chunks_done;
+}
+
+void WorkerPool::NoteChunkFailed(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerRecord* worker = FindLocked(id);
+  if (worker != nullptr) ++worker->chunks_failed;
+}
+
+StatusOr<WorkerRecord> WorkerPool::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const WorkerRecord& worker : workers_) {
+    if (worker.id == id) return worker;
+  }
+  return Status::NotFound("unknown worker " + std::to_string(id));
+}
+
+std::vector<WorkerRecord> WorkerPool::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_;
+}
+
+std::vector<WorkerRecord> WorkerPool::Schedulable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkerRecord> out;
+  for (const WorkerRecord& worker : workers_) {
+    if (worker.state == WorkerState::kIdle ||
+        worker.state == WorkerState::kBusy) {
+      out.push_back(worker);
+    }
+  }
+  return out;
+}
+
+WorkerRecord* WorkerPool::FindLocked(uint64_t id) {
+  for (WorkerRecord& worker : workers_) {
+    if (worker.id == id) return &worker;
+  }
+  return nullptr;
+}
+
+}  // namespace kplex

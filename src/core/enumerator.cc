@@ -65,11 +65,22 @@ StatusOr<EnumResult> EnumerateMaximalKPlexes(const Graph& graph,
   const uint32_t range_end = static_cast<uint32_t>(std::min<uint64_t>(
       options.seed_range.end, total_seeds));
   const uint64_t shard_seeds = range_end - range_begin;
+  result.covered_begin = range_begin;
+  result.covered_end = range_end;
   ProgressThrottle progress_throttle(options.progress_min_interval_ms);
   for (uint32_t idx = range_begin; idx < range_end; ++idx) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
       result.cancelled = true;
+      break;
+    }
+    // Work-stealing yield: stop cleanly *before* this seed, so
+    // [range_begin, idx) is a complete answer and the coordinator can
+    // re-issue [idx, range_end) elsewhere.
+    if (options.yield != nullptr &&
+        options.yield->load(std::memory_order_relaxed)) {
+      result.yielded = true;
+      result.covered_end = idx;
       break;
     }
     const VertexId seed = degeneracy.order[idx];

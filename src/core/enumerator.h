@@ -42,6 +42,17 @@ struct EnumResult {
   bool has_resume = false;
   uint32_t resume_seed = 0;
   uint64_t resume_ordinal = 0;
+  /// True when the run stopped at a seed boundary because options.yield
+  /// was set. A yielded run is a *complete* answer for the covered
+  /// range below — the only early stop that is (cancel/timeout abandon
+  /// mid-seed work).
+  bool yielded = false;
+  /// Half-open range of canonical seed indices this run fully
+  /// enumerated: the clamped requested range, except covered_end drops
+  /// to the yield boundary on a yielded run. Meaningless (equal, empty)
+  /// when the run was cancelled or timed out.
+  uint32_t covered_begin = 0;
+  uint32_t covered_end = 0;
   AlgoCounters counters;
 };
 

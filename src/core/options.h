@@ -108,6 +108,17 @@ struct EnumOptions {
   /// may be shared by many concurrent runs.
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Cooperative yield hook (sharded mining v2 work-stealing): when
+  /// non-null, the *sequential* driver checks the flag at every seed
+  /// boundary and, once set, stops cleanly before the next seed. Unlike
+  /// cancel, a yielded run is a complete answer for the seeds it did
+  /// process — EnumResult reports yielded=true and covered_end, so a
+  /// coordinator can merge the covered prefix and re-issue the tail
+  /// elsewhere. The parallel engine ignores the flag (its seeds are
+  /// interleaved across workers, so no prefix is complete) and simply
+  /// runs to completion — a steal against it degrades to a no-op.
+  const std::atomic<bool>* yield = nullptr;
+
   /// Progress hook: invoked as progress(done, total, outputs) after each
   /// processed seed vertex (sequential engine) or each completed stage
   /// (parallel engine, from a single thread at the stage barrier), where

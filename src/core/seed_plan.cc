@@ -1,0 +1,52 @@
+#include "core/seed_plan.h"
+
+#include "core/counters.h"
+#include "core/enumerator.h"
+#include "core/reduction.h"
+#include "util/timer.h"
+
+namespace kplex {
+
+uint64_t SeedPlanCost(uint32_t degree, uint32_t coreness) {
+  return (static_cast<uint64_t>(degree) + 1) *
+         (static_cast<uint64_t>(coreness) + 1);
+}
+
+StatusOr<SeedPlan> ComputeSeedPlan(const Graph& graph,
+                                   const EnumOptions& options) {
+  KPLEX_RETURN_IF_ERROR(ValidateOptions(options));
+  WallTimer timer;
+  SeedPlan plan;
+
+  AlgoCounters counters;
+  PreparedReduction prepared = PrepareReduction(graph, options, counters);
+  plan.core_precomputed = prepared.core_precomputed;
+  plan.order_precomputed = prepared.order_precomputed;
+  const Graph& core = prepared.core.graph;
+  const std::size_t n = core.NumVertices();
+  plan.total_seeds = n;
+  if (n == 0) {
+    plan.seconds = timer.ElapsedSeconds();
+    return plan;
+  }
+
+  const DegeneracyResult& ordering = prepared.ordering;
+  plan.degeneracy = ordering.degeneracy;
+  plan.degrees.resize(n);
+  plan.coreness.resize(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const VertexId seed = ordering.order[idx];
+    const uint32_t seed_rank = ordering.rank[seed];
+    uint32_t forward = 0;
+    for (VertexId w : core.Neighbors(seed)) {
+      if (ordering.rank[w] > seed_rank) ++forward;
+    }
+    plan.degrees[idx] = forward;
+    plan.coreness[idx] =
+        seed < ordering.coreness.size() ? ordering.coreness[seed] : 0;
+  }
+  plan.seconds = timer.ElapsedSeconds();
+  return plan;
+}
+
+}  // namespace kplex

@@ -114,6 +114,7 @@ StatusOr<uint64_t> ServiceDispatcher::Submit(const QueryRequest& request) {
     job->id = id;
     job->request = request;
     job->request.cancel = nullptr;  // cancellation goes through Cancel(id)
+    job->request.yield = nullptr;   // stealing goes through Yield(id)
     if (job->request.trace_id == 0) {
       // The span trail starts at submission: queue wait, run time, and
       // the engine's stage spans all correlate under this id.
@@ -151,6 +152,7 @@ void ServiceDispatcher::WorkerLoop() {
     job->started = true;
     QueryRequest request = job->request;
     request.cancel = &job->cancel;
+    request.yield = &job->yield;
     const double queue_wait_seconds =
         static_cast<double>(WallTimer::NowNanos() - job->enqueued_nanos) *
         1e-9;
@@ -174,6 +176,28 @@ void ServiceDispatcher::WorkerLoop() {
     RecordFinishedLocked(*job);
     done_cv_.notify_all();
   }
+}
+
+Status ServiceDispatcher::Yield(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      job.yield.store(true, std::memory_order_relaxed);
+      return Status::Ok();
+    case JobState::kDone:
+    case JobState::kCancelled:
+    case JobState::kFailed:
+      return Status::FailedPrecondition(
+          "job " + std::to_string(id) + " already finished (" +
+          JobStateName(job.state) + ")");
+  }
+  return Status::Ok();
 }
 
 Status ServiceDispatcher::Cancel(uint64_t id) {

@@ -95,6 +95,15 @@ class ServiceDispatcher {
   /// NotFound for unknown ids, FailedPrecondition for terminal jobs.
   Status Cancel(uint64_t id);
 
+  /// Requests a cooperative yield (work-stealing, sharding v2): flips
+  /// the job's yield flag so a running sequential enumeration stops
+  /// cleanly at the next seed boundary, reporting a complete answer for
+  /// its covered prefix. A queued job is untouched (it will observe the
+  /// flag the moment it starts and yield with an empty covered range).
+  /// NotFound for unknown ids, FailedPrecondition for terminal jobs —
+  /// the job finished whole, there is nothing left to steal.
+  Status Yield(uint64_t id);
+
   /// Snapshot of one job. NotFound for unknown ids.
   StatusOr<JobInfo> GetJob(uint64_t id) const;
 
@@ -131,6 +140,7 @@ class ServiceDispatcher {
     uint64_t id = 0;
     QueryRequest request;
     std::atomic<bool> cancel{false};
+    std::atomic<bool> yield{false};
     JobState state = JobState::kQueued;
     bool started = false;
     /// Monotonic enqueue tick (WallTimer::NowNanos) feeding the

@@ -441,6 +441,10 @@ void WriteShardOutcome(std::ostream& out, const ShardResultResponse& shard) {
   if (info.result.timed_out) out << " [time limit hit]";
   if (info.result.stopped_early) out << " [result cap hit]";
   if (info.result.cancelled) out << " [cancelled]";
+  if (info.result.yielded) {
+    out << " [yielded covered=" << info.result.covered_begin << ":"
+        << info.result.covered_end << "]";
+  }
   out << "\n";
 }
 
@@ -465,6 +469,19 @@ constexpr const char kHelpText[] =
     "  mineshard NAME K Q [seed-range=B:E] [hash=0xH] [...]\n"
     "                        mine one shard of the seed space; hash=\n"
     "                        refuses a mismatched snapshot (sharding)\n"
+    "  plan NAME K Q [ctcp]  per-seed cost-estimate probe (degeneracy-\n"
+    "                        order degrees + coreness); no enumeration\n"
+    "  shardsubmit NAME K Q [seed-range=B:E] [hash=0xH] [...]\n"
+    "                        asynchronous mineshard: admission check,\n"
+    "                        then a job id immediately (work-stealing)\n"
+    "  shardwait ID          block until shard job ID is terminal and\n"
+    "                        print its shard result\n"
+    "  shardstop ID          ask shard job ID to yield at the next seed\n"
+    "                        boundary (its result covers a prefix)\n"
+    "  register HOST:PORT    join a coordinator's worker pool\n"
+    "  heartbeat ID          refresh worker ID's liveness (coordinator)\n"
+    "  drain ID              stop scheduling onto worker ID (coordinator)\n"
+    "  workers               the coordinator's worker-pool table\n"
     "  cancel ID             cancel a queued or running job\n"
     "  jobs                  status of every submitted job\n"
     "  wait [ID]             block until job ID (or all jobs) done\n"
@@ -1072,10 +1089,10 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     }
     return request;
   }
-  if (cmd == "mineshard") {
+  if (cmd == "mineshard" || cmd == "shardsubmit") {
     // Split off the shard-only hash= option, then reuse the shared
     // query grammar (which handles seed-range=).
-    MineShardRequest shard;
+    uint64_t expected_hash = 0;
     std::vector<std::string> query_tokens;
     query_tokens.reserve(tokens.size());
     for (const std::string& token : tokens) {
@@ -1083,15 +1100,72 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
       if (key == "hash" && !value.empty()) {
         auto parsed = ParseHexU64(key, value);
         if (!parsed.ok()) return parsed.status();
-        shard.expected_hash = *parsed;
+        expected_hash = *parsed;
       } else {
         query_tokens.push_back(token);
       }
     }
     auto query = ParseQueryArgs(query_tokens);
     if (!query.ok()) return query.status();
-    shard.query = *std::move(query);
-    request.payload = std::move(shard);
+    if (cmd == "mineshard") {
+      request.payload = MineShardRequest{*std::move(query), expected_hash};
+    } else {
+      request.payload = ShardSubmitRequest{*std::move(query), expected_hash};
+    }
+    return request;
+  }
+  if (cmd == "plan") {
+    if (tokens.size() < 4 || tokens.size() > 5 ||
+        (tokens.size() == 5 && tokens[4] != "ctcp")) {
+      return Status::InvalidArgument("usage: plan NAME K Q [ctcp]");
+    }
+    PlanRequest plan;
+    plan.graph = tokens[1];
+    auto k = ParseUint("K", tokens[2], UINT32_MAX);
+    if (!k.ok()) return k.status();
+    auto q = ParseUint("Q", tokens[3], UINT32_MAX);
+    if (!q.ok()) return q.status();
+    plan.k = static_cast<uint32_t>(*k);
+    plan.q = static_cast<uint32_t>(*q);
+    plan.use_ctcp = tokens.size() == 5;
+    request.payload = std::move(plan);
+    return request;
+  }
+  if (cmd == "shardwait" || cmd == "shardstop") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: " + cmd + " ID");
+    }
+    auto id = ParseUint("ID", tokens[1]);
+    if (!id.ok()) return id.status();
+    if (cmd == "shardwait") {
+      request.payload = ShardWaitRequest{*id};
+    } else {
+      request.payload = ShardStopRequest{*id};
+    }
+    return request;
+  }
+  if (cmd == "register") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: register HOST:PORT");
+    }
+    request.payload = RegisterRequest{tokens[1]};
+    return request;
+  }
+  if (cmd == "heartbeat" || cmd == "drain") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: " + cmd + " ID");
+    }
+    auto id = ParseUint("ID", tokens[1]);
+    if (!id.ok()) return id.status();
+    if (cmd == "heartbeat") {
+      request.payload = HeartbeatRequest{*id};
+    } else {
+      request.payload = DrainRequest{*id};
+    }
+    return request;
+  }
+  if (cmd == "workers") {
+    request.payload = WorkersRequest{};
     return request;
   }
   if (cmd == "cancel") {
@@ -1195,6 +1269,36 @@ std::string FormatTextRequest(const Request& request) {
       }
       return line;
     }
+    std::string operator()(const PlanRequest& plan) const {
+      std::string line = "plan " + plan.graph + " " +
+                         std::to_string(plan.k) + " " +
+                         std::to_string(plan.q);
+      if (plan.use_ctcp) line += " ctcp";
+      return line;
+    }
+    std::string operator()(const ShardSubmitRequest& shard) const {
+      std::string line = FormatQueryArgs("shardsubmit", shard.query);
+      if (shard.expected_hash != 0) {
+        line += " hash=" + HexFingerprint(shard.expected_hash);
+      }
+      return line;
+    }
+    std::string operator()(const ShardWaitRequest& wait) const {
+      return "shardwait " + std::to_string(wait.job);
+    }
+    std::string operator()(const ShardStopRequest& stop) const {
+      return "shardstop " + std::to_string(stop.job);
+    }
+    std::string operator()(const RegisterRequest& reg) const {
+      return "register " + reg.endpoint;
+    }
+    std::string operator()(const HeartbeatRequest& beat) const {
+      return "heartbeat " + std::to_string(beat.worker);
+    }
+    std::string operator()(const DrainRequest& drain) const {
+      return "drain " + std::to_string(drain.worker);
+    }
+    std::string operator()(const WorkersRequest&) const { return "workers"; }
     std::string operator()(const CancelRequest& cancel) const {
       return "cancel " + std::to_string(cancel.job);
     }
@@ -1251,6 +1355,39 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
     }
     void operator()(const ShardResultResponse& shard) const {
       WriteShardOutcome(out, shard);
+    }
+    void operator()(const PlanResponse& plan) const {
+      out << "plan " << plan.graph << ": " << plan.total_seeds
+          << " seeds, degeneracy " << plan.degeneracy << ", hash "
+          << HexFingerprint(plan.content_hash) << ", "
+          << FormatSeconds(plan.seconds) << "s";
+      if (plan.precomputed) out << " [precomputed reduction]";
+      out << "\n";
+      // One line per seed keeps the text rendering greppable; the
+      // framed codec carries the arrays wholesale.
+      for (std::size_t i = 0; i < plan.degrees.size(); ++i) {
+        out << "seed " << i << " degree=" << plan.degrees[i]
+            << " coreness=" << plan.coreness[i] << "\n";
+      }
+    }
+    void operator()(const ShardSubmitResponse& shard) const {
+      out << "shard job " << shard.job << " submitted, hash "
+          << HexFingerprint(shard.content_hash) << "\n";
+    }
+    void operator()(const ShardStopResponse& stop) const {
+      out << "yield requested for job " << stop.job << "\n";
+    }
+    void operator()(const WorkerAckResponse& ack) const {
+      out << "worker " << ack.worker << " " << ack.state << "\n";
+    }
+    void operator()(const WorkersResponse& workers) const {
+      TablePrinter table({"id", "endpoint", "state", "done", "failed"});
+      for (const WorkerInfo& info : workers.workers) {
+        table.AddRow({std::to_string(info.id), info.endpoint, info.state,
+                      FormatCount(info.chunks_done),
+                      FormatCount(info.chunks_failed)});
+      }
+      table.Print(out);
     }
     void operator()(const ResultChunkResponse& chunk) const {
       out << "chunk " << chunk.seq;
@@ -1489,7 +1626,8 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     request.payload = std::move(snapshot);
     return request;
   }
-  if (*cmd == "mine" || *cmd == "submit" || *cmd == "mineshard") {
+  if (*cmd == "mine" || *cmd == "submit" || *cmd == "mineshard" ||
+      *cmd == "shardsubmit") {
     QueryRequest query;
     uint64_t expected_hash = 0;
     bool saw_k = false, saw_q = false;
@@ -1508,7 +1646,7 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
             static_cast<uint32_t>(*parsed_uint);
         return Status::Ok();
       }
-      if (key == "hash" && *cmd == "mineshard") {
+      if (key == "hash" && (*cmd == "mineshard" || *cmd == "shardsubmit")) {
         auto text = GetString(value, key);
         if (!text.ok()) return text.status();
         auto parsed_hash = ParseHexU64(key, *text);
@@ -1637,8 +1775,113 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
       request.payload = MineRequest{std::move(query)};
     } else if (*cmd == "submit") {
       request.payload = SubmitRequest{std::move(query)};
-    } else {
+    } else if (*cmd == "mineshard") {
       request.payload = MineShardRequest{std::move(query), expected_hash};
+    } else {
+      request.payload = ShardSubmitRequest{std::move(query), expected_hash};
+    }
+    return request;
+  }
+  if (*cmd == "plan") {
+    PlanRequest plan;
+    bool saw_k = false, saw_q = false;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "graph") {
+        auto name = GetString(value, key);
+        if (!name.ok()) return name.status();
+        plan.graph = *name;
+        return Status::Ok();
+      }
+      if (key == "k" || key == "q") {
+        auto parsed_uint = GetUint(value, key, UINT32_MAX);
+        if (!parsed_uint.ok()) return parsed_uint.status();
+        if (key == "k") {
+          plan.k = static_cast<uint32_t>(*parsed_uint);
+          saw_k = true;
+        } else {
+          plan.q = static_cast<uint32_t>(*parsed_uint);
+          saw_q = true;
+        }
+        return Status::Ok();
+      }
+      if (key == "ctcp") {
+        auto flag = GetBool(value, key);
+        if (!flag.ok()) return flag.status();
+        plan.use_ctcp = *flag;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (plan.graph.empty() || !saw_k || !saw_q) {
+      return Status::InvalidArgument("'plan' requires fields graph, k, q");
+    }
+    request.payload = std::move(plan);
+    return request;
+  }
+  if (*cmd == "shardwait" || *cmd == "shardstop") {
+    std::optional<uint64_t> job;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "job") {
+        auto parsed_job = GetUint(value, key);
+        if (!parsed_job.ok()) return parsed_job.status();
+        job = *parsed_job;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (!job.has_value()) {
+      return Status::InvalidArgument("'" + *cmd + "' requires field job");
+    }
+    if (*cmd == "shardwait") {
+      request.payload = ShardWaitRequest{*job};
+    } else {
+      request.payload = ShardStopRequest{*job};
+    }
+    return request;
+  }
+  if (*cmd == "register") {
+    std::string endpoint;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "endpoint") {
+        auto parsed_endpoint = GetString(value, key);
+        if (!parsed_endpoint.ok()) return parsed_endpoint.status();
+        endpoint = *parsed_endpoint;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (endpoint.empty()) {
+      return Status::InvalidArgument("'register' requires field endpoint");
+    }
+    request.payload = RegisterRequest{std::move(endpoint)};
+    return request;
+  }
+  if (*cmd == "heartbeat" || *cmd == "drain") {
+    std::optional<uint64_t> worker;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "worker") {
+        auto parsed_worker = GetUint(value, key);
+        if (!parsed_worker.ok()) return parsed_worker.status();
+        worker = *parsed_worker;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    if (!worker.has_value()) {
+      return Status::InvalidArgument("'" + *cmd + "' requires field worker");
+    }
+    if (*cmd == "heartbeat") {
+      request.payload = HeartbeatRequest{*worker};
+    } else {
+      request.payload = DrainRequest{*worker};
     }
     return request;
   }
@@ -1701,7 +1944,7 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     return request;
   }
   if (*cmd == "jobs" || *cmd == "stats" || *cmd == "help" ||
-      *cmd == "quit") {
+      *cmd == "quit" || *cmd == "workers") {
     Status walked = for_each_field(
         [&](const std::string& key, const JsonValue&) -> Status {
           return UnknownField(*cmd, key);
@@ -1710,6 +1953,7 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     if (*cmd == "jobs") request.payload = JobsRequest{};
     else if (*cmd == "stats") request.payload = StatsRequest{};
     else if (*cmd == "help") request.payload = HelpRequest{};
+    else if (*cmd == "workers") request.payload = WorkersRequest{};
     else request.payload = QuitRequest{};
     return request;
   }
@@ -1807,6 +2051,42 @@ std::string FormatFramedRequest(const Request& request) {
         json.Add("hash", HexFingerprint(shard.expected_hash));
       }
     }
+    void operator()(const PlanRequest& plan) const {
+      json.Add("cmd", "plan");
+      json.Add("graph", plan.graph);
+      json.Add("k", plan.k);
+      json.Add("q", plan.q);
+      if (plan.use_ctcp) json.Add("ctcp", true);
+    }
+    void operator()(const ShardSubmitRequest& shard) const {
+      AddQuery("shardsubmit", shard.query);
+      if (shard.expected_hash != 0) {
+        json.Add("hash", HexFingerprint(shard.expected_hash));
+      }
+    }
+    void operator()(const ShardWaitRequest& wait) const {
+      json.Add("cmd", "shardwait");
+      json.Add("job", wait.job);
+    }
+    void operator()(const ShardStopRequest& stop) const {
+      json.Add("cmd", "shardstop");
+      json.Add("job", stop.job);
+    }
+    void operator()(const RegisterRequest& reg) const {
+      json.Add("cmd", "register");
+      json.Add("endpoint", reg.endpoint);
+    }
+    void operator()(const HeartbeatRequest& beat) const {
+      json.Add("cmd", "heartbeat");
+      json.Add("worker", beat.worker);
+    }
+    void operator()(const DrainRequest& drain) const {
+      json.Add("cmd", "drain");
+      json.Add("worker", drain.worker);
+    }
+    void operator()(const WorkersRequest&) const {
+      json.Add("cmd", "workers");
+    }
     void operator()(const CancelRequest& cancel) const {
       json.Add("cmd", "cancel");
       json.Add("job", cancel.job);
@@ -1887,8 +2167,59 @@ std::string FormatFramedResponse(const Response& response) {
         json.Add("fingerprint_xor",
                  HexFingerprint(shard.job.result.fingerprint_xor));
         json.Add("total_seeds", shard.job.result.total_seeds);
+        // Yield outcome (v5 work-stealing) — additive fields, only on
+        // shard_result frames: a yielded shard answers its covered
+        // prefix completely; the coordinator re-issues the rest.
+        if (shard.job.result.yielded) {
+          json.Add("yielded", true);
+          json.Add("covered_begin", shard.job.result.covered_begin);
+          json.Add("covered_end", shard.job.result.covered_end);
+        }
       }
       json.Add("content_hash", HexFingerprint(shard.content_hash));
+    }
+    void operator()(const PlanResponse& plan) const {
+      json.Add("type", "plan");
+      json.Add("graph", plan.graph);
+      json.Add("total_seeds", plan.total_seeds);
+      json.Add("content_hash", HexFingerprint(plan.content_hash));
+      json.Add("degeneracy", plan.degeneracy);
+      json.Add("precomputed", plan.precomputed);
+      json.Add("seconds", plan.seconds);
+      json.BeginArray("degrees");
+      for (uint32_t degree : plan.degrees) json.AddElement(degree);
+      json.EndArray();
+      json.BeginArray("coreness");
+      for (uint32_t coreness : plan.coreness) json.AddElement(coreness);
+      json.EndArray();
+    }
+    void operator()(const ShardSubmitResponse& shard) const {
+      json.Add("type", "shard_submitted");
+      json.Add("job", shard.job);
+      json.Add("content_hash", HexFingerprint(shard.content_hash));
+    }
+    void operator()(const ShardStopResponse& stop) const {
+      json.Add("type", "shard_stopping");
+      json.Add("job", stop.job);
+    }
+    void operator()(const WorkerAckResponse& ack) const {
+      json.Add("type", "worker_ack");
+      json.Add("worker", ack.worker);
+      json.Add("state", ack.state);
+    }
+    void operator()(const WorkersResponse& workers) const {
+      json.Add("type", "workers");
+      json.BeginArray("workers");
+      for (const WorkerInfo& info : workers.workers) {
+        json.BeginArrayElementObject();
+        json.Add("worker", info.id);
+        json.Add("endpoint", info.endpoint);
+        json.Add("state", info.state);
+        json.Add("chunks_done", info.chunks_done);
+        json.Add("chunks_failed", info.chunks_failed);
+        json.EndObject();
+      }
+      json.EndArray();
     }
     void operator()(const ResultChunkResponse& chunk) const {
       json.Add("type", "result_chunk");
@@ -2179,7 +2510,85 @@ StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line) {
       ReadBoolField(*frame, "stopped_early", &result.stopped_early));
   KPLEX_RETURN_IF_ERROR(
       ReadBoolField(*frame, "cancelled", &result.cancelled));
+  KPLEX_RETURN_IF_ERROR(ReadBoolField(*frame, "yielded", &result.yielded));
+  KPLEX_RETURN_IF_ERROR(
+      ReadUintField(*frame, "covered_begin", &result.covered_begin));
+  KPLEX_RETURN_IF_ERROR(
+      ReadUintField(*frame, "covered_end", &result.covered_end));
   return result;
+}
+
+StatusOr<ParsedPlan> ParseFramedPlan(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "plan"));
+  ParsedPlan plan;
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &plan.request_id));
+  KPLEX_RETURN_IF_ERROR(
+      ReadUintField(*frame, "total_seeds", &plan.total_seeds));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "content_hash", &plan.content_hash));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "degeneracy", &plan.degeneracy));
+  KPLEX_RETURN_IF_ERROR(
+      ReadBoolField(*frame, "precomputed", &plan.precomputed));
+  KPLEX_RETURN_IF_ERROR(ReadDoubleField(*frame, "seconds", &plan.seconds));
+  for (const char* key : {"degrees", "coreness"}) {
+    const JsonValue* array = frame->Find(key);
+    if (array == nullptr || array->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(std::string("plan frame is missing the '") +
+                                     key + "' array");
+    }
+    std::vector<uint32_t>& out =
+        std::string(key) == "degrees" ? plan.degrees : plan.coreness;
+    out.reserve(array->array.size());
+    for (const JsonValue& element : array->array) {
+      auto parsed = GetUint(element, key, UINT32_MAX);
+      if (!parsed.ok()) return parsed.status();
+      out.push_back(static_cast<uint32_t>(*parsed));
+    }
+  }
+  if (plan.degrees.size() != plan.coreness.size()) {
+    return Status::InvalidArgument(
+        "plan frame arrays disagree on seed count");
+  }
+  return plan;
+}
+
+StatusOr<ParsedShardSubmit> ParseFramedShardSubmit(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "shard_submitted"));
+  ParsedShardSubmit submit;
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &submit.request_id));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "job", &submit.job));
+  KPLEX_RETURN_IF_ERROR(
+      ReadHexField(*frame, "content_hash", &submit.content_hash));
+  return submit;
+}
+
+StatusOr<uint64_t> ParseFramedShardStop(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "shard_stopping"));
+  uint64_t job = 0;
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "job", &job));
+  return job;
+}
+
+StatusOr<ParsedWorkerAck> ParseFramedWorkerAck(const std::string& line) {
+  auto frame = ParseResponseFrame(line);
+  if (!frame.ok()) return frame.status();
+  KPLEX_RETURN_IF_ERROR(ExpectFrameType(*frame, "worker_ack"));
+  ParsedWorkerAck ack;
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "id", &ack.request_id));
+  KPLEX_RETURN_IF_ERROR(ReadUintField(*frame, "worker", &ack.worker));
+  const JsonValue* state = frame->Find("state");
+  if (state != nullptr) {
+    auto text = GetString(*state, "state");
+    if (!text.ok()) return text.status();
+    ack.state = *text;
+  }
+  return ack;
 }
 
 StatusOr<std::string> PeekFramedResponseType(const std::string& line) {
@@ -2297,6 +2706,22 @@ const char* RequestVerbName(const RequestPayload& payload) {
     const char* operator()(const MineShardRequest&) const {
       return "mineshard";
     }
+    const char* operator()(const PlanRequest&) const { return "plan"; }
+    const char* operator()(const ShardSubmitRequest&) const {
+      return "shardsubmit";
+    }
+    const char* operator()(const ShardWaitRequest&) const {
+      return "shardwait";
+    }
+    const char* operator()(const ShardStopRequest&) const {
+      return "shardstop";
+    }
+    const char* operator()(const RegisterRequest&) const { return "register"; }
+    const char* operator()(const HeartbeatRequest&) const {
+      return "heartbeat";
+    }
+    const char* operator()(const DrainRequest&) const { return "drain"; }
+    const char* operator()(const WorkersRequest&) const { return "workers"; }
     const char* operator()(const CancelRequest&) const { return "cancel"; }
     const char* operator()(const JobsRequest&) const { return "jobs"; }
     const char* operator()(const WaitRequest&) const { return "wait"; }

@@ -61,8 +61,12 @@ namespace kplex {
 /// sharded-mining vocabulary (mineshard / shard_result); v3 added the
 /// `metrics` scrape verb; v4 added streamed result bodies
 /// (results=stream / result_chunk frames / cursor resume) and the
-/// server-side selection options (filter / contain / top / mode).
-inline constexpr uint32_t kProtocolVersion = 4;
+/// server-side selection options (filter / contain / top / mode); v5
+/// added the coordination vocabulary — the planning probe (plan), the
+/// split shard round trip (shardsubmit / shardwait / shardstop, which
+/// makes work-stealing possible), and the worker-lifecycle verbs a
+/// coordinator daemon serves (register / heartbeat / drain / workers).
+inline constexpr uint32_t kProtocolVersion = 5;
 
 /// First protocol version that speaks mineshard/shard_result; what a
 /// shard coordinator requires its workers to negotiate.
@@ -72,6 +76,11 @@ inline constexpr uint32_t kProtocolVersionSharding = 2;
 /// the selection options; what a streaming client requires its server
 /// to negotiate.
 inline constexpr uint32_t kProtocolVersionStreaming = 4;
+
+/// First protocol version with the coordination vocabulary (plan /
+/// shardsubmit / shardwait / shardstop and the worker-lifecycle verbs);
+/// what the v2 coordinator daemon requires its workers to negotiate.
+inline constexpr uint32_t kProtocolVersionCoordination = 5;
 
 /// Wire encoding of a session. Text is the default; framed is opted
 /// into through the hello handshake.
@@ -144,6 +153,81 @@ struct MineShardRequest {
   uint64_t expected_hash = 0;  ///< 0 skips the admission check
 };
 
+/// `plan NAME K Q [ctcp]` — the coordinator's cost-estimate probe (v5):
+/// returns the seed-space size plus, per canonical seed index, the
+/// forward degree (neighbors later in degeneracy order — a proxy for
+/// the seed's candidate-pool size) and the coreness, both read from the
+/// v2 precompute sections when present. No enumeration happens; the
+/// probe is cheap even on graphs where a mine runs for minutes. A
+/// coordinator turns the arrays into per-seed cost estimates
+/// (SeedPlanCost) and cuts the seed space into balanced chunks.
+struct PlanRequest {
+  std::string graph;
+  uint32_t k = 2;
+  uint32_t q = 4;
+  /// Mirrors QueryRequest::use_ctcp so the probe validates the same
+  /// option set a subsequent mineshard will carry. CTCP replaces the
+  /// core reduction (different seed order and count), so workers refuse
+  /// a ctcp plan with INVALID_ARGUMENT; coordinators fall back to
+  /// uniform chunking over an empty-range mineshard probe instead.
+  bool use_ctcp = false;
+};
+
+/// `shardsubmit NAME K Q [seed-range=B:E] [hash=0xH] [key=value ...]` —
+/// asynchronous mineshard (v5): runs the same admission check as
+/// MineShardRequest, then submits the shard and responds immediately
+/// with the job id and verified content hash instead of blocking until
+/// the shard finishes. The split round trip is what makes work-stealing
+/// possible: while the submitting connection waits in `shardwait`, a
+/// second connection can `shardstop` the job to make it yield.
+struct ShardSubmitRequest {
+  QueryRequest query;
+  uint64_t expected_hash = 0;  ///< 0 skips the admission check
+};
+
+/// `shardwait ID` — block until shard job ID is terminal, then respond
+/// with its shard_result frame (same shape a synchronous mineshard
+/// produces, including the covered seed range of a yielded run).
+struct ShardWaitRequest {
+  uint64_t job = 0;
+};
+
+/// `shardstop ID` — request a cooperative yield of shard job ID
+/// (ServiceDispatcher::Yield): a running sequential enumeration stops
+/// cleanly at the next seed boundary and its shard_result reports the
+/// covered prefix, letting a coordinator re-issue the remainder to an
+/// idle worker. Engines without seed-boundary yield support (parallel,
+/// fp) ignore the flag and finish whole — the steal degrades to a
+/// no-op, never to a wrong answer.
+struct ShardStopRequest {
+  uint64_t job = 0;
+};
+
+/// `register HOST:PORT` — a worker joins a coordinator daemon's pool
+/// (v5, coordinator-side verb): the daemon connects back to the
+/// advertised endpoint, content-hash gates admission per job, and
+/// starts scheduling chunks onto the worker. Responds with the assigned
+/// worker id.
+struct RegisterRequest {
+  std::string endpoint;  ///< "host:port" the worker serves on
+};
+
+/// `heartbeat ID` — refreshes worker ID's liveness on a coordinator; a
+/// dead-marked worker that heartbeats again is revived for future jobs.
+struct HeartbeatRequest {
+  uint64_t worker = 0;
+};
+
+/// `drain ID` — asks the coordinator to stop scheduling new chunks onto
+/// worker ID; in-flight chunks finish (or are re-queued on failure) and
+/// the worker leaves the pool cleanly.
+struct DrainRequest {
+  uint64_t worker = 0;
+};
+
+/// `workers` — the coordinator's worker-pool table.
+struct WorkersRequest {};
+
 /// `cancel ID` — request cancellation of a queued/running job.
 struct CancelRequest {
   uint64_t job = 0;
@@ -184,9 +268,12 @@ struct QuitRequest {};
 
 using RequestPayload =
     std::variant<HelloRequest, LoadRequest, DatasetRequest, SnapshotRequest,
-                 MineRequest, SubmitRequest, MineShardRequest, CancelRequest,
-                 JobsRequest, WaitRequest, StatsRequest, MetricsRequest,
-                 EvictRequest, HelpRequest, QuitRequest>;
+                 MineRequest, SubmitRequest, MineShardRequest, PlanRequest,
+                 ShardSubmitRequest, ShardWaitRequest, ShardStopRequest,
+                 RegisterRequest, HeartbeatRequest, DrainRequest,
+                 WorkersRequest, CancelRequest, JobsRequest, WaitRequest,
+                 StatsRequest, MetricsRequest, EvictRequest, HelpRequest,
+                 QuitRequest>;
 
 struct Request {
   /// Client-chosen correlation id, echoed in the response. Framed mode
@@ -240,6 +327,56 @@ struct SubmitResponse {
 struct ShardResultResponse {
   JobInfo job;
   uint64_t content_hash = 0;  ///< the worker's hash of the mined graph
+};
+
+/// Outcome of the `plan` probe (v5): the per-seed cost inputs in
+/// canonical seed order, plus the content hash that anchors every
+/// subsequent shardsubmit admission check.
+struct PlanResponse {
+  std::string graph;
+  uint64_t total_seeds = 0;
+  uint64_t content_hash = 0;
+  uint32_t degeneracy = 0;
+  /// Per canonical seed index: forward degree in degeneracy order.
+  std::vector<uint32_t> degrees;
+  /// Per canonical seed index: coreness of the seed vertex.
+  std::vector<uint32_t> coreness;
+  /// True when the ordering came from precompute sections (no peel).
+  bool precomputed = false;
+  double seconds = 0;
+};
+
+/// Acknowledges a shardsubmit: the shard job is queued (admission
+/// already passed) and `shardwait job` will deliver its shard_result.
+struct ShardSubmitResponse {
+  uint64_t job = 0;
+  uint64_t content_hash = 0;  ///< the worker's verified graph hash
+};
+
+/// Acknowledges a shardstop (the yield flag is set; the job's
+/// shard_result delivers the covered prefix).
+struct ShardStopResponse {
+  uint64_t job = 0;
+};
+
+/// Acknowledges register / heartbeat / drain on a coordinator: the
+/// worker id plus its pool state after the verb applied.
+struct WorkerAckResponse {
+  uint64_t worker = 0;
+  std::string state;  ///< "idle" / "busy" / "draining" / "dead"
+};
+
+/// One row of the coordinator's worker-pool table.
+struct WorkerInfo {
+  uint64_t id = 0;
+  std::string endpoint;
+  std::string state;  ///< "idle" / "busy" / "draining" / "dead"
+  uint64_t chunks_done = 0;
+  uint64_t chunks_failed = 0;
+};
+
+struct WorkersResponse {
+  std::vector<WorkerInfo> workers;
 };
 
 struct CancelResponse {
@@ -311,10 +448,12 @@ struct ErrorResponse {
 
 using ResponsePayload =
     std::variant<HelloResponse, LoadResponse, SnapshotResponse, MineResponse,
-                 SubmitResponse, ShardResultResponse, ResultChunkResponse,
-                 CancelResponse, JobsResponse, WaitResponse, WaitAllResponse,
-                 StatsResponse, MetricsResponse, EvictResponse, HelpResponse,
-                 ByeResponse, ErrorResponse>;
+                 SubmitResponse, ShardResultResponse, PlanResponse,
+                 ShardSubmitResponse, ShardStopResponse, WorkerAckResponse,
+                 WorkersResponse, ResultChunkResponse, CancelResponse,
+                 JobsResponse, WaitResponse, WaitAllResponse, StatsResponse,
+                 MetricsResponse, EvictResponse, HelpResponse, ByeResponse,
+                 ErrorResponse>;
 
 struct Response {
   uint64_t request_id = 0;  ///< mirrors Request::id
@@ -386,15 +525,66 @@ struct ParsedShardResult {
   bool timed_out = false;
   bool stopped_early = false;
   bool cancelled = false;
+  /// Yield outcome (v5 work-stealing): a yielded shard is a *complete*
+  /// answer for [covered_begin, covered_end) only — the coordinator
+  /// merges the prefix and re-issues the remainder. Older servers never
+  /// set these; the defaults make the shard look whole.
+  bool yielded = false;
+  uint64_t covered_begin = 0;
+  uint64_t covered_end = 0;
 
-  /// True iff this shard is a complete answer for its range.
+  /// True iff this shard is a complete answer for its *requested*
+  /// range (a yielded shard is complete only for its covered prefix —
+  /// the caller must merge covered_begin/covered_end instead).
   bool IsComplete() const {
-    return state == "done" && !timed_out && !stopped_early && !cancelled;
+    return state == "done" && !timed_out && !stopped_early && !cancelled &&
+           !yielded;
   }
 };
 
 /// Decodes a framed shard_result response line.
 StatusOr<ParsedShardResult> ParseFramedShardResult(const std::string& line);
+
+/// A decoded plan frame (v5) — the coordinator's cost-estimate inputs.
+struct ParsedPlan {
+  uint64_t request_id = 0;
+  uint64_t total_seeds = 0;
+  uint64_t content_hash = 0;
+  uint64_t degeneracy = 0;
+  std::vector<uint32_t> degrees;
+  std::vector<uint32_t> coreness;
+  bool precomputed = false;
+  double seconds = 0;
+};
+
+/// Decodes a framed plan response line.
+StatusOr<ParsedPlan> ParseFramedPlan(const std::string& line);
+
+/// A decoded shard_submitted frame (v5) — the async shard handle.
+struct ParsedShardSubmit {
+  uint64_t request_id = 0;
+  uint64_t job = 0;
+  uint64_t content_hash = 0;
+};
+
+/// Decodes a framed shard_submitted response line.
+StatusOr<ParsedShardSubmit> ParseFramedShardSubmit(const std::string& line);
+
+/// Decodes a framed shard_stopping ack (v5 `shardstop`); returns the
+/// yielded job id, or the worker's structured refusal (e.g.
+/// FAILED_PRECONDITION when the shard already finished — benign for a
+/// stealer: the victim's result is complete and merges normally).
+StatusOr<uint64_t> ParseFramedShardStop(const std::string& line);
+
+/// A decoded worker_ack frame (v5) — register/heartbeat/drain outcome.
+struct ParsedWorkerAck {
+  uint64_t request_id = 0;
+  uint64_t worker = 0;
+  std::string state;
+};
+
+/// Decodes a framed worker_ack response line.
+StatusOr<ParsedWorkerAck> ParseFramedWorkerAck(const std::string& line);
 
 /// The frame's "type" value ("mine", "result_chunk", "error", ...) —
 /// how a streaming client decides which decoder to hand a line to.

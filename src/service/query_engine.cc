@@ -1,5 +1,6 @@
 #include "service/query_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -232,8 +233,11 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   // different subset each run.
   const bool nondeterministic_subset =
       result.stopped_early && request.threads > 0;
-  const bool complete_answer =
-      !result.timed_out && !result.cancelled && !nondeterministic_subset;
+  // A yielded run covers only a prefix of its range — correct for the
+  // steal that asked for it, wrong for anyone else with the same
+  // signature, so it is neither cached nor single-flight-shared.
+  const bool complete_answer = !result.timed_out && !result.cancelled &&
+                               !result.yielded && !nondeterministic_subset;
   if (cache_capacity_ > 0 && complete_answer) {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_[signature] = result;
@@ -363,6 +367,7 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
   options.time_limit_seconds = request.time_limit_seconds;
   options.use_ctcp_preprocess = request.use_ctcp;
   options.cancel = request.cancel;
+  options.yield = request.yield;
   options.precompute = precompute.get();
   options.seed_range.begin = request.seed_begin;
   options.seed_range.end = request.seed_end;
@@ -481,6 +486,16 @@ StatusOr<QueryResult> QueryEngine::Execute(const QueryRequest& request,
   result.timed_out = run->timed_out;
   result.stopped_early = run->stopped_early;
   result.cancelled = run->cancelled;
+  result.yielded = run->yielded;
+  // Covered range: computed from the request so the fp and parallel
+  // drivers (which never yield and leave EnumResult's range unset)
+  // still report full coverage of their clamped range.
+  result.covered_begin = static_cast<uint32_t>(
+      std::min<uint64_t>(request.seed_begin, run->total_seeds));
+  result.covered_end =
+      run->yielded ? run->covered_end
+                   : static_cast<uint32_t>(std::min<uint64_t>(
+                         request.seed_end, run->total_seeds));
   result.reduction_precomputed =
       run->counters.core_reductions_precomputed > 0;
   return result;

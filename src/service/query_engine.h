@@ -109,6 +109,11 @@ struct QueryRequest {
   uint64_t cursor_ordinal = 0;
   /// Optional cooperative cancellation, forwarded into EnumOptions.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional cooperative yield (work-stealing), forwarded into
+  /// EnumOptions::yield. A yielded run is a complete answer for
+  /// QueryResult::covered_begin/covered_end only, so it is never cached
+  /// and never shared through the single-flight latch.
+  const std::atomic<bool>* yield = nullptr;
   /// Trace id correlating this query's spans (obs/trace.h). 0 lets the
   /// engine allocate one. Not part of the cache signature.
   uint64_t trace_id = 0;
@@ -147,6 +152,16 @@ struct QueryResult {
   bool timed_out = false;
   bool stopped_early = false;
   bool cancelled = false;
+  /// True when the run stopped at a seed boundary because the request's
+  /// yield flag was set; the result is then complete for the covered
+  /// range below, and only for it.
+  bool yielded = false;
+  /// Half-open range of canonical seed indices this answer fully
+  /// covers: the clamped requested range, except covered_end drops to
+  /// the yield boundary on a yielded run. Meaningless on cancelled /
+  /// timed-out runs.
+  uint32_t covered_begin = 0;
+  uint32_t covered_end = 0;
   bool from_cache = false;
   /// True when the run consumed precomputed snapshot sections instead
   /// of peeling the (q-k)-core itself (counters prove the skip).

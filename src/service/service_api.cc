@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "core/seed_plan.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -186,6 +187,88 @@ ResponsePayload ServiceApi::Handle(const MineShardRequest& shard) {
   // error), like mine/wait outcomes, so session error accounting stays
   // one-per-job.
   return ShardResultResponse{*std::move(info), submitted->content_hash};
+}
+
+ResponsePayload ServiceApi::Handle(const PlanRequest& plan) {
+  if (plan.use_ctcp) {
+    // CTCP replaces the core reduction, so its seed order (and seed
+    // count) differ from the (q-k)-core ordering this probe reports.
+    // Serving core-order estimates for a ctcp mine would misalign the
+    // coordinator's chunk boundaries; refuse and let it fall back to
+    // uniform chunking over an empty-range mineshard probe.
+    return ErrorResponse{Status::InvalidArgument(
+        "plan does not support ctcp (its seed order differs from the "
+        "core ordering); probe with an empty-range mineshard instead")};
+  }
+  auto resolved = catalog_.GetFull(plan.graph);
+  if (!resolved.ok()) return ErrorResponse{resolved.status()};
+  auto hash = catalog_.ContentHash(plan.graph);
+  if (!hash.ok()) return ErrorResponse{hash.status()};
+  EnumOptions options = EnumOptions::Ours(plan.k, plan.q);
+  options.precompute = resolved->precompute.get();
+  auto computed = ComputeSeedPlan(*resolved->graph, options);
+  if (!computed.ok()) return ErrorResponse{computed.status()};
+  PlanResponse response;
+  response.graph = plan.graph;
+  response.total_seeds = computed->total_seeds;
+  response.content_hash = *hash;
+  response.degeneracy = computed->degeneracy;
+  response.degrees = std::move(computed->degrees);
+  response.coreness = std::move(computed->coreness);
+  response.precomputed =
+      computed->core_precomputed && computed->order_precomputed;
+  response.seconds = computed->seconds;
+  return response;
+}
+
+ResponsePayload ServiceApi::Handle(const ShardSubmitRequest& shard) {
+  auto submitted =
+      SubmitShard(MineShardRequest{shard.query, shard.expected_hash});
+  if (!submitted.ok()) return ErrorResponse{submitted.status()};
+  return ShardSubmitResponse{submitted->job, submitted->content_hash};
+}
+
+ResponsePayload ServiceApi::Handle(const ShardWaitRequest& wait) {
+  auto info = dispatcher_->Wait(wait.job);
+  if (!info.ok()) return ErrorResponse{info.status()};
+  // The job's graph may have been evicted since submission; a zero hash
+  // just means "unverifiable now" — the shardsubmit ack already carried
+  // the verified one.
+  auto hash = catalog_.ContentHash(info->request.graph);
+  return ShardResultResponse{*std::move(info), hash.ok() ? *hash : 0};
+}
+
+ResponsePayload ServiceApi::Handle(const ShardStopRequest& stop) {
+  Status yielded = dispatcher_->Yield(stop.job);
+  if (!yielded.ok()) return ErrorResponse{yielded};
+  return ShardStopResponse{stop.job};
+}
+
+namespace {
+
+ResponsePayload CoordinatorOnlyVerb(const char* verb) {
+  return ErrorResponse{Status::InvalidArgument(
+      std::string("'") + verb +
+      "' is a coordinator verb; this endpoint is a worker (connect to "
+      "the coordinator daemon instead)")};
+}
+
+}  // namespace
+
+ResponsePayload ServiceApi::Handle(const RegisterRequest&) {
+  return CoordinatorOnlyVerb("register");
+}
+
+ResponsePayload ServiceApi::Handle(const HeartbeatRequest&) {
+  return CoordinatorOnlyVerb("heartbeat");
+}
+
+ResponsePayload ServiceApi::Handle(const DrainRequest&) {
+  return CoordinatorOnlyVerb("drain");
+}
+
+ResponsePayload ServiceApi::Handle(const WorkersRequest&) {
+  return CoordinatorOnlyVerb("workers");
 }
 
 ResponsePayload ServiceApi::Handle(const SubmitRequest& submit) {

@@ -81,6 +81,14 @@ class ServiceApi {
   ResponsePayload Handle(const MineRequest& mine);
   ResponsePayload Handle(const SubmitRequest& submit);
   ResponsePayload Handle(const MineShardRequest& shard);
+  ResponsePayload Handle(const PlanRequest& plan);
+  ResponsePayload Handle(const ShardSubmitRequest& shard);
+  ResponsePayload Handle(const ShardWaitRequest& wait);
+  ResponsePayload Handle(const ShardStopRequest& stop);
+  ResponsePayload Handle(const RegisterRequest&);
+  ResponsePayload Handle(const HeartbeatRequest&);
+  ResponsePayload Handle(const DrainRequest&);
+  ResponsePayload Handle(const WorkersRequest&);
   ResponsePayload Handle(const CancelRequest& cancel);
   ResponsePayload Handle(const JobsRequest&);
   ResponsePayload Handle(const WaitRequest& wait);

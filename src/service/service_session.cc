@@ -269,6 +269,13 @@ void ServiceSession::NoteResponse(const Response& response) {
     RecordSubmittedJob(submit->job);
     return;
   }
+  // A shardsubmit job belongs to this session the same way: a dropped
+  // coordinator lane must not leave its shard running unattended.
+  if (const auto* shard_submit =
+          std::get_if<ShardSubmitResponse>(&response.payload)) {
+    RecordSubmittedJob(shard_submit->job);
+    return;
+  }
   const JobInfo* job = nullptr;
   if (const auto* mine = std::get_if<MineResponse>(&response.payload)) {
     job = &mine->job;

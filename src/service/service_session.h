@@ -36,6 +36,7 @@
 
 #include "service/protocol.h"
 #include "service/service_api.h"
+#include "service/wire_session.h"
 
 namespace kplex {
 
@@ -52,7 +53,7 @@ struct ServiceSessionOptions {
   uint32_t workers = 1;
 };
 
-class ServiceSession {
+class ServiceSession : public WireSession {
  public:
   /// Standalone session: constructs and owns its own ServiceApi.
   explicit ServiceSession(std::ostream& out,
@@ -65,7 +66,7 @@ class ServiceSession {
 
   /// Executes one wire line (text or framed, per the negotiated mode).
   /// Returns false once `quit` is reached.
-  bool ExecuteLine(const std::string& line);
+  bool ExecuteLine(const std::string& line) override;
 
   /// Executes lines from `in` until EOF or `quit`; returns the number of
   /// failed commands (job failures nobody waited on included).
@@ -76,10 +77,10 @@ class ServiceSession {
   /// synchronous `mine`. Unlike the rest of the class this method is
   /// safe to call from another thread (a transport's disconnect
   /// watcher fires it while the session thread is blocked in a mine).
-  void CancelOutstandingJobs();
+  void CancelOutstandingJobs() override;
 
   uint64_t errors() const { return errors_; }
-  WireMode mode() const { return mode_; }
+  WireMode mode() const override { return mode_; }
 
   ServiceApi& api() { return *api_; }
   GraphCatalog& catalog() { return api_->catalog(); }

@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -74,6 +75,11 @@ struct FanOut {
   std::deque<PlannedShard> queue;
   uint32_t outstanding = 0;   // shards not yet merged (queued or in flight)
   uint32_t live_workers = 0;  // threads with a usable connection
+  /// Endpoints of the live lanes (an endpoint listed twice counts
+  /// twice). A retry is only meaningful when some *other* endpoint is
+  /// still live — re-dispatching to the very endpoint that just
+  /// dropped would burn attempts on a dead worker.
+  std::multiset<std::string> live_endpoints;
   uint32_t retries = 0;
   bool failed = false;
   Status failure;
@@ -350,6 +356,7 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
   }
   state.outstanding = options.shards;
   state.live_workers = static_cast<uint32_t>(links.size());
+  for (const auto& link : links) state.live_endpoints.insert(link->endpoint);
 
   std::vector<ShardOutcome> outcomes(options.shards);
   MergeableResult merged;
@@ -394,8 +401,36 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
       if (state.failed) break;
       if (trip.transport_failed) {
         // The connection died mid-shard; the shard never completed.
-        // Hand it to another live lane and retire this one.
+        // Retire this lane first — what remains is where a retry could
+        // actually go.
         ShardTransportFailuresTotal().Increment();
+        --state.live_workers;
+        auto self = state.live_endpoints.find(link.endpoint);
+        if (self != state.live_endpoints.end()) {
+          state.live_endpoints.erase(self);
+        }
+        const bool other_endpoint_live =
+            std::any_of(state.live_endpoints.begin(),
+                        state.live_endpoints.end(),
+                        [&link](const std::string& endpoint) {
+                          return endpoint != link.endpoint;
+                        });
+        if (!other_endpoint_live) {
+          // Every remaining lane (if any) points at the endpoint that
+          // just dropped — a retry could only go back to the same dead
+          // worker. Fail fast with the full picture instead of burning
+          // max_attempts on it.
+          state.FailLocked(Status::IoError(
+              "worker " + link.endpoint + " dropped mid-shard and no "
+              "other endpoint is live; shard " +
+              std::to_string(shard.index) + " (seeds " +
+              std::to_string(shard.begin) + ":" +
+              std::to_string(shard.end) +
+              ") cannot be retried elsewhere (transport error: " +
+              trip.transport_error.ToString() + ")"));
+          shutdown_all_links();
+          return;
+        }
         if (shard.attempts >= options.max_attempts) {
           state.FailLocked(Status::IoError(
               "shard " + std::to_string(shard.index) + " failed after " +
@@ -407,13 +442,6 @@ StatusOr<CoordinatedMineResult> CoordinateShardedMine(
         ++state.retries;
         ShardRetriesTotal().Increment();
         state.queue.push_back(shard);
-        --state.live_workers;
-        if (state.live_workers == 0) {
-          state.FailLocked(Status::IoError(
-              "every worker connection failed; shard " +
-              std::to_string(shard.index) + " still pending (last: " +
-              trip.transport_error.ToString() + ")"));
-        }
         state.cv.notify_all();
         return;  // this lane's connection is gone
       }

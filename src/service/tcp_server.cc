@@ -94,7 +94,17 @@ bool WriteAll(int fd, const std::string& bytes) {
 }  // namespace
 
 TcpServer::TcpServer(std::shared_ptr<ServiceApi> api, TcpServerOptions options)
-    : api_(std::move(api)), options_(std::move(options)) {}
+    : TcpServer(
+          [api](std::ostream& out) -> std::unique_ptr<WireSession> {
+            return std::make_unique<ServiceSession>(out, api, /*echo=*/false);
+          },
+          [api] { api->CancelAllJobs(); }, std::move(options)) {}
+
+TcpServer::TcpServer(SessionFactory factory, std::function<void()> stop_hook,
+                     TcpServerOptions options)
+    : factory_(std::move(factory)),
+      stop_hook_(std::move(stop_hook)),
+      options_(std::move(options)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -200,7 +210,8 @@ void TcpServer::AcceptLoop() {
 void TcpServer::ServeConnection(Connection* connection) {
   ActiveConnectionsGauge().Add(1);
   std::ostringstream out;
-  ServiceSession session(out, api_, /*echo=*/false);
+  const std::unique_ptr<WireSession> session_owner = factory_(out);
+  WireSession& session = *session_owner;
 
   // Hangup watcher: while this thread is blocked inside a synchronous
   // command (a long `mine`), nobody reads the socket — so a second,
@@ -315,7 +326,7 @@ void TcpServer::Stop() {
       if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
     }
   }
-  api_->CancelAllJobs();
+  if (stop_hook_) stop_hook_();
   std::vector<std::unique_ptr<Connection>> to_join;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -340,7 +351,16 @@ TcpServer::Stats TcpServer::stats() const {
 #else  // !KPLEX_HAVE_SOCKETS
 
 TcpServer::TcpServer(std::shared_ptr<ServiceApi> api, TcpServerOptions options)
-    : api_(std::move(api)), options_(std::move(options)) {}
+    : TcpServer(SessionFactory(), std::function<void()>(),
+                std::move(options)) {
+  (void)api;
+}
+
+TcpServer::TcpServer(SessionFactory factory, std::function<void()> stop_hook,
+                     TcpServerOptions options)
+    : factory_(std::move(factory)),
+      stop_hook_(std::move(stop_hook)),
+      options_(std::move(options)) {}
 
 TcpServer::~TcpServer() = default;
 

@@ -1,9 +1,12 @@
 // TcpServer: the network transport of the query service. An accept
-// loop hands each connection to its own thread running a ServiceSession
-// over the server's shared ServiceApi, so every client sees one
-// catalog, one result cache, and one dispatcher — exactly the stdin
-// session protocol (text grammar by default, `hello mode=framed` for
-// JSON lines), newline-delimited in both directions.
+// loop hands each connection to its own thread running a WireSession
+// produced by the server's session factory. The default factory makes
+// a ServiceSession over the server's shared ServiceApi, so every
+// client sees one catalog, one result cache, and one dispatcher —
+// exactly the stdin session protocol (text grammar by default, `hello
+// mode=framed` for JSON lines), newline-delimited in both directions.
+// The coordinator daemon (src/coord/) reuses the same transport with
+// its own session type through the factory constructor.
 //
 // Lifecycle and robustness:
 //  - Start() binds/listens (port 0 picks an ephemeral port, readable
@@ -33,13 +36,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/service_api.h"
+#include "service/wire_session.h"
 #include "util/status.h"
 
 namespace kplex {
@@ -57,8 +63,23 @@ struct TcpServerOptions {
 
 class TcpServer {
  public:
+  /// Builds one connection's session writing to `out`. Called on the
+  /// accept thread; the session itself runs on the connection thread.
+  using SessionFactory =
+      std::function<std::unique_ptr<WireSession>(std::ostream& out)>;
+
+  /// Worker transport: each connection gets a ServiceSession over the
+  /// shared api; Stop() cancels all dispatcher jobs.
   explicit TcpServer(std::shared_ptr<ServiceApi> api,
                      TcpServerOptions options = {});
+
+  /// Generalized transport: each connection gets factory(out), and
+  /// stop_hook (may be empty) runs during Stop() after reads are
+  /// unblocked, before connection threads are joined — the place to
+  /// cancel whatever work could pin a session thread.
+  TcpServer(SessionFactory factory, std::function<void()> stop_hook,
+            TcpServerOptions options = {});
+
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -91,7 +112,8 @@ class TcpServer {
   /// Joins and erases finished connection threads (called under lock).
   void ReapFinishedLocked();
 
-  std::shared_ptr<ServiceApi> api_;
+  SessionFactory factory_;
+  std::function<void()> stop_hook_;
   const TcpServerOptions options_;
 
   int listen_fd_ = -1;

@@ -1,0 +1,47 @@
+// WireSession: the transport-facing face of a protocol session. The
+// TCP server (and any future transport) drives connections purely
+// through this interface, so the same accept loop, hangup watcher, and
+// frame-limit handling serve both the worker protocol (ServiceSession
+// over a shared ServiceApi) and the coordinator daemon's session
+// (coord/coord_session.h). A transport owns one WireSession per
+// connection, feeds it newline-delimited lines, and flushes whatever
+// the session wrote to its output stream after each line.
+//
+// Threading contract: every method except CancelOutstandingJobs is
+// called only from the connection's own serving thread.
+// CancelOutstandingJobs is the one cross-thread entry point — a
+// disconnect watcher fires it while the serving thread may be blocked
+// inside a synchronous command.
+
+#ifndef KPLEX_SERVICE_WIRE_SESSION_H_
+#define KPLEX_SERVICE_WIRE_SESSION_H_
+
+#include <string>
+
+#include "service/protocol.h"
+
+namespace kplex {
+
+class WireSession {
+ public:
+  virtual ~WireSession() = default;
+
+  /// Executes one wire line (text or framed, per the negotiated mode)
+  /// and writes any response to the session's output stream. Returns
+  /// false once the session is over (`quit`).
+  virtual bool ExecuteLine(const std::string& line) = 0;
+
+  /// The negotiated wire mode — transports need it to phrase their own
+  /// errors (e.g. the frame-size limit) in the shape the client is
+  /// parsing.
+  virtual WireMode mode() const = 0;
+
+  /// Requests cancellation of the session's outstanding work on
+  /// disconnect. Must be safe to call from a thread other than the
+  /// serving thread, and concurrently with ExecuteLine.
+  virtual void CancelOutstandingJobs() = 0;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_SERVICE_WIRE_SESSION_H_

@@ -439,7 +439,7 @@ TEST(ProtocolText, ResponseGoldens) {
             "error: INVALID_ARGUMENT: boom\n");
   EXPECT_EQ(TextOf(ByeResponse{}), "");  // quit prints nothing on text
 
-  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=4 mode=text\n");
+  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=5 mode=text\n");
 
   // Shard outcomes carry every number a merge needs.
   JobInfo shard_done = done;

@@ -211,6 +211,48 @@ TEST(ShardCoordinator, KilledWorkerMidShardRetriesAndStaysExact) {
   }
 }
 
+TEST(ShardCoordinator, LoneEndpointDeathFailsFastInsteadOfBurningRetries) {
+  // With a single endpoint configured, a transport failure has nowhere
+  // to retry: the coordination must fail immediately with a structural
+  // explanation, not redial the dead endpoint --max-attempts times.
+  Graph graph = GenerateBarabasiAlbert(1000, 12, 9);
+  Worker solo;
+  ASSERT_TRUE(solo.StartWith("g", graph).ok());
+
+  ShardCoordinatorOptions options;
+  options.query.graph = "g";
+  options.query.k = 3;
+  options.query.q = 6;
+  options.shards = 4;
+  options.max_attempts = 100;  // must NOT be consumed
+  options.endpoints = {solo.endpoint()};
+
+  StatusOr<CoordinatedMineResult> result = Status::Internal("not run");
+  std::thread coordination(
+      [&] { result = CoordinateShardedMine(options); });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  bool running_shard = false;
+  while (!running_shard && std::chrono::steady_clock::now() < deadline) {
+    for (const JobInfo& job : solo.api->dispatcher().Jobs()) {
+      running_shard =
+          running_shard || (job.state == JobState::kRunning &&
+                            job.request.seed_end > job.request.seed_begin);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(running_shard) << "the worker never picked up a shard";
+  solo.server->Stop();
+
+  coordination.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("no other endpoint is live"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(ShardCoordinator, TimedOutShardNeverEntersTheMerge) {
   // A per-shard time limit that trips leaves the job kDone with
   // timed_out=true — a *partial* shard. The coordinator must abort the

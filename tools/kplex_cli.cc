@@ -12,6 +12,10 @@
 //             [--core-levels C1,C2,...] [--format v1|v2]
 //   kplex_cli serve [--script F] [--memory-budget-mb N] [--cache-capacity N]
 //             [--workers N] [--listen PORT] [--host H] [--max-connections N]
+//   kplex_cli coordinate --listen PORT [--host H]
+//             [--workers host:port,...] [--chunks-per-worker N]
+//             [--io-timeout S] [--no-steal] [--steal-min-ms T]
+//   kplex_cli coordctl HOST:PORT VERB [ARGS...]
 //   kplex_cli datasets
 //
 // `serve` without --listen is the stdin/script session; with --listen it
@@ -24,6 +28,13 @@
 // workers (--graph names the graph in *their* catalogs), and the
 // returned shard fingerprints are merged into one verified total.
 // `--seed-range B:E` instead mines one shard locally (manual runs).
+//
+// `coordinate` is the long-lived version of that coordinator (sharded
+// mining v2, docs/SHARDING.md): a daemon that owns a worker pool,
+// plans cost-balanced chunks from a `plan` probe, and work-steals
+// stragglers. `mine --coordinator H:P` submits a mine to it;
+// `coordctl` speaks any single coordinator verb (register, drain,
+// workers, jobs, ...) as one framed round trip.
 //
 // --dataset NAME may replace --input to mine a registry dataset.
 // Graphs are SNAP-format edge lists ('#' comments, "u v" per line) or
@@ -39,6 +50,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -50,6 +62,8 @@
 #include "baselines/listplex.h"
 #include "bench_common/dataset_registry.h"
 #include "bench_common/table_printer.h"
+#include "coord/coord_session.h"
+#include "coord/coordinator.h"
 #include "core/enumerator.h"
 #include "core/file_sink.h"
 #include "core/max_kplex.h"
@@ -87,6 +101,12 @@ int Usage() {
                "                  [--cache-capacity N] [--workers N] [--echo]\n"
                "                  [--listen PORT] [--host H]\n"
                "                  [--max-connections N]\n"
+               "  kplex_cli coordinate --listen PORT [--host H]\n"
+               "            [--workers host:port,...] [--chunks-per-worker N]\n"
+               "            [--io-timeout S] [--no-steal] [--steal-min-ms T]\n"
+               "  kplex_cli mine --coordinator host:port --graph NAME\n"
+               "            --k K --q Q [mine options]\n"
+               "  kplex_cli coordctl HOST:PORT VERB [ARGS...] [--io-timeout S]\n"
                "  kplex_cli metrics --endpoint host:port\n"
                "            [--format table|prom|json] [--io-timeout S]\n"
                "  kplex_cli query {--endpoint host:port --graph NAME |\n"
@@ -160,22 +180,84 @@ StatusOr<Graph> LoadInput(const FlagParser& flags) {
   return std::move(loaded->graph);
 }
 
-/// Coordinated sharded mine over TCP workers (docs/SHARDING.md).
-int RunShardedMine(const FlagParser& flags) {
-  ShardCoordinatorOptions options;
-  const std::string graph = flags.GetString("graph", "");
-  if (graph.empty()) {
-    std::fprintf(stderr, "--endpoints requires --graph NAME (the graph's "
-                         "name in the workers' catalogs)\n");
-    return 1;
+/// Splits "host:port" with a 1..65535 port (the grammar every remote
+/// command shares).
+StatusOr<std::pair<std::string, uint16_t>> SplitHostPort(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  uint32_t port = 0;
+  if (colon != std::string::npos && colon > 0 && colon + 1 < endpoint.size()) {
+    for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+      const char c = endpoint[i];
+      if (c < '0' || c > '9' || port > 65535) { port = 0; break; }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+    }
+  }
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("expected host:port (port 1..65535), "
+                                   "got '" + endpoint + "'");
+  }
+  return std::make_pair(endpoint.substr(0, colon),
+                        static_cast<uint16_t>(port));
+}
+
+/// Builds the QueryRequest of a coordinated mine (v1 --endpoints or v2
+/// --coordinator) from the mine flags. The seed split stays with the
+/// coordinator, so --seed-range and the local-input flags are refused.
+StatusOr<QueryRequest> BuildCoordinatedMineQuery(const FlagParser& flags) {
+  QueryRequest query;
+  query.graph = flags.GetString("graph", "");
+  if (query.graph.empty()) {
+    return Status::InvalidArgument(
+        "a coordinated mine needs --graph NAME (the graph's name in the "
+        "workers' catalogs)");
   }
   if (flags.Has("input") || flags.Has("dataset") || flags.Has("output") ||
       flags.Has("seed-range")) {
-    std::fprintf(stderr, "--input/--dataset/--output/--seed-range do not "
-                         "apply to a coordinated mine (the workers hold the "
-                         "graph; the coordinator plans the ranges)\n");
+    return Status::InvalidArgument(
+        "--input/--dataset/--output/--seed-range do not apply to a "
+        "coordinated mine (the workers hold the graph; the coordinator "
+        "plans the ranges)");
+  }
+  auto k = flags.GetInt("k", 2);
+  auto q = flags.GetInt("q", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto tau = flags.GetDouble("tau-ms", 0.1);
+  auto max_results = flags.GetInt("max-results", 0);
+  auto time_limit = flags.GetDouble("time-limit", 0);
+  for (const Status& s :
+       {k.status(), q.status(), threads.status(), tau.status(),
+        max_results.status(), time_limit.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (*q == 0) {
+    return Status::InvalidArgument("--q is required (must be >= 2k - 1)");
+  }
+  query.k = static_cast<uint32_t>(*k);
+  query.q = static_cast<uint32_t>(*q);
+  query.threads = static_cast<uint32_t>(*threads);
+  query.tau_ms = *tau;
+  query.max_results = static_cast<uint64_t>(*max_results);
+  query.time_limit_seconds = *time_limit;
+  query.use_ctcp = flags.Has("ctcp");
+  auto parsed_algo = ParseQueryAlgo(flags.GetString("algo", "ours"));
+  if (!parsed_algo.ok()) return parsed_algo.status();
+  query.algo = *parsed_algo;
+  // Surface option incompatibilities (max-results, filters, streaming)
+  // as their structured explanations before opening any connection.
+  KPLEX_RETURN_IF_ERROR(ValidateCoordinatedQuery(query));
+  return query;
+}
+
+/// Coordinated sharded mine over TCP workers (docs/SHARDING.md).
+int RunShardedMine(const FlagParser& flags) {
+  ShardCoordinatorOptions options;
+  auto query = BuildCoordinatedMineQuery(flags);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
+  options.query = *std::move(query);
   auto endpoints = ParseEndpointList(flags.GetString("endpoints", ""));
   if (!endpoints.ok()) {
     std::fprintf(stderr, "%s\n", endpoints.status().ToString().c_str());
@@ -183,52 +265,18 @@ int RunShardedMine(const FlagParser& flags) {
   }
   options.endpoints = *std::move(endpoints);
 
-  auto k = flags.GetInt("k", 2);
-  auto q = flags.GetInt("q", 0);
-  auto threads = flags.GetInt("threads", 0);
-  auto tau = flags.GetDouble("tau-ms", 0.1);
-  auto max_results = flags.GetInt("max-results", 0);
-  auto time_limit = flags.GetDouble("time-limit", 0);
   auto shards = flags.GetInt("shards", 4);
   auto max_attempts = flags.GetInt("max-attempts", 3);
   auto io_timeout = flags.GetDouble("io-timeout", 0);
   for (const Status& s :
-       {k.status(), q.status(), threads.status(), tau.status(),
-        max_results.status(), time_limit.status(), shards.status(),
-        max_attempts.status(), io_timeout.status()}) {
+       {shards.status(), max_attempts.status(), io_timeout.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
   }
-  if (*q == 0) {
-    std::fprintf(stderr, "--q is required (must be >= 2k - 1)\n");
-    return 1;
-  }
   if (*shards < 1 || *max_attempts < 1) {
     std::fprintf(stderr, "--shards and --max-attempts must be >= 1\n");
-    return 1;
-  }
-  options.query.graph = graph;
-  options.query.k = static_cast<uint32_t>(*k);
-  options.query.q = static_cast<uint32_t>(*q);
-  options.query.threads = static_cast<uint32_t>(*threads);
-  options.query.tau_ms = *tau;
-  options.query.max_results = static_cast<uint64_t>(*max_results);
-  options.query.time_limit_seconds = *time_limit;
-  options.query.use_ctcp = flags.Has("ctcp");
-  const std::string algo = flags.GetString("algo", "ours");
-  auto parsed_algo = ParseQueryAlgo(algo);
-  if (!parsed_algo.ok()) {
-    std::fprintf(stderr, "%s\n", parsed_algo.status().ToString().c_str());
-    return 1;
-  }
-  options.query.algo = *parsed_algo;
-  // Surface option incompatibilities (max-results, filters, streaming)
-  // as their structured explanations before opening any connection.
-  Status compatible = ValidateCoordinatedQuery(options.query);
-  if (!compatible.ok()) {
-    std::fprintf(stderr, "%s\n", compatible.ToString().c_str());
     return 1;
   }
   options.shards = static_cast<uint32_t>(*shards);
@@ -260,7 +308,7 @@ int RunShardedMine(const FlagParser& flags) {
   std::printf("coordinated mine %s k=%u q=%u: %llu plexes, max size %zu, "
               "fingerprint 0x%016llx, hash 0x%016llx, %u shards over %zu "
               "endpoints, %u retries, %.3fs\n",
-              graph.c_str(), options.query.k, options.query.q,
+              options.query.graph.c_str(), options.query.k, options.query.q,
               static_cast<unsigned long long>(result->num_plexes),
               static_cast<std::size_t>(result->max_plex_size),
               static_cast<unsigned long long>(result->fingerprint),
@@ -270,7 +318,96 @@ int RunShardedMine(const FlagParser& flags) {
   return 0;
 }
 
+/// `mine --coordinator H:P`: submit the mine to a coordinator daemon
+/// (docs/SHARDING.md v2) and print its merged verdict. The daemon's
+/// mine verb answers with a plain protocol mine frame, so this is the
+/// remote-mine client pointed at a different server.
+int RunCoordinatorMine(const FlagParser& flags, const std::string& endpoint) {
+  auto query = BuildCoordinatedMineQuery(flags);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto io_timeout = flags.GetDouble("io-timeout", 0);
+  if (!io_timeout.ok() || *io_timeout < 0) {
+    std::fprintf(stderr, "--io-timeout must be a number >= 0\n");
+    return 1;
+  }
+  auto split = SplitHostPort(endpoint);
+  if (!split.ok()) {
+    std::fprintf(stderr, "--coordinator: %s\n",
+                 split.status().ToString().c_str());
+    return 1;
+  }
+
+  TcpClient client;
+  Status connected = client.Connect(split->first, split->second, *io_timeout);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  Status sent = client.SendLine(
+      "hello proto=" + std::to_string(kProtocolVersion) + " mode=framed");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto hello = client.ReadLine();
+  if (!hello.ok()) {
+    std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+  auto version = ParseFramedHelloVersion(*hello);
+  if (!version.ok()) {
+    std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+    return 1;
+  }
+  if (*version < kProtocolVersionCoordination) {
+    std::fprintf(stderr, "coordinator %s negotiated protocol v%u but "
+                         "coordinated mining needs v%u (upgrade it)\n",
+                 endpoint.c_str(), *version, kProtocolVersionCoordination);
+    return 1;
+  }
+
+  Request request;
+  request.id = 2;
+  request.payload = MineRequest{*query};
+  sent = client.SendLine(FormatFramedRequest(request));
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto line = client.ReadLine();
+  if (!line.ok()) {
+    std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+    return 1;
+  }
+  auto verdict = ParseFramedMineResult(*line);
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "%s\n", verdict.status().ToString().c_str());
+    return 1;
+  }
+  // The merged line is machine-read by tools/coord_smoke.py; keep its
+  // shape stable.
+  std::printf("coordinated mine %s k=%u q=%u via %s: %llu plexes, max size "
+              "%llu, fingerprint 0x%016llx, %.3fs\n",
+              query->graph.c_str(), query->k, query->q, endpoint.c_str(),
+              static_cast<unsigned long long>(verdict->plexes),
+              static_cast<unsigned long long>(verdict->max_size),
+              static_cast<unsigned long long>(verdict->fingerprint),
+              verdict->seconds);
+  return verdict->state == "done" ? 0 : 1;
+}
+
 int RunMine(const FlagParser& flags) {
+  const std::string coordinator = flags.GetString("coordinator", "");
+  if (flags.Has("endpoints") && !coordinator.empty()) {
+    std::fprintf(stderr, "--endpoints (one-shot fan-out) and --coordinator "
+                         "(daemon) are two different coordinators; pick "
+                         "one\n");
+    return 1;
+  }
+  if (!coordinator.empty()) return RunCoordinatorMine(flags, coordinator);
   if (flags.Has("endpoints")) return RunShardedMine(flags);
   auto loaded = LoadInputFull(flags);
   if (!loaded.ok()) {
@@ -633,6 +770,209 @@ int RunServe(const FlagParser& flags) {
               static_cast<unsigned long long>(stats.refused));
   return 0;
 #endif  // POSIX
+}
+
+/// The coordinator daemon (docs/SHARDING.md v2): a TCP server whose
+/// sessions dispatch to one shared Coordinator instead of a ServiceApi.
+/// Workers listed in --workers are registered up front; more can join
+/// at runtime via `coordctl HOST:PORT register worker:port`.
+int RunCoordinate(const FlagParser& flags) {
+  auto listen = flags.GetInt("listen", -1);
+  auto max_connections = flags.GetInt("max-connections", 64);
+  auto chunks_per_worker = flags.GetInt("chunks-per-worker", 8);
+  auto io_timeout = flags.GetDouble("io-timeout", 0);
+  auto steal_min_ms = flags.GetDouble("steal-min-ms", 20.0);
+  for (const Status& s :
+       {listen.status(), max_connections.status(),
+        chunks_per_worker.status(), io_timeout.status(),
+        steal_min_ms.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!flags.Has("listen")) {
+    std::fprintf(stderr, "coordinate requires --listen PORT (0 picks an "
+                         "ephemeral port)\n");
+    return 1;
+  }
+  if (*listen < 0 || *listen > 65535) {
+    std::fprintf(stderr, "--listen must be a port in 0..65535 (0 picks an "
+                         "ephemeral port)\n");
+    return 1;
+  }
+  if (*max_connections < 1 || *max_connections > 4096) {
+    std::fprintf(stderr, "--max-connections must be between 1 and 4096\n");
+    return 1;
+  }
+  if (*chunks_per_worker < 1 || *chunks_per_worker > 1024) {
+    std::fprintf(stderr, "--chunks-per-worker must be between 1 and 1024\n");
+    return 1;
+  }
+  if (*io_timeout < 0 || *steal_min_ms < 0) {
+    std::fprintf(stderr, "--io-timeout and --steal-min-ms must be >= 0\n");
+    return 1;
+  }
+
+#if !defined(__unix__) && !defined(__APPLE__)
+  std::fprintf(stderr,
+               "coordinate requires POSIX sockets on this platform\n");
+  return 1;
+#else
+  CoordinatorOptions options;
+  options.chunks_per_worker = static_cast<uint32_t>(*chunks_per_worker);
+  options.io_timeout_seconds = *io_timeout;
+  options.enable_stealing = !flags.Has("no-steal");
+  options.steal_min_seconds = *steal_min_ms / 1000.0;
+  auto coordinator = std::make_shared<Coordinator>(options);
+
+  std::size_t registered = 0;
+  const std::string workers = flags.GetString("workers", "");
+  if (!workers.empty()) {
+    auto endpoints = ParseEndpointList(workers);
+    if (!endpoints.ok()) {
+      std::fprintf(stderr, "%s\n", endpoints.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& endpoint : *endpoints) {
+      auto id = coordinator->AddWorker(endpoint);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ++registered;
+    }
+  }
+
+  TcpServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(*listen);
+  server_options.max_connections = static_cast<uint32_t>(*max_connections);
+  TcpServer server(
+      [coordinator](std::ostream& out) -> std::unique_ptr<WireSession> {
+        return std::make_unique<CoordSession>(out, coordinator);
+      },
+      [coordinator] { coordinator->Stop(); }, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  if (pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "cannot create the shutdown pipe\n");
+    server.Stop();
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  // The port line is machine-read by clients started with --listen 0
+  // (CI smoke script): keep its shape stable and flush it immediately.
+  std::printf("coordinating on %s:%u (protocol v%u, %zu workers "
+              "registered, stealing %s)\n",
+              server_options.host.c_str(), server.port(), kProtocolVersion,
+              registered, options.enable_stealing ? "on" : "off");
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.Stop();
+  const TcpServer::Stats stats = server.stats();
+  std::printf("coordinate: shutdown complete (%llu connections served, "
+              "%llu refused)\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.refused));
+  return 0;
+#endif  // POSIX
+}
+
+/// `coordctl HOST:PORT VERB [ARGS...]`: one framed round trip against
+/// a coordinator daemon. The verb words are validated with the text
+/// grammar locally, shipped framed, and the raw response frame prints
+/// to stdout (machine-readable; errors land on stderr, exit 1).
+int RunCoordctl(const FlagParser& flags) {
+  const std::vector<std::string>& positional = flags.positional();
+  if (positional.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: kplex_cli coordctl HOST:PORT VERB [ARGS...]\n");
+    return 2;
+  }
+  auto io_timeout = flags.GetDouble("io-timeout", 0);
+  if (!io_timeout.ok() || *io_timeout < 0) {
+    std::fprintf(stderr, "--io-timeout must be a number >= 0\n");
+    return 1;
+  }
+  auto split = SplitHostPort(positional[1]);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  std::string command = positional[2];
+  for (std::size_t i = 3; i < positional.size(); ++i) {
+    command += ' ';
+    command += positional[i];
+  }
+  auto request = ParseTextRequest(command);
+  if (!request.ok()) {
+    std::fprintf(stderr, "%s\n", request.status().ToString().c_str());
+    return 1;
+  }
+
+  TcpClient client;
+  Status connected = client.Connect(split->first, split->second, *io_timeout);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  Status sent = client.SendLine(
+      "hello proto=" + std::to_string(kProtocolVersion) + " mode=framed");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto hello = client.ReadLine();
+  if (!hello.ok()) {
+    std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+  auto version = ParseFramedHelloVersion(*hello);
+  if (!version.ok()) {
+    std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+    return 1;
+  }
+  if (*version < kProtocolVersionCoordination) {
+    std::fprintf(stderr, "daemon %s negotiated protocol v%u but the "
+                         "coordinator verbs need v%u (upgrade it)\n",
+                 positional[1].c_str(), *version,
+                 kProtocolVersionCoordination);
+    return 1;
+  }
+
+  request->id = 2;
+  sent = client.SendLine(FormatFramedRequest(*request));
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto line = client.ReadLine();
+  if (!line.ok()) {
+    std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+    return 1;
+  }
+  auto type = PeekFramedResponseType(*line);
+  if (!type.ok()) {
+    // An {"ok":false,...} frame parses as its embedded structured
+    // status (and a malformed line as a parse error); either way the
+    // raw frame goes to stderr and the exit code says "refused".
+    std::fprintf(stderr, "%s\n", line->c_str());
+    return 1;
+  }
+  std::printf("%s\n", line->c_str());
+  return 0;
 }
 
 /// Scrapes a live `serve --listen` process's metrics registry. The
@@ -1050,8 +1390,13 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const FlagParser& flags = *parsed;
-  if (flags.positional().size() != 1) return Usage();
+  if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
+  // coordctl takes the endpoint and the verb words as positionals;
+  // every other command takes none.
+  if (command != "coordctl" && flags.positional().size() != 1) {
+    return Usage();
+  }
 
   // Global observability flags, valid on every command.
   const std::string log_level = flags.GetString("log-level", "");
@@ -1074,7 +1419,8 @@ int Main(int argc, char** argv) {
   if (command == "mine") {
     known = {"input", "dataset", "k", "q", "algo", "threads", "tau-ms",
              "output", "max-results", "time-limit", "ctcp", "seed-range",
-             "endpoints", "graph", "shards", "max-attempts", "io-timeout"};
+             "endpoints", "graph", "shards", "max-attempts", "io-timeout",
+             "coordinator"};
     run = RunMine;
   } else if (command == "max") {
     known = {"input", "dataset", "k"};
@@ -1090,6 +1436,13 @@ int Main(int argc, char** argv) {
     known = {"script", "memory-budget-mb", "cache-capacity", "workers",
              "echo", "listen", "host", "max-connections"};
     run = RunServe;
+  } else if (command == "coordinate") {
+    known = {"listen", "host", "max-connections", "workers",
+             "chunks-per-worker", "io-timeout", "no-steal", "steal-min-ms"};
+    run = RunCoordinate;
+  } else if (command == "coordctl") {
+    known = {"io-timeout"};
+    run = RunCoordctl;
   } else if (command == "metrics") {
     known = {"endpoint", "format", "io-timeout"};
     run = RunMetrics;
