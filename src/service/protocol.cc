@@ -448,6 +448,25 @@ void WriteShardOutcome(std::ostream& out, const ShardResultResponse& shard) {
   out << "\n";
 }
 
+// The `store` status line, shared by the store verb and the stats
+// rendering so operators read one shape everywhere.
+void WriteStoreStatusLine(std::ostream& out, const StoreStatusInfo& info) {
+  if (!info.enabled) {
+    out << "store: off\n";
+    return;
+  }
+  out << "store: " << info.entries << " entries, "
+      << HumanBytes(static_cast<std::size_t>(info.bytes)) << " (budget ";
+  if (info.byte_budget > 0) {
+    out << HumanBytes(static_cast<std::size_t>(info.byte_budget));
+  } else {
+    out << "unlimited";
+  }
+  out << "), " << info.hits << " hits, " << info.misses << " misses, "
+      << info.writes << " writes, " << info.evictions << " evictions, "
+      << info.corrupt_entries << " corrupt\n";
+}
+
 constexpr const char kHelpText[] =
     "commands:\n"
     "  load NAME PATH        register + load a graph file\n"
@@ -489,6 +508,8 @@ constexpr const char kHelpText[] =
     "  metrics [format=table|prom]\n"
     "                        scrape the process metrics registry\n"
     "  evict NAME            drop the resident copy\n"
+    "  store [evict]         durable result-store status; `store evict`\n"
+    "                        deletes every persisted entry\n"
     "  hello [proto=N] [mode=text|framed]\n"
     "                        negotiate the protocol version; mode=framed\n"
     "                        switches to the JSON-lines encoding\n"
@@ -1218,6 +1239,16 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     request.payload = EvictRequest{tokens[1]};
     return request;
   }
+  if (cmd == "store") {
+    StoreRequest store;
+    if (tokens.size() == 2 && tokens[1] == "evict") {
+      store.evict = true;
+    } else if (tokens.size() != 1) {
+      return Status::InvalidArgument("usage: store [evict]");
+    }
+    request.payload = store;
+    return request;
+  }
   if (cmd == "help") {
     request.payload = HelpRequest{};
     return request;
@@ -1314,6 +1345,9 @@ std::string FormatTextRequest(const Request& request) {
     }
     std::string operator()(const EvictRequest& evict) const {
       return "evict " + evict.name;
+    }
+    std::string operator()(const StoreRequest& store) const {
+      return store.evict ? "store evict" : "store";
     }
     std::string operator()(const HelpRequest&) const { return "help"; }
     std::string operator()(const QuitRequest&) const { return "quit"; }
@@ -1458,6 +1492,7 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
           << " running, "
           << (stats.jobs.done + stats.jobs.cancelled + stats.jobs.failed)
           << " finished\n";
+      WriteStoreStatusLine(out, stats.store);
     }
     void operator()(const MetricsResponse& metrics) const {
       // Deterministic framing for the multi-line body: a header line
@@ -1478,6 +1513,14 @@ void FormatTextResponse(const Response& response, std::ostream& out) {
     }
     void operator()(const EvictResponse& evict) const {
       out << "evicted " << evict.name << "\n";
+    }
+    void operator()(const StoreResponse& store) const {
+      if (store.evicted) {
+        out << "store evicted: " << store.evicted_entries << " entries, "
+            << HumanBytes(static_cast<std::size_t>(store.evicted_bytes))
+            << " freed\n";
+      }
+      WriteStoreStatusLine(out, store.info);
     }
     void operator()(const HelpResponse&) const { out << kHelpText; }
     void operator()(const ByeResponse&) const {}  // quit prints nothing
@@ -1943,6 +1986,22 @@ StatusOr<Request> ParseFramedRequest(const std::string& line,
     request.payload = std::move(metrics);
     return request;
   }
+  if (*cmd == "store") {
+    StoreRequest store;
+    Status walked = for_each_field([&](const std::string& key,
+                                       const JsonValue& value) -> Status {
+      if (key == "evict") {
+        auto flag = GetBool(value, key);
+        if (!flag.ok()) return flag.status();
+        store.evict = *flag;
+        return Status::Ok();
+      }
+      return UnknownField(*cmd, key);
+    });
+    if (!walked.ok()) return walked;
+    request.payload = store;
+    return request;
+  }
   if (*cmd == "jobs" || *cmd == "stats" || *cmd == "help" ||
       *cmd == "quit" || *cmd == "workers") {
     Status walked = for_each_field(
@@ -2105,12 +2164,33 @@ std::string FormatFramedRequest(const Request& request) {
       json.Add("cmd", "evict");
       json.Add("name", evict.name);
     }
+    void operator()(const StoreRequest& store) const {
+      json.Add("cmd", "store");
+      if (store.evict) json.Add("evict", true);
+    }
     void operator()(const HelpRequest&) const { json.Add("cmd", "help"); }
     void operator()(const QuitRequest&) const { json.Add("cmd", "quit"); }
   };
   std::visit(Visitor{json}, request.payload);
   json.EndObject();
   return json.str();
+}
+
+// Nested "store" object shared by the framed stats and store frames.
+void WriteStoreStatusObject(JsonWriter& json, const StoreStatusInfo& info) {
+  json.BeginObjectValue("store");
+  json.Add("enabled", info.enabled);
+  if (info.enabled) {
+    json.Add("entries", info.entries);
+    json.Add("bytes", info.bytes);
+    json.Add("budget_bytes", info.byte_budget);
+    json.Add("hits", info.hits);
+    json.Add("misses", info.misses);
+    json.Add("writes", info.writes);
+    json.Add("evictions", info.evictions);
+    json.Add("corrupt", info.corrupt_entries);
+  }
+  json.EndObject();
 }
 
 std::string FormatFramedResponse(const Response& response) {
@@ -2301,6 +2381,7 @@ std::string FormatFramedResponse(const Response& response) {
       json.Add("cancelled", stats.jobs.cancelled);
       json.Add("failed", stats.jobs.failed);
       json.EndObject();
+      WriteStoreStatusObject(json, stats.store);
     }
     void operator()(const MetricsResponse& metrics) const {
       json.Add("type", "metrics");
@@ -2342,6 +2423,15 @@ std::string FormatFramedResponse(const Response& response) {
     void operator()(const EvictResponse& evict) const {
       json.Add("type", "evicted");
       json.Add("name", evict.name);
+    }
+    void operator()(const StoreResponse& store) const {
+      json.Add("type", "store");
+      json.Add("evicted", store.evicted);
+      if (store.evicted) {
+        json.Add("evicted_entries", store.evicted_entries);
+        json.Add("evicted_bytes", store.evicted_bytes);
+      }
+      WriteStoreStatusObject(json, store.info);
     }
     void operator()(const HelpResponse&) const {
       json.Add("type", "help");
@@ -2728,6 +2818,7 @@ const char* RequestVerbName(const RequestPayload& payload) {
     const char* operator()(const StatsRequest&) const { return "stats"; }
     const char* operator()(const MetricsRequest&) const { return "metrics"; }
     const char* operator()(const EvictRequest&) const { return "evict"; }
+    const char* operator()(const StoreRequest&) const { return "store"; }
     const char* operator()(const HelpRequest&) const { return "help"; }
     const char* operator()(const QuitRequest&) const { return "quit"; }
   };

@@ -65,8 +65,9 @@ namespace kplex {
 /// added the coordination vocabulary — the planning probe (plan), the
 /// split shard round trip (shardsubmit / shardwait / shardstop, which
 /// makes work-stealing possible), and the worker-lifecycle verbs a
-/// coordinator daemon serves (register / heartbeat / drain / workers).
-inline constexpr uint32_t kProtocolVersion = 5;
+/// coordinator daemon serves (register / heartbeat / drain / workers);
+/// v6 added the durable result-store verbs (store / store evict).
+inline constexpr uint32_t kProtocolVersion = 6;
 
 /// First protocol version that speaks mineshard/shard_result; what a
 /// shard coordinator requires its workers to negotiate.
@@ -81,6 +82,10 @@ inline constexpr uint32_t kProtocolVersionStreaming = 4;
 /// shardsubmit / shardwait / shardstop and the worker-lifecycle verbs);
 /// what the v2 coordinator daemon requires its workers to negotiate.
 inline constexpr uint32_t kProtocolVersionCoordination = 5;
+
+/// First protocol version with the durable result-store verbs (store /
+/// store evict); what a client managing the disk tier requires.
+inline constexpr uint32_t kProtocolVersionStore = 6;
 
 /// Wire encoding of a session. Text is the default; framed is opted
 /// into through the hello handshake.
@@ -259,6 +264,14 @@ struct EvictRequest {
   std::string name;
 };
 
+/// `store [evict]` (v6) — the durable result-store tier. Bare `store`
+/// reports occupancy and counters; `store evict` deletes every entry
+/// (the files, crash-safely — not just the in-memory index). Both fail
+/// with FAILED_PRECONDITION when the server runs without `--store`.
+struct StoreRequest {
+  bool evict = false;
+};
+
 /// `help` — command summary.
 struct HelpRequest {};
 
@@ -272,8 +285,8 @@ using RequestPayload =
                  ShardSubmitRequest, ShardWaitRequest, ShardStopRequest,
                  RegisterRequest, HeartbeatRequest, DrainRequest,
                  WorkersRequest, CancelRequest, JobsRequest, WaitRequest,
-                 StatsRequest, MetricsRequest, EvictRequest, HelpRequest,
-                 QuitRequest>;
+                 StatsRequest, MetricsRequest, EvictRequest, StoreRequest,
+                 HelpRequest, QuitRequest>;
 
 struct Request {
   /// Client-chosen correlation id, echoed in the response. Framed mode
@@ -400,6 +413,21 @@ struct WaitAllResponse {
   std::vector<uint64_t> failed_jobs;
 };
 
+/// Occupancy + counters of the durable result store (`store` verb and
+/// the store row of `stats`). Mirrors ResultStore::Stats without making
+/// the protocol depend on the store header.
+struct StoreStatusInfo {
+  bool enabled = false;  ///< false when the server runs without --store
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t byte_budget = 0;  ///< 0 = unlimited
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t writes = 0;
+  uint64_t evictions = 0;
+  uint64_t corrupt_entries = 0;
+};
+
 struct StatsResponse {
   std::vector<CatalogEntryInfo> graphs;
   std::size_t resident_bytes = 0;        ///< owned, budget-relevant
@@ -408,6 +436,7 @@ struct StatsResponse {
   QueryEngine::CacheStats cache;
   ServiceDispatcher::JobCounts jobs;
   uint32_t workers = 0;
+  StoreStatusInfo store;  ///< disk tier occupancy (v6)
 };
 
 /// One MetricsRegistry scrape. `format` echoes the request's choice so
@@ -435,6 +464,15 @@ struct EvictResponse {
   std::string name;
 };
 
+/// Outcome of the `store` verbs (v6): the tier's status after the verb
+/// applied; for `store evict` additionally what was freed.
+struct StoreResponse {
+  StoreStatusInfo info;
+  bool evicted = false;  ///< true for `store evict`
+  uint64_t evicted_entries = 0;
+  uint64_t evicted_bytes = 0;
+};
+
 struct HelpResponse {};
 
 /// Acknowledges QuitRequest; the transport closes after sending it.
@@ -452,8 +490,8 @@ using ResponsePayload =
                  ShardSubmitResponse, ShardStopResponse, WorkerAckResponse,
                  WorkersResponse, ResultChunkResponse, CancelResponse,
                  JobsResponse, WaitResponse, WaitAllResponse, StatsResponse,
-                 MetricsResponse, EvictResponse, HelpResponse, ByeResponse,
-                 ErrorResponse>;
+                 MetricsResponse, EvictResponse, StoreResponse, HelpResponse,
+                 ByeResponse, ErrorResponse>;
 
 struct Response {
   uint64_t request_id = 0;  ///< mirrors Request::id

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_enumerator.h"
+#include "store/result_store.h"
 #include "util/timer.h"
 
 namespace kplex {
@@ -154,6 +155,22 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
   }
   const std::string signature =
       CanonicalSignature(request) + "|pre=" + *tag;
+  // The disk tier participates only when a store is attached and the
+  // request is store-shaped: cache=off bypasses both warm tiers, and
+  // cursor requests resume a truncated run (their pages are never
+  // persisted, so neither reads make sense). The graph content hash —
+  // the other half of the store key — is resolved up front: the graph
+  // is resident after the tag resolution above, so this is one linear
+  // pass the first time and a map lookup after.
+  ResultStore* store = store_.load(std::memory_order_acquire);
+  const bool store_eligible =
+      store != nullptr && request.use_cache && !request.has_cursor;
+  uint64_t graph_hash = 0;
+  if (store_eligible) {
+    auto hash = catalog_.ContentHash(request.graph);
+    if (!hash.ok()) return hash.status();
+    graph_hash = *hash;
+  }
   bool leader = false;
   {
     // The span covers the lock-protected lookup *and* any single-flight
@@ -217,6 +234,47 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
     }
   }
 
+  // Memory miss: consult the disk tier before paying for enumeration.
+  // Only the single-flight leader probes (waiters ride its answer), and
+  // a hit back-fills the memory cache so the next repeat is a pure
+  // memory hit.
+  if (leader && store_eligible) {
+    auto stored = store->Get(StoreKey{graph_hash, signature});
+    if (stored.has_value()) {
+      QueryResult result;
+      result.num_plexes = stored->num_plexes;
+      result.max_plex_size =
+          static_cast<std::size_t>(stored->max_plex_size);
+      result.fingerprint = stored->fingerprint;
+      result.fingerprint_xor = stored->fingerprint_xor;
+      result.total_seeds = stored->total_seeds;
+      result.compute_seconds = stored->compute_seconds;
+      result.reduction_precomputed = stored->reduction_precomputed;
+      result.plexes = stored->plexes;
+      // Only complete answers are ever persisted, so the covered range
+      // is the clamped requested range (same arithmetic Execute uses).
+      result.covered_begin = static_cast<uint32_t>(
+          std::min<uint64_t>(request.seed_begin, stored->total_seeds));
+      result.covered_end = static_cast<uint32_t>(
+          std::min<uint64_t>(request.seed_end, stored->total_seeds));
+      result.from_cache = true;
+      result.from_store = true;
+      result.signature = signature;
+      result.seconds = timer.ElapsedSeconds();
+      if (cache_capacity_ > 0) {
+        // The cached copy drops the hit flags, like a computed entry:
+        // they describe how *this* response was served, not the entry.
+        QueryResult cached = result;
+        cached.from_cache = false;
+        cached.from_store = false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        CacheInsertLocked(signature, cached);
+      }
+      FinishInFlight(signature, &result);
+      return result;
+    }
+  }
+
   auto executed = Execute(request, trace_id);
   if (!executed.ok()) {
     if (leader) FinishInFlight(signature, nullptr);
@@ -240,18 +298,41 @@ StatusOr<QueryResult> QueryEngine::Run(const QueryRequest& request) {
                                !result.yielded && !nondeterministic_subset;
   if (cache_capacity_ > 0 && complete_answer) {
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_[signature] = result;
-    cache_lru_.Touch(signature);
-    while (cache_lru_.size() > cache_capacity_) {
-      const std::string victim = cache_lru_.LeastRecent();
-      cache_.erase(victim);
-      cache_lru_.Erase(victim);
-    }
+    CacheInsertLocked(signature, result);
+  }
+  // Populate the disk tier on completion. Stricter than the memory
+  // cache: a sequential max_results-truncated run is memory-cacheable
+  // (deterministic prefix) but never persisted — the durable tier only
+  // holds whole answers (docs/RESULT_STORE.md crash model).
+  if (store_eligible && complete_answer && !result.stopped_early) {
+    StoredResult stored;
+    stored.num_plexes = result.num_plexes;
+    stored.max_plex_size = result.max_plex_size;
+    stored.fingerprint = result.fingerprint;
+    stored.fingerprint_xor = result.fingerprint_xor;
+    stored.total_seeds = result.total_seeds;
+    stored.compute_seconds = result.compute_seconds;
+    stored.reduction_precomputed = result.reduction_precomputed;
+    stored.plexes = result.plexes;
+    // Best-effort: a failed write (disk full, simulated crash) degrades
+    // the warm tier, never the answer in hand.
+    (void)store->Put(StoreKey{graph_hash, signature}, stored);
   }
   if (leader) {
     FinishInFlight(signature, complete_answer ? &result : nullptr);
   }
   return result;
+}
+
+void QueryEngine::CacheInsertLocked(const std::string& signature,
+                                    const QueryResult& result) {
+  cache_[signature] = result;
+  cache_lru_.Touch(signature);
+  while (cache_lru_.size() > cache_capacity_) {
+    const std::string victim = cache_lru_.LeastRecent();
+    cache_.erase(victim);
+    cache_lru_.Erase(victim);
+  }
 }
 
 void QueryEngine::FinishInFlight(const std::string& signature,

@@ -41,6 +41,8 @@
 
 namespace kplex {
 
+class ResultStore;
+
 /// Algorithm selector mirroring `kplex_cli mine --algo`.
 enum class QueryAlgo { kOurs, kOursP, kBasic, kListPlex, kFp };
 
@@ -163,6 +165,10 @@ struct QueryResult {
   uint32_t covered_begin = 0;
   uint32_t covered_end = 0;
   bool from_cache = false;
+  /// True when the answer came from the durable result store (the disk
+  /// tier behind the memory cache; from_cache is also set — a disk hit
+  /// is a warm hit). See store/result_store.h.
+  bool from_store = false;
   /// True when the run consumed precomputed snapshot sections instead
   /// of peeling the (q-k)-core itself (counters prove the skip).
   bool reduction_precomputed = false;
@@ -190,6 +196,19 @@ class QueryEngine {
 
   /// Executes (or serves from cache) one query.
   StatusOr<QueryResult> Run(const QueryRequest& request);
+
+  /// Attaches the durable result store as the disk tier behind the
+  /// memory cache: consulted on a memory miss (keyed by graph content
+  /// hash + full signature), populated when a run completes — never on
+  /// cancelled, timed-out, yielded, truncated, or cursor runs. The
+  /// store is not owned and must outlive the engine (ServiceApi's
+  /// member order guarantees this). Pass nullptr to detach.
+  void AttachStore(ResultStore* store) {
+    store_.store(store, std::memory_order_release);
+  }
+  ResultStore* store() const {
+    return store_.load(std::memory_order_acquire);
+  }
 
   /// The parameter part of the cache key: "graph|k|q|algo|max" — all
   /// request parameters that determine the result set, nothing else.
@@ -235,8 +254,13 @@ class QueryEngine {
   /// with the waiters.
   void FinishInFlight(const std::string& signature,
                       const QueryResult* result);
+  /// Inserts into the memory cache and trims to capacity. Caller holds
+  /// mutex_.
+  void CacheInsertLocked(const std::string& signature,
+                         const QueryResult& result);
 
   GraphCatalog& catalog_;
+  std::atomic<ResultStore*> store_{nullptr};
   const std::size_t cache_capacity_;
   mutable std::mutex mutex_;
   std::map<std::string, QueryResult> cache_;

@@ -14,6 +14,18 @@ namespace kplex {
 ServiceApi::ServiceApi(ServiceApiOptions options)
     : catalog_(options.memory_budget_bytes),
       engine_(catalog_, options.result_cache_capacity) {
+  if (!options.store_dir.empty()) {
+    StoreOptions store_options;
+    store_options.directory = options.store_dir;
+    store_options.byte_budget = options.store_byte_budget;
+    auto opened = ResultStore::Open(std::move(store_options));
+    if (opened.ok()) {
+      store_ = std::move(*opened);
+      engine_.AttachStore(store_.get());
+    } else {
+      store_status_ = opened.status();
+    }
+  }
   DispatcherOptions dispatch;
   dispatch.workers = options.workers == 0 ? 1 : options.workers;
   dispatcher_ = std::make_unique<ServiceDispatcher>(engine_, dispatch);
@@ -316,6 +328,39 @@ ResponsePayload ServiceApi::Handle(const StatsRequest&) {
   response.cache = engine_.cache_stats();
   response.jobs = dispatcher_->Counts();
   response.workers = dispatcher_->num_workers();
+  response.store = StoreInfo();
+  return response;
+}
+
+StoreStatusInfo ServiceApi::StoreInfo() {
+  StoreStatusInfo info;
+  if (store_ == nullptr) return info;
+  const ResultStore::Stats stats = store_->stats();
+  info.enabled = true;
+  info.entries = stats.entries;
+  info.bytes = stats.bytes;
+  info.byte_budget = stats.byte_budget;
+  info.hits = stats.hits;
+  info.misses = stats.misses;
+  info.writes = stats.writes;
+  info.evictions = stats.evictions;
+  info.corrupt_entries = stats.corrupt_entries;
+  return info;
+}
+
+ResponsePayload ServiceApi::Handle(const StoreRequest& store) {
+  if (store_ == nullptr) {
+    return ErrorResponse{Status::FailedPrecondition(
+        "no result store attached (start the server with --store DIR)")};
+  }
+  StoreResponse response;
+  response.evicted = store.evict;
+  if (store.evict) {
+    const ResultStore::EvictOutcome outcome = store_->EvictAll();
+    response.evicted_entries = outcome.entries;
+    response.evicted_bytes = outcome.bytes;
+  }
+  response.info = StoreInfo();
   return response;
 }
 

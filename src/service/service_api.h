@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "service/dispatcher.h"
 #include "service/graph_catalog.h"
 #include "service/protocol.h"
 #include "service/query_engine.h"
+#include "store/result_store.h"
 
 namespace kplex {
 
@@ -40,6 +42,11 @@ struct ServiceApiOptions {
   /// semantics; N > 1 lets submitted jobs run concurrently over the
   /// shared catalog. 0 is clamped to 1.
   uint32_t workers = 1;
+  /// Durable result-store directory (`serve --store DIR`). Empty
+  /// disables the disk tier. See store/result_store.h.
+  std::string store_dir;
+  /// Result-store LRU byte budget (0 = unlimited).
+  uint64_t store_byte_budget = 0;
 };
 
 class ServiceApi {
@@ -72,6 +79,15 @@ class ServiceApi {
   GraphCatalog& catalog() { return catalog_; }
   QueryEngine& engine() { return engine_; }
   ServiceDispatcher& dispatcher() { return *dispatcher_; }
+  /// The durable result store, or nullptr when no store_dir was given
+  /// (or it failed to open — see store_status()).
+  ResultStore* store() { return store_.get(); }
+  /// Outcome of opening options.store_dir: Ok when the store is up (or
+  /// none was requested), the open error otherwise. The ServiceApi
+  /// itself keeps running without a disk tier on failure; callers that
+  /// treat a broken store as fatal (kplex_cli serve) check this after
+  /// construction.
+  const Status& store_status() const { return store_status_; }
 
  private:
   ResponsePayload Handle(const HelloRequest& hello);
@@ -95,9 +111,18 @@ class ServiceApi {
   ResponsePayload Handle(const StatsRequest&);
   ResponsePayload Handle(const MetricsRequest& metrics);
   ResponsePayload Handle(const EvictRequest& evict);
+  ResponsePayload Handle(const StoreRequest& store);
   ResponsePayload Handle(const HelpRequest&);
   ResponsePayload Handle(const QuitRequest&);
 
+  /// The stats/store view of store_ (enabled=false when detached).
+  StoreStatusInfo StoreInfo();
+
+  // Declared before the engine so the engine's raw store pointer can
+  // never dangle: members destroy in reverse order, and the dispatcher
+  // (whose workers are the only concurrent callers) is torn down first.
+  std::unique_ptr<ResultStore> store_;
+  Status store_status_ = Status::Ok();
   GraphCatalog catalog_;
   QueryEngine engine_;
   // Pointer so the members above (which the dispatcher's workers reach

@@ -1,0 +1,229 @@
+// ResultStore: the durable warm tier of the query service. Completed
+// QueryEngine results are persisted to a directory keyed by
+// (graph content hash, canonical query signature) — the same key pair
+// the shard admission check already proved survives re-snapshots — so a
+// restarted process answers repeat queries without re-enumerating.
+//
+// On-disk layout (docs/RESULT_STORE.md has the full format reference):
+//
+//   <dir>/<keyhash16>.kpr   one entry per key: a versioned fixed header
+//                           (magic, version, byte-order tag, payload
+//                           length, FNV-1a payload checksum) followed by
+//                           the payload — the full key (graph hash +
+//                           signature, verified on read so a filename
+//                           hash collision can never serve wrong data),
+//                           the result summary (count, max size,
+//                           fingerprint halves, seed count, compute
+//                           seconds), and, when the run collected plex
+//                           bodies, the body list as a compact varint
+//                           block.
+//   <dir>/store.idx         the entry index: key hash, byte size, and
+//                           LRU access stamp per entry, checksummed and
+//                           rewritten atomically after every mutation.
+//                           Purely an accelerator — Open() reconciles it
+//                           against a directory scan, so a stale or
+//                           corrupt index rebuilds from the entries.
+//   <dir>/*.tmp             in-progress writes; never trusted, removed
+//                           on Open (the crash model below).
+//   <dir>/*.bad             quarantined entries that failed validation;
+//                           kept for post-mortems, never read again.
+//
+// Crash model: every write (entry or index) goes through the snapshot
+// writer's temp-file idiom hardened with fsync — write `path + ".tmp"`,
+// flush, fsync, rename. A crash at any point leaves either the old
+// state or the new state, never a torn file a reader could trust: a
+// leftover tmp is discarded on reopen, a durable entry missing from the
+// index is re-adopted by the reconciling scan, and any file that fails
+// magic/version/length/checksum validation is quarantined (renamed to
+// `.bad`), counted in kplex_store_corrupt_entries_total, and treated as
+// a miss so the caller recomputes.
+//
+// Concurrency: one instance is fully thread-safe (a single mutex guards
+// the index and serializes IO — entries are small). Across processes
+// the store is coordinated by last-writer-wins atomic renames rather
+// than a lock file: concurrent writers of the same key race benignly
+// (both wrote the same complete answer; whichever rename lands last
+// wins and readers only ever observe a whole entry), and Get() probes
+// the directory on an in-memory index miss so one process serves
+// entries another process persisted after this one opened. The index
+// file is per-writer best-effort under sharing — reconciliation on the
+// next Open repairs any interleaving. See docs/RESULT_STORE.md.
+//
+// Eviction: an optional byte budget bounds the summed entry bytes.
+// When a Put pushes the store over budget, least-recently-used entries
+// are deleted until it fits (the entry just written survives even if it
+// alone exceeds the budget — an oversized store beats a useless one).
+
+#ifndef KPLEX_STORE_RESULT_STORE_H_
+#define KPLEX_STORE_RESULT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kplex {
+
+/// Injectable fault points for the crash-safety battery
+/// (tests/result_store_test.cc). Each hook fires immediately before the
+/// named step of a write; returning false simulates the process dying
+/// there — the operation is abandoned with Status::Aborted, leaving the
+/// disk exactly as a real crash would (partial tmp, unrenamed tmp, or
+/// durable entry with a stale index). Production code never sets these.
+struct StoreHooks {
+  /// Before the entry tmp is flushed+fsynced (data may be torn).
+  std::function<bool(const std::string& tmp_path)> before_entry_flush;
+  /// After the entry tmp is durable, before its rename.
+  std::function<bool(const std::string& tmp_path)> before_entry_rename;
+  /// After the index tmp is durable, before its rename (the entry
+  /// itself is already promoted — the on-disk index is now stale).
+  std::function<bool(const std::string& tmp_path)> before_index_rename;
+};
+
+struct StoreOptions {
+  /// Directory holding the entries and store.idx; created if missing.
+  std::string directory;
+  /// LRU byte budget over the summed entry file sizes (0 = unlimited).
+  uint64_t byte_budget = 0;
+};
+
+/// The identity of a stored result: the graph's content bytes (so a
+/// re-snapshotted or reloaded graph can never ride a stale entry) plus
+/// the canonical query signature (every parameter that determines the
+/// result set, including the precompute tag).
+struct StoreKey {
+  uint64_t graph_hash = 0;
+  std::string signature;
+};
+
+/// The persisted slice of a QueryResult — exactly the fields that are a
+/// property of the *answer* rather than of the run that produced it
+/// (timings excepted: compute_seconds is kept so a warm hit can still
+/// report what the original enumeration cost).
+struct StoredResult {
+  uint64_t num_plexes = 0;
+  uint64_t max_plex_size = 0;
+  uint64_t fingerprint = 0;
+  uint64_t fingerprint_xor = 0;
+  uint64_t total_seeds = 0;
+  double compute_seconds = 0;
+  bool reduction_precomputed = false;
+  /// The plex bodies, present iff the original request collected them
+  /// (the signature carries |bodies=on / |top= / |mode=maximum, so only
+  /// body-carrying entries ever serve body requests). Null otherwise.
+  std::shared_ptr<const std::vector<std::vector<VertexId>>> plexes;
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store at `options.directory`: loads
+  /// store.idx, reconciles it against a directory scan (adopting
+  /// durable entries a crash left unindexed, dropping rows whose file
+  /// vanished), removes orphaned tmp files, and evicts down to the
+  /// budget. A corrupt or missing index is rebuilt from the scan.
+  static StatusOr<std::unique_ptr<ResultStore>> Open(StoreOptions options);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Looks up one key: returns the stored result on a durable, valid
+  /// hit; nullopt on a miss. Entries failing validation (bad magic /
+  /// version / length / checksum, or a filename-hash collision whose
+  /// embedded key mismatches) are never served; validation failures are
+  /// quarantined and counted. Reads are served from an mmap of the
+  /// entry file when the platform supports it (buffered read fallback).
+  std::optional<StoredResult> Get(const StoreKey& key);
+
+  /// Persists one key/result crash-safely (tmp + fsync + rename) and
+  /// rewrites the index. Overwrites an existing entry for the key
+  /// (last writer wins). Evicts LRU entries while over budget.
+  Status Put(const StoreKey& key, const StoredResult& result);
+
+  struct Stats {
+    std::size_t entries = 0;
+    uint64_t bytes = 0;
+    uint64_t byte_budget = 0;  ///< 0 = unlimited
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writes = 0;
+    uint64_t evictions = 0;
+    uint64_t corrupt_entries = 0;
+  };
+  Stats stats() const;
+
+  /// Deletes every entry (the `store evict` verb); returns what was
+  /// freed. The directory and index stay valid (and empty).
+  struct EvictOutcome {
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+  EvictOutcome EvictAll();
+
+  const std::string& directory() const { return directory_; }
+  uint64_t byte_budget() const { return byte_budget_; }
+
+  /// Installs the crash-simulation hooks (tests only).
+  void SetHooksForTest(StoreHooks hooks);
+
+  /// The filename-deriving hash of a key: FNV-1a over the graph hash
+  /// bytes then the signature bytes. Exposed for the tests and the
+  /// smoke script, which locate entry files to corrupt them.
+  static uint64_t KeyHash(const StoreKey& key);
+
+  /// "<keyhash16>.kpr" — the entry file name for a key hash.
+  static std::string EntryFileName(uint64_t key_hash);
+
+ private:
+  struct IndexEntry {
+    uint64_t bytes = 0;
+    uint64_t last_access = 0;  // LRU stamp from access_clock_
+  };
+
+  explicit ResultStore(StoreOptions options);
+
+  std::string EntryPath(uint64_t key_hash) const;
+  /// Validates + decodes one entry file; increments the corrupt counter
+  /// and quarantines on validation failure. `key` null skips the
+  /// embedded-key comparison (Open-time adoption).
+  std::optional<StoredResult> ReadEntry(uint64_t key_hash,
+                                        const StoreKey* key);
+  /// Renames a failed entry to `.bad` and drops it from the index.
+  void Quarantine(uint64_t key_hash);
+  /// Deletes LRU entries while over budget (never `keep`).
+  void EvictOverBudget(uint64_t keep);
+  /// Atomically rewrites store.idx from the in-memory index. Honors the
+  /// before_index_rename hook. Best-effort: a failure leaves the
+  /// on-disk index stale, which the next Open repairs by scanning.
+  Status RewriteIndex();
+  /// Loads store.idx (returns false on any validation failure) into
+  /// `loaded` + `clock`.
+  bool LoadIndex(std::map<uint64_t, IndexEntry>& loaded, uint64_t& clock);
+  /// Directory scan + index reconciliation run by Open.
+  Status Recover();
+  void PublishBytesGauge();
+
+  const std::string directory_;
+  const uint64_t byte_budget_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, IndexEntry> index_;
+  uint64_t total_bytes_ = 0;
+  uint64_t access_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t corrupt_ = 0;
+  StoreHooks hooks_;
+};
+
+}  // namespace kplex
+
+#endif  // KPLEX_STORE_RESULT_STORE_H_

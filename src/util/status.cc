@@ -25,6 +25,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TIMED_OUT";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -34,7 +36,8 @@ StatusCode StatusCodeFromName(const std::string& name) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kTimedOut, StatusCode::kUnimplemented}) {
+        StatusCode::kTimedOut, StatusCode::kUnimplemented,
+        StatusCode::kAborted}) {
     if (name == StatusCodeName(code)) return code;
   }
   return StatusCode::kInternal;

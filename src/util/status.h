@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 6,
   kTimedOut = 7,
   kUnimplemented = 8,
+  kAborted = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -137,6 +137,10 @@ std::vector<Request> Corpus() {
   add(WaitRequest{uint64_t{12}}, 3);
   add(StatsRequest{});
   add(EvictRequest{"web"});
+  add(StoreRequest{});
+  StoreRequest evict_store;  // v6: `store evict`
+  evict_store.evict = true;
+  add(evict_store, 16);
   add(HelpRequest{});
   add(QuitRequest{});
   return corpus;
@@ -236,6 +240,8 @@ TEST(ProtocolText, MalformedLinesAreStructuredErrors) {
       {"cancel nope", "malformed value for ID: 'nope'"},
       {"wait 1 2", "usage: wait [ID]"},
       {"evict", "usage: evict NAME"},
+      {"store sideways", "usage: store [evict]"},
+      {"store evict now", "usage: store [evict]"},
       {"hello proto=x", "malformed value for proto: 'x'"},
       {"hello mode=binary", "mode must be text or framed, got 'binary'"},
       {"hello frob", "usage: hello [proto=N] [mode=text|framed]"},
@@ -304,6 +310,8 @@ TEST(ProtocolFramed, MalformedFramesAreStructuredErrorsNeverCrashes) {
       "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,\"cursor\":7}",
       "{\"cmd\":\"mine\",\"graph\":\"g\",\"k\":2,\"q\":5,"
       "\"cursor\":\"3:x\"}",
+      "{\"cmd\":\"store\",\"bogus\":1}",              // unknown field
+      "{\"cmd\":\"store\",\"evict\":\"yes\"}",        // evict must be bool
       "{\"cmd\":\"quit\",\"cmd\"",
       "{\"a\":\"\\u12\"}",
       "{\"a\":\"\\q\"}",
@@ -439,7 +447,37 @@ TEST(ProtocolText, ResponseGoldens) {
             "error: INVALID_ARGUMENT: boom\n");
   EXPECT_EQ(TextOf(ByeResponse{}), "");  // quit prints nothing on text
 
-  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=5 mode=text\n");
+  EXPECT_EQ(TextOf(HelloResponse{}), "hello proto=6 mode=text\n");
+
+  // v6 store verbs: status line, evict outcome, and the off state.
+  StoreResponse store_status;
+  store_status.info.enabled = true;
+  store_status.info.entries = 3;
+  store_status.info.bytes = 2048;
+  store_status.info.byte_budget = 4 << 20;
+  store_status.info.hits = 7;
+  store_status.info.misses = 2;
+  store_status.info.writes = 5;
+  store_status.info.evictions = 1;
+  store_status.info.corrupt_entries = 0;
+  EXPECT_EQ(TextOf(store_status),
+            "store: 3 entries, 2.0KiB (budget 4.0MiB), 7 hits, 2 misses, "
+            "5 writes, 1 evictions, 0 corrupt\n");
+
+  StoreResponse store_evicted = store_status;
+  store_evicted.evicted = true;
+  store_evicted.evicted_entries = 3;
+  store_evicted.evicted_bytes = 2048;
+  store_evicted.info.entries = 0;
+  store_evicted.info.bytes = 0;
+  store_evicted.info.evictions = 4;
+  EXPECT_EQ(TextOf(store_evicted),
+            "store evicted: 3 entries, 2.0KiB freed\n"
+            "store: 0 entries, 0B (budget 4.0MiB), 7 hits, 2 misses, "
+            "5 writes, 4 evictions, 0 corrupt\n");
+
+  StoreResponse store_off;
+  EXPECT_EQ(TextOf(store_off), "store: off\n");
 
   // Shard outcomes carry every number a merge needs.
   JobInfo shard_done = done;
@@ -485,6 +523,31 @@ TEST(ProtocolFramed, ResponseShape) {
   EXPECT_NE(frame.find("\"fingerprint\":\"0x0123456789abcdef\""),
             std::string::npos)
       << frame;
+
+  StoreResponse store_response;
+  store_response.info.enabled = true;
+  store_response.info.entries = 2;
+  store_response.info.bytes = 258;
+  store_response.evicted = true;
+  store_response.evicted_entries = 1;
+  store_response.evicted_bytes = 129;
+  response.payload = store_response;
+  const std::string store_frame = FormatFramedResponse(response);
+  EXPECT_NE(store_frame.find("\"type\":\"store\""), std::string::npos)
+      << store_frame;
+  EXPECT_NE(store_frame.find("\"evicted\":true"), std::string::npos)
+      << store_frame;
+  EXPECT_NE(store_frame.find("\"evicted_entries\":1"), std::string::npos)
+      << store_frame;
+  EXPECT_NE(store_frame.find("\"store\":{\"enabled\":true"),
+            std::string::npos)
+      << store_frame;
+
+  // A server without --store reports the tier as disabled in stats.
+  response.payload = StatsResponse{};
+  EXPECT_NE(FormatFramedResponse(response)
+                .find("\"store\":{\"enabled\":false}"),
+            std::string::npos);
 
   response.payload = ErrorResponse{Status::NotFound("nope")};
   const std::string error = FormatFramedResponse(response);

@@ -1,25 +1,57 @@
 // Unit tests for the QueryEngine: cache hits/misses, canonical
 // signatures, correctness of cached answers against a direct engine
-// run, cancellation semantics, and cache invalidation.
+// run, cancellation semantics, cache invalidation, and the durable
+// result store tier (disk hits, persistence gating, cross-engine
+// sharing).
 
 #include "service/query_engine.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/enumerator.h"
 #include "core/sink.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "service/graph_catalog.h"
+#include "store/result_store.h"
 
 namespace kplex {
 namespace {
 
 Graph TestGraph() { return GenerateErdosRenyi(120, 0.12, 42); }
+
+std::string FreshStoreDir() {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "kplex_engine_store_" +
+                    std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::unique_ptr<ResultStore> MustOpenStore(const std::string& dir) {
+  StoreOptions options;
+  options.directory = dir;
+  auto store = ResultStore::Open(std::move(options));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+uint64_t EnumerateStageCount() {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const HistogramSample& histogram : snapshot.histograms) {
+    if (histogram.name == "kplex_stage_enumerate_seconds") {
+      return histogram.count;
+    }
+  }
+  return 0;
+}
 
 TEST(QueryEngine, ColdThenWarmHitWithIdenticalAnswer) {
   GraphCatalog catalog;
@@ -424,6 +456,181 @@ TEST(QueryEngine, UnknownGraphAndBadOptionsPropagate) {
   request.q = 2;  // violates q >= 2k - 1
   EXPECT_EQ(engine.Run(request).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineStore, DiskHitServesFreshEngineWithoutEnumerating) {
+  const std::string dir = FreshStoreDir();
+  uint64_t cold_fingerprint = 0;
+  uint64_t cold_plexes = 0;
+  {
+    GraphCatalog catalog;
+    ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+    QueryEngine engine(catalog);
+    auto store = MustOpenStore(dir);
+    engine.AttachStore(store.get());
+
+    QueryRequest request;
+    request.graph = "g";
+    request.k = 2;
+    request.q = 5;
+    auto cold = engine.Run(request);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_FALSE(cold->from_store);
+    EXPECT_EQ(store->stats().writes, 1u);
+    cold_fingerprint = cold->fingerprint;
+    cold_plexes = cold->num_plexes;
+    engine.AttachStore(nullptr);  // store outlives its last use
+  }
+
+  // A fresh engine + fresh store handle on the same directory is the
+  // process-restart scenario: the answer must come off disk without the
+  // enumerate stage ever running, bit-identical to the computed one.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+  auto store = MustOpenStore(dir);
+  engine.AttachStore(store.get());
+
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  request.q = 5;
+  const uint64_t enumerations_before = EnumerateStageCount();
+  auto disk = engine.Run(request);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE(disk->from_store);
+  EXPECT_TRUE(disk->from_cache);
+  EXPECT_EQ(disk->fingerprint, cold_fingerprint);
+  EXPECT_EQ(disk->num_plexes, cold_plexes);
+  EXPECT_EQ(EnumerateStageCount(), enumerations_before);
+  EXPECT_EQ(store->stats().hits, 1u);
+
+  // The disk hit back-filled the memory cache: the repeat is a pure
+  // memory hit (from_cache without from_store, store hits unchanged).
+  auto warm = engine.Run(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_FALSE(warm->from_store);
+  EXPECT_EQ(warm->fingerprint, cold_fingerprint);
+  EXPECT_EQ(store->stats().hits, 1u);
+  engine.AttachStore(nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QueryEngineStore, IncompleteOrCursorRunsAreNeverPersisted) {
+  const std::string dir = FreshStoreDir();
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+  auto store = MustOpenStore(dir);
+  engine.AttachStore(store.get());
+
+  // Cancelled: not a complete answer.
+  std::atomic<bool> cancel{true};
+  QueryRequest cancelled;
+  cancelled.graph = "g";
+  cancelled.k = 2;
+  cancelled.q = 5;
+  cancelled.cancel = &cancel;
+  auto aborted = engine.Run(cancelled);
+  ASSERT_TRUE(aborted.ok());
+  ASSERT_TRUE(aborted->cancelled);
+  EXPECT_EQ(store->stats().writes, 0u);
+
+  // Sequential truncation: memory-cacheable (deterministic prefix) but
+  // the durable tier only holds whole answers.
+  QueryRequest truncated;
+  truncated.graph = "g";
+  truncated.k = 2;
+  truncated.q = 5;
+  truncated.max_results = 1;
+  auto capped = engine.Run(truncated);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE(capped->stopped_early);
+  EXPECT_EQ(store->stats().writes, 0u);
+
+  // Cursor resumption: pages of a truncated run, never persisted.
+  QueryRequest cursor;
+  cursor.graph = "g";
+  cursor.k = 2;
+  cursor.q = 5;
+  cursor.has_cursor = true;
+  cursor.cursor_seed = 0;
+  cursor.cursor_ordinal = 0;
+  ASSERT_TRUE(engine.Run(cursor).ok());
+  EXPECT_EQ(store->stats().writes, 0u);
+
+  // cache=off bypasses both warm tiers, writes included.
+  QueryRequest uncached;
+  uncached.graph = "g";
+  uncached.k = 2;
+  uncached.q = 5;
+  uncached.use_cache = false;
+  ASSERT_TRUE(engine.Run(uncached).ok());
+  EXPECT_EQ(store->stats().writes, 0u);
+
+  // A query run to completion normally IS persisted — the gate
+  // discriminates outcomes, it is not store-wide. (Fresh q: the
+  // cache=off run above still populated the memory cache for q=5, and
+  // a memory hit never reaches the disk tier.)
+  QueryRequest complete;
+  complete.graph = "g";
+  complete.k = 2;
+  complete.q = 4;
+  auto whole = engine.Run(complete);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_FALSE(whole->stopped_early);
+  EXPECT_EQ(store->stats().writes, 1u);
+  engine.AttachStore(nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QueryEngineStore, EnginesSharingAStoreDirectoryConverge) {
+  // Two independent engines — separate processes in miniature, each
+  // with its own ResultStore handle on one shared directory — race the
+  // same cold query. Writes are last-writer-wins over identical bytes
+  // (the answer is deterministic), so afterwards a third fresh engine
+  // must be served off disk. Run under TSan in CI.
+  const std::string dir = FreshStoreDir();
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<QueryResult>> results(2, Status::Internal("unset"));
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      GraphCatalog catalog;
+      ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+      QueryEngine engine(catalog);
+      auto store = MustOpenStore(dir);
+      engine.AttachStore(store.get());
+      QueryRequest request;
+      request.graph = "g";
+      request.k = 2;
+      request.q = 5;
+      results[i] = engine.Run(request);
+      engine.AttachStore(nullptr);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  EXPECT_EQ(results[0]->fingerprint, results[1]->fingerprint);
+  EXPECT_EQ(results[0]->num_plexes, results[1]->num_plexes);
+
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterGraph("g", TestGraph()).ok());
+  QueryEngine engine(catalog);
+  auto store = MustOpenStore(dir);
+  engine.AttachStore(store.get());
+  QueryRequest request;
+  request.graph = "g";
+  request.k = 2;
+  request.q = 5;
+  auto served = engine.Run(request);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->from_store);
+  EXPECT_EQ(served->fingerprint, results[0]->fingerprint);
+  EXPECT_EQ(store->stats().entries, 1u);  // one key, however many racers
+  engine.AttachStore(nullptr);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(QueryEngine, AlgoNamesRoundTrip) {

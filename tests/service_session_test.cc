@@ -422,7 +422,7 @@ TEST(ServiceSession, HelloSwitchesWireModesMidSession) {
   ASSERT_EQ(lines.size(), 2u) << out.str();
   // Version negotiation: min(7, kProtocolVersion).
   EXPECT_EQ(lines[1],
-            "{\"id\":0,\"ok\":true,\"type\":\"hello\",\"proto\":5,"
+            "{\"id\":0,\"ok\":true,\"type\":\"hello\",\"proto\":6,"
             "\"mode\":\"framed\"}");
 
   // Framed request with a correlation id; the response echoes it.
@@ -472,7 +472,7 @@ TEST(ServiceSession, HelloSwitchesWireModesMidSession) {
   EXPECT_TRUE(session.ExecuteLine("{\"cmd\":\"hello\",\"mode\":\"text\"}"));
   EXPECT_EQ(session.mode(), WireMode::kText);
   lines = Lines(out.str());
-  EXPECT_EQ(lines.back(), "hello proto=5 mode=text");
+  EXPECT_EQ(lines.back(), "hello proto=6 mode=text");
   EXPECT_TRUE(session.ExecuteLine("evict kc"));
   lines = Lines(out.str());
   EXPECT_EQ(lines.back(), "evicted kc");

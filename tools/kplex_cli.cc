@@ -76,8 +76,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_enumerator.h"
+#include "service/query_engine.h"
 #include "service/service_session.h"
 #include "service/shard_coordinator.h"
+#include "store/result_store.h"
 #include "service/tcp_client.h"
 #include "service/tcp_server.h"
 #include "util/flags.h"
@@ -101,6 +103,7 @@ int Usage() {
                "                  [--cache-capacity N] [--workers N] [--echo]\n"
                "                  [--listen PORT] [--host H]\n"
                "                  [--max-connections N]\n"
+               "                  [--store DIR] [--store-budget-mb N]\n"
                "  kplex_cli coordinate --listen PORT [--host H]\n"
                "            [--workers host:port,...] [--chunks-per-worker N]\n"
                "            [--io-timeout S] [--no-steal] [--steal-min-ms T]\n"
@@ -133,6 +136,9 @@ int Usage() {
                "(q-k)-core\n"
                "  --seed-range B:E  mine one shard of the seed space "
                "(E may be 'end')\n"
+               "  --store DIR       durable result store: a repeat of the\n"
+               "                    same mine (even from a new process) is\n"
+               "                    answered from DIR without enumerating\n"
                "options for sharded mine (--endpoints):\n"
                "  --graph NAME      graph name in the workers' catalogs\n"
                "  --shards W        seed ranges to fan out (default 4)\n"
@@ -399,6 +405,125 @@ int RunCoordinatorMine(const FlagParser& flags, const std::string& endpoint) {
   return verdict->state == "done" ? 0 : 1;
 }
 
+/// `mine --store DIR`: the query runs through the service stack —
+/// GraphCatalog + QueryEngine with a ResultStore attached — so a repeat
+/// of the same mine, even from a fresh process, is answered from the
+/// durable store without enumerating. The graph is registered under the
+/// fixed catalog name "cli"; store entries key on the graph's *content
+/// hash* plus the canonical signature, so two invocations share an
+/// entry iff they mined the same bytes with the same parameters.
+int RunStoreMine(const FlagParser& flags) {
+  if (flags.Has("output")) {
+    std::fprintf(stderr, "--output does not combine with --store (the "
+                         "store path reports counts and fingerprints; "
+                         "write bodies with a plain mine)\n");
+    return 1;
+  }
+  auto k = flags.GetInt("k", 2);
+  auto q = flags.GetInt("q", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto tau = flags.GetDouble("tau-ms", 0.1);
+  auto max_results = flags.GetInt("max-results", 0);
+  auto time_limit = flags.GetDouble("time-limit", 0);
+  auto store_budget_mb = flags.GetInt("store-budget-mb", 0);
+  for (const Status& s :
+       {k.status(), q.status(), threads.status(), tau.status(),
+        max_results.status(), time_limit.status(),
+        store_budget_mb.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (*q == 0) {
+    std::fprintf(stderr, "--q is required (must be >= 2k - 1)\n");
+    return 1;
+  }
+  if (*store_budget_mb < 0) {
+    std::fprintf(stderr, "--store-budget-mb must be >= 0\n");
+    return 1;
+  }
+  auto algo = ParseQueryAlgo(flags.GetString("algo", "ours"));
+  if (!algo.ok()) {
+    std::fprintf(stderr, "%s\n", algo.status().ToString().c_str());
+    return 1;
+  }
+
+  GraphCatalog catalog;
+  const std::string name = "cli";
+  const std::string dataset = flags.GetString("dataset", "");
+  const std::string input = flags.GetString("input", "");
+  Status registered = Status::Ok();
+  if (!dataset.empty()) {
+    registered = catalog.RegisterDataset(name, dataset);
+  } else if (!input.empty()) {
+    registered = catalog.RegisterFile(name, input);
+  } else {
+    std::fprintf(stderr, "one of --input or --dataset is required\n");
+    return 1;
+  }
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+
+  StoreOptions store_options;
+  store_options.directory = flags.GetString("store", "");
+  store_options.byte_budget = static_cast<uint64_t>(*store_budget_mb) << 20;
+  auto store = ResultStore::Open(std::move(store_options));
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open result store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngine engine(catalog);
+  engine.AttachStore(store->get());
+
+  QueryRequest request;
+  request.graph = name;
+  request.k = static_cast<uint32_t>(*k);
+  request.q = static_cast<uint32_t>(*q);
+  request.algo = *algo;
+  request.threads = static_cast<uint32_t>(*threads);
+  request.tau_ms = *tau;
+  request.max_results = static_cast<uint64_t>(*max_results);
+  request.time_limit_seconds = *time_limit;
+  request.use_ctcp = flags.Has("ctcp");
+  const std::string seed_range = flags.GetString("seed-range", "");
+  if (!seed_range.empty()) {
+    auto parsed_range = ParseSeedRangeText(seed_range);
+    if (!parsed_range.ok()) {
+      std::fprintf(stderr, "%s\n", parsed_range.status().ToString().c_str());
+      return 1;
+    }
+    request.seed_begin = parsed_range->begin;
+    request.seed_end = parsed_range->end;
+  }
+
+  auto result = engine.Run(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu maximal %lld-plexes with >= %lld vertices in %.3fs%s%s\n",
+              static_cast<unsigned long long>(result->num_plexes),
+              static_cast<long long>(*k), static_cast<long long>(*q),
+              result->seconds, result->timed_out ? " (time limit hit)" : "",
+              result->stopped_early ? " (result cap hit)" : "");
+  const ResultStore::Stats stats = (*store)->stats();
+  // Machine-read by tools/store_smoke.py: keep the shape stable.
+  std::printf("store tier: %s, fingerprint 0x%016llx "
+              "(%llu entries, %llu bytes)\n",
+              result->from_store        ? "disk"
+              : result->from_cache      ? "memory"
+                                        : "computed",
+              static_cast<unsigned long long>(result->fingerprint),
+              static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes));
+  return result->timed_out || result->cancelled ? 1 : 0;
+}
+
 int RunMine(const FlagParser& flags) {
   const std::string coordinator = flags.GetString("coordinator", "");
   if (flags.Has("endpoints") && !coordinator.empty()) {
@@ -409,6 +534,7 @@ int RunMine(const FlagParser& flags) {
   }
   if (!coordinator.empty()) return RunCoordinatorMine(flags, coordinator);
   if (flags.Has("endpoints")) return RunShardedMine(flags);
+  if (flags.Has("store")) return RunStoreMine(flags);
   auto loaded = LoadInputFull(flags);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -656,9 +782,11 @@ int RunServe(const FlagParser& flags) {
   auto workers = flags.GetInt("workers", 1);
   auto listen = flags.GetInt("listen", -1);
   auto max_connections = flags.GetInt("max-connections", 64);
+  auto store_budget_mb = flags.GetInt("store-budget-mb", 0);
   for (const Status& s :
        {budget_mb.status(), cache_capacity.status(), workers.status(),
-        listen.status(), max_connections.status()}) {
+        listen.status(), max_connections.status(),
+        store_budget_mb.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -692,6 +820,15 @@ int RunServe(const FlagParser& flags) {
     std::fprintf(stderr, "--max-connections must be between 1 and 4096\n");
     return 1;
   }
+  const std::string store_dir = flags.GetString("store", "");
+  if (*store_budget_mb < 0) {
+    std::fprintf(stderr, "--store-budget-mb must be >= 0\n");
+    return 1;
+  }
+  if (store_dir.empty() && flags.Has("store-budget-mb")) {
+    std::fprintf(stderr, "--store-budget-mb requires --store DIR\n");
+    return 1;
+  }
 
   ServiceApiOptions api_options;
   api_options.memory_budget_bytes =
@@ -699,7 +836,18 @@ int RunServe(const FlagParser& flags) {
   api_options.result_cache_capacity =
       static_cast<std::size_t>(*cache_capacity);
   api_options.workers = static_cast<uint32_t>(*workers);
+  api_options.store_dir = store_dir;
+  api_options.store_byte_budget =
+      static_cast<uint64_t>(*store_budget_mb) << 20;
   auto api = std::make_shared<ServiceApi>(api_options);
+  // A requested-but-broken store is a config error, not something to
+  // silently run without.
+  if (!api->store_status().ok()) {
+    std::fprintf(stderr, "cannot open result store '%s': %s\n",
+                 store_dir.c_str(),
+                 api->store_status().ToString().c_str());
+    return 1;
+  }
 
   // The script runs first in both modes — in network mode it preloads
   // the shared catalog before any client connects.
@@ -1420,7 +1568,7 @@ int Main(int argc, char** argv) {
     known = {"input", "dataset", "k", "q", "algo", "threads", "tau-ms",
              "output", "max-results", "time-limit", "ctcp", "seed-range",
              "endpoints", "graph", "shards", "max-attempts", "io-timeout",
-             "coordinator"};
+             "coordinator", "store", "store-budget-mb"};
     run = RunMine;
   } else if (command == "max") {
     known = {"input", "dataset", "k"};
@@ -1434,7 +1582,8 @@ int Main(int argc, char** argv) {
     run = RunSnapshot;
   } else if (command == "serve") {
     known = {"script", "memory-budget-mb", "cache-capacity", "workers",
-             "echo", "listen", "host", "max-connections"};
+             "echo", "listen", "host", "max-connections", "store",
+             "store-budget-mb"};
     run = RunServe;
   } else if (command == "coordinate") {
     known = {"listen", "host", "max-connections", "workers",

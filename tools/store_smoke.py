@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Durable result-store smoke test: boots `kplex_cli serve --store`,
+kills it the hard way, and proves the disk tier both survives restarts
+and degrades cleanly when its files are torn or corrupted.
+
+Usage: store_smoke.py path/to/kplex_cli
+
+Checks (any failure exits non-zero):
+  1. a mine on a fresh store persists one entry (kplex_store_writes_total
+     rises, a .kpr file appears) and the `store` verb reports it;
+  2. the server is SIGKILLed (no graceful shutdown) with a torn .tmp
+     file planted in the store directory — the crash-mid-write shape;
+  3. the restarted server sweeps the .tmp corpse and serves the repeat
+     query from disk: response marked cached, fingerprint bit-identical,
+     kplex_store_hits_total == 1;
+  4. after a byte flip inside the entry file, the restarted server
+     refuses the corrupt entry (kplex_store_corrupt_entries_total == 1,
+     the file is quarantined as .bad), silently recomputes the same
+     fingerprint, and re-persists it.
+"""
+
+import glob
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def roundtrip(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+        return self.file.readline().rstrip("\n")
+
+    def close(self):
+        self.sock.close()
+
+
+def fail(message):
+    print(f"store_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def boot(cli, store_dir):
+    server = subprocess.Popen(
+        [cli, "serve", "--listen", "0", "--store", store_dir],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = server.stdout.readline().strip()
+    if not banner.startswith("serving on 127.0.0.1:"):
+        server.kill()
+        fail(f"unexpected banner: {banner!r}")
+    port = int(banner.split(":")[1].split(" ")[0])
+    return server, port
+
+
+def scrape(client, name):
+    """Reads one counter value from the framed `metrics` verb."""
+    response = json.loads(client.roundtrip(json.dumps({"cmd": "metrics"})))
+    if response.get("type") != "metrics":
+        fail(f"metrics scrape: {response!r}")
+    for counter in response.get("counters", []):
+        if counter.get("name") == name:
+            return counter.get("value")
+    return None
+
+
+def framed_mine(client):
+    response = json.loads(
+        client.roundtrip(
+            json.dumps({"cmd": "mine", "graph": "kc", "k": 2, "q": 6})))
+    if response.get("state") != "done" or response.get("plexes") != 1:
+        fail(f"mine response: {response!r}")
+    return response
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: store_smoke.py path/to/kplex_cli")
+    cli = sys.argv[1]
+    root = tempfile.mkdtemp(prefix="kplex_store_smoke_")
+    store_dir = os.path.join(root, "store")
+    server = None
+    try:
+        # ------------------------------------------- 1. cold mine persists
+        server, port = boot(cli, store_dir)
+        client = LineClient(port)
+        hello = json.loads(client.roundtrip("hello mode=framed"))
+        if hello.get("proto") != 6:
+            fail(f"handshake: {hello!r}")
+        loaded = json.loads(client.roundtrip(
+            json.dumps({"cmd": "dataset", "name": "kc", "key": "karate"})))
+        if loaded.get("type") != "load":
+            fail(f"dataset load: {loaded!r}")
+        cold = framed_mine(client)
+        if cold.get("cached"):
+            fail("first mine claims to be cached on a fresh store")
+        fingerprint = cold.get("fingerprint")
+        if not str(fingerprint).startswith("0x"):
+            fail(f"no fingerprint: {cold!r}")
+
+        status = json.loads(client.roundtrip(json.dumps({"cmd": "store"})))
+        store_obj = status.get("store", {})
+        if (status.get("type") != "store" or not store_obj.get("enabled")
+                or store_obj.get("entries") != 1
+                or store_obj.get("writes") != 1):
+            fail(f"store status after cold mine: {status!r}")
+        entries = glob.glob(os.path.join(store_dir, "*.kpr"))
+        if len(entries) != 1:
+            fail(f"expected one .kpr entry, found {entries!r}")
+        entry_path = entries[0]
+        client.close()
+
+        # -------------------------- 2. SIGKILL + a torn tmp file on disk
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        torn = entry_path + ".tmp"
+        with open(torn, "wb") as f:
+            f.write(b"torn mid-write")
+
+        # ------------------------------- 3. restart serves the disk hit
+        server, port = boot(cli, store_dir)
+        if os.path.exists(torn):
+            fail("restart did not sweep the torn .tmp file")
+        client = LineClient(port)
+        client.roundtrip("hello mode=framed")
+        client.roundtrip(
+            json.dumps({"cmd": "dataset", "name": "kc", "key": "karate"}))
+        warm = framed_mine(client)
+        if not warm.get("cached"):
+            fail(f"restart mine was not served warm: {warm!r}")
+        if warm.get("fingerprint") != fingerprint:
+            fail(f"disk hit fingerprint {warm.get('fingerprint')!r} != "
+                 f"computed {fingerprint!r}")
+        if scrape(client, "kplex_store_hits_total") != 1:
+            fail("kplex_store_hits_total != 1 after the disk hit")
+        client.close()
+
+        # --------------------- 4. corruption degrades to a clean recompute
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        with open(entry_path, "r+b") as f:
+            f.seek(40)  # past the header, inside the payload
+            byte = f.read(1)
+            f.seek(40)
+            f.write(bytes([byte[0] ^ 0x5A]))
+
+        server, port = boot(cli, store_dir)
+        client = LineClient(port)
+        client.roundtrip("hello mode=framed")
+        client.roundtrip(
+            json.dumps({"cmd": "dataset", "name": "kc", "key": "karate"}))
+        recomputed = framed_mine(client)
+        if recomputed.get("cached"):
+            fail("corrupt entry was served instead of recomputed")
+        if recomputed.get("fingerprint") != fingerprint:
+            fail(f"recompute fingerprint {recomputed.get('fingerprint')!r} "
+                 f"!= original {fingerprint!r}")
+        if scrape(client, "kplex_store_corrupt_entries_total") != 1:
+            fail("kplex_store_corrupt_entries_total != 1 after byte flip")
+        if not glob.glob(os.path.join(store_dir, "*.bad")):
+            fail("corrupt entry was not quarantined as .bad")
+        # The recompute re-persisted the entry; the next restart would
+        # hit disk again.
+        if scrape(client, "kplex_store_writes_total") != 1:
+            fail("recompute did not re-persist the entry")
+        client.close()
+
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not shut down within 30s of SIGTERM")
+        if code != 0:
+            fail(f"server exited {code}")
+        print("store_smoke: OK")
+    finally:
+        if server is not None and server.poll() is None:
+            server.kill()
+            server.wait()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
